@@ -1,0 +1,75 @@
+//! E1 — direct evaluation over clustered molecules vs SLD over the
+//! flattened first-order translation (§4: "whose direct evaluation using
+//! SLD resolution directly would be very inefficient").
+//!
+//! Expected shape: direct wins on open queries by a factor that grows
+//! with database size; point queries are near-constant for both.
+
+use clogic_bench::objects;
+use clogic_core::transform::Transformer;
+use clogic_engine::{DirectEngine, DirectOptions, DirectProgram};
+use clogic_parser::parse_query;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folog::builtins::builtin_symbols;
+use folog::{CompiledProgram, SldEngine, SldOptions};
+
+const K: usize = 4;
+const POOL: usize = 8;
+const SEED: u64 = 17;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_direct_vs_translated");
+    group.sample_size(20);
+    for n in [50usize, 200, 800] {
+        let program = objects::functional_objects(n, K, POOL, SEED);
+        // Compile once per engine; queries are the measured unit.
+        let direct_program = DirectProgram::compile(&program, builtin_symbols());
+        let fo = {
+            let tr = Transformer::new();
+            clogic_core::optimize::Optimizer::new(&program).optimized_program(&tr, &program)
+        };
+        let compiled = CompiledProgram::compile(&fo, builtin_symbols());
+
+        let point = parse_query(&objects::point_query(n, K, POOL, SEED, n / 2)).unwrap();
+        let open = parse_query(&objects::open_query(K)).unwrap();
+        let point_goals = Transformer::new().query(&point);
+        let open_goals = Transformer::new().query(&open);
+
+        group.bench_with_input(BenchmarkId::new("direct/point", n), &n, |b, _| {
+            let engine = DirectEngine::new(&direct_program, DirectOptions::default());
+            b.iter(|| {
+                let r = engine.solve(&point).unwrap();
+                assert_eq!(r.answers.len(), 1);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sld/point", n), &n, |b, _| {
+            let engine = SldEngine::new(&compiled, SldOptions::default());
+            b.iter(|| {
+                let r = engine.solve(&point_goals).unwrap();
+                assert_eq!(r.answers.len(), 1);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("direct/open", n), &n, |b, _| {
+            let engine = DirectEngine::new(&direct_program, DirectOptions::default());
+            b.iter(|| {
+                let r = engine.solve(&open).unwrap();
+                assert_eq!(r.answers.len(), n);
+            })
+        });
+        // SLD open queries grow super-linearly; keep only the sizes that
+        // finish in sensible time per iteration.
+        if n <= 200 {
+            group.bench_with_input(BenchmarkId::new("sld/open", n), &n, |b, _| {
+                let engine = SldEngine::new(&compiled, SldOptions::default());
+                b.iter(|| {
+                    let r = engine.solve(&open_goals).unwrap();
+                    assert_eq!(r.answers.len(), n);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E5a — naive vs semi-naive bottom-up evaluation of the recursive `path`
+//! program over chains.
+//!
+//! Expected shape: semi-naive beats naive by a factor growing with chain
+//! length (naive re-joins the full `path` relation every round).
+
+use clogic_bench::graphs;
+use clogic_bench::measure::translate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folog::builtins::builtin_symbols;
+use folog::{evaluate, CompiledProgram, FixpointOptions, Strategy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5a_fixpoint");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let program = graphs::with_rules(&graphs::chain(n), graphs::path_rules_by_endpoints());
+        let compiled = CompiledProgram::compile(&translate(&program, true), builtin_symbols());
+        let expected = n * (n + 1) / 2; // all i<j pairs
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                let ev = evaluate(
+                    &compiled,
+                    FixpointOptions {
+                        strategy: Strategy::Naive,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    ev.facts
+                        .relation(clogic_core::sym("path"), 1)
+                        .unwrap()
+                        .len(),
+                    expected
+                );
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("semi_naive", n), &n, |b, _| {
+            b.iter(|| {
+                let ev = evaluate(
+                    &compiled,
+                    FixpointOptions {
+                        strategy: Strategy::SemiNaive,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    ev.facts
+                        .relation(clogic_core::sym("path"), 1)
+                        .unwrap()
+                        .len(),
+                    expected
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! E8 — substrate micro-benchmarks: unification, hash-consing, clustered
+//! store insertion, parsing. These calibrate the building blocks the
+//! other experiments are made of.
+
+use clogic_core::term::Const;
+use clogic_engine::ObjectStore;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folog::rterm::RTerm;
+use folog::unify::{unify, Bindings, UnifyOptions};
+use folog::TermStore;
+
+fn deep_term(depth: usize, leaf: RTerm) -> RTerm {
+    let mut t = leaf;
+    for _ in 0..depth {
+        t = RTerm::App(clogic_core::sym("f"), vec![t, RTerm::Const(Const::Int(1))]);
+    }
+    t
+}
+
+fn bench_unify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_unify");
+    for depth in [4usize, 16, 64] {
+        let a = deep_term(depth, RTerm::Var(0));
+        let b = deep_term(depth, RTerm::Const(Const::Sym(clogic_core::sym("leaf"))));
+        group.bench_with_input(BenchmarkId::new("deep_success", depth), &depth, |bch, _| {
+            bch.iter(|| {
+                let mut bind = Bindings::new();
+                assert!(unify(&a, &b, &mut bind, UnifyOptions::default()));
+            })
+        });
+        // failure at the leaf: full traversal then rollback
+        let c2 = deep_term(depth, RTerm::Const(Const::Sym(clogic_core::sym("other"))));
+        group.bench_with_input(BenchmarkId::new("deep_failure", depth), &depth, |bch, _| {
+            bch.iter(|| {
+                let mut bind = Bindings::new();
+                assert!(!unify(&b, &c2, &mut bind, UnifyOptions::default()));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_interning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_interning");
+    group.bench_function("intern_1000_terms", |b| {
+        b.iter(|| {
+            let mut store = TermStore::new();
+            for i in 0..1000i64 {
+                let x = store.intern_const(Const::Int(i));
+                let y = store.intern_const(Const::Int(i % 10));
+                store.intern_app(clogic_core::sym("pair"), vec![x, y]);
+            }
+            assert_eq!(store.len(), 1000 + 10 + 1000 - 10);
+        })
+    });
+    group.bench_function("reintern_hit_path", |b| {
+        let mut store = TermStore::new();
+        let x = store.intern_const(Const::Int(7));
+        b.iter(|| {
+            assert_eq!(store.intern_const(Const::Int(7)), x);
+        })
+    });
+    group.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_object_store");
+    group.bench_function("insert_500_objects_4_labels", |b| {
+        b.iter(|| {
+            let mut terms = TermStore::new();
+            let mut store = ObjectStore::new();
+            for i in 0..500i64 {
+                let id = terms.intern_const(Const::Int(i));
+                store.add_type(id, clogic_core::sym("item"));
+                for j in 0..4i64 {
+                    let v = terms.intern_const(Const::Int(i * 4 + j));
+                    store.add_label(id, clogic_core::sym("l"), v);
+                }
+            }
+            assert_eq!(store.len(), 500);
+        })
+    });
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_parser");
+    let src: String = (0..200)
+        .map(|i| {
+            format!(
+                "person: p{i}[name => \"P {i}\", age => {}, children => {{c{i}, d{i}}}].\n",
+                20 + (i % 50)
+            )
+        })
+        .collect();
+    group.bench_function("parse_200_molecule_facts", |b| {
+        b.iter(|| {
+            let p = clogic_parser::parse_program(&src).unwrap();
+            assert_eq!(p.clauses.len(), 200);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_unify,
+    bench_interning,
+    bench_store,
+    bench_parse
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E9 — stratified negation: the reachability complement costs one extra
+//! stratum over the positive fixpoint (constant-factor, not asymptotic).
+
+use clogic_bench::graphs;
+use clogic_bench::measure::translate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folog::builtins::builtin_symbols;
+use folog::{evaluate, CompiledProgram, FixpointOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_stratified_negation");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let base = graphs::two_chains(n);
+        let positive = CompiledProgram::compile(
+            &translate(
+                &graphs::with_rules(
+                    &base,
+                    "reached: n0.\n\
+                     reached: Y :- reached: X, node: X[linkto => Y].\n",
+                ),
+                true,
+            ),
+            builtin_symbols(),
+        );
+        let with_negation = CompiledProgram::compile(
+            &translate(
+                &graphs::with_rules(
+                    &base,
+                    "reached: n0.\n\
+                     reached: Y :- reached: X, node: X[linkto => Y].\n\
+                     unreachable: X :- node: X, \\+ reached: X.\n",
+                ),
+                true,
+            ),
+            builtin_symbols(),
+        );
+        group.bench_with_input(BenchmarkId::new("positive_closure", n), &n, |b, _| {
+            b.iter(|| {
+                let ev = evaluate(&positive, FixpointOptions::default()).unwrap();
+                assert!(ev.facts.total > 0);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_complement", n), &n, |b, _| {
+            b.iter(|| {
+                let ev = evaluate(&with_negation, FixpointOptions::default()).unwrap();
+                assert!(ev.facts.total > 0);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E4 — order-sorted resolution (direct engine walks the hierarchy) vs
+//! executing type-axiom clauses in the translated program (§4: "using
+//! order-sorted resolution may be more efficient in dealing with
+//! inheritance hierarchies").
+//!
+//! Expected shape: the direct engine's cost stays flat as hierarchy depth
+//! grows (reachability over declared edges), while the translated route
+//! derives one fact per member per level.
+
+use clogic_bench::measure::translate;
+use clogic_bench::typed;
+use clogic_core::transform::Transformer;
+use clogic_engine::{DirectEngine, DirectOptions, DirectProgram};
+use clogic_parser::parse_query;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folog::builtins::builtin_symbols;
+use folog::{evaluate, CompiledProgram, FixpointOptions};
+
+const MEMBERS: usize = 200;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_order_sorted");
+    group.sample_size(20);
+    for depth in [4usize, 16, 64] {
+        let program = typed::chain_hierarchy(depth, MEMBERS);
+        let direct_program = DirectProgram::compile(&program, builtin_symbols());
+        let compiled = CompiledProgram::compile(&translate(&program, true), builtin_symbols());
+        let q = parse_query(&typed::top_query(depth)).unwrap();
+        let goals = Transformer::new().query(&q);
+        group.bench_with_input(
+            BenchmarkId::new("order_sorted_direct", depth),
+            &depth,
+            |b, _| {
+                let engine = DirectEngine::new(&direct_program, DirectOptions::default());
+                b.iter(|| {
+                    let r = engine.solve(&q).unwrap();
+                    assert_eq!(r.answers.len(), MEMBERS);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("type_axioms_bottom_up", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let ev = evaluate(&compiled, FixpointOptions::default()).unwrap();
+                    let answers = ev.query(&goals);
+                    assert_eq!(answers.len(), MEMBERS);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E3 — the §4 redundancy-elimination rules: bottom-up evaluation of the
+//! plain vs optimized translation of the scaled grammar.
+//!
+//! Expected shape: the optimized program evaluates strictly faster, with
+//! the gap growing with scale (fewer typing atoms to join and derive).
+
+use clogic_bench::grammar;
+use clogic_bench::measure::translate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folog::builtins::builtin_symbols;
+use folog::{evaluate, CompiledProgram, FixpointOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_redundancy_elim");
+    group.sample_size(15);
+    for scale in [8usize, 32, 96] {
+        let program = grammar::grammar(scale, scale, scale / 2);
+        let plain = CompiledProgram::compile(&translate(&program, false), builtin_symbols());
+        let optimized = CompiledProgram::compile(&translate(&program, true), builtin_symbols());
+        group.bench_with_input(BenchmarkId::new("plain", scale), &scale, |b, _| {
+            b.iter(|| {
+                let ev = evaluate(&plain, FixpointOptions::default()).unwrap();
+                assert!(ev.facts.total > 0);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", scale), &scale, |b, _| {
+            b.iter(|| {
+                let ev = evaluate(&optimized, FixpointOptions::default()).unwrap();
+                assert!(ev.facts.total > 0);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

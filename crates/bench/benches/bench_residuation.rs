@@ -1,0 +1,45 @@
+//! E2 — residuation: whole-molecule queries whose description is split
+//! across rules vs the merged extensional store (§4's intensional vs
+//! extensional discussion).
+//!
+//! Expected shape: merged-store answers are near-constant; the split
+//! (residuating) cost grows with the number of pieces but stays
+//! polynomial thanks to ordered piece selection.
+
+use clogic_bench::objects;
+use clogic_engine::{DirectEngine, DirectOptions, DirectProgram};
+use clogic_parser::parse_query;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folog::builtins::builtin_symbols;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_residuation");
+    group.sample_size(20);
+    let n = 50usize;
+    for pieces in [2usize, 4, 8] {
+        let split =
+            DirectProgram::compile(&objects::split_descriptions(n, pieces), builtin_symbols());
+        let merged =
+            DirectProgram::compile(&objects::merged_descriptions(n, pieces), builtin_symbols());
+        let q = parse_query(&objects::split_query(n / 2, pieces)).unwrap();
+        group.bench_with_input(BenchmarkId::new("split_rules", pieces), &pieces, |b, _| {
+            let engine = DirectEngine::new(&split, DirectOptions::default());
+            b.iter(|| {
+                let r = engine.solve(&q).unwrap();
+                assert_eq!(r.answers.len(), 1);
+                assert!(r.stats.residuals > 0);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("merged_store", pieces), &pieces, |b, _| {
+            let engine = DirectEngine::new(&merged, DirectOptions::default());
+            b.iter(|| {
+                let r = engine.solve(&q).unwrap();
+                assert_eq!(r.answers.len(), 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E6 — object identity semantics (§2.1): path objects determined by
+//! endpoints vs by endpoints-plus-length on a ladder DAG where endpoint
+//! pairs are connected by routes of several lengths.
+//!
+//! Expected shape: the endpoints-only fixpoint converges on fewer objects
+//! and less work; endpoints+length creates one object per distinct
+//! length, and its cost grows correspondingly.
+
+use clogic_bench::graphs;
+use clogic_bench::measure::translate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folog::builtins::builtin_symbols;
+use folog::{evaluate, CompiledProgram, FixpointOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_identity_semantics");
+    group.sample_size(10);
+    for rungs in [3usize, 6, 9] {
+        let base = graphs::ladder(rungs);
+        let by_ends = CompiledProgram::compile(
+            &translate(
+                &graphs::with_rules(&base, graphs::path_rules_by_endpoints()),
+                true,
+            ),
+            builtin_symbols(),
+        );
+        let by_len = CompiledProgram::compile(
+            &translate(
+                &graphs::with_rules(&base, graphs::path_rules_by_endpoints_and_length()),
+                true,
+            ),
+            builtin_symbols(),
+        );
+        group.bench_with_input(BenchmarkId::new("by_endpoints", rungs), &rungs, |b, _| {
+            b.iter(|| {
+                let ev = evaluate(&by_ends, FixpointOptions::default()).unwrap();
+                assert!(ev.facts.total > 0);
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("by_endpoints_and_length", rungs),
+            &rungs,
+            |b, _| {
+                b.iter(|| {
+                    let ev = evaluate(&by_len, FixpointOptions::default()).unwrap();
+                    assert!(ev.facts.total > 0);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

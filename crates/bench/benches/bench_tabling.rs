@@ -1,0 +1,50 @@
+//! E5b — tabled evaluation on cyclic graphs, where plain SLD diverges.
+//!
+//! Expected shape: tabling terminates with the complete answer set in
+//! time polynomial in the cycle size; SLD burns its full step budget and
+//! still reports an incomplete search.
+
+use clogic_bench::graphs;
+use clogic_bench::measure::translate;
+use clogic_core::transform::Transformer;
+use clogic_parser::parse_query;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use folog::builtins::builtin_symbols;
+use folog::tabling::{TabledEngine, TablingOptions};
+use folog::{CompiledProgram, SldEngine, SldOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5b_tabling");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let program = graphs::with_rules(&graphs::cycle(n), graphs::path_rules_by_endpoints());
+        let compiled = CompiledProgram::compile(&translate(&program, true), builtin_symbols());
+        let q = parse_query("path: P[src => n0, dest => D]").unwrap();
+        let goals = Transformer::new().query(&q);
+        group.bench_with_input(BenchmarkId::new("tabled", n), &n, |b, _| {
+            b.iter(|| {
+                let r = TabledEngine::new(&compiled, TablingOptions::default())
+                    .solve(&goals)
+                    .unwrap();
+                assert_eq!(r.answers.len(), n); // every node reachable
+            })
+        });
+        // SLD with a fixed budget: measures the cost of *failing* to
+        // exhaust an infinite SLD tree.
+        group.bench_with_input(BenchmarkId::new("sld_budget_20k", n), &n, |b, _| {
+            let opts = SldOptions {
+                max_depth: Some(100),
+                max_steps: Some(20_000),
+                ..Default::default()
+            };
+            b.iter(|| {
+                let r = SldEngine::new(&compiled, opts).solve(&goals).unwrap();
+                assert!(!r.complete);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E7 — cost of the Theorem 1 transformation itself (with and without the
+//! §4 optimization) as program size grows.
+//!
+//! Expected shape: linear in the number of C-logic atoms.
+
+use clogic_bench::measure::translate;
+use clogic_bench::objects;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_transform");
+    group.sample_size(20);
+    for n in [250usize, 1000, 4000] {
+        let program = objects::functional_objects(n, 4, 8, 23);
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, _| {
+            b.iter(|| {
+                let fo = translate(&program, false);
+                assert!(fo.len() > n);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", n), &n, |b, _| {
+            b.iter(|| {
+                let fo = translate(&program, true);
+                assert!(fo.len() > n);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Graph workloads for the `path` experiments (§2.1 rules).
+
+use clogic_core::formula::{Atomic, DefiniteClause};
+use clogic_core::program::Program;
+use clogic_core::term::{LabelSpec, Term};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Node name `n{i}`.
+pub fn node(i: usize) -> String {
+    format!("n{i}")
+}
+
+fn link_fact(from: &str, to: &str) -> DefiniteClause {
+    DefiniteClause::fact(Atomic::term(
+        Term::molecule(
+            Term::typed_constant("node", from),
+            vec![LabelSpec::one("linkto", Term::constant(to))],
+        )
+        .expect("identity head"),
+    ))
+}
+
+/// A chain `n0 → n1 → … → n{n}`.
+pub fn chain(n: usize) -> Program {
+    let mut p = Program::new();
+    for i in 0..n {
+        p.push(link_fact(&node(i), &node(i + 1)));
+    }
+    p
+}
+
+/// A cycle over `n` nodes.
+pub fn cycle(n: usize) -> Program {
+    let mut p = chain(n - 1);
+    p.push(link_fact(&node(n - 1), &node(0)));
+    p
+}
+
+/// Two disconnected chains of `n` edges each; queries over the first
+/// component leave the second untouched for goal-directed strategies.
+pub fn two_chains(n: usize) -> Program {
+    let mut p = chain(n);
+    for i in 0..n {
+        p.push(link_fact(&format!("m{i}"), &format!("m{}", i + 1)));
+    }
+    p
+}
+
+/// A random digraph with `n` nodes and `edges` edges (no self-loops),
+/// deterministic in `seed`.
+pub fn random_digraph(n: usize, edges: usize, seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut p = Program::new();
+    let mut seen = std::collections::HashSet::new();
+    while seen.len() < edges {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && seen.insert((a, b)) {
+            p.push(link_fact(&node(a), &node(b)));
+        }
+    }
+    p
+}
+
+/// A "ladder" DAG of `rungs` rungs: every rung has two parallel edges
+/// (upper/lower), so endpoint pairs are connected by routes of *several
+/// distinct lengths* — the workload separating the paper's identity
+/// semantics (by endpoints vs by endpoints-plus-length).
+pub fn ladder(rungs: usize) -> Program {
+    let mut p = Program::new();
+    for i in 0..rungs {
+        let a = node(i);
+        let b = node(i + 1);
+        // direct edge and a two-step detour via v{i}
+        p.push(link_fact(&a, &b));
+        p.push(link_fact(&a, &format!("v{i}")));
+        p.push(link_fact(&format!("v{i}"), &b));
+    }
+    p
+}
+
+/// The §2.1 path rules with identities by endpoints: `id(X, Y)`.
+pub fn path_rules_by_endpoints() -> &'static str {
+    "path: id(X, Y)[src => X, dest => Y] :- node: X[linkto => Y].\n\
+     path: id(X, Y)[src => X, dest => Y] :-\n\
+         node: X[linkto => Z], path: id(Z, Y)[src => Z, dest => Y].\n"
+}
+
+/// The §2.1 path rules with identities by endpoints and length:
+/// `id(X, Y, L)`.
+pub fn path_rules_by_endpoints_and_length() -> &'static str {
+    "path: id(X, Y, 1)[src => X, dest => Y, length => 1] :- node: X[linkto => Y].\n\
+     path: id(X, Y, L)[src => X, dest => Y, length => L] :-\n\
+         node: X[linkto => Z],\n\
+         path: id(Z, Y, LO)[src => Z, dest => Y, length => LO],\n\
+         L is LO + 1.\n"
+}
+
+/// Appends rule text to a generated fact base.
+pub fn with_rules(facts: &Program, rules: &str) -> Program {
+    let mut p = facts.clone();
+    let parsed = clogic_parser::parse_program(rules).expect("rule text parses");
+    p.subtype_decls.extend(parsed.subtype_decls);
+    p.clauses.extend(parsed.clauses);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let p = chain(3);
+        assert_eq!(p.clauses.len(), 3);
+        assert!(p.to_string().contains("node: n0[linkto => n1]."));
+    }
+
+    #[test]
+    fn cycle_closes() {
+        let p = cycle(4);
+        assert_eq!(p.clauses.len(), 4);
+        assert!(p.to_string().contains("node: n3[linkto => n0]."));
+    }
+
+    #[test]
+    fn random_digraph_is_deterministic() {
+        let a = random_digraph(10, 20, 42);
+        let b = random_digraph(10, 20, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.clauses.len(), 20);
+        let c = random_digraph(10, 20, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ladder_has_multiple_lengths() {
+        // n0 → n1 directly (length 1) and via v0 (length 2)
+        let p = with_rules(&ladder(1), path_rules_by_endpoints_and_length());
+        let mut s = clogic::Session::new();
+        s.load_program(p);
+        let r = s
+            .query(
+                "path: P[src => n0, dest => n1, length => L]",
+                clogic::Strategy::BottomUpSemiNaive,
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn rules_parse_and_run() {
+        let p = with_rules(&chain(4), path_rules_by_endpoints());
+        let mut s = clogic::Session::new();
+        s.load_program(p);
+        let r = s
+            .query(
+                "path: P[src => n0, dest => n4]",
+                clogic::Strategy::BottomUpSemiNaive,
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn two_chains_disconnected() {
+        let p = with_rules(&two_chains(3), path_rules_by_endpoints());
+        let mut s = clogic::Session::new();
+        s.load_program(p);
+        assert!(!s
+            .query(
+                "path: P[src => n0, dest => m3]",
+                clogic::Strategy::BottomUpSemiNaive
+            )
+            .unwrap()
+            .holds());
+    }
+}

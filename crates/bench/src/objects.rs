@@ -1,0 +1,237 @@
+//! Synthetic complex-object databases: the E1/E2 workloads.
+
+use clogic_core::formula::{Atomic, DefiniteClause};
+use clogic_core::program::Program;
+use clogic_core::term::{LabelSpec, Term};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Label name `l{j}`.
+pub fn label(j: usize) -> String {
+    format!("l{j}")
+}
+
+/// Object name `o{i}`.
+pub fn object(i: usize) -> String {
+    format!("o{i}")
+}
+
+/// An extensional database of `n` objects of type `item`, each with `k`
+/// functional labels `l0..l{k-1}`; values are drawn from a pool of
+/// `value_pool` constants, deterministic in `seed`.
+///
+/// The E1 workload: "most labels are functional or single-valued" (§4) —
+/// the case where direct evaluation of a clustered molecule wins over the
+/// flattened first-order program.
+pub fn functional_objects(n: usize, k: usize, value_pool: usize, seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut p = Program::new();
+    for i in 0..n {
+        let specs: Vec<LabelSpec> = (0..k)
+            .map(|j| {
+                let v = rng.gen_range(0..value_pool);
+                LabelSpec::one(label(j).as_str(), Term::constant(format!("v{v}").as_str()))
+            })
+            .collect();
+        p.push(DefiniteClause::fact(Atomic::term(
+            Term::molecule(Term::typed_constant("item", object(i).as_str()), specs)
+                .expect("identity head"),
+        )));
+    }
+    p
+}
+
+/// The value carried by `object(i)` under `label(j)` in
+/// [`functional_objects`] — regenerated deterministically so benches can
+/// build *hitting* point queries without storing the database twice.
+pub fn functional_value(
+    n: usize,
+    k: usize,
+    value_pool: usize,
+    seed: u64,
+    i: usize,
+    j: usize,
+) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut value = 0;
+    for oi in 0..n.min(i + 1) {
+        for jj in 0..k {
+            let v = rng.gen_range(0..value_pool);
+            if oi == i && jj == j {
+                value = v;
+            }
+        }
+    }
+    format!("v{value}")
+}
+
+/// A point query for object `i`: all `k` labels bound to the stored
+/// values — the molecule a user would write, exercising clustering.
+pub fn point_query(n: usize, k: usize, value_pool: usize, seed: u64, i: usize) -> String {
+    let specs: Vec<String> = (0..k)
+        .map(|j| {
+            format!(
+                "{} => {}",
+                label(j),
+                functional_value(n, k, value_pool, seed, i, j)
+            )
+        })
+        .collect();
+    format!("item: {}[{}]", object(i), specs.join(", "))
+}
+
+/// An open query: enumerate every object with all `k` labels unbound.
+pub fn open_query(k: usize) -> String {
+    let specs: Vec<String> = (0..k).map(|j| format!("{} => V{j}", label(j))).collect();
+    format!("item: X[{}]", specs.join(", "))
+}
+
+/// The E2 workload: each object's description is split across `pieces`
+/// *rules* (one label pair per rule), so answering a whole-molecule query
+/// requires residuation — no single source carries the full description.
+pub fn split_descriptions(n: usize, pieces: usize) -> Program {
+    let mut p = Program::new();
+    p.push(DefiniteClause::fact(Atomic::term(Term::typed_constant(
+        "seed", "go",
+    ))));
+    for i in 0..n {
+        // the object exists extensionally with its type…
+        p.push(DefiniteClause::fact(Atomic::term(Term::typed_constant(
+            "item",
+            object(i).as_str(),
+        ))));
+        // …but each label pair is derived by its own rule.
+        for j in 0..pieces {
+            p.push(DefiniteClause::rule(
+                Atomic::term(
+                    Term::molecule(
+                        Term::typed_constant("item", object(i).as_str()),
+                        vec![LabelSpec::one(
+                            label(j).as_str(),
+                            Term::constant(format!("w{i}_{j}").as_str()),
+                        )],
+                    )
+                    .expect("identity head"),
+                ),
+                vec![Atomic::term(Term::typed_var("seed", "S"))],
+            ));
+        }
+    }
+    p
+}
+
+/// The merged counterpart of [`split_descriptions`]: the same label pairs
+/// as one extensional molecule per object.
+pub fn merged_descriptions(n: usize, pieces: usize) -> Program {
+    let mut p = Program::new();
+    for i in 0..n {
+        let specs: Vec<LabelSpec> = (0..pieces)
+            .map(|j| {
+                LabelSpec::one(
+                    label(j).as_str(),
+                    Term::constant(format!("w{i}_{j}").as_str()),
+                )
+            })
+            .collect();
+        p.push(DefiniteClause::fact(Atomic::term(
+            Term::molecule(Term::typed_constant("item", object(i).as_str()), specs)
+                .expect("identity head"),
+        )));
+    }
+    p
+}
+
+/// The whole-molecule query for object `i` of the E2 workloads.
+pub fn split_query(i: usize, pieces: usize) -> String {
+    let specs: Vec<String> = (0..pieces)
+        .map(|j| format!("{} => w{i}_{j}", label(j)))
+        .collect();
+    format!("item: {}[{}]", object(i), specs.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clogic::{Session, Strategy};
+
+    #[test]
+    fn functional_objects_deterministic_and_sized() {
+        let a = functional_objects(10, 3, 5, 7);
+        let b = functional_objects(10, 3, 5, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.clauses.len(), 10);
+    }
+
+    #[test]
+    fn point_query_hits_its_object() {
+        let (n, k, pool, seed) = (20, 3, 4, 11);
+        let p = functional_objects(n, k, pool, seed);
+        let mut s = Session::new();
+        s.load_program(p);
+        for i in [0, 7, 19] {
+            let q = point_query(n, k, pool, seed, i);
+            assert!(s.query(&q, Strategy::Direct).unwrap().holds(), "{q}");
+        }
+    }
+
+    #[test]
+    fn open_query_enumerates_all() {
+        let (n, k, pool, seed) = (15, 2, 100, 3);
+        // large pool → all values distinct with high probability; the
+        // query still returns one row per object
+        let p = functional_objects(n, k, pool, seed);
+        let mut s = Session::new();
+        s.load_program(p);
+        let r = s.query(&open_query(k), Strategy::Direct).unwrap();
+        assert_eq!(r.rows.len(), n);
+    }
+
+    #[test]
+    fn split_and_merged_agree() {
+        let (n, pieces) = (5, 3);
+        let mut split = Session::new();
+        split.load_program(split_descriptions(n, pieces));
+        let mut merged = Session::new();
+        merged.load_program(merged_descriptions(n, pieces));
+        for i in 0..n {
+            let q = split_query(i, pieces);
+            for strategy in [
+                Strategy::Direct,
+                Strategy::BottomUpSemiNaive,
+                Strategy::Tabled,
+            ] {
+                assert!(
+                    split.query(&q, strategy).unwrap().holds(),
+                    "{q} split {strategy:?}"
+                );
+                assert!(
+                    merged.query(&q, strategy).unwrap().holds(),
+                    "{q} merged {strategy:?}"
+                );
+            }
+        }
+        // and a cross-object molecule fails in both
+        let bad = "item: o0[l0 => w1_0]";
+        assert!(!split.query(bad, Strategy::Direct).unwrap().holds());
+        assert!(!merged.query(bad, Strategy::Direct).unwrap().holds());
+    }
+
+    #[test]
+    fn split_requires_residuation() {
+        // With pieces > 1 no single rule head carries the whole molecule:
+        // the direct engine must residuate (stats show residuals > 0).
+        use clogic_engine::{DirectEngine, DirectOptions, DirectProgram};
+        use folog::builtins::builtin_symbols;
+        let p = split_descriptions(2, 3);
+        let dp = DirectProgram::compile(&p, builtin_symbols());
+        let e = DirectEngine::new(&dp, DirectOptions::default());
+        let q = clogic_parser::parse_query(&split_query(0, 3)).unwrap();
+        let r = e.solve(&q).unwrap();
+        assert_eq!(r.answers.len(), 1);
+        assert!(
+            r.stats.residuals > 0,
+            "no residuation happened: {:?}",
+            r.stats
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Type-hierarchy workloads — the E4 experiment (order-sorted resolution
+//! vs type-axiom clauses).
+
+use clogic_core::formula::{Atomic, DefiniteClause};
+use clogic_core::program::Program;
+use clogic_core::term::Term;
+
+/// Type name at level `d` of a chain.
+pub fn level(d: usize) -> String {
+    format!("ty{d}")
+}
+
+/// A subtype chain `ty0 < ty1 < … < ty{depth}` with `members` instances
+/// asserted at the *bottom* type; querying the *top* type must walk the
+/// whole chain (axioms in the translation, hierarchy reachability in the
+/// direct engine).
+pub fn chain_hierarchy(depth: usize, members: usize) -> Program {
+    let mut p = Program::new();
+    for d in 0..depth {
+        p.declare_subtype(level(d).as_str(), level(d + 1).as_str());
+    }
+    for m in 0..members {
+        p.push(DefiniteClause::fact(Atomic::term(Term::typed_constant(
+            level(0).as_str(),
+            format!("e{m}").as_str(),
+        ))));
+    }
+    p
+}
+
+/// A complete binary tree of types of the given `depth`; instances are
+/// spread across the leaves. Root is `ty_r`.
+pub fn tree_hierarchy(depth: usize, members_per_leaf: usize) -> Program {
+    let mut p = Program::new();
+    // nodes numbered heap-style: 1 = root, children 2i, 2i+1
+    let node_name = |i: usize| {
+        if i == 1 {
+            "ty_r".to_string()
+        } else {
+            format!("ty_n{i}")
+        }
+    };
+    let first_leaf = 1 << depth;
+    for i in 2..(1 << (depth + 1)) {
+        p.declare_subtype(node_name(i).as_str(), node_name(i / 2).as_str());
+    }
+    let mut counter = 0;
+    for leaf in first_leaf..(1 << (depth + 1)) {
+        for _ in 0..members_per_leaf {
+            p.push(DefiniteClause::fact(Atomic::term(Term::typed_constant(
+                node_name(leaf).as_str(),
+                format!("e{counter}").as_str(),
+            ))));
+            counter += 1;
+        }
+    }
+    p
+}
+
+/// Query for everything of the chain's top type.
+pub fn top_query(depth: usize) -> String {
+    format!("{}: X", level(depth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clogic::{Session, Strategy};
+
+    #[test]
+    fn chain_membership_flows_to_top() {
+        let mut s = Session::new();
+        s.load_program(chain_hierarchy(8, 5));
+        for strategy in [
+            Strategy::Direct,
+            Strategy::BottomUpSemiNaive,
+            Strategy::Tabled,
+        ] {
+            let r = s.query(&top_query(8), strategy).unwrap();
+            assert_eq!(r.rows.len(), 5, "{strategy:?}");
+            // intermediate levels too
+            let mid = s.query(&format!("{}: X", level(4)), strategy).unwrap();
+            assert_eq!(mid.rows.len(), 5, "{strategy:?}");
+            // and nothing at a sibling-less bottom query beyond members
+            let bottom = s.query(&format!("{}: X", level(0)), strategy).unwrap();
+            assert_eq!(bottom.rows.len(), 5, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn tree_membership() {
+        let mut s = Session::new();
+        s.load_program(tree_hierarchy(3, 2)); // 8 leaves × 2 = 16 members
+        for strategy in [Strategy::Direct, Strategy::BottomUpSemiNaive] {
+            let r = s.query("ty_r: X", strategy).unwrap();
+            assert_eq!(r.rows.len(), 16, "{strategy:?}");
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Decomposition and recombination of complex object descriptions (§3.2).
+//!
+//! The semantics of C-logic gives two equivalences:
+//!
+//! * `t[l1 ⇒ e1, …, ln ⇒ en]` ≡ `t[l1 ⇒ e1] ∧ … ∧ t[ln ⇒ en]`
+//! * `t[l ⇒ {t1, …, tk}]` ≡ `t[l ⇒ t1] ∧ … ∧ t[l ⇒ tk]`
+//!
+//! so a complex description can always be decomposed into *atomic
+//! descriptions* involving one label and one value, and — because
+//! information about an object may be accumulated piecewise — various
+//! pieces can be recombined into a complex description.
+//!
+//! This module implements both directions plus a *description ordering*
+//! (`subsumes`): `d1 ⊑ d2` iff every atomic piece of `d1` is a piece of
+//! `d2` and `d2`'s asserted type is at least as specific. The ordering is
+//! what query evaluation over merged extensional databases checks (§4).
+
+use crate::hierarchy::TypeHierarchy;
+use crate::symbol::Symbol;
+use crate::term::{LabelSpec, LabelValue, Term};
+use std::collections::BTreeMap;
+
+/// Decomposes a term into atomic descriptions: the bare head (its type
+/// assertion) followed by one single-label, single-value molecule per
+/// labelled value. A bare identity term decomposes into itself.
+///
+/// Values are *not* decomposed recursively — a nested molecule value stays
+/// intact; recursive flattening is the job of the first-order
+/// transformation ([`crate::transform`]).
+pub fn atoms(t: &Term) -> Vec<Term> {
+    match t {
+        Term::Id(_) => vec![t.clone()],
+        Term::Molecule { head, specs } => {
+            let mut out = Vec::with_capacity(1 + specs.len());
+            out.push(Term::Id(head.clone()));
+            for s in specs {
+                for v in s.value.terms() {
+                    out.push(Term::Molecule {
+                        head: head.clone(),
+                        specs: vec![LabelSpec::one(s.label, v.clone())],
+                    });
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The atomic label-value pairs of a term: `(label, value)` for each
+/// single value, collections expanded.
+pub fn label_pairs(t: &Term) -> Vec<(Symbol, Term)> {
+    t.specs()
+        .iter()
+        .flat_map(|s| s.value.terms().iter().map(move |v| (s.label, v.clone())))
+        .collect()
+}
+
+/// Recombines descriptions of the *same* object into one molecule:
+/// given `john[name ⇒ "J"]` and `john[age ⇒ 28]`, infers
+/// `john[name ⇒ "J", age ⇒ 28]`.
+///
+/// All inputs must have an identical head identity term (same type, same
+/// identity); returns `None` otherwise, or for an empty input. Values
+/// under the same label are collected into a set value (multi-valued
+/// labels, §2.2); duplicates are removed; label order is canonical
+/// (sorted), so recombination is a normal form.
+pub fn recombine(pieces: &[Term]) -> Option<Term> {
+    let first = pieces.first()?;
+    let head = first.id_term().clone();
+    let mut by_label: BTreeMap<Symbol, Vec<Term>> = BTreeMap::new();
+    for p in pieces {
+        if p.id_term() != &head {
+            return None;
+        }
+        for (l, v) in label_pairs(p) {
+            let vs = by_label.entry(l).or_default();
+            if !vs.contains(&v) {
+                vs.push(v);
+            }
+        }
+    }
+    let specs: Vec<LabelSpec> = by_label
+        .into_iter()
+        .map(|(label, mut vs)| {
+            vs.sort();
+            if vs.len() == 1 {
+                LabelSpec::one(label, vs.pop().expect("one element"))
+            } else {
+                LabelSpec {
+                    label,
+                    value: LabelValue::Set(vs),
+                }
+            }
+        })
+        .collect();
+    if specs.is_empty() {
+        Some(Term::Id(head))
+    } else {
+        Some(Term::Molecule { head, specs })
+    }
+}
+
+/// Canonical form of a term: labels sorted, values under one label merged
+/// and deduplicated, single-element collections lowered to single values.
+/// Two descriptions are semantically equal (as ground descriptions) iff
+/// their normal forms are equal.
+pub fn normalize(t: &Term) -> Term {
+    match t {
+        Term::Id(_) => t.clone(),
+        Term::Molecule { .. } => {
+            recombine(std::slice::from_ref(t)).expect("single piece always recombines")
+        }
+    }
+}
+
+/// Description ordering `general ⊑ specific` over *ground* descriptions:
+/// `specific` carries at least the information of `general`.
+///
+/// Holds iff the two heads denote the same identity, `specific`'s type is
+/// a subtype of `general`'s type (more specific), and every atomic
+/// label-value pair of `general` occurs in `specific` (values compared by
+/// normal form, and recursively by ⊑ so a less-informative nested value is
+/// also subsumed).
+pub fn subsumes(general: &Term, specific: &Term, h: &TypeHierarchy) -> bool {
+    // Identities must match structurally, ignoring the asserted types of
+    // the heads themselves (those are compared via the hierarchy).
+    if !same_identity(general, specific) {
+        return false;
+    }
+    if !h.is_subtype(specific.ty(), general.ty()) {
+        return false;
+    }
+    let specific_pairs = label_pairs(specific);
+    label_pairs(general).iter().all(|(l, gv)| {
+        specific_pairs
+            .iter()
+            .any(|(sl, sv)| sl == l && (normalize(sv) == normalize(gv) || subsumes(gv, sv, h)))
+    })
+}
+
+fn same_identity(a: &Term, b: &Term) -> bool {
+    use crate::term::IdTerm;
+    match (a.id_term(), b.id_term()) {
+        (IdTerm::Var { name: n1, .. }, IdTerm::Var { name: n2, .. }) => n1 == n2,
+        (IdTerm::Const { c: c1, .. }, IdTerm::Const { c: c2, .. }) => c1 == c2,
+        (
+            IdTerm::App {
+                functor: f1,
+                args: a1,
+                ..
+            },
+            IdTerm::App {
+                functor: f2,
+                args: a2,
+                ..
+            },
+        ) => {
+            f1 == f2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| same_identity(x, y))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    fn john(specs: Vec<LabelSpec>) -> Term {
+        Term::molecule(Term::typed_constant("person", "john"), specs).unwrap()
+    }
+
+    #[test]
+    fn atoms_of_bare_term() {
+        let t = Term::constant("john");
+        assert_eq!(atoms(&t), vec![t]);
+    }
+
+    #[test]
+    fn atoms_splits_labels_and_collections() {
+        // john[name => "John Smith", children => {bob, bill}]
+        let t = john(vec![
+            LabelSpec::one("name", Term::string("John Smith")),
+            LabelSpec::set(
+                "children",
+                vec![Term::constant("bob"), Term::constant("bill")],
+            ),
+        ]);
+        let parts = atoms(&t);
+        assert_eq!(parts.len(), 4); // head + name + 2 children
+        assert_eq!(parts[0], Term::typed_constant("person", "john"));
+        assert_eq!(
+            parts[1],
+            john(vec![LabelSpec::one("name", Term::string("John Smith"))])
+        );
+        assert_eq!(
+            parts[2],
+            john(vec![LabelSpec::one("children", Term::constant("bob"))])
+        );
+        assert_eq!(
+            parts[3],
+            john(vec![LabelSpec::one("children", Term::constant("bill"))])
+        );
+    }
+
+    #[test]
+    fn recombine_inverts_atoms() {
+        let t = john(vec![
+            LabelSpec::one("age", Term::int(28)),
+            LabelSpec::one("name", Term::string("John Smith")),
+        ]);
+        let parts = atoms(&t);
+        let back = recombine(&parts).unwrap();
+        assert_eq!(back, normalize(&t));
+    }
+
+    #[test]
+    fn recombine_merges_piecewise_information() {
+        // §2.2: from john[name => "John Smith"] and john[age => 28]
+        // infer john[name => "John Smith", age => 28].
+        let p1 = john(vec![LabelSpec::one("name", Term::string("John Smith"))]);
+        let p2 = john(vec![LabelSpec::one("age", Term::int(28))]);
+        let merged = recombine(&[p1, p2]).unwrap();
+        assert_eq!(
+            merged,
+            john(vec![
+                LabelSpec::one("age", Term::int(28)),
+                LabelSpec::one("name", Term::string("John Smith")),
+            ])
+        );
+    }
+
+    #[test]
+    fn recombine_multi_valued_label_builds_set() {
+        // §4: path: p[src=>a] + path: p[src=>c] => path: p[src=>{a,c}]
+        let p = |l: &str, v: &str| {
+            Term::molecule(
+                Term::typed_constant("path", "p"),
+                vec![LabelSpec::one(l, Term::constant(v))],
+            )
+            .unwrap()
+        };
+        let merged =
+            recombine(&[p("src", "a"), p("src", "c"), p("dest", "b"), p("dest", "d")]).unwrap();
+        let mut src_vals = vec![Term::constant("a"), Term::constant("c")];
+        src_vals.sort();
+        let mut dest_vals = vec![Term::constant("b"), Term::constant("d")];
+        dest_vals.sort();
+        assert_eq!(
+            merged,
+            Term::molecule(
+                Term::typed_constant("path", "p"),
+                vec![
+                    LabelSpec {
+                        label: sym("dest"),
+                        value: LabelValue::Set(dest_vals)
+                    },
+                    LabelSpec {
+                        label: sym("src"),
+                        value: LabelValue::Set(src_vals)
+                    },
+                ]
+            )
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn recombine_rejects_different_identities() {
+        let p1 = john(vec![LabelSpec::one("age", Term::int(28))]);
+        let p2 = Term::molecule(
+            Term::typed_constant("person", "bob"),
+            vec![LabelSpec::one("age", Term::int(30))],
+        )
+        .unwrap();
+        assert!(recombine(&[p1, p2]).is_none());
+        assert!(recombine(&[]).is_none());
+    }
+
+    #[test]
+    fn normalize_dedups_and_sorts() {
+        let t = john(vec![
+            LabelSpec::set(
+                "children",
+                vec![Term::constant("bob"), Term::constant("bob")],
+            ),
+            LabelSpec::one("age", Term::int(28)),
+        ]);
+        let n = normalize(&t);
+        assert_eq!(
+            n,
+            john(vec![
+                LabelSpec::one("age", Term::int(28)),
+                LabelSpec::one("children", Term::constant("bob")),
+            ])
+        );
+        // idempotent
+        assert_eq!(normalize(&n), n);
+    }
+
+    #[test]
+    fn normalize_lowers_singleton_sets() {
+        let t = john(vec![LabelSpec::set("age", vec![Term::int(28)])]);
+        assert_eq!(
+            normalize(&t),
+            john(vec![LabelSpec::one("age", Term::int(28))])
+        );
+    }
+
+    #[test]
+    fn subsumption_basic() {
+        let h = TypeHierarchy::new();
+        let small = john(vec![LabelSpec::one("age", Term::int(28))]);
+        let big = john(vec![
+            LabelSpec::one("age", Term::int(28)),
+            LabelSpec::one("name", Term::string("J")),
+        ]);
+        assert!(subsumes(&small, &big, &h));
+        assert!(!subsumes(&big, &small, &h));
+        assert!(subsumes(&small, &small, &h));
+    }
+
+    #[test]
+    fn subsumption_respects_types() {
+        let mut h = TypeHierarchy::new();
+        h.declare(sym("student"), sym("person"));
+        let as_person = Term::molecule(
+            Term::typed_constant("person", "ann"),
+            vec![LabelSpec::one("age", Term::int(20))],
+        )
+        .unwrap();
+        let as_student = Term::molecule(
+            Term::typed_constant("student", "ann"),
+            vec![LabelSpec::one("age", Term::int(20))],
+        )
+        .unwrap();
+        // student description carries more information than person one
+        assert!(subsumes(&as_person, &as_student, &h));
+        assert!(!subsumes(&as_student, &as_person, &h));
+    }
+
+    #[test]
+    fn subsumption_query_over_merged_store() {
+        // §4: fact path: p[src=>{a,c}, dest=>{b,d}]; the query
+        // path: p[src=>a, dest=>d] succeeds by description ordering.
+        let h = TypeHierarchy::new();
+        let fact = Term::molecule(
+            Term::typed_constant("path", "p"),
+            vec![
+                LabelSpec::set("src", vec![Term::constant("a"), Term::constant("c")]),
+                LabelSpec::set("dest", vec![Term::constant("b"), Term::constant("d")]),
+            ],
+        )
+        .unwrap();
+        let query = Term::molecule(
+            Term::typed_constant("path", "p"),
+            vec![
+                LabelSpec::one("src", Term::constant("a")),
+                LabelSpec::one("dest", Term::constant("d")),
+            ],
+        )
+        .unwrap();
+        assert!(subsumes(&query, &fact, &h));
+        // but a pair that is not in the store fails
+        let bad = Term::molecule(
+            Term::typed_constant("path", "p"),
+            vec![LabelSpec::one("src", Term::constant("z"))],
+        )
+        .unwrap();
+        assert!(!subsumes(&bad, &fact, &h));
+    }
+
+    #[test]
+    fn subsumption_nested_values() {
+        let h = TypeHierarchy::new();
+        let nested_small = john(vec![LabelSpec::one(
+            "spouse",
+            Term::molecule(
+                Term::constant("mary"),
+                vec![LabelSpec::one("age", Term::int(27))],
+            )
+            .unwrap(),
+        )]);
+        let nested_big = john(vec![LabelSpec::one(
+            "spouse",
+            Term::molecule(
+                Term::constant("mary"),
+                vec![
+                    LabelSpec::one("age", Term::int(27)),
+                    LabelSpec::one("job", Term::constant("dba")),
+                ],
+            )
+            .unwrap(),
+        )]);
+        assert!(subsumes(&nested_small, &nested_big, &h));
+        assert!(!subsumes(&nested_big, &nested_small, &h));
+    }
+
+    #[test]
+    fn label_pairs_expands_sets() {
+        let t = john(vec![LabelSpec::set(
+            "children",
+            vec![Term::constant("bob"), Term::constant("bill")],
+        )]);
+        let pairs = label_pairs(&t);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&(sym("children"), Term::constant("bob"))));
+    }
+
+    #[test]
+    fn same_identity_ignores_head_types() {
+        let a = Term::typed_constant("person", "john");
+        let b = Term::typed_constant("student", "john");
+        assert!(same_identity(&a, &b));
+        let f1 = Term::app("id", vec![Term::constant("x")]);
+        let f2 = Term::typed_app("path", "id", vec![Term::constant("x")]);
+        assert!(same_identity(&f1, &f2));
+        assert!(!same_identity(
+            &f1,
+            &Term::app("id", vec![Term::constant("y")])
+        ));
+    }
+
+    #[test]
+    fn recombine_head_requires_same_type_symbol() {
+        // recombination (unlike subsumption) is syntactic: identical heads.
+        let p1 = Term::molecule(
+            Term::typed_constant("person", "ann"),
+            vec![LabelSpec::one("a", Term::int(1))],
+        )
+        .unwrap();
+        let p2 = Term::molecule(
+            Term::typed_constant("student", "ann"),
+            vec![LabelSpec::one("b", Term::int(2))],
+        )
+        .unwrap();
+        assert!(recombine(&[p1, p2]).is_none());
+    }
+
+    #[test]
+    fn atoms_preserve_nested_values() {
+        let inner = Term::molecule(
+            Term::constant("mary"),
+            vec![LabelSpec::one("age", Term::int(27))],
+        )
+        .unwrap();
+        let t = john(vec![LabelSpec::one("spouse", inner.clone())]);
+        let parts = atoms(&t);
+        assert_eq!(parts[1], john(vec![LabelSpec::one("spouse", inner)]));
+    }
+}

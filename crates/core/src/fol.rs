@@ -1,0 +1,479 @@
+//! The target first-order language `L'` of the transformation (§3.3).
+//!
+//! For a language `L` of objects, `L'` has the variables, function symbols
+//! and predicate symbols of `L`, plus a binary predicate symbol for each
+//! label and a unary predicate symbol for each type. We do not rename on
+//! the way over — the paper assumes the symbol sets of `L` are disjoint,
+//! so reusing the interned [`Symbol`]s is faithful.
+//!
+//! This module only defines the abstract syntax (terms, atoms, definite
+//! clauses, generalized clauses, programs); evaluation lives in the
+//! `folog` crate.
+
+use crate::symbol::Symbol;
+use crate::term::Const;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order term.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FoTerm {
+    /// A variable.
+    Var(Symbol),
+    /// A constant (zero-ary function, integer or string).
+    Const(Const),
+    /// `f(t1,…,tn)`, `n ≥ 1`.
+    App(Symbol, Vec<FoTerm>),
+}
+
+impl FoTerm {
+    /// A variable.
+    pub fn var(name: impl Into<Symbol>) -> FoTerm {
+        FoTerm::Var(name.into())
+    }
+
+    /// A symbolic constant.
+    pub fn constant(c: impl Into<Symbol>) -> FoTerm {
+        FoTerm::Const(Const::Sym(c.into()))
+    }
+
+    /// An integer constant.
+    pub fn int(i: i64) -> FoTerm {
+        FoTerm::Const(Const::Int(i))
+    }
+
+    /// `f(args…)`; lowers to a constant when `args` is empty.
+    pub fn app(f: impl Into<Symbol>, args: Vec<FoTerm>) -> FoTerm {
+        let f = f.into();
+        if args.is_empty() {
+            FoTerm::Const(Const::Sym(f))
+        } else {
+            FoTerm::App(f, args)
+        }
+    }
+
+    /// True iff no variable occurs.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            FoTerm::Var(_) => false,
+            FoTerm::Const(_) => true,
+            FoTerm::App(_, args) => args.iter().all(FoTerm::is_ground),
+        }
+    }
+
+    /// Collects variables into `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            FoTerm::Var(v) => {
+                out.insert(*v);
+            }
+            FoTerm::Const(_) => {}
+            FoTerm::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Structural size (number of nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            FoTerm::Var(_) | FoTerm::Const(_) => 1,
+            FoTerm::App(_, args) => 1 + args.iter().map(FoTerm::size).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for FoTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoTerm::Var(v) => write!(f, "{v}"),
+            FoTerm::Const(c) => write!(f, "{c}"),
+            FoTerm::App(fun, args) => {
+                write!(f, "{fun}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A first-order atom `p(t1,…,tn)`. Type atoms are unary, label atoms
+/// binary, and original predicates keep their arity.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FoAtom {
+    /// The predicate symbol.
+    pub pred: Symbol,
+    /// The arguments.
+    pub args: Vec<FoTerm>,
+}
+
+impl FoAtom {
+    /// Builds `pred(args…)`.
+    pub fn new(pred: impl Into<Symbol>, args: Vec<FoTerm>) -> FoAtom {
+        FoAtom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// True iff all arguments are ground.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(FoTerm::is_ground)
+    }
+
+    /// Collects variables into `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Symbol>) {
+        for a in &self.args {
+            a.collect_vars(out);
+        }
+    }
+
+    /// The set of variables.
+    pub fn vars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for FoAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A first-order clause `head :- body, \+ neg₁, …, \+ negₘ` (a definite
+/// clause when `negative_body` is empty; a *normal* clause otherwise —
+/// the negation extension §4 mentions but does not develop).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FoClause {
+    /// The head atom.
+    pub head: FoAtom,
+    /// The positive body atoms.
+    pub body: Vec<FoAtom>,
+    /// Negated body atoms (negation as failure / stratified negation).
+    pub negative_body: Vec<FoAtom>,
+}
+
+impl FoClause {
+    /// A fact.
+    pub fn fact(head: FoAtom) -> FoClause {
+        FoClause {
+            head,
+            body: Vec::new(),
+            negative_body: Vec::new(),
+        }
+    }
+
+    /// A rule with a positive body.
+    pub fn rule(head: FoAtom, body: Vec<FoAtom>) -> FoClause {
+        FoClause {
+            head,
+            body,
+            negative_body: Vec::new(),
+        }
+    }
+
+    /// A rule with positive and negated body atoms.
+    pub fn rule_with_negation(
+        head: FoAtom,
+        body: Vec<FoAtom>,
+        negative_body: Vec<FoAtom>,
+    ) -> FoClause {
+        FoClause {
+            head,
+            body,
+            negative_body,
+        }
+    }
+
+    /// True iff the body (positive and negative) is empty.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && self.negative_body.is_empty()
+    }
+
+    /// True iff the clause uses negation.
+    pub fn has_negation(&self) -> bool {
+        !self.negative_body.is_empty()
+    }
+
+    /// A clause is *range-restricted* when every head variable occurs in
+    /// the positive body — the condition under which bottom-up evaluation
+    /// produces only ground facts.
+    pub fn is_range_restricted(&self) -> bool {
+        let mut body_vars = BTreeSet::new();
+        for b in &self.body {
+            b.collect_vars(&mut body_vars);
+        }
+        self.head.vars().is_subset(&body_vars)
+    }
+
+    /// A clause is *safe* when, additionally, every variable of every
+    /// negated atom occurs in the positive body (no floundering).
+    pub fn is_safe(&self) -> bool {
+        let mut body_vars = BTreeSet::new();
+        for b in &self.body {
+            b.collect_vars(&mut body_vars);
+        }
+        self.is_range_restricted()
+            && self
+                .negative_body
+                .iter()
+                .all(|n| n.vars().is_subset(&body_vars))
+    }
+
+    /// All variables of the clause.
+    pub fn vars(&self) -> BTreeSet<Symbol> {
+        let mut out = self.head.vars();
+        for b in self.body.iter().chain(&self.negative_body) {
+            b.collect_vars(&mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for FoClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() || !self.negative_body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, b) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{b}")?;
+            }
+            for (i, n) in self.negative_body.iter().enumerate() {
+                if i > 0 || !self.body.is_empty() {
+                    write!(f, ", ")?;
+                }
+                write!(f, "\\+ {n}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A *generalized definite clause* (§4): a conjunction of atoms in the
+/// head, a conjunction in the body. A C-logic rule translates to one of
+/// these; in bottom-up computation each successful evaluation of the body
+/// produces multiple results (one per head atom).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeneralizedClause {
+    /// The head atoms (non-empty).
+    pub heads: Vec<FoAtom>,
+    /// The body atoms.
+    pub body: Vec<FoAtom>,
+    /// Negated body atoms (carried through from normal C-logic clauses).
+    pub negative_body: Vec<FoAtom>,
+}
+
+impl GeneralizedClause {
+    /// Splits into ordinary first-order definite clauses, one per head
+    /// atom, each with the full body. Multiple occurrences of the same
+    /// variable across heads become independent after the split (§4).
+    pub fn split(&self) -> Vec<FoClause> {
+        self.heads
+            .iter()
+            .map(|h| FoClause {
+                head: h.clone(),
+                body: self.body.clone(),
+                negative_body: self.negative_body.clone(),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for GeneralizedClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, h) in self.heads.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{h}")?;
+        }
+        if !self.body.is_empty() || !self.negative_body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, b) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{b}")?;
+            }
+            for (i, n) in self.negative_body.iter().enumerate() {
+                if i > 0 || !self.body.is_empty() {
+                    write!(f, ", ")?;
+                }
+                write!(f, "\\+ {n}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A first-order definite-clause program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FoProgram {
+    /// Clauses in order.
+    pub clauses: Vec<FoClause>,
+}
+
+impl FoProgram {
+    /// An empty program.
+    pub fn new() -> FoProgram {
+        FoProgram::default()
+    }
+
+    /// Adds a clause.
+    pub fn push(&mut self, c: FoClause) {
+        self.clauses.push(c);
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True iff there are no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Total number of atoms (heads + bodies).
+    pub fn atom_count(&self) -> usize {
+        self.clauses.iter().map(|c| 1 + c.body.len()).sum()
+    }
+
+    /// The set of predicate symbols with their arities.
+    pub fn predicates(&self) -> BTreeSet<(Symbol, usize)> {
+        let mut out = BTreeSet::new();
+        for c in &self.clauses {
+            out.insert((c.head.pred, c.head.arity()));
+            for b in &c.body {
+                out.insert((b.pred, b.arity()));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for FoProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.clauses {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    #[test]
+    fn display_atom_and_clause() {
+        let a = FoAtom::new("src", vec![FoTerm::constant("p1"), FoTerm::constant("a")]);
+        assert_eq!(a.to_string(), "src(p1, a)");
+        let c = FoClause::rule(
+            FoAtom::new("object", vec![FoTerm::var("X")]),
+            vec![FoAtom::new("path", vec![FoTerm::var("X")])],
+        );
+        assert_eq!(c.to_string(), "object(X) :- path(X).");
+        assert_eq!(FoClause::fact(a).to_string(), "src(p1, a).");
+    }
+
+    #[test]
+    fn app_lowers_empty_args() {
+        assert_eq!(FoTerm::app("c", vec![]), FoTerm::constant("c"));
+        assert_eq!(FoTerm::app("f", vec![FoTerm::int(1)]).to_string(), "f(1)");
+    }
+
+    #[test]
+    fn groundness_and_vars() {
+        let t = FoTerm::app("f", vec![FoTerm::var("X"), FoTerm::constant("a")]);
+        assert!(!t.is_ground());
+        let mut vs = BTreeSet::new();
+        t.collect_vars(&mut vs);
+        assert_eq!(vs, [sym("X")].into_iter().collect());
+        assert!(FoTerm::int(3).is_ground());
+    }
+
+    #[test]
+    fn range_restriction() {
+        let ok = FoClause::rule(
+            FoAtom::new("p", vec![FoTerm::var("X")]),
+            vec![FoAtom::new("q", vec![FoTerm::var("X"), FoTerm::var("Y")])],
+        );
+        assert!(ok.is_range_restricted());
+        let bad = FoClause::rule(FoAtom::new("p", vec![FoTerm::var("X")]), vec![]);
+        assert!(!bad.is_range_restricted());
+        let ground = FoClause::fact(FoAtom::new("p", vec![FoTerm::constant("a")]));
+        assert!(ground.is_range_restricted());
+    }
+
+    #[test]
+    fn generalized_split() {
+        // proper_np(X), pers(X,3) :- name(X).   splits into two clauses.
+        let gc = GeneralizedClause {
+            heads: vec![
+                FoAtom::new("proper_np", vec![FoTerm::var("X")]),
+                FoAtom::new("pers", vec![FoTerm::var("X"), FoTerm::int(3)]),
+            ],
+            body: vec![FoAtom::new("name", vec![FoTerm::var("X")])],
+            negative_body: Vec::new(),
+        };
+        let split = gc.split();
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0].to_string(), "proper_np(X) :- name(X).");
+        assert_eq!(split[1].to_string(), "pers(X, 3) :- name(X).");
+        assert_eq!(gc.to_string(), "proper_np(X), pers(X, 3) :- name(X).");
+    }
+
+    #[test]
+    fn program_accounting() {
+        let mut p = FoProgram::new();
+        assert!(p.is_empty());
+        p.push(FoClause::fact(FoAtom::new(
+            "name",
+            vec![FoTerm::constant("john")],
+        )));
+        p.push(FoClause::rule(
+            FoAtom::new("object", vec![FoTerm::var("X")]),
+            vec![FoAtom::new("name", vec![FoTerm::var("X")])],
+        ));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.atom_count(), 3);
+        let preds = p.predicates();
+        assert!(preds.contains(&(sym("name"), 1)));
+        assert!(preds.contains(&(sym("object"), 1)));
+    }
+
+    #[test]
+    fn term_size() {
+        let t = FoTerm::app(
+            "f",
+            vec![FoTerm::app("g", vec![FoTerm::var("X")]), FoTerm::int(1)],
+        );
+        assert_eq!(t.size(), 4);
+    }
+}

@@ -1,0 +1,494 @@
+//! The type hierarchy of a language of objects.
+//!
+//! C-logic assumes a countable, partially ordered set of type symbols with
+//! a greatest element `object`: for every type `t`, `t ≤ object` (§3.1).
+//! Types are *dynamic* (§2.3): semantically each type is just a unary
+//! predicate, and the only constraint a structure must respect is
+//! monotonicity — if `t1 ≤ t2` then `I(t1) ⊆ I(t2)`.
+//!
+//! A [`TypeHierarchy`] is built from subtype declarations `t1 < t2` (§4).
+//! The declared edges generate the partial order by reflexive–transitive
+//! closure. Declaration cycles (`a < b`, `b < a`) are tolerated: the
+//! members of a cycle become order-equivalent (each ≤ the other), which is
+//! the natural preorder reading; [`TypeHierarchy::is_partial_order`]
+//! reports whether the declared graph is acyclic, for callers that want to
+//! reject such programs.
+
+use crate::symbol::Symbol;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Name of the distinguished greatest type.
+pub const OBJECT_TYPE: &str = "object";
+
+/// Returns the interned symbol for the top type `object`.
+pub fn object_type() -> Symbol {
+    Symbol::new(OBJECT_TYPE)
+}
+
+/// A finite, explicitly declared type hierarchy.
+///
+/// Only finitely many type symbols occur in a program (§4), so the
+/// hierarchy stores exactly the declared symbols plus `object`; any symbol
+/// not registered is still ≤ `object` by convention, mirroring the paper's
+/// "only assumption we actually need".
+#[derive(Clone, Debug, Default)]
+pub struct TypeHierarchy {
+    /// Direct declared supertypes: `t1 < t2` puts `t2` in `up[t1]`.
+    up: HashMap<Symbol, HashSet<Symbol>>,
+    /// All symbols ever mentioned in a declaration (either side).
+    mentioned: HashSet<Symbol>,
+}
+
+impl TypeHierarchy {
+    /// An empty hierarchy: only the implicit `t ≤ object` ordering holds.
+    pub fn new() -> Self {
+        TypeHierarchy::default()
+    }
+
+    /// Records the subtype declaration `sub < sup`.
+    ///
+    /// Declaring `t < object` is permitted and redundant. Self-loops
+    /// `t < t` are permitted and redundant (the order is reflexive).
+    pub fn declare(&mut self, sub: Symbol, sup: Symbol) {
+        self.mentioned.insert(sub);
+        self.mentioned.insert(sup);
+        self.up.entry(sub).or_default().insert(sup);
+    }
+
+    /// Every type symbol mentioned in some declaration. Does not include
+    /// `object` unless it was explicitly declared.
+    pub fn mentioned_types(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.mentioned.iter().copied()
+    }
+
+    /// Number of declared edges.
+    pub fn edge_count(&self) -> usize {
+        self.up.values().map(|s| s.len()).sum()
+    }
+
+    /// Direct declared supertypes of `t` (not reflexive, not transitive).
+    pub fn direct_supertypes(&self, t: Symbol) -> impl Iterator<Item = Symbol> + '_ {
+        self.up.get(&t).into_iter().flatten().copied()
+    }
+
+    /// Direct declared subtypes of `t` (inverse of [`Self::direct_supertypes`]).
+    pub fn direct_subtypes(&self, t: Symbol) -> Vec<Symbol> {
+        self.up
+            .iter()
+            .filter(|(_, sups)| sups.contains(&t))
+            .map(|(&sub, _)| sub)
+            .collect()
+    }
+
+    /// Tests `sub ≤ sup` in the generated partial order: reflexivity,
+    /// the implicit top `object`, or a declared path from `sub` to `sup`.
+    pub fn is_subtype(&self, sub: Symbol, sup: Symbol) -> bool {
+        if sub == sup || sup == object_type() {
+            return true;
+        }
+        // BFS over declared edges.
+        let mut seen: HashSet<Symbol> = HashSet::new();
+        let mut queue: VecDeque<Symbol> = VecDeque::new();
+        seen.insert(sub);
+        queue.push_back(sub);
+        while let Some(t) = queue.pop_front() {
+            for s in self.direct_supertypes(t) {
+                if s == sup {
+                    return true;
+                }
+                if seen.insert(s) {
+                    queue.push_back(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// All supertypes of `t` including `t` itself and `object`.
+    pub fn supertypes(&self, t: Symbol) -> HashSet<Symbol> {
+        let mut seen: HashSet<Symbol> = HashSet::new();
+        let mut queue: VecDeque<Symbol> = VecDeque::new();
+        seen.insert(t);
+        queue.push_back(t);
+        while let Some(x) = queue.pop_front() {
+            for s in self.direct_supertypes(x) {
+                if seen.insert(s) {
+                    queue.push_back(s);
+                }
+            }
+        }
+        seen.insert(object_type());
+        seen
+    }
+
+    /// All subtypes of `t` including `t` itself. For `object` this returns
+    /// every mentioned type plus `object` (everything is ≤ `object`).
+    pub fn subtypes(&self, t: Symbol) -> HashSet<Symbol> {
+        if t == object_type() {
+            let mut all: HashSet<Symbol> = self.mentioned.clone();
+            all.insert(t);
+            return all;
+        }
+        let mut seen: HashSet<Symbol> = HashSet::new();
+        let mut queue: VecDeque<Symbol> = VecDeque::new();
+        seen.insert(t);
+        queue.push_back(t);
+        while let Some(x) = queue.pop_front() {
+            for s in self.direct_subtypes(x) {
+                if seen.insert(s) {
+                    queue.push_back(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Two types are *comparable* if one is ≤ the other. Order-sorted
+    /// unification of `t1 : X` with `t2 : Y` succeeds exactly for
+    /// comparable types under the dynamic-type reading, with the variable
+    /// taking the more specific of the two.
+    pub fn comparable(&self, t1: Symbol, t2: Symbol) -> bool {
+        self.is_subtype(t1, t2) || self.is_subtype(t2, t1)
+    }
+
+    /// The more specific of two comparable types; `None` if incomparable.
+    pub fn meet_of_comparable(&self, t1: Symbol, t2: Symbol) -> Option<Symbol> {
+        if self.is_subtype(t1, t2) {
+            Some(t1)
+        } else if self.is_subtype(t2, t1) {
+            Some(t2)
+        } else {
+            None
+        }
+    }
+
+    /// Greatest lower bounds of `t1` and `t2` among mentioned types: the
+    /// maximal elements of the set of common subtypes. The hierarchy is a
+    /// partial order, not a lattice, so there may be zero or several.
+    pub fn maximal_common_subtypes(&self, t1: Symbol, t2: Symbol) -> Vec<Symbol> {
+        let s1 = self.subtypes(t1);
+        let s2 = self.subtypes(t2);
+        let common: Vec<Symbol> = s1.intersection(&s2).copied().collect();
+        maximal_elements(&common, |a, b| self.is_subtype(a, b))
+    }
+
+    /// Least upper bounds of `t1` and `t2`: minimal elements of the set of
+    /// common supertypes. Never empty — `object` is always a common
+    /// supertype.
+    pub fn minimal_common_supertypes(&self, t1: Symbol, t2: Symbol) -> Vec<Symbol> {
+        let s1 = self.supertypes(t1);
+        let s2 = self.supertypes(t2);
+        let common: Vec<Symbol> = s1.intersection(&s2).copied().collect();
+        minimal_elements(&common, |a, b| self.is_subtype(a, b))
+    }
+
+    /// True iff the declared graph has no cycle through two or more
+    /// distinct types (self-loops are ignored: the order is reflexive
+    /// anyway). When false, the generated relation is a preorder rather
+    /// than a partial order.
+    pub fn is_partial_order(&self) -> bool {
+        // Kahn's algorithm over the declared edges, dropping self-loops.
+        let nodes: Vec<Symbol> = self.mentioned.iter().copied().collect();
+        let mut indegree: HashMap<Symbol, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+        for (&sub, sups) in &self.up {
+            for &sup in sups {
+                if sup != sub {
+                    *indegree.entry(sup).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut queue: VecDeque<Symbol> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut removed = 0usize;
+        while let Some(n) = queue.pop_front() {
+            removed += 1;
+            for s in self.direct_supertypes(n) {
+                if s == n {
+                    continue;
+                }
+                let d = indegree.get_mut(&s).expect("mentioned");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        removed == indegree.len()
+    }
+
+    /// The declared pairs `(sub, sup)`, in no particular order. These are
+    /// exactly the pairs that the transformation turns into type axioms
+    /// `sup(X) :- sub(X)` (§3.3).
+    pub fn declared_pairs(&self) -> Vec<(Symbol, Symbol)> {
+        let mut pairs: Vec<(Symbol, Symbol)> = self
+            .up
+            .iter()
+            .flat_map(|(&sub, sups)| sups.iter().map(move |&sup| (sub, sup)))
+            .collect();
+        pairs.sort();
+        pairs
+    }
+}
+
+/// Elements of `xs` that are maximal under `le` (no *other* element is
+/// strictly above them). Order-equivalent duplicates are all retained.
+fn maximal_elements<F: Fn(Symbol, Symbol) -> bool>(xs: &[Symbol], le: F) -> Vec<Symbol> {
+    let mut out: Vec<Symbol> = xs
+        .iter()
+        .copied()
+        .filter(|&x| !xs.iter().any(|&y| y != x && le(x, y) && !le(y, x)))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Elements of `xs` that are minimal under `le`.
+fn minimal_elements<F: Fn(Symbol, Symbol) -> bool>(xs: &[Symbol], le: F) -> Vec<Symbol> {
+    let mut out: Vec<Symbol> = xs
+        .iter()
+        .copied()
+        .filter(|&x| !xs.iter().any(|&y| y != x && le(y, x) && !le(x, y)))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    fn h(decls: &[(&str, &str)]) -> TypeHierarchy {
+        let mut th = TypeHierarchy::new();
+        for &(a, b) in decls {
+            th.declare(sym(a), sym(b));
+        }
+        th
+    }
+
+    #[test]
+    fn reflexive() {
+        let th = TypeHierarchy::new();
+        assert!(th.is_subtype(sym("person"), sym("person")));
+    }
+
+    #[test]
+    fn everything_below_object() {
+        let th = TypeHierarchy::new();
+        assert!(th.is_subtype(sym("never-declared"), object_type()));
+        assert!(th.is_subtype(object_type(), object_type()));
+    }
+
+    #[test]
+    fn object_not_below_others() {
+        let th = h(&[("student", "person")]);
+        assert!(!th.is_subtype(object_type(), sym("person")));
+    }
+
+    #[test]
+    fn direct_declaration() {
+        let th = h(&[("propernp", "noun_phrase")]);
+        assert!(th.is_subtype(sym("propernp"), sym("noun_phrase")));
+        assert!(!th.is_subtype(sym("noun_phrase"), sym("propernp")));
+    }
+
+    #[test]
+    fn transitive() {
+        let th = h(&[("phd_student", "student"), ("student", "person")]);
+        assert!(th.is_subtype(sym("phd_student"), sym("person")));
+        assert!(!th.is_subtype(sym("person"), sym("phd_student")));
+    }
+
+    #[test]
+    fn incomparable_siblings() {
+        let th = h(&[("student", "person"), ("employee", "person")]);
+        assert!(!th.is_subtype(sym("student"), sym("employee")));
+        assert!(!th.is_subtype(sym("employee"), sym("student")));
+        assert!(!th.comparable(sym("student"), sym("employee")));
+        assert!(th.comparable(sym("student"), sym("person")));
+    }
+
+    #[test]
+    fn supertypes_include_self_and_object() {
+        let th = h(&[("student", "person")]);
+        let sups = th.supertypes(sym("student"));
+        assert!(sups.contains(&sym("student")));
+        assert!(sups.contains(&sym("person")));
+        assert!(sups.contains(&object_type()));
+        assert_eq!(sups.len(), 3);
+    }
+
+    #[test]
+    fn subtypes_of_object_cover_everything() {
+        let th = h(&[("student", "person"), ("employee", "person")]);
+        let subs = th.subtypes(object_type());
+        assert!(subs.contains(&sym("student")));
+        assert!(subs.contains(&sym("employee")));
+        assert!(subs.contains(&sym("person")));
+        assert!(subs.contains(&object_type()));
+    }
+
+    #[test]
+    fn meet_of_comparable_types() {
+        let th = h(&[("student", "person")]);
+        assert_eq!(
+            th.meet_of_comparable(sym("student"), sym("person")),
+            Some(sym("student"))
+        );
+        assert_eq!(
+            th.meet_of_comparable(sym("person"), sym("student")),
+            Some(sym("student"))
+        );
+        assert_eq!(
+            th.meet_of_comparable(sym("person"), sym("person")),
+            Some(sym("person"))
+        );
+        let th2 = h(&[("student", "person"), ("employee", "person")]);
+        assert_eq!(
+            th2.meet_of_comparable(sym("student"), sym("employee")),
+            None
+        );
+    }
+
+    #[test]
+    fn maximal_common_subtypes_diamond() {
+        // ta ≤ student, ta ≤ employee: diamond bottom.
+        let th = h(&[
+            ("ta", "student"),
+            ("ta", "employee"),
+            ("student", "person"),
+            ("employee", "person"),
+        ]);
+        let glb = th.maximal_common_subtypes(sym("student"), sym("employee"));
+        assert_eq!(glb, vec![sym("ta")]);
+    }
+
+    #[test]
+    fn minimal_common_supertypes_default_to_object() {
+        let th = h(&[("student", "person"), ("router", "device")]);
+        let lub = th.minimal_common_supertypes(sym("student"), sym("router"));
+        assert_eq!(lub, vec![object_type()]);
+    }
+
+    #[test]
+    fn minimal_common_supertypes_diamond() {
+        let th = h(&[
+            ("ta", "student"),
+            ("ta", "employee"),
+            ("ra", "student"),
+            ("ra", "employee"),
+        ]);
+        let lub = th.minimal_common_supertypes(sym("ta"), sym("ra"));
+        let mut expect = vec![sym("student"), sym("employee")];
+        expect.sort();
+        assert_eq!(lub, expect);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let th = h(&[("a", "b"), ("b", "a")]);
+        assert!(!th.is_partial_order());
+        // The preorder reading: each ≤ the other.
+        assert!(th.is_subtype(sym("a"), sym("b")));
+        assert!(th.is_subtype(sym("b"), sym("a")));
+        let acyclic = h(&[("a", "b"), ("b", "c")]);
+        assert!(acyclic.is_partial_order());
+    }
+
+    #[test]
+    fn self_loop_is_not_a_cycle() {
+        let th = h(&[("a", "a"), ("a", "b")]);
+        assert!(th.is_partial_order());
+    }
+
+    #[test]
+    fn declared_pairs_roundtrip() {
+        let th = h(&[("propernp", "noun_phrase"), ("commonnp", "noun_phrase")]);
+        let mut pairs = th.declared_pairs();
+        pairs.sort();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&(sym("propernp"), sym("noun_phrase"))));
+    }
+
+    #[test]
+    fn edge_count() {
+        let th = h(&[("a", "b"), ("a", "c"), ("b", "c")]);
+        assert_eq!(th.edge_count(), 3);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::symbol::Symbol;
+    use proptest::prelude::*;
+
+    fn type_pool() -> impl Strategy<Value = Symbol> {
+        prop::sample::select(vec!["ta", "tb", "tc", "td", "te"]).prop_map(Symbol::new)
+    }
+
+    fn hierarchy() -> impl Strategy<Value = TypeHierarchy> {
+        prop::collection::vec((type_pool(), type_pool()), 0..8).prop_map(|edges| {
+            let mut h = TypeHierarchy::new();
+            for (a, b) in edges {
+                h.declare(a, b);
+            }
+            h
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// ≤ is reflexive and transitive on arbitrary declared graphs
+        /// (a preorder; antisymmetry only when is_partial_order()).
+        #[test]
+        fn subtype_is_a_preorder(h in hierarchy(), a in type_pool(), b in type_pool(), c in type_pool()) {
+            prop_assert!(h.is_subtype(a, a));
+            if h.is_subtype(a, b) && h.is_subtype(b, c) {
+                prop_assert!(h.is_subtype(a, c));
+            }
+        }
+
+        /// object is the greatest element.
+        #[test]
+        fn object_is_top(h in hierarchy(), a in type_pool()) {
+            prop_assert!(h.is_subtype(a, object_type()));
+            if h.is_subtype(object_type(), a) {
+                // only possible through an explicit declaration cycle
+                prop_assert!(h.is_subtype(a, object_type()));
+            }
+        }
+
+        /// supertypes/subtypes agree with is_subtype.
+        #[test]
+        fn closure_sets_agree(h in hierarchy(), a in type_pool(), b in type_pool()) {
+            prop_assert_eq!(h.supertypes(a).contains(&b), h.is_subtype(a, b) || b == object_type());
+            prop_assert_eq!(h.subtypes(a).contains(&b), h.is_subtype(b, a));
+        }
+
+        /// On acyclic declarations, ≤ is antisymmetric (a partial order).
+        #[test]
+        fn acyclic_implies_antisymmetric(h in hierarchy(), a in type_pool(), b in type_pool()) {
+            if h.is_partial_order() && a != b {
+                prop_assert!(!(h.is_subtype(a, b) && h.is_subtype(b, a)));
+            }
+        }
+
+        /// Minimal common supertypes are common, minimal, and non-empty.
+        #[test]
+        fn lub_properties(h in hierarchy(), a in type_pool(), b in type_pool()) {
+            let lubs = h.minimal_common_supertypes(a, b);
+            prop_assert!(!lubs.is_empty());
+            for &l in &lubs {
+                prop_assert!(h.is_subtype(a, l));
+                prop_assert!(h.is_subtype(b, l));
+            }
+        }
+    }
+}

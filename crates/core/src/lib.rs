@@ -1,0 +1,42 @@
+//! # clogic-core — the C-logic formalism
+//!
+//! An implementation of *C-Logic of Complex Objects* (Weidong Chen and
+//! David S. Warren, PODS 1989). C-logic provides direct support for the
+//! fundamental features of complex objects:
+//!
+//! * **object identity** — identities are denoted by constants and
+//!   function terms, so existential object variables in entity-creating
+//!   rules can be skolemized ([`skolem`]);
+//! * **multi-valued labels** — labels are binary predicates; a molecule
+//!   `john[name ⇒ "John", age ⇒ 28]` decomposes into atomic descriptions
+//!   and recombines ([`decompose`]);
+//! * **a dynamic notion of types** — types are unary predicates ordered
+//!   by subtype declarations with greatest element `object`
+//!   ([`hierarchy`]).
+//!
+//! The crate also implements the paper's central result (Theorem 1): a
+//! semantics-preserving transformation into first-order logic
+//! ([`transform`]), the static redundancy-elimination rules of §4
+//! ([`optimize`]), and the model-theoretic semantics over finite
+//! structures ([`structure`]).
+
+#![warn(missing_docs)]
+
+pub mod decompose;
+pub mod fol;
+pub mod formula;
+pub mod hierarchy;
+pub mod optimize;
+pub mod program;
+pub mod schema;
+pub mod skolem;
+pub mod structure;
+pub mod symbol;
+pub mod term;
+pub mod transform;
+
+pub use formula::{Atomic, Clause, DefiniteClause, Formula, Literal, Query};
+pub use hierarchy::{object_type, TypeHierarchy, OBJECT_TYPE};
+pub use program::{Program, Signature};
+pub use symbol::{sym, Symbol};
+pub use term::{Const, IdTerm, LabelSpec, LabelValue, Term};

@@ -1,0 +1,245 @@
+//! Programs of objects (§4): a finite set of subtype declarations and
+//! definite clauses, plus the *signature* scan used by the transformation
+//! and the optimizer (which type symbols, labels and predicates occur).
+
+use crate::formula::{Atomic, DefiniteClause, Query};
+use crate::hierarchy::{object_type, TypeHierarchy};
+use crate::symbol::Symbol;
+use crate::term::{IdTerm, Term};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A C-logic program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Subtype declarations `t1 < t2`, in source order.
+    pub subtype_decls: Vec<(Symbol, Symbol)>,
+    /// Definite clauses (facts and rules), in source order.
+    pub clauses: Vec<DefiniteClause>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Adds a subtype declaration `sub < sup`.
+    pub fn declare_subtype(&mut self, sub: impl Into<Symbol>, sup: impl Into<Symbol>) {
+        self.subtype_decls.push((sub.into(), sup.into()));
+    }
+
+    /// Adds a clause.
+    pub fn push(&mut self, c: DefiniteClause) {
+        self.clauses.push(c);
+    }
+
+    /// Adds a fact.
+    pub fn push_fact(&mut self, head: Atomic) {
+        self.clauses.push(DefiniteClause::fact(head));
+    }
+
+    /// Builds the declared type hierarchy.
+    pub fn hierarchy(&self) -> TypeHierarchy {
+        let mut h = TypeHierarchy::new();
+        for &(sub, sup) in &self.subtype_decls {
+            h.declare(sub, sup);
+        }
+        h
+    }
+
+    /// The signature: every type symbol, label, predicate and function
+    /// symbol occurring anywhere in the program.
+    pub fn signature(&self) -> Signature {
+        let mut sig = Signature::default();
+        for &(sub, sup) in &self.subtype_decls {
+            sig.types.insert(sub);
+            sig.types.insert(sup);
+        }
+        for c in &self.clauses {
+            sig.scan_atomic(&c.head);
+            for b in &c.body {
+                sig.scan_atomic(b);
+            }
+        }
+        sig
+    }
+
+    /// Total number of atoms (head + body) across all clauses.
+    pub fn atom_count(&self) -> usize {
+        self.clauses.iter().map(|c| 1 + c.body.len()).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &(sub, sup) in &self.subtype_decls {
+            writeln!(f, "{sub} < {sup}.")?;
+        }
+        for c in &self.clauses {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The non-logical symbols occurring in a program or query.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Signature {
+    /// Type symbols, including `object` whenever any typed term occurs.
+    pub types: BTreeSet<Symbol>,
+    /// Labels.
+    pub labels: BTreeSet<Symbol>,
+    /// Predicate symbols.
+    pub predicates: BTreeSet<Symbol>,
+    /// Function symbols (of arity ≥ 1) and symbolic constants.
+    pub functions: BTreeSet<Symbol>,
+}
+
+impl Signature {
+    /// Scans one atomic formula.
+    pub fn scan_atomic(&mut self, a: &Atomic) {
+        match a {
+            Atomic::Pred { pred, args } => {
+                self.predicates.insert(*pred);
+                for t in args {
+                    self.scan_term(t);
+                }
+            }
+            Atomic::Term(t) => self.scan_term(t),
+        }
+    }
+
+    /// Scans a query.
+    pub fn scan_query(&mut self, q: &Query) {
+        for g in &q.goals {
+            self.scan_atomic(g);
+        }
+    }
+
+    fn scan_term(&mut self, t: &Term) {
+        self.scan_id(t.id_term());
+        for s in t.specs() {
+            self.labels.insert(s.label);
+            for v in s.value.terms() {
+                self.scan_term(v);
+            }
+        }
+    }
+
+    fn scan_id(&mut self, id: &IdTerm) {
+        self.types.insert(id.ty());
+        match id {
+            IdTerm::Var { .. } => {}
+            IdTerm::Const { c, .. } => {
+                if let crate::term::Const::Sym(s) = c {
+                    self.functions.insert(*s);
+                }
+            }
+            IdTerm::App { functor, args, .. } => {
+                self.functions.insert(*functor);
+                for a in args {
+                    self.scan_term(a);
+                }
+            }
+        }
+    }
+
+    /// Type symbols other than `object` — exactly the symbols for which
+    /// the transformation emits `object(X) :- t(X)` axioms (§4).
+    pub fn proper_types(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.types.iter().copied().filter(|&t| t != object_type())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+    use crate::term::LabelSpec;
+
+    fn grammar_fragment() -> Program {
+        // determiner: the[num => {singular, plural}, def => definite].
+        // propernp < noun_phrase.
+        let mut p = Program::new();
+        p.declare_subtype("propernp", "noun_phrase");
+        p.push_fact(Atomic::term(
+            Term::molecule(
+                Term::typed_constant("determiner", "the"),
+                vec![
+                    LabelSpec::set(
+                        "num",
+                        vec![Term::constant("singular"), Term::constant("plural")],
+                    ),
+                    LabelSpec::one("def", Term::constant("definite")),
+                ],
+            )
+            .unwrap(),
+        ));
+        p
+    }
+
+    #[test]
+    fn signature_scan_collects_everything() {
+        let p = grammar_fragment();
+        let sig = p.signature();
+        assert!(sig.types.contains(&sym("determiner")));
+        assert!(sig.types.contains(&sym("propernp")));
+        assert!(sig.types.contains(&sym("noun_phrase")));
+        // the values singular/plural/definite are object-typed constants
+        assert!(sig.types.contains(&object_type()));
+        assert!(sig.labels.contains(&sym("num")));
+        assert!(sig.labels.contains(&sym("def")));
+        assert!(sig.functions.contains(&sym("the")));
+        assert!(sig.functions.contains(&sym("singular")));
+        assert!(sig.predicates.is_empty());
+    }
+
+    #[test]
+    fn proper_types_excludes_object() {
+        let p = grammar_fragment();
+        let sig = p.signature();
+        let proper: BTreeSet<Symbol> = sig.proper_types().collect();
+        assert!(!proper.contains(&object_type()));
+        assert!(proper.contains(&sym("determiner")));
+    }
+
+    #[test]
+    fn hierarchy_from_program() {
+        let p = grammar_fragment();
+        let h = p.hierarchy();
+        assert!(h.is_subtype(sym("propernp"), sym("noun_phrase")));
+    }
+
+    #[test]
+    fn display_program() {
+        let p = grammar_fragment();
+        let s = p.to_string();
+        assert!(s.starts_with("propernp < noun_phrase.\n"));
+        assert!(s.contains("determiner: the[num => {singular, plural}, def => definite]."));
+    }
+
+    #[test]
+    fn atom_count() {
+        let mut p = grammar_fragment();
+        assert_eq!(p.atom_count(), 1);
+        p.push(DefiniteClause::rule(
+            Atomic::pred("q", vec![]),
+            vec![Atomic::pred("a", vec![]), Atomic::pred("b", vec![])],
+        ));
+        assert_eq!(p.atom_count(), 4);
+    }
+
+    #[test]
+    fn signature_scans_predicates_and_nested_apps() {
+        let mut p = Program::new();
+        p.push_fact(Atomic::pred(
+            "edge",
+            vec![Term::app("pair", vec![Term::constant("a"), Term::var("X")])],
+        ));
+        let sig = p.signature();
+        assert!(sig.predicates.contains(&sym("edge")));
+        assert!(sig.functions.contains(&sym("pair")));
+        assert!(sig.functions.contains(&sym("a")));
+    }
+}

@@ -1,0 +1,402 @@
+//! Static type constraints and single-valued labels, layered *on top of*
+//! C-logic (§2.3, §6).
+//!
+//! C-logic deliberately builds in only the dynamic notion of types; the
+//! static notion — "a type indicates a set of properties which must be
+//! possessed by objects of that type" — and functionality of labels are
+//! constraints over database states, "better treated with schema
+//! information". This module provides exactly that optional layer:
+//!
+//! * a [`Schema`] declares, per type, required labelled properties (with
+//!   the value's type), and declares labels as functional (single-valued);
+//! * [`Schema::membership_rule`] realizes the paper's static-type reading
+//!   `τ(X) :- X[l1 ⇒ X1, …, ln ⇒ Xn], τ1(X1), …` as an ordinary C-logic
+//!   rule — every object with all the properties automatically belongs to
+//!   the type;
+//! * [`Schema::check`] audits a set of derived ground facts and reports
+//!   violations, leaving the logic itself unconstrained (consistency in
+//!   C-logic is never global, unlike O-logic).
+
+use crate::fol::{FoAtom, FoTerm};
+use crate::formula::{Atomic, DefiniteClause};
+use crate::hierarchy::object_type;
+use crate::program::Signature;
+use crate::symbol::Symbol;
+use crate::term::{LabelSpec, Term};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A property requirement: objects of the type must have `label` with at
+/// least one value of type `value_type`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Requirement {
+    /// The required label.
+    pub label: Symbol,
+    /// The required type of the value (`object` for "any").
+    pub value_type: Symbol,
+}
+
+/// A database schema: static types plus label functionality declarations.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    required: BTreeMap<Symbol, Vec<Requirement>>,
+    functional: BTreeSet<Symbol>,
+}
+
+/// A constraint violation found by [`Schema::check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// An object of `ty` lacks any `label` value of type `value_type`.
+    MissingProperty {
+        /// The offending object (display form of its identity).
+        object: String,
+        /// The constrained type.
+        ty: Symbol,
+        /// The missing label.
+        label: Symbol,
+        /// The required value type.
+        value_type: Symbol,
+    },
+    /// A functional label has two distinct values on one object.
+    MultipleValues {
+        /// The offending object.
+        object: String,
+        /// The functional label.
+        label: Symbol,
+        /// The distinct values found (display forms, sorted).
+        values: Vec<String>,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MissingProperty {
+                object,
+                ty,
+                label,
+                value_type,
+            } => write!(
+                f,
+                "object {object} of type {ty} lacks required {label} of type {value_type}"
+            ),
+            Violation::MultipleValues {
+                object,
+                label,
+                values,
+            } => {
+                write!(
+                    f,
+                    "functional label {label} has multiple values on {object}: {values:?}"
+                )
+            }
+        }
+    }
+}
+
+impl Schema {
+    /// An empty schema (no constraints).
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Declares that objects of `ty` must carry `label` with a value of
+    /// type `value_type`.
+    pub fn require(
+        &mut self,
+        ty: impl Into<Symbol>,
+        label: impl Into<Symbol>,
+        value_type: impl Into<Symbol>,
+    ) {
+        self.required
+            .entry(ty.into())
+            .or_default()
+            .push(Requirement {
+                label: label.into(),
+                value_type: value_type.into(),
+            });
+    }
+
+    /// Declares `label` single-valued.
+    pub fn declare_functional(&mut self, label: impl Into<Symbol>) {
+        self.functional.insert(label.into());
+    }
+
+    /// Whether `label` was declared functional.
+    pub fn is_functional(&self, label: Symbol) -> bool {
+        self.functional.contains(&label)
+    }
+
+    /// The requirements for `ty`, if any.
+    pub fn requirements(&self, ty: Symbol) -> &[Requirement] {
+        self.required.get(&ty).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Types with at least one requirement.
+    pub fn constrained_types(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.required.keys().copied()
+    }
+
+    /// The static-type membership rule for `ty` (§2.3):
+    ///
+    /// ```text
+    /// ty: X :- object: X[l1 ⇒ X1, …, ln ⇒ Xn], τ1(X1), …, τn(Xn).
+    /// ```
+    ///
+    /// Adding these rules to a program makes every object possessing all
+    /// the properties automatically a member of the type. Returns `None`
+    /// when `ty` has no requirements.
+    pub fn membership_rule(&self, ty: Symbol) -> Option<DefiniteClause> {
+        let reqs = self.required.get(&ty)?;
+        let head = Atomic::term(Term::typed_var(ty, "X"));
+        let mut specs = Vec::with_capacity(reqs.len());
+        let mut typing = Vec::new();
+        for (i, r) in reqs.iter().enumerate() {
+            let vi = Symbol::new(&format!("X{}", i + 1));
+            specs.push(LabelSpec::one(r.label, Term::var(vi)));
+            if r.value_type != object_type() {
+                typing.push(Atomic::term(Term::typed_var(r.value_type, vi)));
+            }
+        }
+        let mut body = vec![Atomic::term(
+            Term::molecule(Term::var("X"), specs).expect("id head"),
+        )];
+        body.extend(typing);
+        Some(DefiniteClause::rule(head, body))
+    }
+
+    /// All membership rules.
+    pub fn membership_rules(&self) -> Vec<DefiniteClause> {
+        self.required
+            .keys()
+            .filter_map(|&t| self.membership_rule(t))
+            .collect()
+    }
+
+    /// Audits a set of derived ground atoms (as produced by bottom-up
+    /// evaluation of the translated program) against the schema.
+    /// Unary atoms over `sig.types` are type membership; binary atoms over
+    /// `sig.labels` are label pairs.
+    pub fn check(&self, atoms: &[FoAtom], sig: &Signature) -> Vec<Violation> {
+        let mut members: HashMap<Symbol, HashSet<&FoTerm>> = HashMap::new();
+        let mut pairs: HashMap<Symbol, Vec<(&FoTerm, &FoTerm)>> = HashMap::new();
+        for a in atoms {
+            if a.arity() == 1 && sig.types.contains(&a.pred) {
+                members.entry(a.pred).or_default().insert(&a.args[0]);
+            } else if a.arity() == 2 && sig.labels.contains(&a.pred) {
+                pairs
+                    .entry(a.pred)
+                    .or_default()
+                    .push((&a.args[0], &a.args[1]));
+            }
+        }
+        let mut out = Vec::new();
+        // Required properties.
+        for (&ty, reqs) in &self.required {
+            let Some(objs) = members.get(&ty) else {
+                continue;
+            };
+            for &obj in objs {
+                for r in reqs {
+                    let has = pairs.get(&r.label).is_some_and(|ps| {
+                        ps.iter().any(|(s, v)| {
+                            *s == obj
+                                && (r.value_type == object_type()
+                                    || members.get(&r.value_type).is_some_and(|m| m.contains(v)))
+                        })
+                    });
+                    if !has {
+                        out.push(Violation::MissingProperty {
+                            object: obj.to_string(),
+                            ty,
+                            label: r.label,
+                            value_type: r.value_type,
+                        });
+                    }
+                }
+            }
+        }
+        // Functional labels.
+        for &l in &self.functional {
+            let Some(ps) = pairs.get(&l) else { continue };
+            let mut by_subject: HashMap<&FoTerm, BTreeSet<String>> = HashMap::new();
+            for (s, v) in ps {
+                by_subject.entry(s).or_default().insert(v.to_string());
+            }
+            for (s, vs) in by_subject {
+                if vs.len() > 1 {
+                    out.push(Violation::MultipleValues {
+                        object: s.to_string(),
+                        label: l,
+                        values: vs.into_iter().collect(),
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|v| format!("{v:?}"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::symbol::sym;
+
+    fn sig_with(types: &[&str], labels: &[&str]) -> Signature {
+        let mut p = Program::new();
+        for &t in types {
+            p.push_fact(Atomic::term(Term::typed_constant(t, "dummy")));
+        }
+        let mut sig = p.signature();
+        for &l in labels {
+            sig.labels.insert(sym(l));
+        }
+        sig
+    }
+
+    #[test]
+    fn membership_rule_shape() {
+        let mut s = Schema::new();
+        s.require("person", "name", "string");
+        s.require("person", "age", "object");
+        let r = s.membership_rule(sym("person")).unwrap();
+        assert_eq!(
+            r.to_string(),
+            "person: X :- X[name => X1, age => X2], string: X1."
+        );
+        assert!(s.membership_rule(sym("robot")).is_none());
+        assert_eq!(s.membership_rules().len(), 1);
+    }
+
+    #[test]
+    fn check_missing_property() {
+        let mut s = Schema::new();
+        s.require("person", "name", "object");
+        let sig = sig_with(&["person"], &["name"]);
+        let atoms = vec![
+            FoAtom::new("person", vec![FoTerm::constant("john")]),
+            FoAtom::new("person", vec![FoTerm::constant("bob")]),
+            FoAtom::new(
+                "name",
+                vec![FoTerm::constant("john"), FoTerm::constant("j")],
+            ),
+        ];
+        let vs = s.check(&atoms, &sig);
+        assert_eq!(vs.len(), 1);
+        match &vs[0] {
+            Violation::MissingProperty {
+                object, ty, label, ..
+            } => {
+                assert_eq!(object, "bob");
+                assert_eq!(*ty, sym("person"));
+                assert_eq!(*label, sym("name"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_value_type() {
+        let mut s = Schema::new();
+        s.require("person", "spouse", "person");
+        let sig = sig_with(&["person"], &["spouse"]);
+        // john's spouse is not typed person ⇒ requirement unmet.
+        let atoms = vec![
+            FoAtom::new("person", vec![FoTerm::constant("john")]),
+            FoAtom::new(
+                "spouse",
+                vec![FoTerm::constant("john"), FoTerm::constant("mary")],
+            ),
+        ];
+        assert_eq!(s.check(&atoms, &sig).len(), 1);
+        // Once mary is a person too, john's requirement is met — the only
+        // remaining violation is mary's own missing spouse.
+        let atoms2 = [
+            atoms,
+            vec![FoAtom::new("person", vec![FoTerm::constant("mary")])],
+        ]
+        .concat();
+        let vs = s.check(&atoms2, &sig);
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(&vs[0],
+            Violation::MissingProperty { object, .. } if object == "mary"));
+    }
+
+    #[test]
+    fn check_functional_label() {
+        let mut s = Schema::new();
+        s.declare_functional("name");
+        assert!(s.is_functional(sym("name")));
+        let sig = sig_with(&[], &["name"]);
+        let atoms = vec![
+            FoAtom::new(
+                "name",
+                vec![FoTerm::constant("john"), FoTerm::constant("j1")],
+            ),
+            FoAtom::new(
+                "name",
+                vec![FoTerm::constant("john"), FoTerm::constant("j2")],
+            ),
+            FoAtom::new("name", vec![FoTerm::constant("bob"), FoTerm::constant("b")]),
+        ];
+        let vs = s.check(&atoms, &sig);
+        assert_eq!(vs.len(), 1);
+        match &vs[0] {
+            Violation::MultipleValues { object, values, .. } => {
+                assert_eq!(object, "john");
+                assert_eq!(values, &["j1".to_string(), "j2".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_valued_labels_pass_without_declaration() {
+        // The paper's stance: multi-valued labels have no built-in
+        // functionality constraint; only declared-functional labels are
+        // audited.
+        let s = Schema::new();
+        let sig = sig_with(&[], &["children"]);
+        let atoms = vec![
+            FoAtom::new(
+                "children",
+                vec![FoTerm::constant("john"), FoTerm::constant("bob")],
+            ),
+            FoAtom::new(
+                "children",
+                vec![FoTerm::constant("john"), FoTerm::constant("bill")],
+            ),
+        ];
+        assert!(s.check(&atoms, &sig).is_empty());
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::MissingProperty {
+            object: "bob".into(),
+            ty: sym("person"),
+            label: sym("name"),
+            value_type: object_type(),
+        };
+        assert!(v.to_string().contains("bob"));
+        let w = Violation::MultipleValues {
+            object: "john".into(),
+            label: sym("name"),
+            values: vec!["a".into(), "b".into()],
+        };
+        assert!(w.to_string().contains("name"));
+    }
+
+    #[test]
+    fn constrained_types_lists_declarations() {
+        let mut s = Schema::new();
+        s.require("person", "name", "object");
+        s.require("course", "credits", "object");
+        let ts: Vec<Symbol> = s.constrained_types().collect();
+        assert_eq!(ts, vec![sym("course"), sym("person")]);
+        assert_eq!(s.requirements(sym("person")).len(), 1);
+        assert!(s.requirements(sym("robot")).is_empty());
+    }
+}

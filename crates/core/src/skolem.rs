@@ -1,0 +1,363 @@
+//! Skolemization of existential object variables (§2.1).
+//!
+//! Entity-creating rules contain object variables that occur only in the
+//! head, e.g. `C` in
+//!
+//! ```text
+//! path: C[src ⇒ X, dest ⇒ Y, length ⇒ 1] :- node: X[linkto ⇒ Y].
+//! ```
+//!
+//! Such a `C` is existentially quantified, but the rule does not say with
+//! respect to *which* universals — path objects may be determined by the
+//! end nodes only (`∀X∀Y∃C`), by the ends and the length (`∀X∀Y∀L∃C`), or
+//! by the whole node sequence. C-logic resolves the ambiguity by letting
+//! identities be constructed terms: the user (or the system, through this
+//! module's high-level interface) replaces `C` with a skolem term such as
+//! `id(X,Y)` whose arguments are exactly the determining variables.
+
+use crate::formula::{Atomic, DefiniteClause};
+use crate::program::Program;
+use crate::symbol::Symbol;
+use crate::term::{IdTerm, LabelSpec, Term};
+use std::collections::BTreeSet;
+
+/// A skolemization decision for one existential object variable of one
+/// clause: replace `var` with `functor(deps…)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SkolemSpec {
+    /// The existential object variable to eliminate.
+    pub var: Symbol,
+    /// The skolem function symbol (must be fresh in the program).
+    pub functor: Symbol,
+    /// The determining variables, in order. May be empty: the object is
+    /// then a single constant-like entity (`functor` itself).
+    pub deps: Vec<Symbol>,
+}
+
+impl SkolemSpec {
+    /// Builds a spec.
+    pub fn new(
+        var: impl Into<Symbol>,
+        functor: impl Into<Symbol>,
+        deps: Vec<Symbol>,
+    ) -> SkolemSpec {
+        SkolemSpec {
+            var: var.into(),
+            functor: functor.into(),
+            deps,
+        }
+    }
+
+    /// The replacement identity term for an occurrence asserted at `ty`.
+    fn replacement(&self, ty: Symbol) -> IdTerm {
+        if self.deps.is_empty() {
+            IdTerm::Const {
+                ty,
+                c: crate::term::Const::Sym(self.functor),
+            }
+        } else {
+            IdTerm::App {
+                ty,
+                functor: self.functor,
+                args: self.deps.iter().map(|&d| Term::var(d)).collect(),
+            }
+        }
+    }
+}
+
+/// Replaces every occurrence of `spec.var` in `t` by the skolem term. The
+/// asserted type of each occurrence is preserved (`path: C` becomes
+/// `path: id(X,Y)`).
+pub fn skolemize_term(t: &Term, spec: &SkolemSpec) -> Term {
+    match t {
+        Term::Id(id) => Term::Id(skolemize_id(id, spec)),
+        Term::Molecule { head, specs } => Term::Molecule {
+            head: skolemize_id(head, spec),
+            specs: specs
+                .iter()
+                .map(|s| LabelSpec {
+                    label: s.label,
+                    value: match &s.value {
+                        crate::term::LabelValue::One(v) => {
+                            crate::term::LabelValue::One(skolemize_term(v, spec))
+                        }
+                        crate::term::LabelValue::Set(vs) => crate::term::LabelValue::Set(
+                            vs.iter().map(|v| skolemize_term(v, spec)).collect(),
+                        ),
+                    },
+                })
+                .collect(),
+        },
+    }
+}
+
+fn skolemize_id(id: &IdTerm, spec: &SkolemSpec) -> IdTerm {
+    match id {
+        IdTerm::Var { ty, name } if *name == spec.var => spec.replacement(*ty),
+        IdTerm::Var { .. } | IdTerm::Const { .. } => id.clone(),
+        IdTerm::App { ty, functor, args } => IdTerm::App {
+            ty: *ty,
+            functor: *functor,
+            args: args.iter().map(|a| skolemize_term(a, spec)).collect(),
+        },
+    }
+}
+
+/// Applies one skolemization to a whole clause (head and body).
+pub fn skolemize_clause(c: &DefiniteClause, spec: &SkolemSpec) -> DefiniteClause {
+    let map_atomic = |a: &Atomic| match a {
+        Atomic::Term(t) => Atomic::Term(skolemize_term(t, spec)),
+        Atomic::Pred { pred, args } => Atomic::Pred {
+            pred: *pred,
+            args: args.iter().map(|t| skolemize_term(t, spec)).collect(),
+        },
+    };
+    DefiniteClause {
+        head: map_atomic(&c.head),
+        body: c.body.iter().map(map_atomic).collect(),
+        neg_body: c.neg_body.iter().map(map_atomic).collect(),
+    }
+}
+
+/// Report of one automatic skolemization, so callers can tell the user
+/// which identity semantics was chosen.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SkolemReport {
+    /// Index of the affected clause in the program.
+    pub clause_index: usize,
+    /// The decision applied.
+    pub spec: SkolemSpec,
+}
+
+/// The high-level interface of §2.1: the user specifies only *what
+/// determines the objects*; identity construction is left to the system.
+///
+/// For every clause and every head-only variable `C`, replaces `C` with
+/// `skN(D1,…,Dk)` where `skN` is a fresh function symbol and the `Di` are
+/// the *default* determining variables: every other head variable that
+/// also occurs in the body, in alphabetical order. (For the paper's second
+/// path rule this yields the "ends plus length" semantics; pass explicit
+/// [`SkolemSpec`]s via [`skolemize_clause`] for the other choices.)
+///
+/// Facts with head-only variables are left alone — a non-ground fact is
+/// not entity-creating in the paper's sense, and there are no determining
+/// variables to use.
+pub fn auto_skolemize(p: &Program) -> (Program, Vec<SkolemReport>) {
+    let sig = p.signature();
+    let mut counter = 0usize;
+    let mut fresh = || loop {
+        counter += 1;
+        let name = Symbol::new(&format!("sk{counter}"));
+        if !sig.functions.contains(&name) {
+            return name;
+        }
+    };
+    let mut out = Program {
+        subtype_decls: p.subtype_decls.clone(),
+        clauses: Vec::new(),
+    };
+    let mut reports = Vec::new();
+    for (i, c) in p.clauses.iter().enumerate() {
+        if c.is_fact() {
+            out.push(c.clone());
+            continue;
+        }
+        let mut body_vars = BTreeSet::new();
+        for b in &c.body {
+            b.collect_vars(&mut body_vars);
+        }
+        let mut head_vars = BTreeSet::new();
+        c.head.collect_vars(&mut head_vars);
+        let deps: Vec<Symbol> = head_vars.intersection(&body_vars).copied().collect();
+        let mut clause = c.clone();
+        for var in c.head_only_vars() {
+            let spec = SkolemSpec {
+                var,
+                functor: fresh(),
+                deps: deps.clone(),
+            };
+            clause = skolemize_clause(&clause, &spec);
+            reports.push(SkolemReport {
+                clause_index: i,
+                spec,
+            });
+        }
+        out.push(clause);
+    }
+    (out, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    fn path_rule_1() -> DefiniteClause {
+        DefiniteClause::rule(
+            Atomic::term(
+                Term::molecule(
+                    Term::typed_var("path", "C"),
+                    vec![
+                        LabelSpec::one("src", Term::var("X")),
+                        LabelSpec::one("dest", Term::var("Y")),
+                        LabelSpec::one("length", Term::int(1)),
+                    ],
+                )
+                .unwrap(),
+            ),
+            vec![Atomic::term(
+                Term::molecule(
+                    Term::typed_var("node", "X"),
+                    vec![LabelSpec::one("linkto", Term::var("Y"))],
+                )
+                .unwrap(),
+            )],
+        )
+    }
+
+    #[test]
+    fn paper_path_rule_ends_only() {
+        // Explicit user choice: path objects determined by the end nodes.
+        let spec = SkolemSpec::new("C", "id", vec![sym("X"), sym("Y")]);
+        let out = skolemize_clause(&path_rule_1(), &spec);
+        assert_eq!(
+            out.to_string(),
+            "path: id(X, Y)[src => X, dest => Y, length => 1] :- node: X[linkto => Y]."
+        );
+    }
+
+    #[test]
+    fn occurrence_type_is_preserved() {
+        let spec = SkolemSpec::new("C", "id", vec![sym("X")]);
+        let t = Term::typed_var("path", "C");
+        let out = skolemize_term(&t, &spec);
+        assert_eq!(out.ty(), sym("path"));
+        assert_eq!(out.to_string(), "path: id(X)");
+    }
+
+    #[test]
+    fn zero_dependency_skolem_is_a_constant() {
+        let spec = SkolemSpec::new("C", "the_one", vec![]);
+        let out = skolemize_term(&Term::var("C"), &spec);
+        assert_eq!(out, Term::constant("the_one"));
+    }
+
+    #[test]
+    fn skolemize_reaches_nested_positions() {
+        let spec = SkolemSpec::new("C", "id", vec![sym("X")]);
+        let t = Term::molecule(
+            Term::app("wrap", vec![Term::var("C")]),
+            vec![LabelSpec::set("vals", vec![Term::var("C"), Term::var("D")])],
+        )
+        .unwrap();
+        let out = skolemize_term(&t, &spec);
+        assert_eq!(out.to_string(), "wrap(id(X))[vals => {id(X), D}]");
+    }
+
+    #[test]
+    fn other_variables_untouched() {
+        let spec = SkolemSpec::new("C", "id", vec![sym("X")]);
+        let out = skolemize_term(&Term::var("D"), &spec);
+        assert_eq!(out, Term::var("D"));
+    }
+
+    #[test]
+    fn auto_skolemize_path_rules() {
+        // Default dependency: head vars shared with the body.
+        let mut p = Program::new();
+        p.push(path_rule_1());
+        let (out, reports) = auto_skolemize(&p);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].clause_index, 0);
+        assert_eq!(reports[0].spec.var, sym("C"));
+        assert_eq!(reports[0].spec.deps, vec![sym("X"), sym("Y")]);
+        // The rewritten head carries the skolem term.
+        let head = out.clauses[0].head.to_string();
+        assert!(head.starts_with("path: sk1(X, Y)["), "{head}");
+        // No head-only variables remain.
+        assert!(out.clauses[0].head_only_vars().is_empty());
+    }
+
+    #[test]
+    fn auto_skolemize_second_path_rule_depends_on_ends_and_length() {
+        // path: C[src=>X,dest=>Y,length=>L] :- node: X[linkto=>Z],
+        //     path: CO[src=>Z,dest=>Y,length=>LO], L is LO + 1.
+        let rule = DefiniteClause::rule(
+            Atomic::term(
+                Term::molecule(
+                    Term::typed_var("path", "C"),
+                    vec![
+                        LabelSpec::one("src", Term::var("X")),
+                        LabelSpec::one("dest", Term::var("Y")),
+                        LabelSpec::one("length", Term::var("L")),
+                    ],
+                )
+                .unwrap(),
+            ),
+            vec![
+                Atomic::term(
+                    Term::molecule(
+                        Term::typed_var("node", "X"),
+                        vec![LabelSpec::one("linkto", Term::var("Z"))],
+                    )
+                    .unwrap(),
+                ),
+                Atomic::term(
+                    Term::molecule(
+                        Term::typed_var("path", "CO"),
+                        vec![
+                            LabelSpec::one("src", Term::var("Z")),
+                            LabelSpec::one("dest", Term::var("Y")),
+                            LabelSpec::one("length", Term::var("LO")),
+                        ],
+                    )
+                    .unwrap(),
+                ),
+                Atomic::pred(
+                    "is",
+                    vec![
+                        Term::var("L"),
+                        Term::app("+", vec![Term::var("LO"), Term::int(1)]),
+                    ],
+                ),
+            ],
+        );
+        let mut p = Program::new();
+        p.push(rule);
+        let (_, reports) = auto_skolemize(&p);
+        assert_eq!(reports.len(), 1);
+        // head vars shared with body: L, X, Y (alphabetical).
+        assert_eq!(reports[0].spec.deps, vec![sym("L"), sym("X"), sym("Y")]);
+    }
+
+    #[test]
+    fn auto_skolemize_avoids_captured_functor_names() {
+        let mut p = Program::new();
+        // sk1 already taken by the user.
+        p.push_fact(Atomic::term(Term::constant("sk1")));
+        p.push(path_rule_1());
+        let (_, reports) = auto_skolemize(&p);
+        assert_eq!(reports[0].spec.functor, sym("sk2"));
+    }
+
+    #[test]
+    fn facts_are_left_alone() {
+        let mut p = Program::new();
+        p.push_fact(Atomic::term(Term::var("X")));
+        let (out, reports) = auto_skolemize(&p);
+        assert!(reports.is_empty());
+        assert_eq!(out.clauses, p.clauses);
+    }
+
+    #[test]
+    fn ground_rules_unchanged() {
+        let mut p = Program::new();
+        p.push(DefiniteClause::rule(
+            Atomic::pred("q", vec![Term::constant("a")]),
+            vec![Atomic::pred("r", vec![Term::constant("a")])],
+        ));
+        let (out, reports) = auto_skolemize(&p);
+        assert!(reports.is_empty());
+        assert_eq!(out.clauses, p.clauses);
+    }
+}

@@ -1,0 +1,694 @@
+//! Semantic structures and the satisfaction relation (§3.2).
+//!
+//! A semantic structure `M = (M, I)` assigns to each n-ary function symbol
+//! a function `Mⁿ → M`, to each predicate a relation, to each label a
+//! *binary* relation (labels are possibly multi-valued), and to each type
+//! a subset of `M`, monotone along the type order.
+//!
+//! A term denotes an element via the extension `s̄` of a variable
+//! assignment, and is *satisfied* when the denoted object has the asserted
+//! type and all listed labelled values — the paper's "a term will have two
+//! meanings".
+//!
+//! This module implements finite structures with *partial* function
+//! interpretations: evaluating a term whose function entry is missing
+//! yields no denotation and the enclosing atomic formula is unsatisfied.
+//! Total structures are the special case where every entry is present;
+//! partiality is what lets Herbrand-style structures built from a finite
+//! set of derived facts ([`Structure::from_ground_atoms`]) be queried
+//! directly, and is documented behaviour rather than an approximation:
+//! over the fragment the paper's programs use (clauses whose terms are
+//! built from occurring constants), the two notions agree.
+
+use crate::fol::{FoAtom, FoTerm};
+use crate::formula::{Atomic, DefiniteClause, Formula, Query};
+use crate::hierarchy::{object_type, TypeHierarchy};
+use crate::program::{Program, Signature};
+use crate::symbol::Symbol;
+use crate::term::{Const, IdTerm, Term};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A domain element of a finite structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Elem(pub u32);
+
+/// A variable assignment `s : V → M`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    map: HashMap<Symbol, Elem>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Assignment {
+        Assignment::default()
+    }
+
+    /// Binds `var` to `e`, returning the previous binding if any.
+    pub fn bind(&mut self, var: impl Into<Symbol>, e: Elem) -> Option<Elem> {
+        self.map.insert(var.into(), e)
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, var: Symbol) -> Option<Elem> {
+        self.map.get(&var).copied()
+    }
+}
+
+/// A finite semantic structure for a language of objects.
+#[derive(Clone, Debug, Default)]
+pub struct Structure {
+    /// Display names of domain elements, indexed by `Elem`.
+    elem_names: Vec<String>,
+    /// Interpretation of constants.
+    constants: HashMap<Const, Elem>,
+    /// Interpretation of function symbols (partial maps).
+    functions: HashMap<Symbol, HashMap<Vec<Elem>, Elem>>,
+    /// Interpretation of predicate symbols.
+    predicates: HashMap<Symbol, HashSet<Vec<Elem>>>,
+    /// Interpretation of labels (binary relations).
+    labels: HashMap<Symbol, HashSet<(Elem, Elem)>>,
+    /// Interpretation of type symbols (unary relations).
+    types: HashMap<Symbol, HashSet<Elem>>,
+}
+
+impl Structure {
+    /// An empty structure (empty domain).
+    pub fn new() -> Structure {
+        Structure::default()
+    }
+
+    /// Adds a fresh domain element with a display name.
+    pub fn add_elem(&mut self, name: impl Into<String>) -> Elem {
+        let e = Elem(self.elem_names.len() as u32);
+        self.elem_names.push(name.into());
+        e
+    }
+
+    /// Domain size.
+    pub fn domain_size(&self) -> usize {
+        self.elem_names.len()
+    }
+
+    /// Iterates over all domain elements.
+    pub fn domain(&self) -> impl Iterator<Item = Elem> {
+        (0..self.elem_names.len() as u32).map(Elem)
+    }
+
+    /// The display name of an element.
+    pub fn elem_name(&self, e: Elem) -> &str {
+        &self.elem_names[e.0 as usize]
+    }
+
+    /// Interprets a constant.
+    pub fn set_constant(&mut self, c: Const, e: Elem) {
+        self.constants.insert(c, e);
+    }
+
+    /// Convenience: adds an element named after a symbolic constant and
+    /// interprets the constant as it.
+    pub fn add_named_constant(&mut self, name: impl Into<Symbol>) -> Elem {
+        let s = name.into();
+        let e = self.add_elem(s.as_str());
+        self.set_constant(Const::Sym(s), e);
+        e
+    }
+
+    /// Adds one entry `f(args…) = value` to a function interpretation.
+    pub fn set_function_entry(&mut self, f: impl Into<Symbol>, args: Vec<Elem>, value: Elem) {
+        self.functions
+            .entry(f.into())
+            .or_default()
+            .insert(args, value);
+    }
+
+    /// Adds a tuple to a predicate interpretation.
+    pub fn add_pred_tuple(&mut self, p: impl Into<Symbol>, tuple: Vec<Elem>) {
+        self.predicates.entry(p.into()).or_default().insert(tuple);
+    }
+
+    /// Adds a pair to a label interpretation.
+    pub fn add_label_pair(&mut self, l: impl Into<Symbol>, from: Elem, to: Elem) {
+        self.labels.entry(l.into()).or_default().insert((from, to));
+    }
+
+    /// Adds an element to a type interpretation.
+    pub fn add_type_member(&mut self, t: impl Into<Symbol>, e: Elem) {
+        self.types.entry(t.into()).or_default().insert(e);
+    }
+
+    /// Membership test for a type.
+    pub fn has_type(&self, t: Symbol, e: Elem) -> bool {
+        self.types.get(&t).is_some_and(|s| s.contains(&e))
+    }
+
+    /// Checks monotonicity: for every declared `t1 ≤ t2` (and the
+    /// implicit `t ≤ object`), `I(t1) ⊆ I(t2)`. A structure for `L` must
+    /// pass this to be a structure in the paper's sense.
+    pub fn respects(&self, h: &TypeHierarchy) -> bool {
+        let obj = self.types.get(&object_type());
+        for (&t, members) in &self.types {
+            if t != object_type() {
+                match obj {
+                    Some(o) if members.is_subset(o) => {}
+                    _ if members.is_empty() => {}
+                    _ => return false,
+                }
+            }
+            for sup in h.supertypes(t) {
+                if sup == t || sup == object_type() {
+                    continue;
+                }
+                let sup_members = self.types.get(&sup);
+                let ok = match sup_members {
+                    Some(s) => members.is_subset(s),
+                    None => members.is_empty(),
+                };
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The extension `s̄` of an assignment to terms. `None` when the term
+    /// contains an unbound variable, an uninterpreted constant, or a
+    /// missing function entry.
+    pub fn eval_term(&self, t: &Term, s: &Assignment) -> Option<Elem> {
+        self.eval_id(t.id_term(), s)
+    }
+
+    fn eval_id(&self, id: &IdTerm, s: &Assignment) -> Option<Elem> {
+        match id {
+            IdTerm::Var { name, .. } => s.get(*name),
+            IdTerm::Const { c, .. } => self.constants.get(c).copied(),
+            IdTerm::App { functor, args, .. } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval_term(a, s)?);
+                }
+                self.functions.get(functor)?.get(&vals).copied()
+            }
+        }
+    }
+
+    /// The satisfaction relation `M ⊨ t[s]` for a term used as a formula.
+    pub fn satisfies_term(&self, t: &Term, s: &Assignment) -> bool {
+        match t {
+            Term::Id(id) => self.satisfies_id(id, s),
+            Term::Molecule { head, specs } => {
+                if !self.satisfies_id(head, s) {
+                    return false;
+                }
+                let Some(subject) = self.eval_id(head, s) else {
+                    return false;
+                };
+                specs.iter().all(|spec| {
+                    let rel = self.labels.get(&spec.label);
+                    spec.value.terms().iter().all(|v| {
+                        self.satisfies_term(v, s)
+                            && match (rel, self.eval_term(v, s)) {
+                                (Some(r), Some(ev)) => r.contains(&(subject, ev)),
+                                _ => false,
+                            }
+                    })
+                })
+            }
+        }
+    }
+
+    fn satisfies_id(&self, id: &IdTerm, s: &Assignment) -> bool {
+        let ty = id.ty();
+        let in_type = |e: Elem| self.has_type(ty, e);
+        match id {
+            IdTerm::Var { name, .. } => s.get(*name).is_some_and(in_type),
+            IdTerm::Const { c, .. } => self.constants.get(c).copied().is_some_and(in_type),
+            IdTerm::App { args, .. } => {
+                self.eval_id(id, s).is_some_and(in_type)
+                    && args.iter().all(|a| self.satisfies_term(a, s))
+            }
+        }
+    }
+
+    /// `M ⊨ α[s]` for an atomic formula.
+    pub fn satisfies_atomic(&self, a: &Atomic, s: &Assignment) -> bool {
+        match a {
+            Atomic::Term(t) => self.satisfies_term(t, s),
+            Atomic::Pred { pred, args } => {
+                if !args.iter().all(|t| self.satisfies_term(t, s)) {
+                    return false;
+                }
+                let mut tuple = Vec::with_capacity(args.len());
+                for t in args {
+                    match self.eval_term(t, s) {
+                        Some(e) => tuple.push(e),
+                        None => return false,
+                    }
+                }
+                self.predicates
+                    .get(pred)
+                    .is_some_and(|r| r.contains(&tuple))
+            }
+        }
+    }
+
+    /// `M ⊨ φ[s]` for a general formula; quantifiers range over the
+    /// (finite) domain.
+    pub fn satisfies_formula(&self, f: &Formula, s: &Assignment) -> bool {
+        match f {
+            Formula::Atomic(a) => self.satisfies_atomic(a, s),
+            Formula::Not(g) => !self.satisfies_formula(g, s),
+            Formula::And(a, b) => self.satisfies_formula(a, s) && self.satisfies_formula(b, s),
+            Formula::Or(a, b) => self.satisfies_formula(a, s) || self.satisfies_formula(b, s),
+            Formula::Implies(a, b) => !self.satisfies_formula(a, s) || self.satisfies_formula(b, s),
+            Formula::Forall(x, g) => self.domain().all(|e| {
+                let mut s2 = s.clone();
+                s2.bind(*x, e);
+                self.satisfies_formula(g, &s2)
+            }),
+            Formula::Exists(x, g) => self.domain().any(|e| {
+                let mut s2 = s.clone();
+                s2.bind(*x, e);
+                self.satisfies_formula(g, &s2)
+            }),
+        }
+    }
+
+    /// `M ⊨ c` for a definite clause: for every assignment of the
+    /// clause's variables, body satisfaction implies head satisfaction.
+    /// Exponential in the number of variables — intended for tests and
+    /// small structures.
+    pub fn satisfies_clause(&self, c: &DefiniteClause) -> bool {
+        let vars: Vec<Symbol> = c.vars().into_iter().collect();
+        self.all_assignments(&vars, &Assignment::new(), &mut |s| {
+            !c.body.iter().all(|b| self.satisfies_atomic(b, s)) || self.satisfies_atomic(&c.head, s)
+        })
+    }
+
+    /// `M ⊨ P`: satisfies every clause, and the declared hierarchy is
+    /// respected.
+    pub fn satisfies_program(&self, p: &Program) -> bool {
+        self.respects(&p.hierarchy()) && p.clauses.iter().all(|c| self.satisfies_clause(c))
+    }
+
+    /// All answers to a query: assignments of the query's variables under
+    /// which every goal is satisfied, reported as name → element pairs in
+    /// variable order.
+    pub fn answers(&self, q: &Query) -> Vec<Vec<(Symbol, Elem)>> {
+        let vars: Vec<Symbol> = q.vars().into_iter().collect();
+        let mut out = Vec::new();
+        self.all_assignments(&vars, &Assignment::new(), &mut |s| {
+            if q.goals.iter().all(|g| self.satisfies_atomic(g, s)) {
+                out.push(
+                    vars.iter()
+                        .map(|&v| (v, s.get(v).expect("bound")))
+                        .collect(),
+                );
+            }
+            true
+        });
+        out
+    }
+
+    /// Folds `f` over all assignments of `vars`; stops early when `f`
+    /// returns false and reports whether all calls returned true.
+    fn all_assignments(
+        &self,
+        vars: &[Symbol],
+        base: &Assignment,
+        f: &mut impl FnMut(&Assignment) -> bool,
+    ) -> bool {
+        match vars.split_first() {
+            None => f(base),
+            Some((&v, rest)) => self.domain().all(|e| {
+                let mut s = base.clone();
+                s.bind(v, e);
+                self.all_assignments(rest, &s, f)
+            }),
+        }
+    }
+
+    /// Builds a Herbrand-style structure from a finite set of *ground*
+    /// first-order atoms (e.g. the least model computed by a bottom-up
+    /// engine), classifying unary atoms over `sig.types` as type
+    /// membership and binary atoms over `sig.labels` as label pairs.
+    ///
+    /// The domain is the set of ground terms occurring in object
+    /// positions; function entries are added for every occurring compound
+    /// term, making `s̄` defined exactly on the occurring terms.
+    pub fn from_ground_atoms(atoms: &[FoAtom], sig: &Signature) -> Structure {
+        let mut st = Structure::new();
+        let mut ids: HashMap<FoTerm, Elem> = HashMap::new();
+        fn intern(st: &mut Structure, ids: &mut HashMap<FoTerm, Elem>, t: &FoTerm) -> Elem {
+            if let Some(&e) = ids.get(t) {
+                return e;
+            }
+            let e = match t {
+                FoTerm::Var(_) => unreachable!("ground atoms only"),
+                FoTerm::Const(c) => {
+                    let e = st.add_elem(t.to_string());
+                    st.set_constant(*c, e);
+                    e
+                }
+                FoTerm::App(f, args) => {
+                    let arg_elems: Vec<Elem> = args.iter().map(|a| intern(st, ids, a)).collect();
+                    let e = st.add_elem(t.to_string());
+                    st.set_function_entry(*f, arg_elems, e);
+                    e
+                }
+            };
+            ids.insert(t.clone(), e);
+            e
+        }
+        for a in atoms {
+            let elems: Vec<Elem> = a
+                .args
+                .iter()
+                .map(|t| intern(&mut st, &mut ids, t))
+                .collect();
+            if elems.len() == 1 && sig.types.contains(&a.pred) {
+                st.add_type_member(a.pred, elems[0]);
+            } else if elems.len() == 2 && sig.labels.contains(&a.pred) {
+                st.add_label_pair(a.pred, elems[0], elems[1]);
+            } else {
+                st.add_pred_tuple(a.pred, elems);
+            }
+        }
+        st
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "domain ({}):", self.domain_size())?;
+        for e in self.domain() {
+            writeln!(f, "  {} = {}", e.0, self.elem_name(e))?;
+        }
+        let mut types: Vec<_> = self.types.iter().collect();
+        types.sort_by_key(|(t, _)| *t);
+        for (t, members) in types {
+            let mut ms: Vec<u32> = members.iter().map(|e| e.0).collect();
+            ms.sort_unstable();
+            writeln!(f, "  {t} = {ms:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+    use crate::term::LabelSpec;
+    use std::collections::BTreeSet;
+
+    /// The running example: john with a name and two children.
+    fn john_structure() -> (Structure, Elem, Elem, Elem) {
+        let mut st = Structure::new();
+        let john = st.add_named_constant("john");
+        let bob = st.add_named_constant("bob");
+        let bill = st.add_named_constant("bill");
+        for e in [john, bob, bill] {
+            st.add_type_member(object_type(), e);
+        }
+        st.add_type_member("person", john);
+        st.add_type_member("person", bob);
+        st.add_type_member("person", bill);
+        st.add_label_pair("children", john, bob);
+        st.add_label_pair("children", john, bill);
+        (st, john, bob, bill)
+    }
+
+    #[test]
+    fn typed_constant_satisfaction() {
+        let (st, _, _, _) = john_structure();
+        let s = Assignment::new();
+        assert!(st.satisfies_term(&Term::typed_constant("person", "john"), &s));
+        assert!(st.satisfies_term(&Term::constant("john"), &s));
+        assert!(!st.satisfies_term(&Term::typed_constant("robot", "john"), &s));
+        assert!(!st.satisfies_term(&Term::constant("nobody"), &s));
+    }
+
+    #[test]
+    fn molecule_satisfaction_multi_valued() {
+        let (st, _, _, _) = john_structure();
+        let s = Assignment::new();
+        let t = Term::molecule(
+            Term::typed_constant("person", "john"),
+            vec![LabelSpec::set(
+                "children",
+                vec![Term::constant("bob"), Term::constant("bill")],
+            )],
+        )
+        .unwrap();
+        assert!(st.satisfies_term(&t, &s));
+        // a value not in the relation fails
+        let bad = Term::molecule(
+            Term::typed_constant("person", "john"),
+            vec![LabelSpec::one("children", Term::constant("john"))],
+        )
+        .unwrap();
+        assert!(!st.satisfies_term(&bad, &s));
+    }
+
+    #[test]
+    fn decomposition_equivalence_on_structures() {
+        // t[l1⇒a, l2⇒b] satisfied iff t[l1⇒a] and t[l2⇒b] are (§3.2).
+        let (mut st, john, bob, _) = john_structure();
+        st.add_label_pair("likes", john, bob);
+        let s = Assignment::new();
+        let whole = Term::molecule(
+            Term::constant("john"),
+            vec![
+                LabelSpec::one("children", Term::constant("bob")),
+                LabelSpec::one("likes", Term::constant("bob")),
+            ],
+        )
+        .unwrap();
+        let parts = crate::decompose::atoms(&whole);
+        assert!(st.satisfies_term(&whole, &s));
+        assert!(parts.iter().all(|p| st.satisfies_term(p, &s)));
+    }
+
+    #[test]
+    fn variable_satisfaction_depends_on_assignment() {
+        let (st, john, bob, _) = john_structure();
+        let mut s = Assignment::new();
+        s.bind("X", john);
+        let t = Term::molecule(
+            Term::typed_var("person", "X"),
+            vec![LabelSpec::one("children", Term::constant("bob"))],
+        )
+        .unwrap();
+        assert!(st.satisfies_term(&t, &s));
+        let mut s2 = Assignment::new();
+        s2.bind("X", bob);
+        assert!(!st.satisfies_term(&t, &s2));
+        // unbound variable: unsatisfied
+        assert!(!st.satisfies_term(&t, &Assignment::new()));
+    }
+
+    #[test]
+    fn function_terms_evaluate_through_entries() {
+        let mut st = Structure::new();
+        let a = st.add_named_constant("a");
+        let b = st.add_named_constant("b");
+        let pair = st.add_elem("id(a,b)");
+        st.set_function_entry("id", vec![a, b], pair);
+        st.add_type_member("path", pair);
+        st.add_type_member(object_type(), a);
+        st.add_type_member(object_type(), b);
+        let s = Assignment::new();
+        let t = Term::typed_app("path", "id", vec![Term::constant("a"), Term::constant("b")]);
+        assert_eq!(st.eval_term(&t, &s), Some(pair));
+        assert!(st.satisfies_term(&t, &s));
+        // missing entry ⇒ no denotation ⇒ unsatisfied
+        let u = Term::typed_app("path", "id", vec![Term::constant("b"), Term::constant("a")]);
+        assert_eq!(st.eval_term(&u, &s), None);
+        assert!(!st.satisfies_term(&u, &s));
+    }
+
+    #[test]
+    fn predicate_satisfaction_requires_arg_satisfaction() {
+        let (mut st, john, bob, _) = john_structure();
+        st.add_pred_tuple("older", vec![john, bob]);
+        let s = Assignment::new();
+        assert!(st.satisfies_atomic(
+            &Atomic::pred("older", vec![Term::constant("john"), Term::constant("bob")]),
+            &s
+        ));
+        // argument typed wrongly ⇒ the whole atom fails
+        assert!(!st.satisfies_atomic(
+            &Atomic::pred(
+                "older",
+                vec![Term::typed_constant("robot", "john"), Term::constant("bob")]
+            ),
+            &s
+        ));
+    }
+
+    #[test]
+    fn respects_hierarchy() {
+        let mut h = TypeHierarchy::new();
+        h.declare(sym("student"), sym("person"));
+        let mut st = Structure::new();
+        let ann = st.add_named_constant("ann");
+        st.add_type_member(object_type(), ann);
+        st.add_type_member("student", ann);
+        // student ⊄ person: violation
+        assert!(!st.respects(&h));
+        st.add_type_member("person", ann);
+        assert!(st.respects(&h));
+    }
+
+    #[test]
+    fn respects_object_top() {
+        let h = TypeHierarchy::new();
+        let mut st = Structure::new();
+        let x = st.add_named_constant("x");
+        st.add_type_member("thing", x);
+        // thing ⊄ object (object empty): violation of the implicit top
+        assert!(!st.respects(&h));
+        st.add_type_member(object_type(), x);
+        assert!(st.respects(&h));
+    }
+
+    #[test]
+    fn clause_and_program_satisfaction() {
+        let (st, _, _, _) = john_structure();
+        let mut p = Program::new();
+        // person: X :- person: X.   (trivially satisfied)
+        p.push(DefiniteClause::rule(
+            Atomic::term(Term::typed_var("person", "X")),
+            vec![Atomic::term(Term::typed_var("person", "X"))],
+        ));
+        assert!(st.satisfies_program(&p));
+        // parent: X :- person: X.  (unsatisfied: no parent members)
+        let bad = DefiniteClause::rule(
+            Atomic::term(Term::typed_var("parent", "X")),
+            vec![Atomic::term(Term::typed_var("person", "X"))],
+        );
+        assert!(!st.satisfies_clause(&bad));
+    }
+
+    #[test]
+    fn formula_quantifiers() {
+        let (st, _, _, _) = john_structure();
+        // ∀X person(X) — true: whole domain is typed person
+        let all = Formula::forall(
+            "X",
+            Formula::atomic(Atomic::term(Term::typed_var("person", "X"))),
+        );
+        assert!(st.satisfies_formula(&all, &Assignment::new()));
+        // ∃X children(john, X)
+        let some = Formula::exists(
+            "X",
+            Formula::atomic(Atomic::term(
+                Term::molecule(
+                    Term::constant("john"),
+                    vec![LabelSpec::one("children", Term::var("X"))],
+                )
+                .unwrap(),
+            )),
+        );
+        assert!(st.satisfies_formula(&some, &Assignment::new()));
+        // ¬∃X children(bob, X)
+        let none = Formula::negate(Formula::exists(
+            "X",
+            Formula::atomic(Atomic::term(
+                Term::molecule(
+                    Term::constant("bob"),
+                    vec![LabelSpec::one("children", Term::var("X"))],
+                )
+                .unwrap(),
+            )),
+        ));
+        assert!(st.satisfies_formula(&none, &Assignment::new()));
+    }
+
+    #[test]
+    fn query_answers() {
+        let (st, _, bob, bill) = john_structure();
+        let q = Query::new(vec![Atomic::term(
+            Term::molecule(
+                Term::constant("john"),
+                vec![LabelSpec::one("children", Term::var("X"))],
+            )
+            .unwrap(),
+        )]);
+        let answers = st.answers(&q);
+        let xs: BTreeSet<Elem> = answers.iter().map(|a| a[0].1).collect();
+        assert_eq!(xs, [bob, bill].into_iter().collect());
+    }
+
+    #[test]
+    fn from_ground_atoms_roundtrip() {
+        // Build the translated form of john[children=>{bob,bill}] and
+        // check the original C-logic description is satisfied.
+        let mut p = Program::new();
+        p.push_fact(Atomic::term(
+            Term::molecule(
+                Term::typed_constant("person", "john"),
+                vec![LabelSpec::set(
+                    "children",
+                    vec![Term::constant("bob"), Term::constant("bill")],
+                )],
+            )
+            .unwrap(),
+        ));
+        let sig = p.signature();
+        let atoms = vec![
+            FoAtom::new("person", vec![FoTerm::constant("john")]),
+            FoAtom::new(object_type(), vec![FoTerm::constant("john")]),
+            FoAtom::new(object_type(), vec![FoTerm::constant("bob")]),
+            FoAtom::new(object_type(), vec![FoTerm::constant("bill")]),
+            FoAtom::new(
+                "children",
+                vec![FoTerm::constant("john"), FoTerm::constant("bob")],
+            ),
+            FoAtom::new(
+                "children",
+                vec![FoTerm::constant("john"), FoTerm::constant("bill")],
+            ),
+        ];
+        let st = Structure::from_ground_atoms(&atoms, &sig);
+        assert!(st.satisfies_program(&p));
+        assert_eq!(st.domain_size(), 3);
+    }
+
+    #[test]
+    fn from_ground_atoms_compound_terms() {
+        let mut p = Program::new();
+        p.push_fact(Atomic::term(Term::typed_app(
+            "path",
+            "id",
+            vec![Term::constant("a"), Term::constant("b")],
+        )));
+        let sig = p.signature();
+        let id_ab = FoTerm::App(
+            sym("id"),
+            vec![FoTerm::constant("a"), FoTerm::constant("b")],
+        );
+        let atoms = vec![
+            FoAtom::new("path", vec![id_ab.clone()]),
+            FoAtom::new(object_type(), vec![FoTerm::constant("a")]),
+            FoAtom::new(object_type(), vec![FoTerm::constant("b")]),
+            FoAtom::new(object_type(), vec![id_ab]),
+        ];
+        let st = Structure::from_ground_atoms(&atoms, &sig);
+        let s = Assignment::new();
+        let t = Term::typed_app("path", "id", vec![Term::constant("a"), Term::constant("b")]);
+        assert!(st.satisfies_term(&t, &s));
+        assert!(st.satisfies_program(&p));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let (st, _, _, _) = john_structure();
+        let shown = st.to_string();
+        assert!(shown.contains("domain (3):"));
+        assert!(shown.contains("person"));
+    }
+}

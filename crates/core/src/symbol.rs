@@ -1,0 +1,192 @@
+//! Global string interning.
+//!
+//! Every non-logical symbol of a language of objects — function symbols,
+//! predicate symbols, labels, type symbols — as well as every variable
+//! name is interned into a process-wide table. A [`Symbol`] is a 4-byte
+//! handle; equality and hashing are integer operations, which matters
+//! because unification and fact indexing compare symbols constantly.
+//!
+//! The interner is append-only: symbols are never freed. This is the usual
+//! trade-off for logic engines, where the set of distinct symbols is small
+//! and stable relative to the number of terms built over them.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Cheap to copy, compare and hash.
+///
+/// Two `Symbol`s are equal iff the strings they intern are equal, process
+/// wide. Use [`Symbol::new`] to intern and [`Symbol::as_str`] to resolve.
+/// Ordering is lexicographic on the interned string, so sorted collections
+/// of symbols read naturally and canonical forms are stable across runs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Symbol) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Interner {
+    /// Map from string to handle.
+    map: HashMap<Box<str>, u32>,
+    /// Handle to string; index is the `Symbol` payload.
+    strings: Vec<&'static str>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let boxed: Box<str> = s.into();
+        // Leak a stable copy so `as_str` can hand out `&'static str`
+        // without holding the lock. Interned strings live for the process
+        // lifetime by design.
+        let leaked: &'static str = Box::leak(boxed.clone());
+        let id = self.strings.len() as u32;
+        self.strings.push(leaked);
+        self.map.insert(boxed, id);
+        id
+    }
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+impl Symbol {
+    /// Intern `s`, returning its handle. Idempotent.
+    pub fn new(s: &str) -> Symbol {
+        // Fast path: read lock only.
+        if let Some(&id) = interner().read().map.get(s) {
+            return Symbol(id);
+        }
+        Symbol(interner().write().intern(s))
+    }
+
+    /// Resolve the handle back to the interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+
+    /// The raw index of this symbol in the intern table. Stable for the
+    /// process lifetime; useful as a dense array key.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(&s)
+    }
+}
+
+/// Interns `s` — shorthand for [`Symbol::new`] used pervasively in tests
+/// and examples.
+pub fn sym(s: &str) -> Symbol {
+    Symbol::new(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("john");
+        let b = Symbol::new("john");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "john");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::new("src"), Symbol::new("dest"));
+    }
+
+    #[test]
+    fn empty_string_interns() {
+        let e = Symbol::new("");
+        assert_eq!(e.as_str(), "");
+        assert_eq!(e, Symbol::new(""));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = sym("path");
+        assert_eq!(format!("{s}"), "path");
+        assert_eq!(format!("{s:?}"), "Symbol(\"path\")");
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Symbol = "node".into();
+        let b: Symbol = String::from("node").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Intern in reverse order to prove ordering ignores intern ids.
+        let b = sym("zz-order-test");
+        let a = sym("aa-order-test");
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| thread::spawn(|| Symbol::new("concurrent-symbol")))
+            .collect();
+        let ids: Vec<Symbol> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn unicode_symbols() {
+        let s = sym("père");
+        assert_eq!(s.as_str(), "père");
+    }
+}

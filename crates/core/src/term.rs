@@ -1,0 +1,593 @@
+//! Terms of a language of objects (§3.1).
+//!
+//! The paper's grammar, with `L` a type symbol:
+//!
+//! ```text
+//! t ::= L : X                               (typed variable)
+//!     | L : c                               (typed constant)
+//!     | L : f(t1, …, tn)                    (typed function application)
+//!     | t0[l1 ⇒ e1, …, ln ⇒ en]   n ≥ 1     (molecule)
+//! e ::= t | {t1, …, tk}                     (label value: term or collection)
+//! ```
+//!
+//! where the head `t0` of a molecule must itself be one of the first three
+//! forms — `student: id[name⇒joe][age⇒20]` is *not* a term. We make that
+//! restriction unrepresentable by separating [`IdTerm`] (identity-denoting
+//! terms) from [`Term`] (identity terms plus molecules).
+//!
+//! `object : t` may be abbreviated as `t`; in the AST the type is always
+//! stored explicitly (defaulting to `object`).
+
+use crate::hierarchy::object_type;
+use crate::symbol::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A constant: a zero-ary function symbol, an integer, or a string.
+///
+/// The paper's examples use plain identifiers (`john`), integers
+/// (`age ⇒ 28`, path lengths) and quoted strings (`"John Smith"`); we give
+/// each its own representation so arithmetic built-ins can distinguish
+/// numbers from uninterpreted constants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Const {
+    /// An uninterpreted constant such as `john`.
+    Sym(Symbol),
+    /// An integer literal such as `28`.
+    Int(i64),
+    /// A string literal such as `"John Smith"` (contents interned).
+    Str(Symbol),
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Sym(s) => write!(f, "{s}"),
+            Const::Int(i) => write!(f, "{i}"),
+            Const::Str(s) => write!(f, "{:?}", s.as_str()),
+        }
+    }
+}
+
+/// An identity-denoting term: `L : X`, `L : c`, or `L : f(t1,…,tn)`.
+///
+/// These are the only terms allowed as the head of a molecule.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IdTerm {
+    /// `L : X` — a typed variable.
+    Var {
+        /// The asserted type `L`.
+        ty: Symbol,
+        /// The variable name `X`.
+        name: Symbol,
+    },
+    /// `L : c` — a typed constant.
+    Const {
+        /// The asserted type `L`.
+        ty: Symbol,
+        /// The constant.
+        c: Const,
+    },
+    /// `L : f(t1,…,tn)` with `n ≥ 1` — a typed function application.
+    /// Arguments are full terms: `f(a[l ⇒ b])` is legal.
+    App {
+        /// The asserted type `L`.
+        ty: Symbol,
+        /// The function symbol `f`.
+        functor: Symbol,
+        /// The arguments `t1,…,tn` (non-empty; zero-ary functions are
+        /// [`IdTerm::Const`]).
+        args: Vec<Term>,
+    },
+}
+
+impl IdTerm {
+    /// The asserted type of this term.
+    pub fn ty(&self) -> Symbol {
+        match self {
+            IdTerm::Var { ty, .. } | IdTerm::Const { ty, .. } | IdTerm::App { ty, .. } => *ty,
+        }
+    }
+
+    /// Replaces the asserted type, keeping the identity part.
+    pub fn with_ty(mut self, new_ty: Symbol) -> IdTerm {
+        match &mut self {
+            IdTerm::Var { ty, .. } | IdTerm::Const { ty, .. } | IdTerm::App { ty, .. } => {
+                *ty = new_ty;
+            }
+        }
+        self
+    }
+
+    /// True iff this is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, IdTerm::Var { .. })
+    }
+
+    /// True iff no variable occurs in this term.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            IdTerm::Var { .. } => false,
+            IdTerm::Const { .. } => true,
+            IdTerm::App { args, .. } => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Collects free variable names into `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            IdTerm::Var { name, .. } => {
+                out.insert(*name);
+            }
+            IdTerm::Const { .. } => {}
+            IdTerm::App { args, .. } => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for IdTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `object: t` is abbreviated as `t` (§3.1).
+        let ty = self.ty();
+        if ty != object_type() {
+            write!(f, "{ty}: ")?;
+        }
+        self.fmt_untyped(f)
+    }
+}
+
+impl IdTerm {
+    fn fmt_untyped(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdTerm::Var { name, .. } => write!(f, "{name}"),
+            IdTerm::Const { c, .. } => write!(f, "{c}"),
+            IdTerm::App { functor, args, .. } => {
+                write!(f, "{functor}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// The value side of a label specification: a single term or a collection.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LabelValue {
+    /// `l ⇒ t`.
+    One(Term),
+    /// `l ⇒ {t1,…,tk}` — semantically the conjunction of `l ⇒ ti` (§3.2).
+    Set(Vec<Term>),
+}
+
+impl LabelValue {
+    /// The terms inside the value, one for [`LabelValue::One`].
+    pub fn terms(&self) -> &[Term] {
+        match self {
+            LabelValue::One(t) => std::slice::from_ref(t),
+            LabelValue::Set(ts) => ts,
+        }
+    }
+
+    /// True iff every contained term is ground.
+    pub fn is_ground(&self) -> bool {
+        self.terms().iter().all(Term::is_ground)
+    }
+}
+
+impl fmt::Display for LabelValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelValue::One(t) => write!(f, "{t}"),
+            LabelValue::Set(ts) => {
+                write!(f, "{{")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// One labelled value `l ⇒ e` inside a molecule.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelSpec {
+    /// The label `l`.
+    pub label: Symbol,
+    /// The value `e`.
+    pub value: LabelValue,
+}
+
+impl LabelSpec {
+    /// `l ⇒ t`.
+    pub fn one(label: impl Into<Symbol>, t: Term) -> LabelSpec {
+        LabelSpec {
+            label: label.into(),
+            value: LabelValue::One(t),
+        }
+    }
+
+    /// `l ⇒ {t1,…,tk}`.
+    pub fn set(label: impl Into<Symbol>, ts: Vec<Term>) -> LabelSpec {
+        LabelSpec {
+            label: label.into(),
+            value: LabelValue::Set(ts),
+        }
+    }
+}
+
+impl fmt::Display for LabelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} => {}", self.label, self.value)
+    }
+}
+
+/// A C-logic term: an identity term or a molecule `t0[l1⇒e1,…,ln⇒en]`.
+///
+/// A molecule `L: t[l1 ⇒ t1, …]` represents an object of type `L` whose
+/// identity is denoted by `t`, with the listed properties.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A bare identity term.
+    Id(IdTerm),
+    /// A molecule: head plus at least one label specification.
+    Molecule {
+        /// The identity-denoting head `t0`.
+        head: IdTerm,
+        /// The label specifications (non-empty by the grammar; an empty
+        /// list is tolerated and means the same as the bare head).
+        specs: Vec<LabelSpec>,
+    },
+}
+
+impl Term {
+    /// `object : X` — an untyped (i.e. top-typed) variable.
+    pub fn var(name: impl Into<Symbol>) -> Term {
+        Term::Id(IdTerm::Var {
+            ty: object_type(),
+            name: name.into(),
+        })
+    }
+
+    /// `L : X`.
+    pub fn typed_var(ty: impl Into<Symbol>, name: impl Into<Symbol>) -> Term {
+        Term::Id(IdTerm::Var {
+            ty: ty.into(),
+            name: name.into(),
+        })
+    }
+
+    /// `object : c` for a symbolic constant.
+    pub fn constant(c: impl Into<Symbol>) -> Term {
+        Term::Id(IdTerm::Const {
+            ty: object_type(),
+            c: Const::Sym(c.into()),
+        })
+    }
+
+    /// `L : c` for a symbolic constant.
+    pub fn typed_constant(ty: impl Into<Symbol>, c: impl Into<Symbol>) -> Term {
+        Term::Id(IdTerm::Const {
+            ty: ty.into(),
+            c: Const::Sym(c.into()),
+        })
+    }
+
+    /// An integer literal.
+    pub fn int(i: i64) -> Term {
+        Term::Id(IdTerm::Const {
+            ty: object_type(),
+            c: Const::Int(i),
+        })
+    }
+
+    /// A string literal.
+    pub fn string(s: &str) -> Term {
+        Term::Id(IdTerm::Const {
+            ty: object_type(),
+            c: Const::Str(Symbol::new(s)),
+        })
+    }
+
+    /// `object : f(args…)`.
+    pub fn app(functor: impl Into<Symbol>, args: Vec<Term>) -> Term {
+        Term::typed_app(object_type(), functor, args)
+    }
+
+    /// `L : f(args…)`. With empty `args` this is the constant `L : f`.
+    pub fn typed_app(ty: impl Into<Symbol>, functor: impl Into<Symbol>, args: Vec<Term>) -> Term {
+        let ty = ty.into();
+        let functor = functor.into();
+        if args.is_empty() {
+            Term::Id(IdTerm::Const {
+                ty,
+                c: Const::Sym(functor),
+            })
+        } else {
+            Term::Id(IdTerm::App { ty, functor, args })
+        }
+    }
+
+    /// Builds a molecule from a head term. If `head` is already a
+    /// molecule, the new specs are appended (`t[a⇒1][b⇒2]` is not a term
+    /// in the grammar, so the nearest meaning — one molecule with both
+    /// specs — is never silently produced; this constructor instead
+    /// returns `None` for molecule heads, enforcing the grammar).
+    pub fn molecule(head: Term, specs: Vec<LabelSpec>) -> Option<Term> {
+        match head {
+            Term::Id(id) => Some(Term::Molecule { head: id, specs }),
+            Term::Molecule { .. } => None,
+        }
+    }
+
+    /// Builds a molecule directly from an identity term.
+    pub fn molecule_of(head: IdTerm, specs: Vec<LabelSpec>) -> Term {
+        Term::Molecule { head, specs }
+    }
+
+    /// The identity part of this term (the head for molecules).
+    pub fn id_term(&self) -> &IdTerm {
+        match self {
+            Term::Id(id) => id,
+            Term::Molecule { head, .. } => head,
+        }
+    }
+
+    /// The asserted type of this term.
+    pub fn ty(&self) -> Symbol {
+        self.id_term().ty()
+    }
+
+    /// The label specifications; empty for bare identity terms.
+    pub fn specs(&self) -> &[LabelSpec] {
+        match self {
+            Term::Id(_) => &[],
+            Term::Molecule { specs, .. } => specs,
+        }
+    }
+
+    /// True iff this term is a molecule with at least one spec.
+    pub fn is_molecule(&self) -> bool {
+        !self.specs().is_empty()
+    }
+
+    /// True iff no variable occurs anywhere in the term, including inside
+    /// label values.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Id(id) => id.is_ground(),
+            Term::Molecule { head, specs } => {
+                head.is_ground() && specs.iter().all(|s| s.value.is_ground())
+            }
+        }
+    }
+
+    /// Collects free variable names into `out` (all variables in a clause
+    /// are implicitly universally quantified at the outermost level, §4).
+    pub fn collect_vars(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            Term::Id(id) => id.collect_vars(out),
+            Term::Molecule { head, specs } => {
+                head.collect_vars(out);
+                for s in specs {
+                    for t in s.value.terms() {
+                        t.collect_vars(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The set of free variable names.
+    pub fn vars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Structural size: number of identity-term and label-spec nodes.
+    /// Used by benchmarks and by proptest shrinking sanity checks.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Id(id) => id_size(id),
+            Term::Molecule { head, specs } => {
+                id_size(head)
+                    + specs
+                        .iter()
+                        .map(|s| 1 + s.value.terms().iter().map(Term::size).sum::<usize>())
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+fn id_size(id: &IdTerm) -> usize {
+    match id {
+        IdTerm::Var { .. } | IdTerm::Const { .. } => 1,
+        IdTerm::App { args, .. } => 1 + args.iter().map(Term::size).sum::<usize>(),
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Id(id) => write!(f, "{id}"),
+            Term::Molecule { head, specs } => {
+                write!(f, "{head}[")?;
+                for (i, s) in specs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<IdTerm> for Term {
+    fn from(id: IdTerm) -> Term {
+        Term::Id(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    #[test]
+    fn display_elides_object_type() {
+        assert_eq!(Term::var("X").to_string(), "X");
+        assert_eq!(Term::typed_var("path", "C").to_string(), "path: C");
+        assert_eq!(Term::constant("john").to_string(), "john");
+        assert_eq!(
+            Term::typed_constant("name", "john").to_string(),
+            "name: john"
+        );
+    }
+
+    #[test]
+    fn display_molecule_paper_example() {
+        // path: g(X,Y)[length => 10]   (Example 1)
+        let head = IdTerm::App {
+            ty: sym("path"),
+            functor: sym("g"),
+            args: vec![Term::var("X"), Term::var("Y")],
+        };
+        let t = Term::molecule_of(head, vec![LabelSpec::one("length", Term::int(10))]);
+        assert_eq!(t.to_string(), "path: g(X, Y)[length => 10]");
+    }
+
+    #[test]
+    fn display_collection_value() {
+        // person: john[children => {person: bob, person: bill}]
+        let t = Term::molecule_of(
+            IdTerm::Const {
+                ty: sym("person"),
+                c: Const::Sym(sym("john")),
+            },
+            vec![LabelSpec::set(
+                "children",
+                vec![
+                    Term::typed_constant("person", "bob"),
+                    Term::typed_constant("person", "bill"),
+                ],
+            )],
+        );
+        assert_eq!(
+            t.to_string(),
+            "person: john[children => {person: bob, person: bill}]"
+        );
+    }
+
+    #[test]
+    fn molecule_head_cannot_be_molecule() {
+        let inner = Term::molecule(
+            Term::constant("id"),
+            vec![LabelSpec::one("name", Term::constant("joe"))],
+        )
+        .unwrap();
+        // student: id[name=>joe][age=>20] is not a term (Example 1).
+        assert!(Term::molecule(inner, vec![LabelSpec::one("age", Term::int(20))]).is_none());
+    }
+
+    #[test]
+    fn zero_arg_app_is_constant() {
+        let t = Term::typed_app("part", "f", vec![]);
+        assert_eq!(t, Term::typed_constant("part", "f"));
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Term::constant("a").is_ground());
+        assert!(!Term::var("X").is_ground());
+        let t = Term::molecule(
+            Term::constant("p"),
+            vec![LabelSpec::one("src", Term::var("S"))],
+        )
+        .unwrap();
+        assert!(!t.is_ground());
+        let g = Term::molecule(
+            Term::constant("p"),
+            vec![LabelSpec::set(
+                "src",
+                vec![Term::constant("a"), Term::int(3)],
+            )],
+        )
+        .unwrap();
+        assert!(g.is_ground());
+    }
+
+    #[test]
+    fn vars_collects_everywhere() {
+        let t = Term::molecule(
+            Term::app("id", vec![Term::var("X"), Term::var("Y")]),
+            vec![
+                LabelSpec::one("src", Term::var("X")),
+                LabelSpec::set("hops", vec![Term::var("Z"), Term::constant("a")]),
+            ],
+        )
+        .unwrap();
+        let vs = t.vars();
+        assert_eq!(vs, [sym("X"), sym("Y"), sym("Z")].into_iter().collect());
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Term::constant("a").size(), 1);
+        assert_eq!(
+            Term::app("f", vec![Term::var("X"), Term::constant("b")]).size(),
+            3
+        );
+        let m = Term::molecule(
+            Term::constant("p"),
+            vec![LabelSpec::one("l", Term::constant("v"))],
+        )
+        .unwrap();
+        assert_eq!(m.size(), 3); // head + spec + value
+    }
+
+    #[test]
+    fn const_kinds_are_distinct() {
+        assert_ne!(Term::int(1), Term::constant("1"));
+        assert_ne!(Term::string("a"), Term::constant("a"));
+        assert_eq!(Term::string("John Smith").to_string(), "\"John Smith\"");
+    }
+
+    #[test]
+    fn with_ty_replaces_type() {
+        let t = IdTerm::Const {
+            ty: object_type(),
+            c: Const::Sym(sym("john")),
+        };
+        let t2 = t.with_ty(sym("person"));
+        assert_eq!(t2.ty(), sym("person"));
+    }
+
+    #[test]
+    fn id_term_of_molecule_is_head() {
+        let m = Term::molecule(
+            Term::typed_constant("path", "p1"),
+            vec![LabelSpec::one("src", Term::constant("a"))],
+        )
+        .unwrap();
+        assert_eq!(m.id_term().ty(), sym("path"));
+        assert_eq!(m.ty(), sym("path"));
+        assert!(m.is_molecule());
+        assert!(!Term::constant("a").is_molecule());
+    }
+}

@@ -1,0 +1,1165 @@
+//! Bottom-up evaluation: naive and semi-naive fixpoints (§4, "known query
+//! evaluation techniques, including both bottom-up and top-down methods").
+//!
+//! The engine computes the least model of a first-order definite-clause
+//! program by iterating its immediate-consequence operator. *Naive*
+//! evaluation re-joins the full relations every round; *semi-naive*
+//! evaluation restricts one body atom per join to the previous round's
+//! delta, which is sound and non-redundant because relations are
+//! append-only and deltas are contiguous row ranges.
+
+use crate::builtins::{solve_pattern, BuiltinError};
+use crate::facts::{bound_positions, instantiate, match_term, trail_undo, Env, FactStore};
+use crate::ground::{TermId, TermStore};
+use crate::program::{CompiledProgram, Rule};
+use crate::rterm::RAtom;
+use clogic_core::fol::{FoAtom, FoTerm};
+use clogic_core::symbol::Symbol;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Evaluation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Full re-evaluation every round.
+    Naive,
+    /// Delta-restricted joins.
+    SemiNaive,
+}
+
+/// Options for fixpoint evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct FixpointOptions {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Stop (with an error) after this many derived facts, if set.
+    pub max_facts: Option<usize>,
+    /// Stop (with an error) after this many iterations, if set.
+    pub max_iterations: Option<usize>,
+}
+
+impl Default for FixpointOptions {
+    fn default() -> Self {
+        FixpointOptions {
+            strategy: Strategy::SemiNaive,
+            max_facts: None,
+            max_iterations: None,
+        }
+    }
+}
+
+/// Operation counters for the experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FixpointStats {
+    /// Fixpoint rounds executed.
+    pub iterations: usize,
+    /// Rule bodies evaluated (rule × delta-position activations).
+    pub rule_activations: u64,
+    /// Pattern-vs-tuple match attempts.
+    pub match_attempts: u64,
+    /// Facts newly inserted.
+    pub facts_derived: u64,
+    /// Derivations that produced an already-known fact.
+    pub duplicates: u64,
+}
+
+/// Evaluation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A rule derived a non-ground head (not range-restricted and not
+    /// completed by built-ins).
+    NonGroundDerivation(String),
+    /// A built-in raised an error (e.g. unbound arithmetic).
+    Builtin(BuiltinError),
+    /// `max_facts` exceeded.
+    FactLimit(usize),
+    /// `max_iterations` exceeded.
+    IterationLimit(usize),
+    /// The program is not stratifiable: a predicate depends on itself
+    /// through negation.
+    Unstratifiable(String),
+    /// A negated atom was not ground when checked (unsafe rule).
+    Floundered(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NonGroundDerivation(r) => write!(f, "non-ground derivation from rule {r}"),
+            EvalError::Builtin(e) => write!(f, "builtin error: {e}"),
+            EvalError::FactLimit(n) => write!(f, "fact limit {n} exceeded"),
+            EvalError::IterationLimit(n) => write!(f, "iteration limit {n} exceeded"),
+            EvalError::Unstratifiable(p) => {
+                write!(
+                    f,
+                    "program is not stratifiable (negative cycle through {p})"
+                )
+            }
+            EvalError::Floundered(r) => write!(f, "negated atom not ground in rule {r}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<BuiltinError> for EvalError {
+    fn from(e: BuiltinError) -> EvalError {
+        EvalError::Builtin(e)
+    }
+}
+
+/// The result of a fixpoint run: the term arena, the least model, and the
+/// operation counters.
+#[derive(Clone, Debug, Default)]
+pub struct Evaluation {
+    /// The term arena all tuples reference.
+    pub store: TermStore,
+    /// The least model.
+    pub facts: FactStore,
+    /// Counters.
+    pub stats: FixpointStats,
+}
+
+impl Evaluation {
+    /// All derived facts as first-order atoms (sorted display order).
+    pub fn ground_atoms(&self) -> Vec<FoAtom> {
+        let mut out = Vec::with_capacity(self.facts.total);
+        for (pred, arity) in self.facts.predicates() {
+            if let Some(rel) = self.facts.relation(pred, arity) {
+                for t in rel.tuples() {
+                    out.push(FoAtom::new(
+                        pred,
+                        t.iter().map(|&id| self.store.to_fo(id)).collect(),
+                    ));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Answers to a conjunctive query over the least model: each answer
+    /// maps the query's variable names to ground terms.
+    pub fn query(&self, goals: &[FoAtom]) -> Vec<BTreeMap<Symbol, FoTerm>> {
+        let mut alloc = crate::rterm::VarAlloc::new();
+        let mut map = HashMap::new();
+        let ratoms: Vec<RAtom> = goals
+            .iter()
+            .map(|g| crate::rterm::ratom_of_fo(g, &mut map, &mut alloc))
+            .collect();
+        let mut env: Env = vec![None; alloc.len()];
+        let mut trail = Vec::new();
+        let mut out = Vec::new();
+        self.query_rec(&ratoms, 0, &mut env, &mut trail, &mut |env| {
+            let mut answer = BTreeMap::new();
+            for (&name, &v) in &map {
+                if let Some(id) = env.get(v as usize).copied().flatten() {
+                    answer.insert(name, self.store.to_fo(id));
+                }
+            }
+            out.push(answer);
+        });
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn query_rec(
+        &self,
+        goals: &[RAtom],
+        i: usize,
+        env: &mut Env,
+        trail: &mut Vec<crate::rterm::VarId>,
+        emit: &mut impl FnMut(&Env),
+    ) {
+        if i == goals.len() {
+            emit(env);
+            return;
+        }
+        let g = &goals[i];
+        let Some(rel) = self.facts.relation(g.pred, g.args.len()) else {
+            return;
+        };
+        let bound = bound_positions(&g.args, env, &self.store);
+        let rows = rel.candidate_rows(&bound, 0..rel.len() as u32);
+        for row in rows {
+            let mark = trail.len();
+            let tuple = rel.tuple(row).to_vec();
+            let ok = g
+                .args
+                .iter()
+                .zip(&tuple)
+                .all(|(p, &d)| match_term(p, d, &self.store, env, trail));
+            if ok {
+                self.query_rec(goals, i + 1, env, trail, emit);
+            }
+            trail_undo(env, trail, mark);
+        }
+    }
+
+    /// Convenience: whether a ground conjunctive query holds.
+    pub fn holds(&self, goals: &[FoAtom]) -> bool {
+        !self.query(goals).is_empty()
+    }
+
+    /// Answers to a query with negated goals: positives matched against
+    /// the least model, then answers filtered by the absence of each
+    /// (substituted, necessarily ground) negated atom.
+    pub fn query_with_negation(
+        &self,
+        goals: &[FoAtom],
+        neg_goals: &[FoAtom],
+    ) -> Result<Vec<BTreeMap<Symbol, FoTerm>>, EvalError> {
+        let answers = self.query(goals);
+        let mut out = Vec::with_capacity(answers.len());
+        'answers: for a in answers {
+            for n in neg_goals {
+                let g = subst_fo_atom(n, &a);
+                if !g.is_ground() {
+                    return Err(EvalError::Floundered(n.to_string()));
+                }
+                let holds = if crate::builtins::is_builtin(g.pred) {
+                    let mut alloc = crate::rterm::VarAlloc::new();
+                    let mut map = HashMap::new();
+                    let ra = crate::rterm::ratom_of_fo(&g, &mut map, &mut alloc);
+                    let mut bind = crate::unify::Bindings::new();
+                    crate::builtins::solve(&ra, &mut bind, crate::unify::UnifyOptions::default())?
+                } else {
+                    self.holds(std::slice::from_ref(&g))
+                };
+                if holds {
+                    continue 'answers;
+                }
+            }
+            out.push(a);
+        }
+        Ok(out)
+    }
+}
+
+/// Applies an answer substitution to a first-order atom.
+pub fn subst_fo_atom(a: &FoAtom, bind: &BTreeMap<Symbol, FoTerm>) -> FoAtom {
+    fn go(t: &FoTerm, bind: &BTreeMap<Symbol, FoTerm>) -> FoTerm {
+        match t {
+            FoTerm::Var(v) => bind.get(v).cloned().unwrap_or_else(|| t.clone()),
+            FoTerm::Const(_) => t.clone(),
+            FoTerm::App(f, args) => FoTerm::App(*f, args.iter().map(|x| go(x, bind)).collect()),
+        }
+    }
+    FoAtom::new(a.pred, a.args.iter().map(|t| go(t, bind)).collect())
+}
+
+/// Per-relation row boundaries for one semi-naive round.
+#[derive(Clone, Copy, Debug, Default)]
+struct Frontier {
+    /// Rows `< old` existed before the previous round.
+    old: u32,
+    /// Rows `old..cur` are the previous round's delta; `cur` is the
+    /// relation length at the start of this round.
+    cur: u32,
+}
+
+/// Runs the fixpoint for a compiled program.
+///
+/// ```
+/// use clogic_core::fol::{FoAtom, FoClause, FoProgram, FoTerm};
+/// use folog::{evaluate, CompiledProgram, FixpointOptions};
+///
+/// let mut p = FoProgram::new();
+/// p.push(FoClause::fact(FoAtom::new("edge", vec![FoTerm::constant("a"), FoTerm::constant("b")])));
+/// p.push(FoClause::rule(
+///     FoAtom::new("path", vec![FoTerm::var("X"), FoTerm::var("Y")]),
+///     vec![FoAtom::new("edge", vec![FoTerm::var("X"), FoTerm::var("Y")])],
+/// ));
+/// let compiled = CompiledProgram::compile(&p, folog::builtins::builtin_symbols());
+/// let model = evaluate(&compiled, FixpointOptions::default()).unwrap();
+/// assert!(model.holds(&[FoAtom::new("path", vec![FoTerm::constant("a"), FoTerm::constant("b")])]));
+/// ```
+pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Evaluation, EvalError> {
+    let mut ev = Evaluation::default();
+    let derivable: Vec<(Symbol, usize)> = program.head_predicates();
+
+    // Round 0: insert facts.
+    for rule in program.rules.iter().filter(|r| r.is_fact()) {
+        let env: Env = Vec::new();
+        let mut tuple = Vec::with_capacity(rule.head.args.len());
+        for a in &rule.head.args {
+            tuple.push(
+                instantiate(a, &env, &mut ev.store)
+                    .ok_or_else(|| EvalError::NonGroundDerivation(rule.to_string()))?,
+            );
+        }
+        if ev.facts.insert(rule.head.pred, tuple, &ev.store) {
+            ev.stats.facts_derived += 1;
+        } else {
+            ev.stats.duplicates += 1;
+        }
+    }
+
+    // Stratify: rules whose head depends on a predicate through negation
+    // must evaluate after that predicate's stratum is complete. Programs
+    // without negation form a single stratum.
+    let all_rules: Vec<&Rule> = program.rules.iter().filter(|r| !r.is_fact()).collect();
+    let strata = stratify(&all_rules, program)?;
+    for stratum_rules in strata {
+        run_stratum(&stratum_rules, &derivable, program, opts, &mut ev)?;
+    }
+    Ok(ev)
+}
+
+/// Assigns each rule to a stratum; returns the rules grouped by stratum.
+///
+/// The active-domain axioms `object(X) :- t(X)` are special-cased: they
+/// never create new terms (an `object` fact always accompanies, in the
+/// same generalized clause, the typed fact that justifies it), so instead
+/// of pinning `object` to one stratum — which would drag every type
+/// mentioned under negation into a spurious negative cycle — the axioms
+/// are replicated into every stratum and `object` stays in sync with each
+/// stratum's fixpoint. Negating `object` itself remains unstratifiable.
+fn stratify<'r>(
+    rules: &[&'r Rule],
+    program: &CompiledProgram,
+) -> Result<Vec<Vec<&'r Rule>>, EvalError> {
+    use std::collections::HashMap as Map;
+    if rules.iter().all(|r| !r.has_negation()) {
+        // Fast path: no negation, one stratum.
+        return Ok(vec![rules.to_vec()]);
+    }
+    let object = Symbol::new(crate::OBJECT_TYPE_NAME);
+    let is_object_axiom = |r: &Rule| {
+        r.head.pred == object
+            && r.head.args.len() == 1
+            && r.body.len() == 1
+            && r.neg_body.is_empty()
+            && r.body[0].args.len() == 1
+            && r.head.args[0] == r.body[0].args[0]
+    };
+    if rules.iter().any(|r| {
+        r.neg_body
+            .iter()
+            .any(|n| n.pred == object && n.args.len() == 1)
+    }) {
+        return Err(EvalError::Unstratifiable(object.to_string()));
+    }
+    let (axioms, others): (Vec<&Rule>, Vec<&Rule>) = rules.iter().partition(|r| is_object_axiom(r));
+
+    let mut stratum: Map<(Symbol, usize), usize> = Map::new();
+    let preds: Vec<(Symbol, usize)> = program.head_predicates();
+    for &p in &preds {
+        stratum.insert(p, 0);
+    }
+    let bound = preds.len() + 1;
+    loop {
+        let mut changed = false;
+        for rule in &others {
+            let head_key = (rule.head.pred, rule.head.args.len());
+            let mut need = stratum.get(&head_key).copied().unwrap_or(0);
+            for b in &rule.body {
+                if program.is_builtin(b.pred) || (b.pred == object && b.args.len() == 1) {
+                    continue;
+                }
+                need = need.max(stratum.get(&(b.pred, b.args.len())).copied().unwrap_or(0));
+            }
+            for n in &rule.neg_body {
+                if program.is_builtin(n.pred) {
+                    continue;
+                }
+                need = need.max(stratum.get(&(n.pred, n.args.len())).copied().unwrap_or(0) + 1);
+            }
+            if need > bound {
+                return Err(EvalError::Unstratifiable(rule.head.pred.to_string()));
+            }
+            if need > stratum.get(&head_key).copied().unwrap_or(0) {
+                stratum.insert(head_key, need);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let max_stratum = others
+        .iter()
+        .map(|r| stratum[&(r.head.pred, r.head.args.len())])
+        .max()
+        .unwrap_or(0);
+    let mut out: Vec<Vec<&Rule>> = vec![Vec::new(); max_stratum + 1];
+    for rule in &others {
+        let sidx = stratum[&(rule.head.pred, rule.head.args.len())];
+        out[sidx].push(rule);
+    }
+    // Replicate the object axioms into every stratum.
+    for level in &mut out {
+        level.extend(axioms.iter().copied());
+    }
+    Ok(out)
+}
+
+/// Runs the fixpoint rounds for one stratum's rules. The frontier map
+/// starts empty, so every fact visible at stratum entry (lower strata and
+/// the extensional base) counts as delta in the first round.
+fn run_stratum(
+    rules: &[&Rule],
+    derivable: &[(Symbol, usize)],
+    program: &CompiledProgram,
+    opts: FixpointOptions,
+    ev: &mut Evaluation,
+) -> Result<(), EvalError> {
+    let mut frontiers: HashMap<(Symbol, usize), Frontier> = HashMap::new();
+    let mut first_round = true;
+    loop {
+        ev.stats.iterations += 1;
+        if let Some(limit) = opts.max_iterations {
+            if ev.stats.iterations > limit {
+                return Err(EvalError::IterationLimit(limit));
+            }
+        }
+        // Snapshot current lengths.
+        let mut lens: HashMap<(Symbol, usize), u32> = HashMap::new();
+        for &(p, a) in derivable {
+            let len = ev.facts.relation(p, a).map_or(0, |r| r.len() as u32);
+            lens.insert((p, a), len);
+        }
+        let current_frontiers: HashMap<(Symbol, usize), Frontier> = lens
+            .iter()
+            .map(|(&k, &len)| {
+                let old = frontiers.get(&k).map_or(0, |f| f.cur);
+                (k, Frontier { old, cur: len })
+            })
+            .collect();
+        let any_delta = current_frontiers.values().any(|f| f.old < f.cur) || first_round;
+        if !any_delta {
+            ev.stats.iterations -= 1; // the empty round doesn't count
+            break;
+        }
+
+        let mut new_facts: Vec<(Symbol, Vec<TermId>)> = Vec::new();
+        for rule in rules {
+            let body_derivable: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !program.is_builtin(a.pred))
+                .map(|(i, _)| i)
+                .collect();
+            match opts.strategy {
+                Strategy::Naive => {
+                    ev.stats.rule_activations += 1;
+                    eval_rule(
+                        rule,
+                        &current_frontiers,
+                        None,
+                        &ev.facts,
+                        &mut ev.store,
+                        &mut ev.stats,
+                        program,
+                        &mut new_facts,
+                    )?;
+                }
+                Strategy::SemiNaive => {
+                    if body_derivable.is_empty() {
+                        // No derivable atoms: fire exactly once, in round 1.
+                        if first_round {
+                            ev.stats.rule_activations += 1;
+                            eval_rule(
+                                rule,
+                                &current_frontiers,
+                                None,
+                                &ev.facts,
+                                &mut ev.store,
+                                &mut ev.stats,
+                                program,
+                                &mut new_facts,
+                            )?;
+                        }
+                        continue;
+                    }
+                    for &delta_pos in &body_derivable {
+                        ev.stats.rule_activations += 1;
+                        eval_rule(
+                            rule,
+                            &current_frontiers,
+                            Some(delta_pos),
+                            &ev.facts,
+                            &mut ev.store,
+                            &mut ev.stats,
+                            program,
+                            &mut new_facts,
+                        )?;
+                    }
+                }
+            }
+        }
+
+        let mut inserted = false;
+        for (pred, tuple) in new_facts {
+            if ev.facts.insert(pred, tuple, &ev.store) {
+                ev.stats.facts_derived += 1;
+                inserted = true;
+            } else {
+                ev.stats.duplicates += 1;
+            }
+            if let Some(limit) = opts.max_facts {
+                if ev.facts.total > limit {
+                    return Err(EvalError::FactLimit(limit));
+                }
+            }
+        }
+        frontiers = current_frontiers;
+        first_round = false;
+        if !inserted {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates one rule body left-to-right. With `delta_pos = Some(i)`, atom
+/// `i` ranges over its relation's delta, atoms before `i` over pre-delta
+/// rows, and atoms after `i` over everything known at round start
+/// (semi-naive); with `None`, every atom ranges over all known rows.
+#[allow(clippy::too_many_arguments)]
+fn eval_rule(
+    rule: &Rule,
+    frontiers: &HashMap<(Symbol, usize), Frontier>,
+    delta_pos: Option<usize>,
+    facts: &FactStore,
+    store: &mut TermStore,
+    stats: &mut FixpointStats,
+    program: &CompiledProgram,
+    out: &mut Vec<(Symbol, Vec<TermId>)>,
+) -> Result<(), EvalError> {
+    let mut env: Env = vec![None; rule.n_vars as usize];
+    let mut trail: Vec<crate::rterm::VarId> = Vec::new();
+    let order = plan_order(rule, delta_pos, program);
+    eval_body(
+        rule, &order, 0, delta_pos, frontiers, facts, store, stats, program, &mut env, &mut trail,
+        out,
+    )
+}
+
+/// Greedy join planning for one activation. The delta atom (if any) goes
+/// first — it is the small slice this activation exists for. Then,
+/// repeatedly: a built-in whose inputs are bound runs as early as
+/// possible (cheap filter), otherwise the relational atom with the best
+/// *index availability* is chosen — some argument position fully bound
+/// (exact index) or a compound argument with bound first sub-argument
+/// (sub index) — breaking ties by fewest unbound variables, then source
+/// order. This turns translated bodies like `node(X), object(Z),
+/// linkto(X, Z), …` into `node(X), linkto(X, Z), object(Z), …`: filters
+/// before generators.
+fn plan_order(rule: &Rule, delta_pos: Option<usize>, program: &CompiledProgram) -> Vec<usize> {
+    use crate::rterm::{RTerm, VarId};
+    use std::collections::HashSet;
+    let n = rule.body.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut bound: HashSet<VarId> = HashSet::new();
+
+    let atom_vars = |j: usize| {
+        let mut vs = Vec::new();
+        for a in &rule.body[j].args {
+            a.collect_vars(&mut vs);
+        }
+        vs
+    };
+    fn term_bound(t: &RTerm, bound: &HashSet<VarId>) -> bool {
+        let mut vs = Vec::new();
+        t.collect_vars(&mut vs);
+        vs.iter().all(|v| bound.contains(v))
+    }
+    fn arg_indexable(t: &RTerm, bound: &HashSet<VarId>) -> bool {
+        match t {
+            RTerm::Const(_) => true,
+            RTerm::Var(v) => bound.contains(v),
+            RTerm::App(_, args) => {
+                term_bound(t, bound) || args.first().is_some_and(|a| term_bound(a, bound))
+            }
+        }
+    }
+    let builtin_ready = |j: usize, bound: &HashSet<VarId>| {
+        let atom = &rule.body[j];
+        match (atom.pred.as_str(), atom.args.len()) {
+            ("is", 2) => term_bound(&atom.args[1], bound),
+            ("=" | "==", 2) => term_bound(&atom.args[0], bound) || term_bound(&atom.args[1], bound),
+            _ => atom.args.iter().all(|a| term_bound(a, bound)),
+        }
+    };
+
+    if let Some(d) = delta_pos {
+        remaining.retain(|&j| j != d);
+        order.push(d);
+        bound.extend(atom_vars(d));
+    }
+    while !remaining.is_empty() {
+        // A ready built-in filters earliest.
+        if let Some(pos) = remaining
+            .iter()
+            .position(|&j| program.is_builtin(rule.body[j].pred) && builtin_ready(j, &bound))
+        {
+            let j = remaining.remove(pos);
+            order.push(j);
+            bound.extend(atom_vars(j));
+            continue;
+        }
+        // Best relational atom by (index availability, unbound vars, pos);
+        // unready built-ins are postponed to the very end.
+        let best = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &j)| !program.is_builtin(rule.body[j].pred))
+            .min_by_key(|(_, &j)| {
+                let indexable = rule.body[j].args.iter().any(|a| arg_indexable(a, &bound));
+                let unbound = atom_vars(j).iter().filter(|v| !bound.contains(v)).count();
+                (usize::from(!indexable), unbound, j)
+            })
+            .map(|(pos, _)| pos);
+        let pos = best.unwrap_or(0); // only unready built-ins left: source order
+        let j = remaining.remove(pos);
+        order.push(j);
+        bound.extend(atom_vars(j));
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_body(
+    rule: &Rule,
+    order: &[usize],
+    i: usize,
+    delta_pos: Option<usize>,
+    frontiers: &HashMap<(Symbol, usize), Frontier>,
+    facts: &FactStore,
+    store: &mut TermStore,
+    stats: &mut FixpointStats,
+    program: &CompiledProgram,
+    env: &mut Env,
+    trail: &mut Vec<crate::rterm::VarId>,
+    out: &mut Vec<(Symbol, Vec<TermId>)>,
+) -> Result<(), EvalError> {
+    if i == rule.body.len() {
+        // Negation as failure: every negated atom must be absent. The
+        // stratification guarantees the negated relations are complete
+        // by the time this stratum runs.
+        for n in &rule.neg_body {
+            if program.is_builtin(n.pred) {
+                let mark = trail.len();
+                let holds = solve_pattern(n, env, trail, store)?;
+                trail_undo(env, trail, mark);
+                if holds {
+                    return Ok(());
+                }
+                continue;
+            }
+            let mut tuple = Vec::with_capacity(n.args.len());
+            for a in &n.args {
+                tuple.push(
+                    instantiate(a, env, store)
+                        .ok_or_else(|| EvalError::Floundered(rule.to_string()))?,
+                );
+            }
+            if facts.contains(n.pred, &tuple) {
+                return Ok(());
+            }
+        }
+        let mut tuple = Vec::with_capacity(rule.head.args.len());
+        for a in &rule.head.args {
+            tuple.push(
+                instantiate(a, env, store)
+                    .ok_or_else(|| EvalError::NonGroundDerivation(rule.to_string()))?,
+            );
+        }
+        out.push((rule.head.pred, tuple));
+        return Ok(());
+    }
+    let atom_idx = order[i];
+    let atom = &rule.body[atom_idx];
+    if program.is_builtin(atom.pred) {
+        let mark = trail.len();
+        let ok = solve_pattern(atom, env, trail, store)?;
+        if ok {
+            eval_body(
+                rule,
+                order,
+                i + 1,
+                delta_pos,
+                frontiers,
+                facts,
+                store,
+                stats,
+                program,
+                env,
+                trail,
+                out,
+            )?;
+        }
+        trail_undo(env, trail, mark);
+        return Ok(());
+    }
+    let key = (atom.pred, atom.args.len());
+    let Some(rel) = facts.relation(key.0, key.1) else {
+        return Ok(());
+    };
+    let f = frontiers.get(&key).copied().unwrap_or(Frontier {
+        old: 0,
+        cur: rel.len() as u32,
+    });
+    // The range class is tied to the atom's *original* position relative
+    // to the delta atom, not its place in the join order.
+    let range = match delta_pos {
+        None => 0..f.cur,
+        Some(d) if atom_idx < d => 0..f.old,
+        Some(d) if atom_idx == d => f.old..f.cur,
+        Some(_) => 0..f.cur,
+    };
+    if range.is_empty() {
+        return Ok(());
+    }
+    let bound = bound_positions(&atom.args, env, store);
+    let rows = rel.candidate_rows(&bound, range);
+    for row in rows {
+        let mark = trail.len();
+        stats.match_attempts += 1;
+        let tuple = rel.tuple(row).to_vec();
+        let ok = atom
+            .args
+            .iter()
+            .zip(&tuple)
+            .all(|(p, &d)| match_term(p, d, store, env, trail));
+        if ok {
+            eval_body(
+                rule,
+                order,
+                i + 1,
+                delta_pos,
+                frontiers,
+                facts,
+                store,
+                stats,
+                program,
+                env,
+                trail,
+                out,
+            )?;
+        }
+        trail_undo(env, trail, mark);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::builtin_symbols;
+    use clogic_core::fol::{FoClause, FoProgram};
+    use clogic_core::symbol::sym;
+
+    fn atom(p: &str, args: Vec<FoTerm>) -> FoAtom {
+        FoAtom::new(p, args)
+    }
+
+    fn c(s: &str) -> FoTerm {
+        FoTerm::constant(s)
+    }
+
+    fn v(s: &str) -> FoTerm {
+        FoTerm::var(s)
+    }
+
+    fn chain_program(n: usize) -> FoProgram {
+        // edge(n0,n1), …, edge(n_{n-1},n_n); path(X,Y) :- edge; transitive
+        let mut p = FoProgram::new();
+        for i in 0..n {
+            p.push(FoClause::fact(atom(
+                "edge",
+                vec![c(&format!("n{i}")), c(&format!("n{}", i + 1))],
+            )));
+        }
+        p.push(FoClause::rule(
+            atom("path", vec![v("X"), v("Y")]),
+            vec![atom("edge", vec![v("X"), v("Y")])],
+        ));
+        p.push(FoClause::rule(
+            atom("path", vec![v("X"), v("Z")]),
+            vec![
+                atom("edge", vec![v("X"), v("Y")]),
+                atom("path", vec![v("Y"), v("Z")]),
+            ],
+        ));
+        p
+    }
+
+    fn eval_with(p: &FoProgram, strategy: Strategy) -> Evaluation {
+        let cp = CompiledProgram::compile(p, builtin_symbols());
+        evaluate(
+            &cp,
+            FixpointOptions {
+                strategy,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transitive_closure_chain() {
+        let p = chain_program(4);
+        let ev = eval_with(&p, Strategy::SemiNaive);
+        // paths: all i<j pairs over 5 nodes = 10
+        assert_eq!(ev.facts.relation(sym("path"), 2).unwrap().len(), 10);
+        assert!(ev.holds(&[atom("path", vec![c("n0"), c("n4")])]));
+        assert!(!ev.holds(&[atom("path", vec![c("n4"), c("n0")])]));
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let p = chain_program(6);
+        let naive = eval_with(&p, Strategy::Naive);
+        let semi = eval_with(&p, Strategy::SemiNaive);
+        assert_eq!(naive.ground_atoms(), semi.ground_atoms());
+        // and semi-naive does strictly fewer matches
+        assert!(semi.stats.match_attempts < naive.stats.match_attempts);
+        // naive rederives facts every round
+        assert!(naive.stats.duplicates > semi.stats.duplicates);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut p = chain_program(3);
+        p.push(FoClause::fact(atom("edge", vec![c("n3"), c("n0")])));
+        let ev = eval_with(&p, Strategy::SemiNaive);
+        // strongly connected: 4×4 = 16 paths
+        assert_eq!(ev.facts.relation(sym("path"), 2).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn builtin_arithmetic_in_rules() {
+        // dist(X, Y, 1) :- edge(X, Y).
+        // dist(X, Z, N) :- edge(X, Y), dist(Y, Z, M), N is M + 1, N =< 3.
+        let mut p = FoProgram::new();
+        for i in 0..5 {
+            p.push(FoClause::fact(atom(
+                "edge",
+                vec![c(&format!("n{i}")), c(&format!("n{}", i + 1))],
+            )));
+        }
+        p.push(FoClause::rule(
+            atom("dist", vec![v("X"), v("Y"), FoTerm::int(1)]),
+            vec![atom("edge", vec![v("X"), v("Y")])],
+        ));
+        p.push(FoClause::rule(
+            atom("dist", vec![v("X"), v("Z"), v("N")]),
+            vec![
+                atom("edge", vec![v("X"), v("Y")]),
+                atom("dist", vec![v("Y"), v("Z"), v("M")]),
+                atom(
+                    "is",
+                    vec![v("N"), FoTerm::App(sym("+"), vec![v("M"), FoTerm::int(1)])],
+                ),
+                atom("=<", vec![v("N"), FoTerm::int(3)]),
+            ],
+        ));
+        let ev = eval_with(&p, Strategy::SemiNaive);
+        assert!(ev.holds(&[atom("dist", vec![c("n0"), c("n3"), FoTerm::int(3)])]));
+        assert!(!ev.holds(&[atom("dist", vec![c("n0"), c("n4"), FoTerm::int(4)])]));
+        // the bound keeps it finite
+        let total: usize = ev.facts.relation(sym("dist"), 3).unwrap().len();
+        assert_eq!(total, 5 + 4 + 3);
+    }
+
+    #[test]
+    fn non_range_restricted_rule_errors() {
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("a", vec![c("x")])));
+        p.push(FoClause::rule(
+            atom("p", vec![v("Y")]),
+            vec![atom("a", vec![v("X")])],
+        ));
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let err = evaluate(&cp, FixpointOptions::default()).unwrap_err();
+        assert!(matches!(err, EvalError::NonGroundDerivation(_)));
+    }
+
+    #[test]
+    fn fact_limit_enforced() {
+        let p = chain_program(20);
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let err = evaluate(
+            &cp,
+            FixpointOptions {
+                max_facts: Some(30),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::FactLimit(30)));
+    }
+
+    #[test]
+    fn query_with_multiple_goals_and_join() {
+        let p = chain_program(4);
+        let ev = eval_with(&p, Strategy::SemiNaive);
+        // pairs X,Z connected through an explicit middle node Y=n2
+        let answers = ev.query(&[
+            atom("path", vec![v("X"), c("n2")]),
+            atom("path", vec![c("n2"), v("Z")]),
+        ]);
+        // X ∈ {n0,n1}, Z ∈ {n3,n4}
+        assert_eq!(answers.len(), 4);
+        for a in &answers {
+            assert!(a.contains_key(&sym("X")));
+            assert!(a.contains_key(&sym("Z")));
+        }
+    }
+
+    #[test]
+    fn query_on_empty_relation() {
+        let p = chain_program(2);
+        let ev = eval_with(&p, Strategy::SemiNaive);
+        assert!(ev.query(&[atom("nothing", vec![v("X")])]).is_empty());
+    }
+
+    #[test]
+    fn rules_with_builtin_only_bodies_fire_once() {
+        let mut p = FoProgram::new();
+        p.push(FoClause::rule(
+            atom("answer", vec![v("X")]),
+            vec![atom(
+                "is",
+                vec![
+                    v("X"),
+                    FoTerm::App(sym("+"), vec![FoTerm::int(40), FoTerm::int(2)]),
+                ],
+            )],
+        ));
+        let ev = eval_with(&p, Strategy::SemiNaive);
+        assert!(ev.holds(&[atom("answer", vec![FoTerm::int(42)])]));
+        assert_eq!(ev.facts.total, 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let p = chain_program(4);
+        let ev = eval_with(&p, Strategy::SemiNaive);
+        assert!(ev.stats.iterations >= 4); // path lengths grow one per round
+        assert!(ev.stats.facts_derived >= 14);
+        assert!(ev.stats.rule_activations > 0);
+        assert!(ev.stats.match_attempts > 0);
+    }
+
+    #[test]
+    fn ground_atoms_sorted_and_complete() {
+        let p = chain_program(2);
+        let ev = eval_with(&p, Strategy::SemiNaive);
+        let atoms = ev.ground_atoms();
+        assert_eq!(atoms.len(), ev.facts.total);
+        let mut sorted = atoms.clone();
+        sorted.sort();
+        assert_eq!(atoms, sorted);
+    }
+}
+
+#[cfg(test)]
+mod negation_tests {
+    use super::*;
+    use crate::builtins::builtin_symbols;
+    use crate::program::CompiledProgram;
+    use clogic_core::fol::{FoClause, FoProgram};
+    use clogic_core::symbol::sym;
+
+    fn atom(p: &str, args: Vec<FoTerm>) -> FoAtom {
+        FoAtom::new(p, args)
+    }
+    fn c(s: &str) -> FoTerm {
+        FoTerm::constant(s)
+    }
+    fn v(s: &str) -> FoTerm {
+        FoTerm::var(s)
+    }
+
+    fn eval(p: &FoProgram) -> Result<Evaluation, EvalError> {
+        let cp = CompiledProgram::compile(p, builtin_symbols());
+        evaluate(&cp, FixpointOptions::default())
+    }
+
+    #[test]
+    fn stratified_negation_basic() {
+        // unreachable(X) :- node(X), \+ reached(X).
+        let mut p = FoProgram::new();
+        for n in ["a", "b", "c"] {
+            p.push(FoClause::fact(atom("node", vec![c(n)])));
+        }
+        p.push(FoClause::fact(atom("reached", vec![c("a")])));
+        p.push(FoClause::rule_with_negation(
+            atom("unreachable", vec![v("X")]),
+            vec![atom("node", vec![v("X")])],
+            vec![atom("reached", vec![v("X")])],
+        ));
+        let ev = eval(&p).unwrap();
+        assert!(ev.holds(&[atom("unreachable", vec![c("b")])]));
+        assert!(ev.holds(&[atom("unreachable", vec![c("c")])]));
+        assert!(!ev.holds(&[atom("unreachable", vec![c("a")])]));
+    }
+
+    #[test]
+    fn negation_over_derived_relation() {
+        // reached via recursion, complement computed in a later stratum.
+        let mut p = FoProgram::new();
+        for n in ["a", "b", "c", "d"] {
+            p.push(FoClause::fact(atom("node", vec![c(n)])));
+        }
+        p.push(FoClause::fact(atom("edge", vec![c("a"), c("b")])));
+        p.push(FoClause::fact(atom("edge", vec![c("b"), c("c")])));
+        p.push(FoClause::rule(atom("reached", vec![c("a")]), vec![]));
+        p.push(FoClause::rule(
+            atom("reached", vec![v("Y")]),
+            vec![
+                atom("reached", vec![v("X")]),
+                atom("edge", vec![v("X"), v("Y")]),
+            ],
+        ));
+        p.push(FoClause::rule_with_negation(
+            atom("unreachable", vec![v("X")]),
+            vec![atom("node", vec![v("X")])],
+            vec![atom("reached", vec![v("X")])],
+        ));
+        let ev = eval(&p).unwrap();
+        let q = ev.query(&[atom("unreachable", vec![v("X")])]);
+        let xs: Vec<String> = q.iter().map(|a| a[&sym("X")].to_string()).collect();
+        assert_eq!(xs, vec!["d"]);
+    }
+
+    #[test]
+    fn three_strata_chain() {
+        // s2 negates s1 which negates s0.
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("base", vec![c("x")])));
+        p.push(FoClause::fact(atom("all", vec![c("x")])));
+        p.push(FoClause::fact(atom("all", vec![c("y")])));
+        p.push(FoClause::rule_with_negation(
+            atom("not_base", vec![v("X")]),
+            vec![atom("all", vec![v("X")])],
+            vec![atom("base", vec![v("X")])],
+        ));
+        p.push(FoClause::rule_with_negation(
+            atom("base_again", vec![v("X")]),
+            vec![atom("all", vec![v("X")])],
+            vec![atom("not_base", vec![v("X")])],
+        ));
+        let ev = eval(&p).unwrap();
+        assert!(ev.holds(&[atom("not_base", vec![c("y")])]));
+        assert!(!ev.holds(&[atom("not_base", vec![c("x")])]));
+        assert!(ev.holds(&[atom("base_again", vec![c("x")])]));
+        assert!(!ev.holds(&[atom("base_again", vec![c("y")])]));
+    }
+
+    #[test]
+    fn unstratifiable_program_rejected() {
+        // p :- \+ q.  q :- \+ p.  — negative cycle.
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("seed", vec![c("s")])));
+        p.push(FoClause::rule_with_negation(
+            atom("p", vec![v("X")]),
+            vec![atom("seed", vec![v("X")])],
+            vec![atom("q", vec![v("X")])],
+        ));
+        p.push(FoClause::rule_with_negation(
+            atom("q", vec![v("X")]),
+            vec![atom("seed", vec![v("X")])],
+            vec![atom("p", vec![v("X")])],
+        ));
+        assert!(matches!(eval(&p), Err(EvalError::Unstratifiable(_))));
+    }
+
+    #[test]
+    fn unsafe_negation_flounders() {
+        // head var appears only in the negated atom.
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("seed", vec![c("s")])));
+        p.push(FoClause::fact(atom("q", vec![c("z")])));
+        p.push(FoClause::rule_with_negation(
+            atom("p", vec![v("X")]),
+            vec![atom("seed", vec![v("X")])],
+            vec![atom("q", vec![v("Y")])],
+        ));
+        assert!(matches!(eval(&p), Err(EvalError::Floundered(_))));
+    }
+
+    #[test]
+    fn negated_builtins() {
+        // keep(X, N) :- val(X, N), \+ N >= 10.
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("val", vec![c("a"), FoTerm::int(5)])));
+        p.push(FoClause::fact(atom("val", vec![c("b"), FoTerm::int(15)])));
+        p.push(FoClause::rule_with_negation(
+            atom("keep", vec![v("X")]),
+            vec![atom("val", vec![v("X"), v("N")])],
+            vec![atom(">=", vec![v("N"), FoTerm::int(10)])],
+        ));
+        let ev = eval(&p).unwrap();
+        assert!(ev.holds(&[atom("keep", vec![c("a")])]));
+        assert!(!ev.holds(&[atom("keep", vec![c("b")])]));
+    }
+
+    #[test]
+    fn sld_agrees_with_stratified_bottom_up() {
+        use crate::sld::{SldEngine, SldOptions};
+        let mut p = FoProgram::new();
+        for n in ["a", "b", "c"] {
+            p.push(FoClause::fact(atom("node", vec![c(n)])));
+        }
+        p.push(FoClause::fact(atom("reached", vec![c("a")])));
+        p.push(FoClause::rule_with_negation(
+            atom("unreachable", vec![v("X")]),
+            vec![atom("node", vec![v("X")])],
+            vec![atom("reached", vec![v("X")])],
+        ));
+        let ev = eval(&p).unwrap();
+        let bu = ev.query(&[atom("unreachable", vec![v("X")])]);
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let sld = SldEngine::new(&cp, SldOptions::default())
+            .solve(&[atom("unreachable", vec![v("X")])])
+            .unwrap();
+        assert_eq!(sld.answers, bu);
+        assert_eq!(sld.answers.len(), 2);
+    }
+
+    #[test]
+    fn sld_floundering_is_an_error() {
+        use crate::builtins::BuiltinError;
+        use crate::sld::{SldEngine, SldOptions};
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("q", vec![c("z")])));
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        // :- \+ q(Y). with Y unbound
+        let e = SldEngine::new(&cp, SldOptions::default());
+        let err = e
+            .solve_with_negation(&[], &[atom("q", vec![v("Y")])])
+            .unwrap_err();
+        assert!(matches!(err, BuiltinError::Floundered(_)));
+    }
+
+    #[test]
+    fn tabling_and_magic_reject_negation() {
+        use crate::magic::solve_magic;
+        use crate::tabling::{TabledEngine, TablingError, TablingOptions};
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("seed", vec![c("s")])));
+        p.push(FoClause::rule_with_negation(
+            atom("p", vec![v("X")]),
+            vec![atom("seed", vec![v("X")])],
+            vec![atom("q", vec![v("X")])],
+        ));
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let t = TabledEngine::new(&cp, TablingOptions::default()).solve(&[atom("p", vec![v("X")])]);
+        assert!(matches!(t, Err(TablingError::NegationUnsupported)));
+        let builtins: std::collections::BTreeSet<_> = builtin_symbols().collect();
+        let m = solve_magic(
+            &p,
+            &[atom("p", vec![v("X")])],
+            &builtins,
+            FixpointOptions::default(),
+        );
+        assert!(matches!(m, Err(EvalError::Unstratifiable(_))));
+    }
+}

@@ -1,0 +1,444 @@
+//! The extensional store of derived ground facts, with per-position
+//! indexing, and matching of rule patterns against stored tuples.
+//!
+//! Bottom-up evaluation is join processing: a rule body is evaluated
+//! left-to-right, each atom matched against the relation of its predicate
+//! under the bindings accumulated so far. Relations keep insertion order
+//! (so semi-naive deltas are contiguous ranges) plus hash indexes per
+//! argument position.
+
+use crate::ground::{GroundTerm, TermId, TermStore};
+use crate::rterm::{RTerm, VarId};
+use clogic_core::symbol::Symbol;
+use std::collections::{HashMap, HashSet};
+
+/// An index key derived from a partially bound pattern position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexKey {
+    /// The position's full value is known.
+    Exact(u32, TermId),
+    /// The position holds a compound with this principal functor whose
+    /// first argument is known — the shape of skolem identities like
+    /// `id(Z, Y)` with `Z` bound, ubiquitous in translated C-logic.
+    Sub(u32, Symbol, TermId),
+}
+
+/// A relation: the tuple set of one predicate.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    /// Tuples in insertion order.
+    tuples: Vec<Vec<TermId>>,
+    /// Dedup set.
+    seen: HashSet<Vec<TermId>>,
+    /// `(position, value) → rows`.
+    index: HashMap<(u32, TermId), Vec<u32>>,
+    /// `(position, functor, first argument) → rows`, for compound values.
+    sub_index: HashMap<(u32, Symbol, TermId), Vec<u32>>,
+}
+
+impl Relation {
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple; returns true when it was new. The store is
+    /// consulted to maintain the compound sub-index.
+    pub fn insert(&mut self, tuple: Vec<TermId>, store: &TermStore) -> bool {
+        if self.seen.contains(&tuple) {
+            return false;
+        }
+        let row = self.tuples.len() as u32;
+        for (pos, &v) in tuple.iter().enumerate() {
+            self.index.entry((pos as u32, v)).or_default().push(row);
+            if let GroundTerm::App(f, args) = store.get(v) {
+                if let Some(&first) = args.first() {
+                    self.sub_index
+                        .entry((pos as u32, *f, first))
+                        .or_default()
+                        .push(row);
+                }
+            }
+        }
+        self.seen.insert(tuple.clone());
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[TermId]) -> bool {
+        self.seen.contains(tuple)
+    }
+
+    /// The tuple at `row`.
+    pub fn tuple(&self, row: u32) -> &[TermId] {
+        &self.tuples[row as usize]
+    }
+
+    /// All tuples.
+    pub fn tuples(&self) -> impl Iterator<Item = &[TermId]> {
+        self.tuples.iter().map(Vec::as_slice)
+    }
+
+    /// Rows whose `pos`-th component equals `v`.
+    pub fn rows_with(&self, pos: u32, v: TermId) -> &[u32] {
+        self.index.get(&(pos, v)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Rows matching an index key.
+    pub fn rows_for(&self, key: IndexKey) -> &[u32] {
+        match key {
+            IndexKey::Exact(pos, v) => self.rows_with(pos, v),
+            IndexKey::Sub(pos, f, first) => self
+                .sub_index
+                .get(&(pos, f, first))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+        }
+    }
+
+    /// Candidate rows within `range` for a partially bound pattern:
+    /// picks the most selective index among the derived keys, falling
+    /// back to a scan of the range.
+    pub fn candidate_rows(&self, keys: &[IndexKey], range: std::ops::Range<u32>) -> Vec<u32> {
+        let best = keys
+            .iter()
+            .map(|&k| self.rows_for(k))
+            .min_by_key(|rows| rows.len());
+        match best {
+            Some(rows) => rows.iter().copied().filter(|r| range.contains(r)).collect(),
+            None => range.collect(),
+        }
+    }
+}
+
+/// The fact store: one relation per `(predicate, arity)`.
+#[derive(Clone, Debug, Default)]
+pub struct FactStore {
+    relations: HashMap<(Symbol, usize), Relation>,
+    /// Total number of stored tuples.
+    pub total: usize,
+}
+
+impl FactStore {
+    /// An empty store.
+    pub fn new() -> FactStore {
+        FactStore::default()
+    }
+
+    /// Inserts a fact; returns true when new.
+    pub fn insert(&mut self, pred: Symbol, tuple: Vec<TermId>, store: &TermStore) -> bool {
+        let arity = tuple.len();
+        let fresh = self
+            .relations
+            .entry((pred, arity))
+            .or_default()
+            .insert(tuple, store);
+        if fresh {
+            self.total += 1;
+        }
+        fresh
+    }
+
+    /// The relation of a predicate, if any tuples exist.
+    pub fn relation(&self, pred: Symbol, arity: usize) -> Option<&Relation> {
+        self.relations.get(&(pred, arity))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pred: Symbol, tuple: &[TermId]) -> bool {
+        self.relations
+            .get(&(pred, tuple.len()))
+            .is_some_and(|r| r.contains(tuple))
+    }
+
+    /// All `(predicate, arity)` pairs with tuples.
+    pub fn predicates(&self) -> Vec<(Symbol, usize)> {
+        let mut out: Vec<(Symbol, usize)> = self.relations.keys().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// Renders the whole store, sorted, for golden tests.
+    pub fn display(&self, store: &TermStore) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.total);
+        for (&(pred, _), rel) in &self.relations {
+            for t in rel.tuples() {
+                let args: Vec<String> = t.iter().map(|&a| store.display(a)).collect();
+                out.push(format!("{}({})", pred, args.join(", ")));
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// A pattern environment: rule-local variable bindings to ground terms.
+pub type Env = Vec<Option<TermId>>;
+
+/// Matches a pattern term against a ground term, extending `env`.
+/// Returns false (with `env` possibly partially extended — callers
+/// snapshot/restore via the trail mark and [`trail_undo`]) on mismatch.
+pub fn match_term(
+    pat: &RTerm,
+    data: TermId,
+    store: &TermStore,
+    env: &mut Env,
+    trail: &mut Vec<VarId>,
+) -> bool {
+    match pat {
+        RTerm::Var(v) => {
+            let slot = *v as usize;
+            if slot >= env.len() {
+                env.resize(slot + 1, None);
+            }
+            match env[slot] {
+                Some(bound) => bound == data,
+                None => {
+                    env[slot] = Some(data);
+                    trail.push(*v);
+                    true
+                }
+            }
+        }
+        RTerm::Const(c) => matches!(store.get(data), GroundTerm::Const(d) if d == c),
+        RTerm::App(f, args) => match store.get(data) {
+            GroundTerm::App(g, data_args) if g == f && data_args.len() == args.len() => {
+                // Clone the arg ids to release the borrow on `store`.
+                let data_args = data_args.clone();
+                args.iter()
+                    .zip(data_args)
+                    .all(|(p, d)| match_term(p, d, store, env, trail))
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Undoes all env bindings recorded on the trail past `mark`.
+pub fn trail_undo(env: &mut Env, trail: &mut Vec<VarId>, mark: usize) {
+    while trail.len() > mark {
+        let v = trail.pop().expect("non-empty");
+        env[v as usize] = None;
+    }
+}
+
+/// Instantiates a pattern under an env, interning any new ground
+/// structure. Returns `None` if an unbound variable remains.
+pub fn instantiate(pat: &RTerm, env: &Env, store: &mut TermStore) -> Option<TermId> {
+    match pat {
+        RTerm::Var(v) => env.get(*v as usize).copied().flatten(),
+        RTerm::Const(c) => Some(store.intern_const(*c)),
+        RTerm::App(f, args) => {
+            let mut ids = Vec::with_capacity(args.len());
+            for a in args {
+                ids.push(instantiate(a, env, store)?);
+            }
+            Some(store.intern_app(*f, ids))
+        }
+    }
+}
+
+/// The index keys derivable from a pattern atom under an env: exact keys
+/// for fully instantiable positions, sub-keys for compound patterns whose
+/// first argument is instantiable (e.g. `id(Z, Y)` with `Z` bound).
+pub fn bound_positions(args: &[RTerm], env: &Env, store: &TermStore) -> Vec<IndexKey> {
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(id) = peek_ground(a, env, store) {
+            out.push(IndexKey::Exact(i as u32, id));
+        } else if let RTerm::App(f, sub) = a {
+            if let Some(first) = sub.first().and_then(|x| peek_ground(x, env, store)) {
+                out.push(IndexKey::Sub(i as u32, *f, first));
+            }
+        }
+    }
+    out
+}
+
+/// Like [`instantiate`] but read-only: succeeds only when every piece of
+/// the pattern is already interned.
+fn peek_ground(pat: &RTerm, env: &Env, store: &TermStore) -> Option<TermId> {
+    match pat {
+        RTerm::Var(v) => env.get(*v as usize).copied().flatten(),
+        RTerm::Const(c) => {
+            // Reuse the interning map without inserting.
+            let probe = GroundTerm::Const(*c);
+            store_lookup(store, &probe)
+        }
+        RTerm::App(f, args) => {
+            let mut ids = Vec::with_capacity(args.len());
+            for a in args {
+                ids.push(peek_ground(a, env, store)?);
+            }
+            store_lookup(store, &GroundTerm::App(*f, ids))
+        }
+    }
+}
+
+fn store_lookup(store: &TermStore, probe: &GroundTerm) -> Option<TermId> {
+    store.lookup(probe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clogic_core::symbol::sym;
+    use clogic_core::term::Const;
+
+    fn setup() -> (TermStore, TermId, TermId, TermId) {
+        let mut st = TermStore::new();
+        let a = st.intern_const(Const::Sym(sym("a")));
+        let b = st.intern_const(Const::Sym(sym("b")));
+        let c = st.intern_const(Const::Sym(sym("c")));
+        (st, a, b, c)
+    }
+
+    #[test]
+    fn relation_insert_dedup_and_index() {
+        let (st, a, b, c) = setup();
+        let mut r = Relation::default();
+        assert!(r.insert(vec![a, b], &st));
+        assert!(!r.insert(vec![a, b], &st));
+        assert!(r.insert(vec![a, c], &st));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[a, b]));
+        assert!(!r.contains(&[b, a]));
+        assert_eq!(r.rows_with(0, a), &[0, 1]);
+        assert_eq!(r.rows_with(1, c), &[1]);
+        assert_eq!(r.rows_with(1, a), &[] as &[u32]);
+    }
+
+    #[test]
+    fn candidate_rows_pick_selective_index() {
+        let (st, a, b, c) = setup();
+        let mut r = Relation::default();
+        r.insert(vec![a, b], &st);
+        r.insert(vec![a, c], &st);
+        r.insert(vec![b, c], &st);
+        // bound: pos0=a (2 rows), pos1=c (2 rows) → either, filtered by range
+        let rows = r.candidate_rows(&[IndexKey::Exact(0, a), IndexKey::Exact(1, c)], 0..3);
+        assert!(rows == vec![0, 1] || rows == vec![1, 2]);
+        // no bound positions: whole range
+        assert_eq!(r.candidate_rows(&[], 1..3), vec![1, 2]);
+        // range filters delta scans
+        assert_eq!(r.candidate_rows(&[IndexKey::Exact(0, a)], 1..3), vec![1]);
+    }
+
+    #[test]
+    fn sub_index_finds_compounds_by_first_argument() {
+        let mut st = TermStore::new();
+        let a = st.intern_const(Const::Sym(sym("a")));
+        let b = st.intern_const(Const::Sym(sym("b")));
+        let id_ab = st.intern_app(sym("id"), vec![a, b]);
+        let id_ba = st.intern_app(sym("id"), vec![b, a]);
+        let mut r = Relation::default();
+        r.insert(vec![id_ab], &st);
+        r.insert(vec![id_ba], &st);
+        assert_eq!(r.rows_for(IndexKey::Sub(0, sym("id"), a)), &[0]);
+        assert_eq!(r.rows_for(IndexKey::Sub(0, sym("id"), b)), &[1]);
+        assert!(r.rows_for(IndexKey::Sub(0, sym("mk"), a)).is_empty());
+        // bound_positions derives the sub key from a partial pattern
+        let env: Env = vec![Some(a)];
+        let pat = vec![RTerm::App(sym("id"), vec![RTerm::Var(0), RTerm::Var(1)])];
+        let keys = bound_positions(&pat, &env, &st);
+        assert_eq!(keys, vec![IndexKey::Sub(0, sym("id"), a)]);
+    }
+
+    #[test]
+    fn fact_store_roundtrip() {
+        let (st, a, b, _) = setup();
+        let mut fs = FactStore::new();
+        assert!(fs.insert(sym("edge"), vec![a, b], &st));
+        assert!(!fs.insert(sym("edge"), vec![a, b], &st));
+        assert!(fs.insert(sym("node"), vec![a], &st));
+        assert_eq!(fs.total, 2);
+        assert!(fs.contains(sym("edge"), &[a, b]));
+        assert_eq!(fs.predicates(), vec![(sym("edge"), 2), (sym("node"), 1)]);
+        assert_eq!(fs.display(&st), vec!["edge(a, b)", "node(a)"]);
+    }
+
+    #[test]
+    fn same_predicate_different_arities_are_distinct() {
+        let (st, a, b, _) = setup();
+        let mut fs = FactStore::new();
+        fs.insert(sym("p"), vec![a], &st);
+        fs.insert(sym("p"), vec![a, b], &st);
+        assert_eq!(fs.relation(sym("p"), 1).unwrap().len(), 1);
+        assert_eq!(fs.relation(sym("p"), 2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn match_var_binds_and_checks() {
+        let (st, a, b, _) = setup();
+        let mut env: Env = Vec::new();
+        let mut trail = Vec::new();
+        assert!(match_term(&RTerm::Var(0), a, &st, &mut env, &mut trail));
+        assert_eq!(env[0], Some(a));
+        // bound variable must agree
+        assert!(!match_term(&RTerm::Var(0), b, &st, &mut env, &mut trail));
+        assert!(match_term(&RTerm::Var(0), a, &st, &mut env, &mut trail));
+    }
+
+    #[test]
+    fn match_compound_and_trail_undo() {
+        let mut st = TermStore::new();
+        let a = st.intern_const(Const::Sym(sym("a")));
+        let b = st.intern_const(Const::Sym(sym("b")));
+        let fab = st.intern_app(sym("f"), vec![a, b]);
+        let mut env: Env = Vec::new();
+        let mut trail = Vec::new();
+        let mark = trail.len();
+        let pat = RTerm::App(sym("f"), vec![RTerm::Var(0), RTerm::Var(1)]);
+        assert!(match_term(&pat, fab, &st, &mut env, &mut trail));
+        assert_eq!(env[0], Some(a));
+        assert_eq!(env[1], Some(b));
+        trail_undo(&mut env, &mut trail, mark);
+        assert_eq!(env[0], None);
+        assert_eq!(env[1], None);
+        // functor mismatch
+        let gpat = RTerm::App(sym("g"), vec![RTerm::Var(0), RTerm::Var(1)]);
+        assert!(!match_term(&gpat, fab, &st, &mut env, &mut trail));
+        // constant pattern against compound
+        assert!(!match_term(
+            &RTerm::Const(Const::Sym(sym("a"))),
+            fab,
+            &st,
+            &mut env,
+            &mut trail
+        ));
+    }
+
+    #[test]
+    fn instantiate_interns_new_structure() {
+        let mut st = TermStore::new();
+        let a = st.intern_const(Const::Sym(sym("a")));
+        let env: Env = vec![Some(a)];
+        let pat = RTerm::App(sym("id"), vec![RTerm::Var(0), RTerm::Const(Const::Int(1))]);
+        let id = instantiate(&pat, &env, &mut st).unwrap();
+        assert_eq!(st.display(id), "id(a, 1)");
+        // unbound variable fails
+        let pat2 = RTerm::Var(3);
+        assert!(instantiate(&pat2, &env, &mut st).is_none());
+    }
+
+    #[test]
+    fn bound_positions_sees_existing_terms_only() {
+        let mut st = TermStore::new();
+        let a = st.intern_const(Const::Sym(sym("a")));
+        let env: Env = vec![Some(a)];
+        let args = vec![
+            RTerm::Var(0),                        // bound via env
+            RTerm::Const(Const::Sym(sym("a"))),   // interned
+            RTerm::Const(Const::Sym(sym("zzz"))), // never interned: can't match anything…
+            RTerm::Var(9),                        // unbound
+        ];
+        let bp = bound_positions(&args, &env, &st);
+        assert_eq!(bp, vec![IndexKey::Exact(0, a), IndexKey::Exact(1, a)]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Hash-consed ground terms and the fact store's tuple representation.
+//!
+//! Term graphs with identity are awkward to share under ownership, so the
+//! engine interns every ground term into a [`TermStore`] arena: a
+//! [`TermId`] is a 4-byte handle, structural equality is integer equality,
+//! and the store is the single owner of all term structure. Derived facts
+//! — of which bottom-up evaluation produces many — are then just small
+//! vectors of ids.
+
+use clogic_core::fol::FoTerm;
+use clogic_core::symbol::Symbol;
+use clogic_core::term::Const;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a hash-consed ground term inside a [`TermStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// The stored shape of a ground term.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum GroundTerm {
+    /// A constant.
+    Const(Const),
+    /// `f(t1,…,tn)` with interned argument handles.
+    App(Symbol, Vec<TermId>),
+}
+
+/// An arena of hash-consed ground terms.
+///
+/// Interning the same term twice yields the same [`TermId`]; ids are dense
+/// and stable for the store's lifetime.
+#[derive(Clone, Debug, Default)]
+pub struct TermStore {
+    terms: Vec<GroundTerm>,
+    map: HashMap<GroundTerm, TermId>,
+}
+
+impl TermStore {
+    /// An empty store.
+    pub fn new() -> TermStore {
+        TermStore::default()
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns a ground term shape.
+    pub fn intern(&mut self, t: GroundTerm) -> TermId {
+        if let Some(&id) = self.map.get(&t) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(t.clone());
+        self.map.insert(t, id);
+        id
+    }
+
+    /// Interns a constant.
+    pub fn intern_const(&mut self, c: Const) -> TermId {
+        self.intern(GroundTerm::Const(c))
+    }
+
+    /// Interns `f(args…)`.
+    pub fn intern_app(&mut self, f: Symbol, args: Vec<TermId>) -> TermId {
+        self.intern(GroundTerm::App(f, args))
+    }
+
+    /// Interns a ground [`FoTerm`]; returns `None` if it contains a
+    /// variable.
+    pub fn intern_fo(&mut self, t: &FoTerm) -> Option<TermId> {
+        match t {
+            FoTerm::Var(_) => None,
+            FoTerm::Const(c) => Some(self.intern_const(*c)),
+            FoTerm::App(f, args) => {
+                let mut ids = Vec::with_capacity(args.len());
+                for a in args {
+                    ids.push(self.intern_fo(a)?);
+                }
+                Some(self.intern_app(*f, ids))
+            }
+        }
+    }
+
+    /// Looks up the shape of an interned term.
+    pub fn get(&self, id: TermId) -> &GroundTerm {
+        &self.terms[id.0 as usize]
+    }
+
+    /// The id of a shape, if it has been interned (read-only probe).
+    pub fn lookup(&self, t: &GroundTerm) -> Option<TermId> {
+        self.map.get(t).copied()
+    }
+
+    /// Reconstructs the [`FoTerm`] for an id (for display and for handing
+    /// answers back to callers).
+    pub fn to_fo(&self, id: TermId) -> FoTerm {
+        match self.get(id) {
+            GroundTerm::Const(c) => FoTerm::Const(*c),
+            GroundTerm::App(f, args) => {
+                FoTerm::App(*f, args.iter().map(|&a| self.to_fo(a)).collect())
+            }
+        }
+    }
+
+    /// Renders an interned term.
+    pub fn display(&self, id: TermId) -> String {
+        self.to_fo(id).to_string()
+    }
+
+    /// The integer value of an interned term, if it is an integer
+    /// constant — used by the arithmetic built-ins.
+    pub fn as_int(&self, id: TermId) -> Option<i64> {
+        match self.get(id) {
+            GroundTerm::Const(Const::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+/// A derived ground fact: predicate symbol plus interned argument tuple.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroundAtom {
+    /// The predicate symbol.
+    pub pred: Symbol,
+    /// The argument tuple.
+    pub args: Vec<TermId>,
+}
+
+impl GroundAtom {
+    /// Builds a ground atom.
+    pub fn new(pred: Symbol, args: Vec<TermId>) -> GroundAtom {
+        GroundAtom { pred, args }
+    }
+
+    /// Renders via a store.
+    pub fn display(&self, store: &TermStore) -> String {
+        let args: Vec<String> = self.args.iter().map(|&a| store.display(a)).collect();
+        format!("{}({})", self.pred, args.join(", "))
+    }
+
+    /// Converts back to a first-order atom.
+    pub fn to_fo(&self, store: &TermStore) -> clogic_core::fol::FoAtom {
+        clogic_core::fol::FoAtom::new(
+            self.pred,
+            self.args.iter().map(|&a| store.to_fo(a)).collect(),
+        )
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clogic_core::symbol::sym;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut st = TermStore::new();
+        let a1 = st.intern_const(Const::Sym(sym("a")));
+        let a2 = st.intern_const(Const::Sym(sym("a")));
+        assert_eq!(a1, a2);
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn compound_terms_share_substructure() {
+        let mut st = TermStore::new();
+        let a = st.intern_const(Const::Sym(sym("a")));
+        let f1 = st.intern_app(sym("f"), vec![a]);
+        let f2 = st.intern_app(sym("f"), vec![a]);
+        assert_eq!(f1, f2);
+        let g = st.intern_app(sym("g"), vec![f1, f1]);
+        assert_eq!(st.len(), 3);
+        assert_eq!(st.display(g), "g(f(a), f(a))");
+    }
+
+    #[test]
+    fn fo_roundtrip() {
+        let mut st = TermStore::new();
+        let t = FoTerm::App(sym("id"), vec![FoTerm::constant("x"), FoTerm::int(3)]);
+        let id = st.intern_fo(&t).unwrap();
+        assert_eq!(st.to_fo(id), t);
+        // variables refuse to intern
+        assert!(st.intern_fo(&FoTerm::var("X")).is_none());
+        assert!(st
+            .intern_fo(&FoTerm::App(sym("f"), vec![FoTerm::var("X")]))
+            .is_none());
+    }
+
+    #[test]
+    fn distinct_const_kinds_distinct_ids() {
+        let mut st = TermStore::new();
+        let i = st.intern_const(Const::Int(1));
+        let s = st.intern_const(Const::Sym(sym("1")));
+        assert_ne!(i, s);
+        assert_eq!(st.as_int(i), Some(1));
+        assert_eq!(st.as_int(s), None);
+    }
+
+    #[test]
+    fn ground_atom_display() {
+        let mut st = TermStore::new();
+        let j = st.intern_const(Const::Sym(sym("john")));
+        let b = st.intern_const(Const::Sym(sym("bob")));
+        let atom = GroundAtom::new(sym("children"), vec![j, b]);
+        assert_eq!(atom.display(&st), "children(john, bob)");
+        assert_eq!(atom.to_fo(&st).to_string(), "children(john, bob)");
+    }
+
+    #[test]
+    fn empty_store() {
+        let st = TermStore::new();
+        assert!(st.is_empty());
+        assert_eq!(st.len(), 0);
+    }
+}

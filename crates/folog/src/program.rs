@@ -1,0 +1,341 @@
+//! Compiled first-order programs: clauses with dense rule-local variables
+//! and a clause index.
+//!
+//! Compilation renames each clause's variables to `0..n_vars` so that an
+//! activation at runtime is a constant-offset shift ("standardize apart"
+//! without hashing). The clause index maps a predicate (and, when the
+//! goal's first argument is bound, its principal functor) to the matching
+//! clauses — standard first-argument indexing.
+
+use crate::rterm::{ratom_of_fo, RAtom, RTerm, VarAlloc, VarId};
+use clogic_core::fol::{FoClause, FoProgram};
+use clogic_core::symbol::Symbol;
+use clogic_core::term::Const;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compiled clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: RAtom,
+    /// The positive body atoms.
+    pub body: Vec<RAtom>,
+    /// Negated body atoms (negation as failure).
+    pub neg_body: Vec<RAtom>,
+    /// Number of distinct variables (ids are `0..n_vars`).
+    pub n_vars: u32,
+}
+
+impl Rule {
+    /// True iff the body (positive and negative) is empty.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && self.neg_body.is_empty()
+    }
+
+    /// True iff the rule uses negation.
+    pub fn has_negation(&self) -> bool {
+        !self.neg_body.is_empty()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() || !self.neg_body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, b) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{b}")?;
+            }
+            for (i, n) in self.neg_body.iter().enumerate() {
+                if i > 0 || !self.body.is_empty() {
+                    write!(f, ", ")?;
+                }
+                write!(f, "\\+ {n}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// The key under which a goal's first argument selects clauses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArgKey {
+    /// A constant.
+    Const(Const),
+    /// A compound term's principal functor and arity.
+    Functor(Symbol, usize),
+}
+
+/// Computes the index key of a term, if it is not a variable.
+pub fn arg_key(t: &RTerm) -> Option<ArgKey> {
+    match t {
+        RTerm::Var(_) => None,
+        RTerm::Const(c) => Some(ArgKey::Const(*c)),
+        RTerm::App(f, args) => Some(ArgKey::Functor(*f, args.len())),
+    }
+}
+
+/// A compiled program with clause indexing.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledProgram {
+    /// All rules, in source order.
+    pub rules: Vec<Rule>,
+    /// Predicate symbols treated as evaluable built-ins.
+    pub builtins: std::collections::BTreeSet<Symbol>,
+    by_pred: HashMap<(Symbol, usize), Vec<usize>>,
+    /// For clauses whose head's first argument is not a variable:
+    /// (pred, arity, key) → clause indices. Clauses with a variable first
+    /// argument appear in `by_pred` only and must always be tried.
+    by_first_arg: HashMap<(Symbol, usize, ArgKey), Vec<usize>>,
+    /// Clauses per predicate whose head's first argument *is* a variable
+    /// (always candidates).
+    var_headed: HashMap<(Symbol, usize), Vec<usize>>,
+}
+
+impl CompiledProgram {
+    /// Compiles a first-order program. `builtins` names the evaluable
+    /// predicates (their atoms are never resolved against clauses).
+    pub fn compile(p: &FoProgram, builtins: impl IntoIterator<Item = Symbol>) -> CompiledProgram {
+        let mut out = CompiledProgram {
+            builtins: builtins.into_iter().collect(),
+            ..CompiledProgram::default()
+        };
+        for c in &p.clauses {
+            out.push_clause(c);
+        }
+        out
+    }
+
+    /// Compiles and adds one clause.
+    pub fn push_clause(&mut self, c: &FoClause) {
+        let mut alloc = VarAlloc::new();
+        let mut map = HashMap::new();
+        let head = ratom_of_fo(&c.head, &mut map, &mut alloc);
+        let body: Vec<RAtom> = c
+            .body
+            .iter()
+            .map(|b| ratom_of_fo(b, &mut map, &mut alloc))
+            .collect();
+        let neg_body: Vec<RAtom> = c
+            .negative_body
+            .iter()
+            .map(|n| ratom_of_fo(n, &mut map, &mut alloc))
+            .collect();
+        let rule = Rule {
+            head,
+            body,
+            neg_body,
+            n_vars: alloc.len() as u32,
+        };
+        self.push_rule(rule);
+    }
+
+    /// Adds a compiled rule, indexing it.
+    pub fn push_rule(&mut self, rule: Rule) {
+        let idx = self.rules.len();
+        let key = (rule.head.pred, rule.head.args.len());
+        self.by_pred.entry(key).or_default().push(idx);
+        match rule.head.args.first().and_then(arg_key) {
+            Some(k) => {
+                self.by_first_arg
+                    .entry((key.0, key.1, k))
+                    .or_default()
+                    .push(idx);
+            }
+            None => {
+                // Variable first argument, or zero arity.
+                self.var_headed.entry(key).or_default().push(idx);
+            }
+        }
+        self.rules.push(rule);
+    }
+
+    /// Whether `pred` is an evaluable built-in.
+    pub fn is_builtin(&self, pred: Symbol) -> bool {
+        self.builtins.contains(&pred)
+    }
+
+    /// Candidate clauses for a goal, using first-argument indexing when
+    /// the goal's first argument is bound to a non-variable under no
+    /// particular bindings (callers should pass the *walked* first
+    /// argument). Returned in source order.
+    pub fn candidates(&self, pred: Symbol, arity: usize, first_arg: Option<&RTerm>) -> Vec<usize> {
+        let key = (pred, arity);
+        match first_arg.and_then(arg_key) {
+            None => self.by_pred.get(&key).cloned().unwrap_or_default(),
+            Some(k) => {
+                let mut out: Vec<usize> = self
+                    .by_first_arg
+                    .get(&(pred, arity, k))
+                    .cloned()
+                    .unwrap_or_default();
+                if let Some(vs) = self.var_headed.get(&key) {
+                    out.extend(vs.iter().copied());
+                    out.sort_unstable();
+                }
+                out
+            }
+        }
+    }
+
+    /// All rules for a predicate.
+    pub fn rules_for(&self, pred: Symbol, arity: usize) -> Vec<usize> {
+        self.by_pred
+            .get(&(pred, arity))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True iff there are no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The set of derivable predicates (head predicates with arities).
+    pub fn head_predicates(&self) -> Vec<(Symbol, usize)> {
+        let mut out: Vec<(Symbol, usize)> = self.by_pred.keys().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// True iff any rule uses negation.
+    pub fn has_negation(&self) -> bool {
+        self.rules.iter().any(Rule::has_negation)
+    }
+}
+
+/// Shifts all variables in an atom by `offset` — instantiating a fresh
+/// activation of a rule whose variables are `0..n_vars`.
+pub fn shift_atom(a: &RAtom, offset: VarId) -> RAtom {
+    RAtom {
+        pred: a.pred,
+        args: a.args.iter().map(|t| shift_term(t, offset)).collect(),
+    }
+}
+
+/// Shifts all variables in a term by `offset`.
+pub fn shift_term(t: &RTerm, offset: VarId) -> RTerm {
+    match t {
+        RTerm::Var(v) => RTerm::Var(v + offset),
+        RTerm::Const(_) => t.clone(),
+        RTerm::App(f, args) => RTerm::App(*f, args.iter().map(|x| shift_term(x, offset)).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clogic_core::fol::{FoAtom, FoTerm};
+    use clogic_core::symbol::sym;
+
+    fn program() -> FoProgram {
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(FoAtom::new(
+            "edge",
+            vec![FoTerm::constant("a"), FoTerm::constant("b")],
+        )));
+        p.push(FoClause::fact(FoAtom::new(
+            "edge",
+            vec![FoTerm::constant("b"), FoTerm::constant("c")],
+        )));
+        p.push(FoClause::rule(
+            FoAtom::new("path", vec![FoTerm::var("X"), FoTerm::var("Y")]),
+            vec![FoAtom::new(
+                "edge",
+                vec![FoTerm::var("X"), FoTerm::var("Y")],
+            )],
+        ));
+        p.push(FoClause::rule(
+            FoAtom::new("path", vec![FoTerm::var("X"), FoTerm::var("Z")]),
+            vec![
+                FoAtom::new("edge", vec![FoTerm::var("X"), FoTerm::var("Y")]),
+                FoAtom::new("path", vec![FoTerm::var("Y"), FoTerm::var("Z")]),
+            ],
+        ));
+        p
+    }
+
+    #[test]
+    fn compile_renames_to_dense_vars() {
+        let cp = CompiledProgram::compile(&program(), []);
+        assert_eq!(cp.len(), 4);
+        let transitive = &cp.rules[3];
+        assert_eq!(transitive.n_vars, 3);
+        assert_eq!(
+            transitive.to_string(),
+            "path(_G0, _G1) :- edge(_G0, _G2), path(_G2, _G1)."
+        );
+        assert!(cp.rules[0].is_fact());
+        assert!(!transitive.is_fact());
+    }
+
+    #[test]
+    fn first_arg_indexing_selects_facts() {
+        let cp = CompiledProgram::compile(&program(), []);
+        let a = RTerm::Const(Const::Sym(sym("a")));
+        let hits = cp.candidates(sym("edge"), 2, Some(&a));
+        assert_eq!(hits, vec![0]); // only edge(a,b)
+                                   // unbound first argument: all edge clauses
+        assert_eq!(cp.candidates(sym("edge"), 2, None), vec![0, 1]);
+        // path heads have variable first args: always candidates
+        assert_eq!(cp.candidates(sym("path"), 2, Some(&a)), vec![2, 3]);
+    }
+
+    #[test]
+    fn candidates_respect_arity() {
+        let cp = CompiledProgram::compile(&program(), []);
+        assert!(cp.candidates(sym("edge"), 3, None).is_empty());
+        assert!(cp.candidates(sym("nope"), 2, None).is_empty());
+    }
+
+    #[test]
+    fn functor_keys_distinguish_compounds() {
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(FoAtom::new(
+            "obj",
+            vec![FoTerm::App(sym("id"), vec![FoTerm::constant("a")])],
+        )));
+        p.push(FoClause::fact(FoAtom::new(
+            "obj",
+            vec![FoTerm::App(sym("mk"), vec![FoTerm::constant("a")])],
+        )));
+        let cp = CompiledProgram::compile(&p, []);
+        let goal_arg = RTerm::App(sym("id"), vec![RTerm::Var(0)]);
+        assert_eq!(cp.candidates(sym("obj"), 1, Some(&goal_arg)), vec![0]);
+    }
+
+    #[test]
+    fn shift_standardizes_apart() {
+        let cp = CompiledProgram::compile(&program(), []);
+        let r = &cp.rules[3];
+        let shifted = shift_atom(&r.head, 10);
+        assert_eq!(shifted.to_string(), "path(_G10, _G11)");
+        let also = shift_term(&RTerm::Const(Const::Int(5)), 10);
+        assert_eq!(also, RTerm::Const(Const::Int(5)));
+    }
+
+    #[test]
+    fn builtins_are_registered() {
+        let cp = CompiledProgram::compile(&program(), [sym("is")]);
+        assert!(cp.is_builtin(sym("is")));
+        assert!(!cp.is_builtin(sym("edge")));
+    }
+
+    #[test]
+    fn head_predicates() {
+        let cp = CompiledProgram::compile(&program(), []);
+        assert_eq!(
+            cp.head_predicates(),
+            vec![(sym("edge"), 2), (sym("path"), 2)]
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Runtime terms for resolution: variables are dense integers.
+//!
+//! Source-level terms name variables by [`Symbol`]; during resolution each
+//! clause activation needs fresh variables, so the engine renames symbols
+//! to dense `u32` indices ("standardizing apart" by allocating a fresh
+//! block of indices per activation). Dense indices make the binding store
+//! an array rather than a hash map.
+
+use clogic_core::fol::{FoAtom, FoTerm};
+use clogic_core::symbol::Symbol;
+use clogic_core::term::Const;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime variable: an index into the binding store.
+pub type VarId = u32;
+
+/// A runtime term.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RTerm {
+    /// A variable.
+    Var(VarId),
+    /// A constant.
+    Const(Const),
+    /// `f(t1,…,tn)`, `n ≥ 1`.
+    App(Symbol, Vec<RTerm>),
+}
+
+impl RTerm {
+    /// True iff no variable occurs.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            RTerm::Var(_) => false,
+            RTerm::Const(_) => true,
+            RTerm::App(_, args) => args.iter().all(RTerm::is_ground),
+        }
+    }
+
+    /// Structural size.
+    pub fn size(&self) -> usize {
+        match self {
+            RTerm::Var(_) | RTerm::Const(_) => 1,
+            RTerm::App(_, args) => 1 + args.iter().map(RTerm::size).sum::<usize>(),
+        }
+    }
+
+    /// Collects variables into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            RTerm::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            RTerm::Const(_) => {}
+            RTerm::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for RTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RTerm::Var(v) => write!(f, "_G{v}"),
+            RTerm::Const(c) => write!(f, "{c}"),
+            RTerm::App(fun, args) => {
+                write!(f, "{fun}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A runtime atom.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RAtom {
+    /// The predicate symbol.
+    pub pred: Symbol,
+    /// The arguments.
+    pub args: Vec<RTerm>,
+}
+
+impl fmt::Display for RAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Allocates runtime variable ids and remembers the source name of each,
+/// so answers can be reported against the query's variable names.
+#[derive(Clone, Debug, Default)]
+pub struct VarAlloc {
+    names: Vec<Option<Symbol>>,
+}
+
+impl VarAlloc {
+    /// An empty allocator.
+    pub fn new() -> VarAlloc {
+        VarAlloc::default()
+    }
+
+    /// Allocates a fresh anonymous variable.
+    pub fn fresh(&mut self) -> VarId {
+        let id = self.names.len() as VarId;
+        self.names.push(None);
+        id
+    }
+
+    /// Allocates a fresh variable carrying a source name.
+    pub fn fresh_named(&mut self, name: Symbol) -> VarId {
+        let id = self.names.len() as VarId;
+        self.names.push(Some(name));
+        id
+    }
+
+    /// The source name of a variable, if it has one.
+    pub fn name(&self, v: VarId) -> Option<Symbol> {
+        self.names.get(v as usize).copied().flatten()
+    }
+
+    /// Number of variables allocated so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff nothing is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Converts a source term, renaming named variables consistently via
+/// `map` and allocating ids from `alloc`.
+pub fn rterm_of_fo(t: &FoTerm, map: &mut HashMap<Symbol, VarId>, alloc: &mut VarAlloc) -> RTerm {
+    match t {
+        FoTerm::Var(name) => {
+            let id = *map.entry(*name).or_insert_with(|| alloc.fresh_named(*name));
+            RTerm::Var(id)
+        }
+        FoTerm::Const(c) => RTerm::Const(*c),
+        FoTerm::App(f, args) => RTerm::App(
+            *f,
+            args.iter().map(|a| rterm_of_fo(a, map, alloc)).collect(),
+        ),
+    }
+}
+
+/// Converts a source atom (see [`rterm_of_fo`]).
+pub fn ratom_of_fo(a: &FoAtom, map: &mut HashMap<Symbol, VarId>, alloc: &mut VarAlloc) -> RAtom {
+    RAtom {
+        pred: a.pred,
+        args: a.args.iter().map(|t| rterm_of_fo(t, map, alloc)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clogic_core::symbol::sym;
+
+    #[test]
+    fn renaming_is_consistent_within_one_map() {
+        let mut alloc = VarAlloc::new();
+        let mut map = HashMap::new();
+        let t = FoTerm::App(
+            sym("f"),
+            vec![FoTerm::var("X"), FoTerm::var("X"), FoTerm::var("Y")],
+        );
+        let r = rterm_of_fo(&t, &mut map, &mut alloc);
+        match r {
+            RTerm::App(_, args) => {
+                assert_eq!(args[0], args[1]);
+                assert_ne!(args[0], args[2]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(alloc.len(), 2);
+        assert_eq!(alloc.name(0), Some(sym("X")));
+        assert_eq!(alloc.name(1), Some(sym("Y")));
+    }
+
+    #[test]
+    fn separate_maps_standardize_apart() {
+        let mut alloc = VarAlloc::new();
+        let t = FoTerm::var("X");
+        let r1 = rterm_of_fo(&t, &mut HashMap::new(), &mut alloc);
+        let r2 = rterm_of_fo(&t, &mut HashMap::new(), &mut alloc);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn display_and_size() {
+        let t = RTerm::App(sym("f"), vec![RTerm::Var(0), RTerm::Const(Const::Int(3))]);
+        assert_eq!(t.to_string(), "f(_G0, 3)");
+        assert_eq!(t.size(), 3);
+        assert!(!t.is_ground());
+        assert!(RTerm::Const(Const::Int(1)).is_ground());
+    }
+
+    #[test]
+    fn collect_vars_dedups() {
+        let t = RTerm::App(sym("f"), vec![RTerm::Var(1), RTerm::Var(1), RTerm::Var(0)]);
+        let mut vs = Vec::new();
+        t.collect_vars(&mut vs);
+        assert_eq!(vs, vec![1, 0]);
+    }
+
+    #[test]
+    fn anonymous_fresh_vars_have_no_name() {
+        let mut alloc = VarAlloc::new();
+        let v = alloc.fresh();
+        assert_eq!(alloc.name(v), None);
+        assert!(!alloc.is_empty());
+    }
+
+    #[test]
+    fn ratom_conversion() {
+        let mut alloc = VarAlloc::new();
+        let mut map = HashMap::new();
+        let a = FoAtom::new("edge", vec![FoTerm::var("X"), FoTerm::constant("b")]);
+        let r = ratom_of_fo(&a, &mut map, &mut alloc);
+        assert_eq!(r.to_string(), "edge(_G0, b)");
+    }
+}

@@ -1,0 +1,518 @@
+//! Top-down evaluation: SLD resolution over definite clauses.
+//!
+//! Depth-first, left-to-right, with trailed backtracking, first-argument
+//! clause indexing, and resource limits (depth, resolution steps, number
+//! of solutions). The result records whether the search space was
+//! exhausted — an SLD run cut off by a limit reports `complete = false`,
+//! which the experiments use to demonstrate that plain SLD diverges on
+//! recursive programs over cyclic data where tabling terminates.
+
+use crate::builtins::BuiltinError;
+use crate::program::{shift_atom, CompiledProgram};
+use crate::rterm::{RAtom, RTerm, VarAlloc, VarId};
+use crate::unify::{unify_atoms, Bindings, UnifyOptions};
+use clogic_core::fol::{FoAtom, FoTerm};
+use clogic_core::symbol::Symbol;
+use std::collections::{BTreeMap, HashMap};
+
+/// Limits and options for an SLD run.
+#[derive(Clone, Copy, Debug)]
+pub struct SldOptions {
+    /// Maximum resolution depth (goal-stack depth); `None` = unbounded.
+    pub max_depth: Option<usize>,
+    /// Maximum number of resolution steps; `None` = unbounded.
+    pub max_steps: Option<u64>,
+    /// Stop after this many solutions; `None` = all.
+    pub max_solutions: Option<usize>,
+    /// Unification options.
+    pub unify: UnifyOptions,
+}
+
+impl Default for SldOptions {
+    fn default() -> Self {
+        SldOptions {
+            max_depth: Some(10_000),
+            max_steps: Some(10_000_000),
+            max_solutions: None,
+            unify: UnifyOptions::default(),
+        }
+    }
+}
+
+/// Counters for an SLD run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SldStats {
+    /// Resolution steps (clause-activation attempts).
+    pub steps: u64,
+    /// Head-unification attempts.
+    pub unify_attempts: u64,
+    /// Successful head unifications.
+    pub unify_successes: u64,
+    /// Deepest goal stack reached.
+    pub max_depth_reached: usize,
+}
+
+/// The outcome of an SLD run.
+#[derive(Clone, Debug)]
+pub struct SldResult {
+    /// Answers: query-variable name → ground (or residual) term.
+    pub answers: Vec<BTreeMap<Symbol, FoTerm>>,
+    /// Counters.
+    pub stats: SldStats,
+    /// True iff the whole search space was explored within the limits
+    /// (when false, missing answers prove nothing).
+    pub complete: bool,
+}
+
+/// A resolution goal: a positive atom or a negated one (NAF).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SldGoal {
+    /// Prove the atom.
+    Pos(RAtom),
+    /// Succeed iff the atom is *not* provable under the current bindings
+    /// (which must ground it — otherwise the computation flounders).
+    Neg(RAtom),
+}
+
+/// A query solver over a compiled program.
+pub struct SldEngine<'p> {
+    program: &'p CompiledProgram,
+    opts: SldOptions,
+}
+
+struct Search<'p> {
+    program: &'p CompiledProgram,
+    opts: SldOptions,
+    bind: Bindings,
+    next_var: VarId,
+    stats: SldStats,
+    truncated: bool,
+    emitted: usize,
+}
+
+impl<'p> SldEngine<'p> {
+    /// Creates an engine.
+    pub fn new(program: &'p CompiledProgram, opts: SldOptions) -> SldEngine<'p> {
+        SldEngine { program, opts }
+    }
+
+    /// Solves a conjunctive query given as first-order atoms.
+    pub fn solve(&self, goals: &[FoAtom]) -> Result<SldResult, BuiltinError> {
+        self.solve_with_negation(goals, &[])
+    }
+
+    /// Solves a query with negated goals (checked after the positives).
+    pub fn solve_with_negation(
+        &self,
+        goals: &[FoAtom],
+        neg_goals: &[FoAtom],
+    ) -> Result<SldResult, BuiltinError> {
+        let mut alloc = VarAlloc::new();
+        let mut map: HashMap<Symbol, VarId> = HashMap::new();
+        let mut rgoals: Vec<SldGoal> = goals
+            .iter()
+            .map(|g| SldGoal::Pos(crate::rterm::ratom_of_fo(g, &mut map, &mut alloc)))
+            .collect();
+        rgoals.extend(
+            neg_goals
+                .iter()
+                .map(|g| SldGoal::Neg(crate::rterm::ratom_of_fo(g, &mut map, &mut alloc))),
+        );
+        let query_vars: Vec<(Symbol, VarId)> = {
+            let mut v: Vec<_> = map.into_iter().collect();
+            v.sort();
+            v
+        };
+        let mut search = Search {
+            program: self.program,
+            opts: self.opts,
+            bind: Bindings::new(),
+            next_var: alloc.len() as VarId,
+            stats: SldStats::default(),
+            truncated: false,
+            emitted: 0,
+        };
+        let mut answers = Vec::new();
+        // SLD recursion is depth-limited but can legitimately run
+        // thousands of frames deep; use a dedicated big-stack thread so
+        // callers (including 2 MiB test threads) never overflow.
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("folog-sld-search".into())
+                .stack_size(256 * 1024 * 1024)
+                .spawn_scoped(scope, || {
+                    search.solve(&rgoals, 0, &mut |bind| {
+                        let mut answer = BTreeMap::new();
+                        for &(name, v) in &query_vars {
+                            answer.insert(name, fo_of_rterm(&bind.resolve(&RTerm::Var(v))));
+                        }
+                        answers.push(answer);
+                    })
+                })
+                .expect("spawn search thread")
+                .join()
+                .expect("search thread panicked")
+        })?;
+        let complete = !search.truncated;
+        let hit_solution_cap = self.opts.max_solutions.is_some_and(|m| answers.len() >= m);
+        answers.sort();
+        answers.dedup();
+        Ok(SldResult {
+            answers,
+            stats: search.stats,
+            complete: complete && !hit_solution_cap,
+        })
+    }
+}
+
+impl Search<'_> {
+    /// Returns `Ok(true)` to continue searching, `Ok(false)` to stop
+    /// (solution cap reached).
+    fn solve(
+        &mut self,
+        goals: &[SldGoal],
+        depth: usize,
+        emit: &mut impl FnMut(&Bindings),
+    ) -> Result<bool, BuiltinError> {
+        self.stats.max_depth_reached = self.stats.max_depth_reached.max(depth);
+        let Some((next, rest)) = goals.split_first() else {
+            emit(&self.bind);
+            self.emitted += 1;
+            if self.opts.max_solutions.is_some_and(|m| self.emitted >= m) {
+                return Ok(false);
+            }
+            return Ok(true);
+        };
+        if self.opts.max_depth.is_some_and(|m| depth > m) {
+            self.truncated = true;
+            return Ok(true);
+        }
+        if self.opts.max_steps.is_some_and(|m| self.stats.steps > m) {
+            self.truncated = true;
+            return Ok(true);
+        }
+        let goal = match next {
+            SldGoal::Neg(inner) => {
+                // Negation as failure: the selected goal must be ground
+                // under the current bindings (floundering otherwise), and
+                // succeeds iff the positive goal has no proof.
+                let resolved = RAtom {
+                    pred: inner.pred,
+                    args: inner.args.iter().map(|a| self.bind.resolve(a)).collect(),
+                };
+                if resolved.args.iter().any(|a| !a.is_ground()) {
+                    return Err(BuiltinError::Floundered(resolved.to_string()));
+                }
+                let provable = self.provable(&resolved, depth)?;
+                return if provable {
+                    Ok(true)
+                } else {
+                    self.solve(rest, depth, emit)
+                };
+            }
+            SldGoal::Pos(g) => g,
+        };
+        if self.program.is_builtin(goal.pred) {
+            let cp = self.bind.checkpoint();
+            let ok = crate::builtins::solve(goal, &mut self.bind, self.opts.unify)?;
+            let cont = if ok {
+                self.solve(rest, depth, emit)?
+            } else {
+                true
+            };
+            self.bind.rollback(cp);
+            return Ok(cont);
+        }
+        // Resolve against program clauses.
+        let first_arg = goal.args.first().map(|a| self.bind.walk(a).clone());
+        let candidates = self
+            .program
+            .candidates(goal.pred, goal.args.len(), first_arg.as_ref());
+        for ci in candidates {
+            self.stats.steps += 1;
+            if self.opts.max_steps.is_some_and(|m| self.stats.steps > m) {
+                self.truncated = true;
+                return Ok(true);
+            }
+            let rule = &self.program.rules[ci];
+            let offset = self.next_var;
+            let head = shift_atom(&rule.head, offset);
+            let cp = self.bind.checkpoint();
+            self.stats.unify_attempts += 1;
+            if unify_atoms(goal, &head, &mut self.bind, self.opts.unify) {
+                self.stats.unify_successes += 1;
+                let saved_next = self.next_var;
+                self.next_var += rule.n_vars;
+                let mut new_goals: Vec<SldGoal> =
+                    Vec::with_capacity(rule.body.len() + rule.neg_body.len() + rest.len());
+                new_goals.extend(
+                    rule.body
+                        .iter()
+                        .map(|b| SldGoal::Pos(shift_atom(b, offset))),
+                );
+                new_goals.extend(
+                    rule.neg_body
+                        .iter()
+                        .map(|n| SldGoal::Neg(shift_atom(n, offset))),
+                );
+                new_goals.extend_from_slice(rest);
+                let cont = self.solve(&new_goals, depth + 1, emit)?;
+                self.next_var = saved_next.max(self.next_var);
+                if !cont {
+                    self.bind.rollback(cp);
+                    return Ok(false);
+                }
+            }
+            self.bind.rollback(cp);
+        }
+        Ok(true)
+    }
+
+    /// Existence sub-proof for NAF: succeeds iff `goal` has at least one
+    /// solution. Bindings are restored afterwards; resource limits and
+    /// step counters are shared with the outer search.
+    fn provable(&mut self, goal: &RAtom, depth: usize) -> Result<bool, BuiltinError> {
+        let saved_emitted = self.emitted;
+        let saved_max = self.opts.max_solutions;
+        self.emitted = 0;
+        self.opts.max_solutions = Some(1);
+        let cp = self.bind.checkpoint();
+        self.solve(&[SldGoal::Pos(goal.clone())], depth + 1, &mut |_| {})?;
+        let found = self.emitted > 0;
+        self.bind.rollback(cp);
+        self.emitted = saved_emitted;
+        self.opts.max_solutions = saved_max;
+        Ok(found)
+    }
+}
+
+/// Converts a resolved runtime term back to a first-order term; residual
+/// variables are rendered as `_Gn` named variables.
+pub fn fo_of_rterm(t: &RTerm) -> FoTerm {
+    match t {
+        RTerm::Var(v) => FoTerm::Var(Symbol::new(&format!("_G{v}"))),
+        RTerm::Const(c) => FoTerm::Const(*c),
+        RTerm::App(f, args) => FoTerm::App(*f, args.iter().map(fo_of_rterm).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::builtin_symbols;
+    use clogic_core::fol::{FoClause, FoProgram};
+    use clogic_core::symbol::sym;
+
+    fn atom(p: &str, args: Vec<FoTerm>) -> FoAtom {
+        FoAtom::new(p, args)
+    }
+    fn c(s: &str) -> FoTerm {
+        FoTerm::constant(s)
+    }
+    fn v(s: &str) -> FoTerm {
+        FoTerm::var(s)
+    }
+
+    fn family() -> CompiledProgram {
+        let mut p = FoProgram::new();
+        for (a, b) in [
+            ("tom", "bob"),
+            ("tom", "liz"),
+            ("bob", "ann"),
+            ("bob", "pat"),
+        ] {
+            p.push(FoClause::fact(atom("parent", vec![c(a), c(b)])));
+        }
+        p.push(FoClause::rule(
+            atom("grandparent", vec![v("X"), v("Z")]),
+            vec![
+                atom("parent", vec![v("X"), v("Y")]),
+                atom("parent", vec![v("Y"), v("Z")]),
+            ],
+        ));
+        CompiledProgram::compile(&p, builtin_symbols())
+    }
+
+    #[test]
+    fn ground_query_succeeds() {
+        let cp = family();
+        let e = SldEngine::new(&cp, SldOptions::default());
+        let r = e
+            .solve(&[atom("parent", vec![c("tom"), c("bob")])])
+            .unwrap();
+        assert_eq!(r.answers.len(), 1);
+        assert!(r.complete);
+        let r2 = e
+            .solve(&[atom("parent", vec![c("bob"), c("tom")])])
+            .unwrap();
+        assert!(r2.answers.is_empty());
+        assert!(r2.complete);
+    }
+
+    #[test]
+    fn open_query_enumerates_answers() {
+        let cp = family();
+        let e = SldEngine::new(&cp, SldOptions::default());
+        let r = e
+            .solve(&[atom("grandparent", vec![c("tom"), v("Z")])])
+            .unwrap();
+        let zs: Vec<String> = r.answers.iter().map(|a| a[&sym("Z")].to_string()).collect();
+        assert_eq!(zs, vec!["ann", "pat"]);
+    }
+
+    #[test]
+    fn conjunctive_query_joins() {
+        let cp = family();
+        let e = SldEngine::new(&cp, SldOptions::default());
+        let r = e
+            .solve(&[
+                atom("parent", vec![v("X"), v("Y")]),
+                atom("parent", vec![v("Y"), v("Z")]),
+            ])
+            .unwrap();
+        assert_eq!(r.answers.len(), 2); // tom-bob-ann, tom-bob-pat
+    }
+
+    #[test]
+    fn recursion_terminates_on_acyclic_data() {
+        let mut p = FoProgram::new();
+        for i in 0..5 {
+            p.push(FoClause::fact(atom(
+                "edge",
+                vec![c(&format!("n{i}")), c(&format!("n{}", i + 1))],
+            )));
+        }
+        p.push(FoClause::rule(
+            atom("path", vec![v("X"), v("Y")]),
+            vec![atom("edge", vec![v("X"), v("Y")])],
+        ));
+        p.push(FoClause::rule(
+            atom("path", vec![v("X"), v("Z")]),
+            vec![
+                atom("edge", vec![v("X"), v("Y")]),
+                atom("path", vec![v("Y"), v("Z")]),
+            ],
+        ));
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let e = SldEngine::new(&cp, SldOptions::default());
+        let r = e.solve(&[atom("path", vec![c("n0"), v("Y")])]).unwrap();
+        assert_eq!(r.answers.len(), 5);
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn cyclic_data_hits_limits_incomplete() {
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("edge", vec![c("a"), c("b")])));
+        p.push(FoClause::fact(atom("edge", vec![c("b"), c("a")])));
+        p.push(FoClause::rule(
+            atom("path", vec![v("X"), v("Y")]),
+            vec![atom("edge", vec![v("X"), v("Y")])],
+        ));
+        p.push(FoClause::rule(
+            atom("path", vec![v("X"), v("Z")]),
+            vec![
+                atom("edge", vec![v("X"), v("Y")]),
+                atom("path", vec![v("Y"), v("Z")]),
+            ],
+        ));
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let e = SldEngine::new(
+            &cp,
+            SldOptions {
+                max_depth: Some(50),
+                max_steps: Some(10_000),
+                ..Default::default()
+            },
+        );
+        let r = e.solve(&[atom("path", vec![c("a"), v("Y")])]).unwrap();
+        // It finds answers but cannot exhaust the infinite SLD tree.
+        assert!(!r.answers.is_empty());
+        assert!(!r.complete);
+    }
+
+    #[test]
+    fn builtins_in_queries_and_rules() {
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("n", vec![FoTerm::int(3)])));
+        p.push(FoClause::rule(
+            atom("double", vec![v("X"), v("Y")]),
+            vec![
+                atom("n", vec![v("X")]),
+                atom(
+                    "is",
+                    vec![v("Y"), FoTerm::App(sym("*"), vec![v("X"), FoTerm::int(2)])],
+                ),
+            ],
+        ));
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let e = SldEngine::new(&cp, SldOptions::default());
+        let r = e.solve(&[atom("double", vec![v("A"), v("B")])]).unwrap();
+        assert_eq!(r.answers.len(), 1);
+        assert_eq!(r.answers[0][&sym("B")], FoTerm::int(6));
+    }
+
+    #[test]
+    fn builtin_error_propagates() {
+        let cp = family();
+        let e = SldEngine::new(&cp, SldOptions::default());
+        let err = e.solve(&[atom("is", vec![v("X"), v("Y")])]).unwrap_err();
+        assert!(matches!(err, BuiltinError::NotEvaluable(_)));
+    }
+
+    #[test]
+    fn max_solutions_caps_and_reports_incomplete() {
+        let cp = family();
+        let e = SldEngine::new(
+            &cp,
+            SldOptions {
+                max_solutions: Some(2),
+                ..Default::default()
+            },
+        );
+        let r = e.solve(&[atom("parent", vec![v("X"), v("Y")])]).unwrap();
+        assert_eq!(r.answers.len(), 2);
+        assert!(!r.complete);
+    }
+
+    #[test]
+    fn non_ground_answers_render_residual_vars() {
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("any", vec![v("X")])));
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let e = SldEngine::new(&cp, SldOptions::default());
+        let r = e.solve(&[atom("any", vec![v("Q")])]).unwrap();
+        assert_eq!(r.answers.len(), 1);
+        let t = r.answers[0][&sym("Q")].to_string();
+        assert!(t.starts_with("_G"), "{t}");
+    }
+
+    #[test]
+    fn stats_counted() {
+        let cp = family();
+        let e = SldEngine::new(&cp, SldOptions::default());
+        let r = e
+            .solve(&[atom("grandparent", vec![v("X"), v("Z")])])
+            .unwrap();
+        assert!(r.stats.steps > 0);
+        assert!(r.stats.unify_attempts >= r.stats.unify_successes);
+        assert!(r.stats.max_depth_reached >= 2);
+    }
+
+    #[test]
+    fn first_arg_indexing_reduces_steps() {
+        // A ground first argument should touch fewer clauses than an
+        // unbound one.
+        let mut p = FoProgram::new();
+        for i in 0..100 {
+            p.push(FoClause::fact(atom("f", vec![c(&format!("k{i}")), c("v")])));
+        }
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let e = SldEngine::new(&cp, SldOptions::default());
+        let bound = e.solve(&[atom("f", vec![c("k7"), v("V")])]).unwrap();
+        let open = e.solve(&[atom("f", vec![v("K"), v("V")])]).unwrap();
+        assert!(bound.stats.steps < open.stats.steps);
+        assert_eq!(bound.answers.len(), 1);
+        assert_eq!(open.answers.len(), 100);
+    }
+}

@@ -1,0 +1,464 @@
+//! The lexer for C-logic programs.
+//!
+//! Prolog-flavoured lexical conventions: lowercase-initial identifiers are
+//! symbols, uppercase/underscore-initial are variables, `%` starts a line
+//! comment, `"…"` is a string with `\"` and `\\` escapes. Multi-character
+//! operators are matched longest-first (`=:=` before `==` before `=`,
+//! `=<` vs `=>`, `:-` vs `:`).
+
+use crate::token::{Spanned, Token};
+use std::fmt;
+
+/// A lexical error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+/// Tokenizes a source string. The result always ends with [`Token::Eof`].
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_trivia();
+        let (line, col) = (lx.line, lx.col);
+        let token = lx.next_token()?;
+        let eof = token == Token::Eof;
+        out.push(Spanned { token, line, col });
+        if eof {
+            return Ok(out);
+        }
+    }
+}
+
+impl Lexer<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<u8> {
+        self.src.get(self.pos + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        let Some(c) = self.peek() else {
+            return Ok(Token::Eof);
+        };
+        match c {
+            b'(' => {
+                self.bump();
+                Ok(Token::LParen)
+            }
+            b')' => {
+                self.bump();
+                Ok(Token::RParen)
+            }
+            b'[' => {
+                self.bump();
+                Ok(Token::LBracket)
+            }
+            b']' => {
+                self.bump();
+                Ok(Token::RBracket)
+            }
+            b'{' => {
+                self.bump();
+                Ok(Token::LBrace)
+            }
+            b'}' => {
+                self.bump();
+                Ok(Token::RBrace)
+            }
+            b',' => {
+                self.bump();
+                Ok(Token::Comma)
+            }
+            b'.' => {
+                self.bump();
+                Ok(Token::Dot)
+            }
+            b':' => {
+                self.bump();
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    Ok(Token::If)
+                } else {
+                    Ok(Token::Colon)
+                }
+            }
+            b'=' => {
+                // =>, =<, =:=, =\=, ==, =
+                match (self.peek2(), self.peek3()) {
+                    (Some(b'>'), _) => {
+                        self.bump();
+                        self.bump();
+                        Ok(Token::Arrow)
+                    }
+                    (Some(b'<'), _) => {
+                        self.bump();
+                        self.bump();
+                        Ok(Token::Op("=<".into()))
+                    }
+                    (Some(b':'), Some(b'=')) => {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        Ok(Token::Op("=:=".into()))
+                    }
+                    (Some(b'\\'), Some(b'=')) => {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        Ok(Token::Op("=\\=".into()))
+                    }
+                    (Some(b'='), _) => {
+                        self.bump();
+                        self.bump();
+                        Ok(Token::Op("==".into()))
+                    }
+                    _ => {
+                        self.bump();
+                        Ok(Token::Op("=".into()))
+                    }
+                }
+            }
+            b'\\' => {
+                // \+, \=, \==
+                if self.peek2() == Some(b'+') {
+                    self.bump();
+                    self.bump();
+                    return Ok(Token::Op("\\+".into()));
+                }
+                if self.peek2() == Some(b'=') {
+                    if self.peek3() == Some(b'=') {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        Ok(Token::Op("\\==".into()))
+                    } else {
+                        self.bump();
+                        self.bump();
+                        Ok(Token::Op("\\=".into()))
+                    }
+                } else {
+                    Err(self.error("unexpected `\\`"))
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::Op(">=".into()))
+                } else {
+                    Ok(Token::Op(">".into()))
+                }
+            }
+            b'<' => {
+                self.bump();
+                Ok(Token::Op("<".into()))
+            }
+            b'+' | b'*' | b'/' => {
+                self.bump();
+                Ok(Token::Op((c as char).to_string()))
+            }
+            b'-' => {
+                self.bump();
+                Ok(Token::Op("-".into()))
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        None => return Err(self.error("unterminated string literal")),
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            other => {
+                                return Err(self.error(format!(
+                                    "unknown escape `\\{}`",
+                                    other.map(|c| c as char).unwrap_or(' ')
+                                )))
+                            }
+                        },
+                        Some(c) => s.push(c as char),
+                    }
+                }
+                Ok(Token::Str(s))
+            }
+            b'0'..=b'9' => {
+                let mut n: i64 = 0;
+                while let Some(d) = self.peek() {
+                    if d.is_ascii_digit() {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|x| x.checked_add((d - b'0') as i64))
+                            .ok_or_else(|| self.error("integer literal overflows i64"))?;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Token::Int(n))
+            }
+            c if c.is_ascii_lowercase() => {
+                let word = self.take_word();
+                if word == "mod" || word == "is" {
+                    // `is` is an infix predicate and `mod` an infix
+                    // operator. (`min`/`max` stay ordinary identifiers:
+                    // written `min(A, B)`, they parse as applications and
+                    // the arithmetic evaluator knows them by name.)
+                    Ok(Token::Op(word))
+                } else {
+                    Ok(Token::Ident(word))
+                }
+            }
+            c if c.is_ascii_uppercase() || c == b'_' => Ok(Token::Var(self.take_word())),
+            other => Err(self.error(format!("unexpected character `{}`", other as char))),
+        }
+    }
+
+    fn take_word(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn simple_fact() {
+        assert_eq!(
+            toks("name: john."),
+            vec![
+                Token::Ident("name".into()),
+                Token::Colon,
+                Token::Ident("john".into()),
+                Token::Dot,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn molecule_tokens() {
+        assert_eq!(
+            toks("john[age => 28]"),
+            vec![
+                Token::Ident("john".into()),
+                Token::LBracket,
+                Token::Ident("age".into()),
+                Token::Arrow,
+                Token::Int(28),
+                Token::RBracket,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rule_and_collection() {
+        let t = toks("p: X :- q: X[l => {a, b}].");
+        assert!(t.contains(&Token::If));
+        assert!(t.contains(&Token::LBrace));
+        assert!(t.contains(&Token::RBrace));
+        assert_eq!(t.iter().filter(|x| **x == Token::Comma).count(), 1);
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("=< => = == =:= =\\= \\= \\== >= > <"),
+            vec![
+                Token::Op("=<".into()),
+                Token::Arrow,
+                Token::Op("=".into()),
+                Token::Op("==".into()),
+                Token::Op("=:=".into()),
+                Token::Op("=\\=".into()),
+                Token::Op("\\=".into()),
+                Token::Op("\\==".into()),
+                Token::Op(">=".into()),
+                Token::Op(">".into()),
+                Token::Op("<".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arith_and_is() {
+        assert_eq!(
+            toks("L is LO + 1"),
+            vec![
+                Token::Var("L".into()),
+                Token::Op("is".into()),
+                Token::Var("LO".into()),
+                Token::Op("+".into()),
+                Token::Int(1),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_and_underscore() {
+        assert_eq!(
+            toks("X _y Abc"),
+            vec![
+                Token::Var("X".into()),
+                Token::Var("_y".into()),
+                Token::Var("Abc".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""John Smith" "a\"b" "x\\y""#),
+            vec![
+                Token::Str("John Smith".into()),
+                Token::Str("a\"b".into()),
+                Token::Str("x\\y".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a. % comment until eol\nb."),
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("b".into()),
+                Token::Dot,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let spanned = tokenize("a.\n  b.").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].col), (1, 1));
+        assert_eq!((spanned[2].line, spanned[2].col), (2, 3)); // `b`
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("99999999999999999999").is_err());
+        assert!(tokenize(r#""bad \q escape""#).is_err());
+    }
+
+    #[test]
+    fn if_vs_colon() {
+        assert_eq!(
+            toks(":- a : b"),
+            vec![
+                Token::If,
+                Token::Ident("a".into()),
+                Token::Colon,
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # clogic-parser — concrete syntax for C-logic
+//!
+//! A lexer and recursive-descent parser for the surface syntax used
+//! throughout Chen & Warren's paper:
+//!
+//! ```text
+//! propernp < noun_phrase.
+//! determiner: the[num => {singular, plural}, def => definite].
+//! path: C[src => X, dest => Y, length => L] :-
+//!     node: X[linkto => Z],
+//!     path: CO[src => Z, dest => Y, length => LO],
+//!     L is LO + 1.
+//! :- noun_phrase: X[num => plural].
+//! ```
+//!
+//! Pretty-printing is the `Display` implementation on the core AST; the
+//! grammar and printer round-trip (property-tested in `tests/`).
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use lexer::{tokenize, LexError};
+pub use parser::{parse_program, parse_query, parse_source, parse_term, ParseError, ParsedSource};

@@ -1,0 +1,827 @@
+//! Recursive-descent parser for C-logic programs.
+//!
+//! Grammar (terminals in quotes; `…*` = repetition with separators):
+//!
+//! ```text
+//! program  := item*
+//! item     := IDENT '<' IDENT '.'                      (subtype declaration)
+//!           | ':-' atoms '.'                           (query)
+//!           | atomic (':-' atoms)? '.'                 (fact / rule)
+//! atoms    := atomic (',' atomic)*
+//! atomic   := operand (INFIX operand)?                 (INFIX: is < > =< >= =:= =\= = \= == \==)
+//! operand  := arith                                    (arithmetic over terms)
+//! term     := (IDENT ':')? base ('[' spec, … ']')?
+//! base     := VAR | INT | STRING | IDENT ('(' term, … ')')?
+//!           | OP '(' term, … ')'                       (prefix form of operators)
+//! spec     := IDENT '=>' (term | '{' term, … '}')
+//! ```
+//!
+//! Disambiguation at formula position: `f(a, b)` with no explicit type
+//! prefix and no label brackets is a *predicate* atom (predicates and
+//! function symbols are disjoint in the paper, and this matches every
+//! example); anything type-prefixed, bracketed, or atomic (`john`, `X`)
+//! is a term formula.
+
+use crate::lexer::{tokenize, LexError};
+use crate::token::{Spanned, Token};
+use clogic_core::formula::{Atomic, DefiniteClause, Query};
+use clogic_core::hierarchy::object_type;
+use clogic_core::program::Program;
+use clogic_core::symbol::Symbol;
+use clogic_core::term::{Const, IdTerm, LabelSpec, LabelValue, Term};
+use std::fmt;
+
+/// A parse error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// The result of parsing a source file: the program plus any queries that
+/// appeared in it, in source order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedSource {
+    /// Subtype declarations and clauses.
+    pub program: Program,
+    /// Queries (`:- ….` items).
+    pub queries: Vec<Query>,
+}
+
+/// Parses a complete source string.
+pub fn parse_source(src: &str) -> Result<ParsedSource, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out = ParsedSource::default();
+    while !p.at(&Token::Eof) {
+        p.item(&mut out)?;
+    }
+    Ok(out)
+}
+
+/// Parses a program, rejecting queries.
+///
+/// ```
+/// let program = clogic_parser::parse_program(
+///     "propernp < noun_phrase.\n\
+///      determiner: the[num => {singular, plural}, def => definite].",
+/// )
+/// .unwrap();
+/// assert_eq!(program.clauses.len(), 1);
+/// assert_eq!(program.subtype_decls.len(), 1);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let parsed = parse_source(src)?;
+    if parsed.queries.is_empty() {
+        Ok(parsed.program)
+    } else {
+        Err(ParseError {
+            message: "unexpected query in program".into(),
+            line: 0,
+            col: 0,
+        })
+    }
+}
+
+/// Parses a single query, with or without the leading `:-`; the trailing
+/// `.` is optional.
+///
+/// ```
+/// let q = clogic_parser::parse_query(":- person: X[age => A], A >= 18.").unwrap();
+/// assert_eq!(q.goals.len(), 2);
+/// assert_eq!(q.to_string(), ":- person: X[age => A], >=(A, 18).");
+/// ```
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let mut p = Parser::new(src)?;
+    if p.at(&Token::If) {
+        p.bump();
+    }
+    let (goals, neg_goals) = p.signed_atoms()?;
+    if p.at(&Token::Dot) {
+        p.bump();
+    }
+    p.expect(Token::Eof)?;
+    Ok(Query::with_negation(goals, neg_goals))
+}
+
+/// Parses a single term.
+pub fn parse_term(src: &str) -> Result<Term, ParseError> {
+    let mut p = Parser::new(src)?;
+    let t = p.term()?;
+    p.expect(Token::Eof)?;
+    Ok(t.term)
+}
+
+const INFIX_PREDS: &[&str] = &[
+    "is", "<", ">", "=<", ">=", "=:=", "=\\=", "=", "\\=", "==", "\\==",
+];
+
+/// A parsed operand with the flags the formula-position disambiguation
+/// needs.
+struct Operand {
+    term: Term,
+    /// The source had an explicit `type :` prefix.
+    explicit_type: bool,
+    /// The source had `[…]` label brackets.
+    has_labels: bool,
+    /// Arithmetic operators were used infix.
+    used_arith: bool,
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek_ahead(&self, n: usize) -> &Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].token
+    }
+
+    fn at(&self, t: &Token) -> bool {
+        self.peek() == t
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let s = &self.tokens[self.pos];
+        ParseError {
+            message: message.into(),
+            line: s.line,
+            col: s.col,
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        if self.peek() == &t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                t.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn item(&mut self, out: &mut ParsedSource) -> Result<(), ParseError> {
+        // Query?
+        if self.at(&Token::If) {
+            self.bump();
+            let (goals, neg_goals) = self.signed_atoms()?;
+            self.expect(Token::Dot)?;
+            out.queries.push(Query::with_negation(goals, neg_goals));
+            return Ok(());
+        }
+        // Subtype declaration? IDENT '<' IDENT '.'
+        if let (Token::Ident(a), Token::Op(op), Token::Ident(b), Token::Dot) = (
+            self.peek().clone(),
+            self.peek_ahead(1).clone(),
+            self.peek_ahead(2).clone(),
+            self.peek_ahead(3).clone(),
+        ) {
+            let _ = &b;
+            if op == "<" {
+                self.bump();
+                self.bump();
+                let Token::Ident(b) = self.bump() else {
+                    unreachable!()
+                };
+                self.expect(Token::Dot)?;
+                out.program.declare_subtype(a.as_str(), b.as_str());
+                return Ok(());
+            }
+        }
+        // Fact or rule.
+        let head = self.atomic()?;
+        let (body, neg_body) = if self.at(&Token::If) {
+            self.bump();
+            self.signed_atoms()?
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        self.expect(Token::Dot)?;
+        out.program.push(DefiniteClause {
+            head,
+            body,
+            neg_body,
+        });
+        Ok(())
+    }
+
+    /// A comma-separated list of atoms, each optionally prefixed `\+`.
+    fn signed_atoms(&mut self) -> Result<(Vec<Atomic>, Vec<Atomic>), ParseError> {
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        loop {
+            if matches!(self.peek(), Token::Op(o) if o == "\\+") {
+                self.bump();
+                neg.push(self.atomic()?);
+            } else {
+                pos.push(self.atomic()?);
+            }
+            if self.at(&Token::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok((pos, neg))
+    }
+
+    fn atomic(&mut self) -> Result<Atomic, ParseError> {
+        let lhs = self.operand()?;
+        // Infix built-in predicate?
+        if let Token::Op(op) = self.peek().clone() {
+            if INFIX_PREDS.contains(&op.as_str()) {
+                self.bump();
+                let rhs = self.operand()?;
+                return Ok(Atomic::pred(op.as_str(), vec![lhs.term, rhs.term]));
+            }
+        }
+        if lhs.used_arith {
+            return Err(self.error("arithmetic expression is not a formula"));
+        }
+        // Formula-position disambiguation.
+        if !lhs.explicit_type && !lhs.has_labels {
+            if let Term::Id(IdTerm::App { ty, functor, args }) = &lhs.term {
+                if *ty == object_type() {
+                    return Ok(Atomic::Pred {
+                        pred: *functor,
+                        args: args.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Atomic::Term(lhs.term))
+    }
+
+    /// operand := arithmetic additive expression over terms.
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        let mut lhs = self.mul_operand()?;
+        loop {
+            let op = match self.peek() {
+                Token::Op(o) if o == "+" || o == "-" => o.clone(),
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_operand()?;
+            lhs = Operand {
+                term: Term::app(op.as_str(), vec![lhs.term, rhs.term]),
+                explicit_type: false,
+                has_labels: false,
+                used_arith: true,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_operand(&mut self) -> Result<Operand, ParseError> {
+        let mut lhs = self.unary_operand()?;
+        loop {
+            let op = match self.peek() {
+                Token::Op(o) if o == "*" || o == "/" || o == "mod" => o.clone(),
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_operand()?;
+            lhs = Operand {
+                term: Term::app(op.as_str(), vec![lhs.term, rhs.term]),
+                explicit_type: false,
+                has_labels: false,
+                used_arith: true,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_operand(&mut self) -> Result<Operand, ParseError> {
+        if let Token::Op(o) = self.peek() {
+            if o == "-" && self.peek_ahead(1) != &Token::LParen {
+                self.bump();
+                let inner = self.unary_operand()?;
+                // Constant-fold a negated integer literal.
+                if let Term::Id(IdTerm::Const {
+                    c: Const::Int(i), ..
+                }) = inner.term
+                {
+                    return Ok(Operand {
+                        term: Term::int(-i),
+                        explicit_type: false,
+                        has_labels: false,
+                        used_arith: inner.used_arith,
+                    });
+                }
+                return Ok(Operand {
+                    term: Term::app("-", vec![inner.term]),
+                    explicit_type: false,
+                    has_labels: false,
+                    used_arith: true,
+                });
+            }
+        }
+        if self.at(&Token::LParen) {
+            self.bump();
+            let inner = self.operand()?;
+            self.expect(Token::RParen)?;
+            return Ok(inner);
+        }
+        self.term()
+    }
+
+    /// term := (IDENT ':')? base ('[' specs ']')?
+    fn term(&mut self) -> Result<Operand, ParseError> {
+        // Optional type prefix: IDENT ':' (but not IDENT ':-').
+        let mut ty: Option<Symbol> = None;
+        let mut explicit_type = false;
+        if let (Token::Ident(t), Token::Colon) = (self.peek().clone(), self.peek_ahead(1).clone()) {
+            ty = Some(Symbol::new(&t));
+            explicit_type = true;
+            self.bump();
+            self.bump();
+        }
+        let ty = ty.unwrap_or_else(object_type);
+        let base = self.base(ty)?;
+        // Optional molecule brackets.
+        let mut has_labels = false;
+        let term = if self.at(&Token::LBracket) {
+            has_labels = true;
+            self.bump();
+            let mut specs = vec![self.label_spec()?];
+            while self.at(&Token::Comma) {
+                self.bump();
+                specs.push(self.label_spec()?);
+            }
+            self.expect(Token::RBracket)?;
+            Term::Molecule { head: base, specs }
+        } else {
+            Term::Id(base)
+        };
+        if self.at(&Token::LBracket) {
+            return Err(self.error("a molecule head must not itself be a molecule (t[…][…])"));
+        }
+        Ok(Operand {
+            term,
+            explicit_type,
+            has_labels,
+            used_arith: false,
+        })
+    }
+
+    fn base(&mut self, ty: Symbol) -> Result<IdTerm, ParseError> {
+        match self.peek().clone() {
+            Token::Var(v) => {
+                self.bump();
+                Ok(IdTerm::Var {
+                    ty,
+                    name: Symbol::new(&v),
+                })
+            }
+            Token::Int(i) => {
+                self.bump();
+                Ok(IdTerm::Const {
+                    ty,
+                    c: Const::Int(i),
+                })
+            }
+            Token::Str(s) => {
+                self.bump();
+                Ok(IdTerm::Const {
+                    ty,
+                    c: Const::Str(Symbol::new(&s)),
+                })
+            }
+            Token::Ident(name) => {
+                self.bump();
+                self.application(ty, Symbol::new(&name))
+            }
+            // Prefix form of operators: +(A, B), -(X), =(A, B) etc.
+            Token::Op(op) if self.peek_ahead(1) == &Token::LParen => {
+                self.bump();
+                self.application(ty, Symbol::new(&op))
+            }
+            other => Err(self.error(format!("expected a term, found {}", other.describe()))),
+        }
+    }
+
+    fn application(&mut self, ty: Symbol, functor: Symbol) -> Result<IdTerm, ParseError> {
+        if !self.at(&Token::LParen) {
+            return Ok(IdTerm::Const {
+                ty,
+                c: Const::Sym(functor),
+            });
+        }
+        self.bump();
+        let mut args = vec![self.operand()?.term];
+        while self.at(&Token::Comma) {
+            self.bump();
+            args.push(self.operand()?.term);
+        }
+        self.expect(Token::RParen)?;
+        Ok(IdTerm::App { ty, functor, args })
+    }
+
+    fn label_spec(&mut self) -> Result<LabelSpec, ParseError> {
+        let label = match self.bump() {
+            Token::Ident(l) => Symbol::new(&l),
+            other => {
+                return Err(self.error(format!("expected a label, found {}", other.describe())))
+            }
+        };
+        self.expect(Token::Arrow)?;
+        if self.at(&Token::LBrace) {
+            self.bump();
+            let mut terms = vec![self.term()?.term];
+            while self.at(&Token::Comma) {
+                self.bump();
+                terms.push(self.term()?.term);
+            }
+            self.expect(Token::RBrace)?;
+            Ok(LabelSpec {
+                label,
+                value: LabelValue::Set(terms),
+            })
+        } else {
+            Ok(LabelSpec {
+                label,
+                value: LabelValue::One(self.operand()?.term),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clogic_core::symbol::sym;
+
+    #[test]
+    fn parse_typed_fact() {
+        let p = parse_program("name: john.").unwrap();
+        assert_eq!(p.clauses.len(), 1);
+        assert_eq!(
+            p.clauses[0].head,
+            Atomic::Term(Term::typed_constant("name", "john"))
+        );
+    }
+
+    #[test]
+    fn parse_molecule_fact() {
+        let p = parse_program(r#"person: john[name => "John Smith", age => 28]."#).unwrap();
+        let expected = Term::molecule(
+            Term::typed_constant("person", "john"),
+            vec![
+                LabelSpec::one("name", Term::string("John Smith")),
+                LabelSpec::one("age", Term::int(28)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.clauses[0].head, Atomic::Term(expected));
+    }
+
+    #[test]
+    fn parse_collection_value() {
+        let p = parse_program("person: john[children => {person: bob, person: bill}].").unwrap();
+        let head = &p.clauses[0].head;
+        let Atomic::Term(Term::Molecule { specs, .. }) = head else {
+            panic!("not a molecule")
+        };
+        assert_eq!(
+            specs[0].value,
+            LabelValue::Set(vec![
+                Term::typed_constant("person", "bob"),
+                Term::typed_constant("person", "bill")
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_subtype_declaration() {
+        let p = parse_program("propernp < noun_phrase.\ncommonnp < noun_phrase.").unwrap();
+        assert_eq!(
+            p.subtype_decls,
+            vec![
+                (sym("propernp"), sym("noun_phrase")),
+                (sym("commonnp"), sym("noun_phrase"))
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rule_with_is() {
+        let src = "path: C[src => X, dest => Y, length => L] :- \
+                   node: X[linkto => Z], \
+                   path: CO[src => Z, dest => Y, length => LO], \
+                   L is LO + 1.";
+        let p = parse_program(src).unwrap();
+        let rule = &p.clauses[0];
+        assert_eq!(rule.body.len(), 3);
+        assert_eq!(
+            rule.body[2],
+            Atomic::pred(
+                "is",
+                vec![
+                    Term::var("L"),
+                    Term::app("+", vec![Term::var("LO"), Term::int(1)])
+                ]
+            )
+        );
+        assert_eq!(rule.head_only_vars(), [sym("C")].into_iter().collect());
+    }
+
+    #[test]
+    fn predicate_vs_function_disambiguation() {
+        // No type prefix, no labels ⇒ predicate atom.
+        let p = parse_program("likes(john, mary).").unwrap();
+        assert_eq!(
+            p.clauses[0].head,
+            Atomic::pred(
+                "likes",
+                vec![Term::constant("john"), Term::constant("mary")]
+            )
+        );
+        // Explicit object: prefix ⇒ a term.
+        let p2 = parse_program("object: f(a).").unwrap();
+        assert_eq!(
+            p2.clauses[0].head,
+            Atomic::Term(Term::app("f", vec![Term::constant("a")]))
+        );
+        // Labels ⇒ a term even without a type prefix.
+        let p3 = parse_program("f(a)[l => b].").unwrap();
+        assert!(matches!(
+            &p3.clauses[0].head,
+            Atomic::Term(Term::Molecule { .. })
+        ));
+        // Type prefix ⇒ a term.
+        let p4 = parse_program("path: id(a, b).").unwrap();
+        assert_eq!(
+            p4.clauses[0].head,
+            Atomic::Term(Term::typed_app(
+                "path",
+                "id",
+                vec![Term::constant("a"), Term::constant("b")]
+            ))
+        );
+    }
+
+    #[test]
+    fn parse_query_forms() {
+        let q = parse_query(":- noun_phrase: X[num => plural].").unwrap();
+        assert_eq!(q.goals.len(), 1);
+        let q2 = parse_query("noun_phrase: X[num => plural]").unwrap();
+        assert_eq!(q, q2);
+        let src = parse_source("a.\n:- p(X).\nb.").unwrap();
+        assert_eq!(src.program.clauses.len(), 2);
+        assert_eq!(src.queries.len(), 1);
+    }
+
+    #[test]
+    fn parse_program_rejects_queries() {
+        assert!(parse_program(":- p(X).").is_err());
+    }
+
+    #[test]
+    fn parse_comparisons() {
+        let q = parse_query("X < 3, Y >= X + 2, Z = f(Y)").unwrap();
+        assert_eq!(q.goals.len(), 3);
+        assert_eq!(
+            q.goals[0],
+            Atomic::pred("<", vec![Term::var("X"), Term::int(3)])
+        );
+        assert_eq!(
+            q.goals[1],
+            Atomic::pred(
+                ">=",
+                vec![
+                    Term::var("Y"),
+                    Term::app("+", vec![Term::var("X"), Term::int(2)])
+                ]
+            )
+        );
+        assert_eq!(
+            q.goals[2],
+            Atomic::pred(
+                "=",
+                vec![Term::var("Z"), Term::app("f", vec![Term::var("Y")])]
+            )
+        );
+    }
+
+    #[test]
+    fn arith_precedence_and_parens() {
+        let q = parse_query("X is 1 + 2 * 3").unwrap();
+        assert_eq!(
+            q.goals[0],
+            Atomic::pred(
+                "is",
+                vec![
+                    Term::var("X"),
+                    Term::app(
+                        "+",
+                        vec![
+                            Term::int(1),
+                            Term::app("*", vec![Term::int(2), Term::int(3)])
+                        ]
+                    )
+                ]
+            )
+        );
+        let q2 = parse_query("X is (1 + 2) * 3").unwrap();
+        assert_eq!(
+            q2.goals[0],
+            Atomic::pred(
+                "is",
+                vec![
+                    Term::var("X"),
+                    Term::app(
+                        "*",
+                        vec![
+                            Term::app("+", vec![Term::int(1), Term::int(2)]),
+                            Term::int(3)
+                        ]
+                    )
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn negative_literal_folds() {
+        let q = parse_query("X is -5 + 2").unwrap();
+        assert_eq!(
+            q.goals[0],
+            Atomic::pred(
+                "is",
+                vec![
+                    Term::var("X"),
+                    Term::app("+", vec![Term::int(-5), Term::int(2)])
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn prefix_operator_application() {
+        // Display prints is(L, +(LO, 1)); the parser accepts it back.
+        let q = parse_query("is(L, +(LO, 1))").unwrap();
+        assert_eq!(
+            q.goals[0],
+            Atomic::pred(
+                "is",
+                vec![
+                    Term::var("L"),
+                    Term::app("+", vec![Term::var("LO"), Term::int(1)])
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn double_molecule_rejected() {
+        // student: id[name=>joe][age=>20] is not a term (Example 1).
+        let err = parse_program("student: id[name => joe][age => 20].").unwrap_err();
+        assert!(err.message.contains("molecule"), "{}", err.message);
+    }
+
+    #[test]
+    fn nested_molecule_values() {
+        let t = parse_term("john[spouse => mary[age => 27]]").unwrap();
+        let expected = Term::molecule(
+            Term::constant("john"),
+            vec![LabelSpec::one(
+                "spouse",
+                Term::molecule(
+                    Term::constant("mary"),
+                    vec![LabelSpec::one("age", Term::int(27))],
+                )
+                .unwrap(),
+            )],
+        )
+        .unwrap();
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_program("name: john").unwrap_err(); // missing '.'
+        assert!(err.message.contains("expected"));
+        let err2 = parse_program("p(").unwrap_err();
+        assert!(err2.line >= 1);
+    }
+
+    #[test]
+    fn paper_example_3_parses() {
+        let src = r#"
+            name: john.
+            name: bob.
+            determiner: the[num => {singular, plural}, def => definite].
+            determiner: a[num => singular, def => indef].
+            determiner: all[num => plural, def => indef].
+            noun: student[num => singular].
+            noun: students[num => plural].
+            propernp: X[pers => 3, num => singular, def => definite] :-
+                name: X.
+            commonnp: np(Det, Noun)[pers => 3, num => N, def => D] :-
+                determiner: Det[num => N, def => D],
+                noun: Noun[num => N].
+            propernp < noun_phrase.
+            commonnp < noun_phrase.
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.clauses.len(), 9);
+        assert_eq!(p.subtype_decls.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let src = r#"
+            person: john[children => {bob, bill}, age => 28].
+            path: id(X, Y)[src => X, dest => Y] :- node: X[linkto => Y].
+            q(X) :- person: X, X \= bob.
+        "#;
+        let p = parse_program(src).unwrap();
+        let printed = p.to_string();
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p, p2);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The parser never panics: any input yields Ok or a positioned Err.
+        #[test]
+        fn parser_total_on_arbitrary_input(src in ".{0,120}") {
+            let _ = parse_source(&src);
+            let _ = parse_query(&src);
+            let _ = parse_term(&src);
+        }
+
+        /// Token-shaped random programs: build from valid fragments, and
+        /// anything that parses must round-trip through Display.
+        #[test]
+        fn fragments_roundtrip(
+            ty in "[a-z][a-z0-9]{0,5}",
+            id in "[a-z][a-z0-9]{0,5}",
+            label in "[a-z][a-z0-9]{0,5}",
+            value in "[a-z][a-z0-9]{0,5}",
+            n in 0i64..100,
+        ) {
+            let src = format!("{ty}: {id}[{label} => {value}, {label} => {n}].");
+            if let Ok(p) = parse_program(&src) {
+                let printed = p.to_string();
+                let again = parse_program(&printed).unwrap();
+                prop_assert_eq!(again, p);
+            }
+        }
+    }
+}

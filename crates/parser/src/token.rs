@@ -1,0 +1,85 @@
+//! Tokens of the C-logic surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Lowercase-initial identifier: type symbols, labels, predicates,
+    /// function symbols, constants.
+    Ident(String),
+    /// Uppercase- or underscore-initial identifier: a variable.
+    Var(String),
+    /// An integer literal.
+    Int(i64),
+    /// A double-quoted string literal (contents, unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `.` — clause terminator.
+    Dot,
+    /// `:`
+    Colon,
+    /// `:-`
+    If,
+    /// `=>` — the label arrow.
+    Arrow,
+    /// An operator symbol: `+ - * / < > =< >= =:= =\= = \= == \== mod`.
+    Op(String),
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// A short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier `{s}`"),
+            Token::Var(s) => format!("variable `{s}`"),
+            Token::Int(i) => format!("integer `{i}`"),
+            Token::Str(s) => format!("string {s:?}"),
+            Token::LParen => "`(`".into(),
+            Token::RParen => "`)`".into(),
+            Token::LBracket => "`[`".into(),
+            Token::RBracket => "`]`".into(),
+            Token::LBrace => "`{`".into(),
+            Token::RBrace => "`}`".into(),
+            Token::Comma => "`,`".into(),
+            Token::Dot => "`.`".into(),
+            Token::Colon => "`:`".into(),
+            Token::If => "`:-`".into(),
+            Token::Arrow => "`=>`".into(),
+            Token::Op(s) => format!("operator `{s}`"),
+            Token::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}

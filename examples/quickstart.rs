@@ -1,0 +1,81 @@
+//! Quickstart: load a small complex-object database, ask queries through
+//! several evaluation strategies, and inspect the first-order translation.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use clogic::session::{Session, SessionOptions, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Bound SLD so the strategy comparison below stays snappy even where
+    // depth-first resolution recurses through the type axioms.
+    let mut session = Session::with_options(SessionOptions {
+        sld: folog::SldOptions {
+            max_depth: Some(200),
+            max_steps: Some(50_000),
+            ..folog::SldOptions::default()
+        },
+        ..SessionOptions::default()
+    });
+
+    // Objects have identities, multi-valued labels and dynamic types.
+    session.load(
+        r#"
+        % a tiny family database
+        person: john[name => "John Smith", age => 28,
+                     children => {bob, bill}].
+        person: mary[name => "Mary Smith", age => 27,
+                     children => {bob, bill}].
+        person: bob[age => 3].
+        person: bill[age => 1].
+
+        % a rule: X is a parent of C
+        parent_of(X, C) :- person: X[children => C].
+
+        % subtype declaration: toddlers are persons
+        toddler < person.
+        toddler: X :- person: X[age => A], A =< 3.
+    "#,
+    )?;
+
+    println!("== who are bob's parents? ==");
+    let answers = session.query("parent_of(P, bob)", Strategy::Direct)?;
+    for row in &answers.rows {
+        println!("  {row}");
+    }
+
+    println!("\n== toddlers (derived dynamic type) ==");
+    let answers = session.query("toddler: X[age => A]", Strategy::BottomUpSemiNaive)?;
+    for row in &answers.rows {
+        println!("  {row}");
+    }
+
+    println!("\n== piecewise descriptions combine (§2.2) ==");
+    let q = r#"person: john[name => "John Smith", age => 28]"#;
+    println!(
+        "  {q} ? {}",
+        if session.query(q, Strategy::Tabled)?.holds() {
+            "yes"
+        } else {
+            "no"
+        }
+    );
+
+    println!("\n== the same query under every strategy ==");
+    for strategy in Strategy::ALL {
+        let r = session.query("person: X[children => bob]", strategy)?;
+        let xs: Vec<String> = r.rows.iter().filter_map(|row| row.get("X")).collect();
+        let note = if r.complete {
+            ""
+        } else {
+            "  (incomplete: truncated or loop-pruned; Tabled is the complete strategy here)"
+        };
+        println!("  {strategy:?}: X in {xs:?}{note}");
+    }
+
+    println!("\n== the Theorem 1 translation (optimized) ==");
+    for clause in &session.translated().clauses {
+        println!("  {clause}");
+    }
+
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! An interactive C-logic top level.
+//!
+//! ```text
+//! cargo run --example repl
+//! ?- person: john[age => 28].        % assert a fact (ends with '.')
+//! ?- :- person: X[age => A].         % ask a query
+//! X = john, A = 28
+//! ?- :strategy tabled                % switch evaluation strategy
+//! ?- :program                        % show the loaded program
+//! ?- :translated                     % show the Theorem 1 translation
+//! ?- :quit
+//! ```
+//!
+//! Lines starting with `:-` (or `?-`) are queries; other clause-shaped
+//! lines extend the program.
+
+use clogic::session::{Session, Strategy};
+use std::io::{self, BufRead, Write};
+
+fn parse_strategy(name: &str) -> Option<Strategy> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "direct" => Some(Strategy::Direct),
+        "sld" => Some(Strategy::Sld),
+        "naive" => Some(Strategy::BottomUpNaive),
+        "seminaive" | "semi-naive" => Some(Strategy::BottomUpSemiNaive),
+        "tabled" | "tabling" => Some(Strategy::Tabled),
+        "magic" => Some(Strategy::Magic),
+        _ => None,
+    }
+}
+
+fn main() -> io::Result<()> {
+    let mut session = Session::new();
+    let mut strategy = Strategy::Direct;
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+
+    println!("C-logic top level (strategy: {strategy:?}). Type :help for commands.");
+    loop {
+        print!("?- ");
+        out.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(cmd) = line.strip_prefix(':') {
+            let mut words = cmd.split_whitespace();
+            match words.next() {
+                Some("quit") | Some("q") => break,
+                Some("help") => {
+                    println!(
+                        ":strategy <direct|sld|naive|seminaive|tabled|magic>\n\
+                         :program      show the loaded program\n\
+                         :translated   show the first-order translation\n\
+                         :quit"
+                    );
+                    continue;
+                }
+                Some("strategy") => {
+                    match words.next().and_then(parse_strategy) {
+                        Some(s) => {
+                            strategy = s;
+                            println!("strategy: {strategy:?}");
+                        }
+                        None => println!("unknown strategy"),
+                    }
+                    continue;
+                }
+                Some("program") => {
+                    print!("{}", session.program());
+                    continue;
+                }
+                Some("translated") => {
+                    print!("{}", session.translated());
+                    continue;
+                }
+                Some("-") => {
+                    // ":- query." typed at the prompt
+                    let query = cmd.trim_start_matches('-');
+                    run_query(&mut session, query, strategy);
+                    continue;
+                }
+                _ => {
+                    println!("unknown command; :help");
+                    continue;
+                }
+            }
+        }
+        if let Some(query) = line.strip_prefix("?-") {
+            run_query(&mut session, query, strategy);
+            continue;
+        }
+        // Otherwise: program text.
+        match session.load(line) {
+            Ok(()) => println!("ok"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn run_query(session: &mut Session, query: &str, strategy: Strategy) {
+    match session.query(query, strategy) {
+        Ok(answers) => {
+            if answers.rows.is_empty() {
+                println!("no");
+            } else {
+                for row in &answers.rows {
+                    println!("{row}");
+                }
+            }
+            if !answers.complete {
+                println!("% warning: search truncated by resource limits");
+            }
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}

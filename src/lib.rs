@@ -1,0 +1,22 @@
+//! # clogic — C-Logic of Complex Objects
+//!
+//! Facade crate re-exporting the full C-logic stack:
+//!
+//! * [`core`] — the formalism: terms, molecules, type hierarchy, semantics,
+//!   the transformation into first-order logic (Theorem 1), redundancy
+//!   elimination and skolemization of object identities.
+//! * [`parser`] — concrete syntax for C-logic programs.
+//! * [`folog`] — the first-order definite-clause engine substrate
+//!   (unification, naive/semi-naive bottom-up, SLD, tabling).
+//! * [`engine`] — direct evaluation over complex objects (order-sorted
+//!   type resolution, object clustering, residuation).
+//! * [`session`] — the high-level API: load a program once, query it
+//!   through any of the six evaluation strategies.
+pub use clogic_core as core;
+pub use clogic_engine as engine;
+pub use clogic_parser as parser;
+pub use folog;
+
+pub mod session;
+
+pub use session::{Answers, Session, SessionError, SessionOptions, Strategy};

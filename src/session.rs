@@ -1,0 +1,448 @@
+//! A high-level session API over the whole C-logic stack.
+//!
+//! A [`Session`] holds one C-logic program and answers queries through any
+//! of the implemented evaluation strategies:
+//!
+//! * [`Strategy::Direct`] — direct resolution over complex objects
+//!   (clustered store, order-sorted types, residuation);
+//! * [`Strategy::Sld`] — Theorem 1 translation, then top-down SLD;
+//! * [`Strategy::BottomUpNaive`] / [`Strategy::BottomUpSemiNaive`] —
+//!   translation, least-model fixpoint, query matching;
+//! * [`Strategy::Tabled`] — translation, tabled top-down evaluation;
+//! * [`Strategy::Magic`] — translation, magic-sets rewrite, bottom-up.
+//!
+//! All strategies return the same answer sets (the executable content of
+//! Theorem 1; property-tested in `tests/equivalence.rs`).
+//!
+//! ```
+//! use clogic::session::{Session, Strategy};
+//!
+//! let mut s = Session::new();
+//! s.load(
+//!     "person: john[children => {bob, bill}].
+//!      parent(X) :- person: X[children => Y].",
+//! )
+//! .unwrap();
+//! let answers = s.query("parent(X)", Strategy::Direct).unwrap();
+//! assert_eq!(answers.rows.len(), 1);
+//! assert_eq!(answers.rows[0].get("X"), Some("john".to_string()));
+//! ```
+
+use clogic_core::fol::{FoAtom, FoProgram, FoTerm};
+use clogic_core::optimize::Optimizer;
+use clogic_core::program::Program;
+use clogic_core::skolem::{auto_skolemize, SkolemReport};
+use clogic_core::symbol::Symbol;
+use clogic_core::transform::Transformer;
+use clogic_core::Query;
+use clogic_engine::{DirectEngine, DirectOptions, DirectProgram};
+use clogic_parser::{parse_query, parse_source, ParseError};
+use folog::builtins::builtin_symbols;
+use folog::magic::solve_magic;
+use folog::tabling::{TabledEngine, TablingOptions};
+use folog::{
+    CompiledProgram, FixpointOptions, SldEngine, SldOptions, Strategy as FixpointStrategy,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An evaluation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Direct resolution over complex objects (no translation).
+    Direct,
+    /// Translate to first-order clauses, run SLD resolution.
+    Sld,
+    /// Translate, compute the least model naively, match the query.
+    BottomUpNaive,
+    /// Translate, compute the least model semi-naively, match the query.
+    BottomUpSemiNaive,
+    /// Translate, run tabled top-down evaluation.
+    Tabled,
+    /// Translate, apply the magic-sets rewrite, evaluate bottom-up.
+    Magic,
+}
+
+impl Strategy {
+    /// All strategies, for cross-checking loops.
+    pub const ALL: [Strategy; 6] = [
+        Strategy::Direct,
+        Strategy::Sld,
+        Strategy::BottomUpNaive,
+        Strategy::BottomUpSemiNaive,
+        Strategy::Tabled,
+        Strategy::Magic,
+    ];
+}
+
+/// One answer row: query variable → ground term (display form available
+/// via [`AnswerRow::get`]).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AnswerRow {
+    /// Variable bindings, sorted by variable name.
+    pub bindings: BTreeMap<Symbol, FoTerm>,
+}
+
+impl AnswerRow {
+    /// The binding of a variable, rendered.
+    pub fn get(&self, var: &str) -> Option<String> {
+        self.bindings.get(&Symbol::new(var)).map(|t| t.to_string())
+    }
+}
+
+impl fmt::Display for AnswerRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bindings.is_empty() {
+            return write!(f, "yes");
+        }
+        for (i, (k, v)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Answers {
+    /// Sorted, deduplicated answer rows.
+    pub rows: Vec<AnswerRow>,
+    /// Whether the strategy explored its whole search space (SLD and
+    /// Direct report `false` when cut off by limits).
+    pub complete: bool,
+}
+
+impl Answers {
+    /// True iff at least one answer.
+    pub fn holds(&self) -> bool {
+        !self.rows.is_empty()
+    }
+
+    /// The rows rendered, for golden tests.
+    pub fn rendered(&self) -> Vec<String> {
+        self.rows.iter().map(|r| r.to_string()).collect()
+    }
+}
+
+/// Any error the session can raise.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Source failed to parse.
+    Parse(ParseError),
+    /// The strategy does not support a feature the program/query uses.
+    Unsupported(String),
+    /// A built-in raised an error.
+    Builtin(folog::builtins::BuiltinError),
+    /// Bottom-up evaluation failed.
+    Eval(folog::bottom_up::EvalError),
+    /// Tabled evaluation failed.
+    Tabling(folog::tabling::TablingError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            SessionError::Builtin(e) => write!(f, "{e}"),
+            SessionError::Eval(e) => write!(f, "{e}"),
+            SessionError::Tabling(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ParseError> for SessionError {
+    fn from(e: ParseError) -> Self {
+        SessionError::Parse(e)
+    }
+}
+impl From<folog::builtins::BuiltinError> for SessionError {
+    fn from(e: folog::builtins::BuiltinError) -> Self {
+        SessionError::Builtin(e)
+    }
+}
+impl From<folog::bottom_up::EvalError> for SessionError {
+    fn from(e: folog::bottom_up::EvalError) -> Self {
+        SessionError::Eval(e)
+    }
+}
+impl From<folog::tabling::TablingError> for SessionError {
+    fn from(e: folog::tabling::TablingError) -> Self {
+        SessionError::Tabling(e)
+    }
+}
+
+/// Tuning knobs for a session.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionOptions {
+    /// Apply the §4 redundancy-elimination rules to the translated
+    /// program (on by default).
+    pub optimize_translation: bool,
+    /// Automatically skolemize head-only object variables (§2.1 high-
+    /// level interface; on by default).
+    pub auto_skolemize: bool,
+    /// Options for the direct engine.
+    pub direct: DirectOptions,
+    /// Options for SLD.
+    pub sld: SldOptions,
+    /// Options for tabling.
+    pub tabling: TablingOptions,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            optimize_translation: true,
+            auto_skolemize: true,
+            direct: DirectOptions::default(),
+            sld: SldOptions::default(),
+            tabling: TablingOptions::default(),
+        }
+    }
+}
+
+/// A loaded C-logic program plus every compiled artefact needed by the
+/// strategies. Compiled artefacts are built lazily and cached.
+#[derive(Default)]
+pub struct Session {
+    options: SessionOptions,
+    program: Program,
+    skolem_reports: Vec<SkolemReport>,
+    // caches
+    translated: Option<FoProgram>,
+    compiled_fo: Option<CompiledProgram>,
+    direct: Option<DirectProgram>,
+}
+
+impl Session {
+    /// An empty session with default options.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// An empty session with explicit options.
+    pub fn with_options(options: SessionOptions) -> Session {
+        Session {
+            options,
+            ..Session::default()
+        }
+    }
+
+    /// Parses and loads more program text (cumulative). Queries embedded
+    /// in the source are rejected — use [`Session::query`].
+    pub fn load(&mut self, src: &str) -> Result<(), SessionError> {
+        let parsed = parse_source(src)?;
+        if !parsed.queries.is_empty() {
+            return Err(SessionError::Parse(ParseError {
+                message: "queries are not allowed in loaded sources; use Session::query".into(),
+                line: 0,
+                col: 0,
+            }));
+        }
+        self.load_program(parsed.program);
+        Ok(())
+    }
+
+    /// Loads an already-built program (cumulative).
+    pub fn load_program(&mut self, mut p: Program) {
+        if self.options.auto_skolemize {
+            let (sk, mut reports) = auto_skolemize(&p);
+            p = sk;
+            self.skolem_reports.append(&mut reports);
+        }
+        self.program.subtype_decls.extend(p.subtype_decls);
+        self.program.clauses.extend(p.clauses);
+        self.invalidate();
+    }
+
+    /// The loaded program (after skolemization).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// What was skolemized on load.
+    pub fn skolem_reports(&self) -> &[SkolemReport] {
+        &self.skolem_reports
+    }
+
+    fn invalidate(&mut self) {
+        self.translated = None;
+        self.compiled_fo = None;
+        self.direct = None;
+    }
+
+    /// The translated first-order program (Theorem 1), optimized per the
+    /// session options. Cached.
+    pub fn translated(&mut self) -> &FoProgram {
+        if self.translated.is_none() {
+            let tr = Transformer::new();
+            let fo = if self.options.optimize_translation {
+                Optimizer::new(&self.program).optimized_program(&tr, &self.program)
+            } else {
+                tr.program(&self.program)
+            };
+            self.translated = Some(fo);
+        }
+        self.translated.as_ref().expect("just set")
+    }
+
+    fn compiled_fo(&mut self) -> &CompiledProgram {
+        if self.compiled_fo.is_none() {
+            let fo = self.translated().clone();
+            self.compiled_fo = Some(CompiledProgram::compile(&fo, builtin_symbols()));
+        }
+        self.compiled_fo.as_ref().expect("just set")
+    }
+
+    fn direct_program(&mut self) -> &DirectProgram {
+        if self.direct.is_none() {
+            self.direct = Some(DirectProgram::compile(&self.program, builtin_symbols()));
+        }
+        self.direct.as_ref().expect("just set")
+    }
+
+    /// Translates a query for the first-order strategies (positive goals
+    /// only; see [`Session::query_ast`] for negation handling).
+    pub fn translate_query(&self, q: &Query) -> Vec<FoAtom> {
+        Transformer::new().query(q)
+    }
+
+    /// Parses and answers a query with the given strategy.
+    pub fn query(&mut self, src: &str, strategy: Strategy) -> Result<Answers, SessionError> {
+        let q = parse_query(src)?;
+        self.query_ast(&q, strategy)
+    }
+
+    /// Answers an already-parsed query.
+    pub fn query_ast(&mut self, q: &Query, strategy: Strategy) -> Result<Answers, SessionError> {
+        match strategy {
+            Strategy::Direct => {
+                let opts = self.options.direct;
+                let dp = self.direct_program();
+                let r = DirectEngine::new(dp, opts).solve(q)?;
+                Ok(Answers {
+                    rows: r
+                        .answers
+                        .into_iter()
+                        .map(|bindings| AnswerRow { bindings })
+                        .collect(),
+                    complete: r.complete,
+                })
+            }
+            Strategy::Sld => {
+                let tr = Transformer::new();
+                let mut aux = Vec::new();
+                let mut counter = 0;
+                let (goals, neg_goals) = tr.query_parts(q, &mut aux, &mut counter);
+                let opts = self.options.sld;
+                let r = if aux.is_empty() {
+                    SldEngine::new(self.compiled_fo(), opts)
+                        .solve_with_negation(&goals, &neg_goals)?
+                } else {
+                    // Conjunction-shaped negated goals need their
+                    // auxiliary clauses in the program.
+                    let mut cp = self.compiled_fo().clone();
+                    for c in &aux {
+                        cp.push_clause(c);
+                    }
+                    SldEngine::new(&cp, opts).solve_with_negation(&goals, &neg_goals)?
+                };
+                Ok(Answers {
+                    rows: r
+                        .answers
+                        .into_iter()
+                        .map(|bindings| AnswerRow { bindings })
+                        .collect(),
+                    complete: r.complete,
+                })
+            }
+            Strategy::BottomUpNaive | Strategy::BottomUpSemiNaive => {
+                let tr = Transformer::new();
+                let mut aux = Vec::new();
+                let mut counter = 0;
+                let (goals, neg_goals) = tr.query_parts(q, &mut aux, &mut counter);
+                let strategy = if strategy == Strategy::BottomUpNaive {
+                    FixpointStrategy::Naive
+                } else {
+                    FixpointStrategy::SemiNaive
+                };
+                let ev = if aux.is_empty() {
+                    folog::evaluate(
+                        self.compiled_fo(),
+                        FixpointOptions {
+                            strategy,
+                            ..FixpointOptions::default()
+                        },
+                    )?
+                } else {
+                    let mut fo = self.translated().clone();
+                    for c in aux {
+                        fo.push(c);
+                    }
+                    let cp = CompiledProgram::compile(&fo, builtin_symbols());
+                    folog::evaluate(
+                        &cp,
+                        FixpointOptions {
+                            strategy,
+                            ..FixpointOptions::default()
+                        },
+                    )?
+                };
+                Ok(Answers {
+                    rows: ev
+                        .query_with_negation(&goals, &neg_goals)?
+                        .into_iter()
+                        .map(|bindings| AnswerRow {
+                            bindings: bindings.into_iter().collect(),
+                        })
+                        .collect(),
+                    complete: true,
+                })
+            }
+            Strategy::Tabled => {
+                if q.has_negation() {
+                    return Err(SessionError::Unsupported(
+                        "tabled evaluation does not support negation".into(),
+                    ));
+                }
+                let goals = self.translate_query(q);
+                let opts = self.options.tabling;
+                let cp = self.compiled_fo();
+                let r = TabledEngine::new(cp, opts).solve(&goals)?;
+                Ok(Answers {
+                    rows: r
+                        .answers
+                        .into_iter()
+                        .map(|bindings| AnswerRow { bindings })
+                        .collect(),
+                    complete: true,
+                })
+            }
+            Strategy::Magic => {
+                if q.has_negation() {
+                    return Err(SessionError::Unsupported(
+                        "magic sets do not support negation".into(),
+                    ));
+                }
+                let goals = self.translate_query(q);
+                let fo = self.translated().clone();
+                let builtins = builtin_symbols().collect();
+                let (answers, _) = solve_magic(&fo, &goals, &builtins, FixpointOptions::default())?;
+                Ok(Answers {
+                    rows: answers
+                        .into_iter()
+                        .map(|bindings| AnswerRow {
+                            bindings: bindings.into_iter().collect(),
+                        })
+                        .collect(),
+                    complete: true,
+                })
+            }
+        }
+    }
+}
