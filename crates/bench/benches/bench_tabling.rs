@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
                 ..Default::default()
             };
             b.iter(|| {
-                let r = SldEngine::new(&compiled, opts).solve(&goals).unwrap();
+                let r = SldEngine::new(&compiled, opts.clone()).solve(&goals).unwrap();
                 assert!(!r.complete);
             })
         });

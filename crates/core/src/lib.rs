@@ -33,6 +33,7 @@ pub mod skolem;
 pub mod structure;
 pub mod symbol;
 pub mod term;
+pub mod termination;
 pub mod transform;
 
 pub use formula::{Atomic, Clause, DefiniteClause, Formula, Literal, Query};

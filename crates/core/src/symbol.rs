@@ -10,10 +10,9 @@
 //! trade-off for logic engines, where the set of distinct symbols is small
 //! and stable relative to the number of terms built over them.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string. Cheap to copy, compare and hash.
 ///
@@ -79,15 +78,15 @@ impl Symbol {
     /// Intern `s`, returning its handle. Idempotent.
     pub fn new(s: &str) -> Symbol {
         // Fast path: read lock only.
-        if let Some(&id) = interner().read().map.get(s) {
+        if let Some(&id) = interner().read().expect("interner lock poisoned").map.get(s) {
             return Symbol(id);
         }
-        Symbol(interner().write().intern(s))
+        Symbol(interner().write().expect("interner lock poisoned").intern(s))
     }
 
     /// Resolve the handle back to the interned string.
     pub fn as_str(self) -> &'static str {
-        interner().read().strings[self.0 as usize]
+        interner().read().expect("interner lock poisoned").strings[self.0 as usize]
     }
 
     /// The raw index of this symbol in the intern table. Stable for the

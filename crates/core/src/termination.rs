@@ -1,0 +1,331 @@
+//! Static termination analysis for translated programs.
+//!
+//! Skolemization (§2.1) puts function terms in rule heads: an
+//! entity-creating rule like `t: X[next ⇒ Y] :- t: Y` translates to
+//! clauses whose heads contain `sk(Y)`. Bottom-up evaluation of such a
+//! program derives `t(a)`, `t(sk(a))`, `t(sk(sk(a)))`, … — the least
+//! model is infinite and every exhaustive strategy diverges.
+//!
+//! The guard implemented here detects the syntactic pattern behind that
+//! divergence: a clause whose head contains a **non-ground function term**
+//! and whose head predicate sits in a **recursive strongly connected
+//! component** of the predicate dependency graph. Each fixpoint round can
+//! then feed the head's function term back into its own body, growing
+//! terms without bound.
+//!
+//! The analysis is deliberately conservative in the safe direction: a
+//! flagged program *may* still terminate (the recursion may be bounded by
+//! the data), and callers use the flag only to tighten default resource
+//! budgets — never to reject a program.
+
+use crate::fol::{FoClause, FoProgram, FoTerm};
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+/// One clause matching the skolem-recursion pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SkolemRecursion {
+    /// Index of the clause in the program.
+    pub clause: usize,
+    /// The head predicate (member of a recursive SCC).
+    pub pred: Symbol,
+    /// The outermost function symbol of the offending head term.
+    pub function: Symbol,
+}
+
+impl std::fmt::Display for SkolemRecursion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "clause {}: recursive predicate {} constructs {}(…) in its head",
+            self.clause, self.pred, self.function
+        )
+    }
+}
+
+/// Predicate node: symbol plus arity (the same predicate name at
+/// different arities is treated as distinct, matching clause indexing).
+type Node = (Symbol, usize);
+
+/// Tarjan's strongly connected components, iterative so deep dependency
+/// chains cannot overflow the stack.
+fn sccs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    #[derive(Clone, Copy)]
+    struct Entry {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+        visited: bool,
+    }
+    let mut state = vec![
+        Entry {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false,
+        };
+        n
+    ];
+    let mut next_index = 0u32;
+    let mut stack: Vec<usize> = Vec::new();
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if state[root].visited {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            if *ci == 0 {
+                state[v].visited = true;
+                state[v].index = next_index;
+                state[v].lowlink = next_index;
+                next_index += 1;
+                state[v].on_stack = true;
+                stack.push(v);
+            }
+            if let Some(&w) = adj[v].get(*ci) {
+                *ci += 1;
+                if !state[w].visited {
+                    frames.push((w, 0));
+                } else if state[w].on_stack {
+                    state[v].lowlink = state[v].lowlink.min(state[w].index);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let low = state[v].lowlink;
+                    state[parent].lowlink = state[parent].lowlink.min(low);
+                }
+                if state[v].lowlink == state[v].index {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        state[w].on_stack = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The outermost function symbol of the first non-ground `App` in the
+/// atom's arguments, if any. Ground function terms (e.g. `f(a)`) cannot
+/// grow across rounds and are ignored.
+fn growing_function(clause: &FoClause) -> Option<Symbol> {
+    fn find(t: &FoTerm) -> Option<Symbol> {
+        match t {
+            FoTerm::App(f, _) if !t.is_ground() => Some(*f),
+            _ => None,
+        }
+    }
+    clause.head.args.iter().find_map(find)
+}
+
+/// Detects clauses whose head builds a non-ground function term while the
+/// head predicate participates in recursion (directly or mutually).
+///
+/// Returns the matching clauses; an empty result means the guard found no
+/// syntactic evidence of an infinite least model. Negated body atoms
+/// contribute dependency edges like positive ones.
+pub fn skolem_recursion(p: &FoProgram) -> Vec<SkolemRecursion> {
+    // Index predicate nodes.
+    let mut ids: HashMap<Node, usize> = HashMap::new();
+    let id_of = |ids: &mut HashMap<Node, usize>, node: Node| -> usize {
+        let next = ids.len();
+        *ids.entry(node).or_insert(next)
+    };
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for c in &p.clauses {
+        let h = id_of(&mut ids, (c.head.pred, c.head.arity()));
+        for b in c.body.iter().chain(&c.negative_body) {
+            let t = id_of(&mut ids, (b.pred, b.arity()));
+            edges.push((h, t));
+        }
+    }
+    let n = ids.len();
+    let mut adj = vec![Vec::new(); n];
+    let mut self_loop = vec![false; n];
+    for (a, b) in edges {
+        if a == b {
+            self_loop[a] = true;
+        }
+        adj[a].push(b);
+    }
+    // A node is recursive iff its SCC has ≥ 2 members or it has a
+    // self-loop.
+    let mut recursive = vec![false; n];
+    for comp in sccs(n, &adj) {
+        if comp.len() >= 2 {
+            for v in comp {
+                recursive[v] = true;
+            }
+        } else if self_loop[comp[0]] {
+            recursive[comp[0]] = true;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (i, c) in p.clauses.iter().enumerate() {
+        if c.body.is_empty() && c.negative_body.is_empty() {
+            continue; // facts are ground data, not generators
+        }
+        let node = ids[&(c.head.pred, c.head.arity())];
+        if !recursive[node] {
+            continue;
+        }
+        if let Some(function) = growing_function(c) {
+            out.push(SkolemRecursion {
+                clause: i,
+                pred: c.head.pred,
+                function,
+            });
+        }
+    }
+    out
+}
+
+/// Whether [`skolem_recursion`] flags anything: the program's least model
+/// may be infinite, so exhaustive evaluation should run under a bounded
+/// budget.
+pub fn may_diverge(p: &FoProgram) -> bool {
+    !skolem_recursion(p).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fol::FoAtom;
+
+    fn atom(p: &str, args: Vec<FoTerm>) -> FoAtom {
+        FoAtom::new(p, args)
+    }
+    fn v(s: &str) -> FoTerm {
+        FoTerm::var(s)
+    }
+    fn c(s: &str) -> FoTerm {
+        FoTerm::constant(s)
+    }
+    fn app(f: &str, args: Vec<FoTerm>) -> FoTerm {
+        FoTerm::App(crate::sym(f), args)
+    }
+
+    #[test]
+    fn plain_recursion_is_not_flagged() {
+        // path(X,Z) :- edge(X,Y), path(Y,Z): recursive, but the head is
+        // function-free — the least model is bounded by the data.
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("edge", vec![c("a"), c("b")])));
+        p.push(FoClause::rule(
+            atom("path", vec![v("X"), v("Y")]),
+            vec![atom("edge", vec![v("X"), v("Y")])],
+        ));
+        p.push(FoClause::rule(
+            atom("path", vec![v("X"), v("Z")]),
+            vec![
+                atom("edge", vec![v("X"), v("Y")]),
+                atom("path", vec![v("Y"), v("Z")]),
+            ],
+        ));
+        assert!(skolem_recursion(&p).is_empty());
+        assert!(!may_diverge(&p));
+    }
+
+    #[test]
+    fn skolem_recursion_is_flagged() {
+        // t(a).  t(sk(Y)) :- t(Y): infinite least model.
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("t", vec![c("a")])));
+        p.push(FoClause::rule(
+            atom("t", vec![app("sk", vec![v("Y")])]),
+            vec![atom("t", vec![v("Y")])],
+        ));
+        let flagged = skolem_recursion(&p);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].clause, 1);
+        assert_eq!(flagged[0].pred, crate::sym("t"));
+        assert_eq!(flagged[0].function, crate::sym("sk"));
+        assert!(may_diverge(&p));
+    }
+
+    #[test]
+    fn mutual_recursion_is_flagged() {
+        // p(f(X)) :- q(X).  q(X) :- p(X): the SCC {p, q} is recursive and
+        // p's head constructs.
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("q", vec![c("a")])));
+        p.push(FoClause::rule(
+            atom("p", vec![app("f", vec![v("X")])]),
+            vec![atom("q", vec![v("X")])],
+        ));
+        p.push(FoClause::rule(
+            atom("q", vec![v("X")]),
+            vec![atom("p", vec![v("X")])],
+        ));
+        assert_eq!(skolem_recursion(&p).len(), 1);
+    }
+
+    #[test]
+    fn constructor_outside_recursion_is_not_flagged() {
+        // addr(pair(X,Y)) :- src(X), dst(Y): builds terms, but only once
+        // per data tuple — no recursion through addr.
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("src", vec![c("a")])));
+        p.push(FoClause::fact(atom("dst", vec![c("b")])));
+        p.push(FoClause::rule(
+            atom("addr", vec![app("pair", vec![v("X"), v("Y")])]),
+            vec![atom("src", vec![v("X")]), atom("dst", vec![v("Y")])],
+        ));
+        assert!(skolem_recursion(&p).is_empty());
+    }
+
+    #[test]
+    fn ground_head_term_is_not_flagged() {
+        // t(f(a)) :- t(a): the head term is ground, so the model stays
+        // finite even though t is recursive.
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("t", vec![c("a")])));
+        p.push(FoClause::rule(
+            atom("t", vec![app("f", vec![c("a")])]),
+            vec![atom("t", vec![c("a")])],
+        ));
+        assert!(skolem_recursion(&p).is_empty());
+    }
+
+    #[test]
+    fn arity_distinguishes_predicates() {
+        // p/1 recursive and constructing, p/2 unrelated.
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("p", vec![c("a")])));
+        p.push(FoClause::rule(
+            atom("p", vec![app("s", vec![v("X")])]),
+            vec![atom("p", vec![v("X")])],
+        ));
+        p.push(FoClause::rule(
+            atom("p", vec![app("pair", vec![v("X"), v("X")]), v("X")]),
+            vec![atom("p", vec![v("X")])],
+        ));
+        let flagged = skolem_recursion(&p);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].clause, 1);
+    }
+
+    #[test]
+    fn negated_bodies_contribute_edges() {
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("t", vec![c("a")])));
+        p.push(FoClause::rule_with_negation(
+            atom("t", vec![app("sk", vec![v("Y")])]),
+            vec![atom("seed", vec![v("Y")])],
+            vec![atom("t", vec![v("Y")])],
+        ));
+        p.push(FoClause::fact(atom("seed", vec![c("a")])));
+        assert!(may_diverge(&p));
+    }
+}

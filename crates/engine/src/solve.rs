@@ -27,6 +27,7 @@ use crate::goal::{DirectProgram, Goal, MolGoal};
 use clogic_core::formula::Query;
 use clogic_core::hierarchy::object_type;
 use clogic_core::symbol::Symbol;
+use folog::budget::{Budget, BudgetMeter, Degradation, TripKind};
 use folog::builtins::BuiltinError;
 use folog::program::{shift_atom, shift_term};
 use folog::rterm::{RAtom, RTerm, VarAlloc, VarId};
@@ -53,7 +54,11 @@ pub enum ResiduationMode {
 }
 
 /// Options for the direct engine.
-#[derive(Clone, Copy, Debug)]
+///
+/// Hitting any limit (depth, steps, solutions, or a [`budget`](Self::budget)
+/// ceiling) degrades gracefully: the answers found so far are returned with
+/// `complete: false` and a [`Degradation`] report.
+#[derive(Clone, Debug)]
 pub struct DirectOptions {
     /// Maximum resolution depth.
     pub max_depth: Option<usize>,
@@ -65,6 +70,8 @@ pub struct DirectOptions {
     pub unify: UnifyOptions,
     /// Residuation aggressiveness.
     pub residuation: ResiduationMode,
+    /// Shared resource ceilings (deadline, steps, memory, cancellation).
+    pub budget: Budget,
 }
 
 impl Default for DirectOptions {
@@ -75,6 +82,7 @@ impl Default for DirectOptions {
             max_solutions: None,
             unify: UnifyOptions::default(),
             residuation: ResiduationMode::OnFailure,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -106,6 +114,8 @@ pub struct DirectResult {
     pub stats: DirectStats,
     /// Whether the search space was exhausted within the limits.
     pub complete: bool,
+    /// Why the search stopped or pruned early, when `complete` is false.
+    pub degradation: Option<Degradation>,
 }
 
 /// Stack size for the dedicated search thread (resolution recursion is
@@ -140,6 +150,11 @@ struct Search<'p> {
     next_var: VarId,
     stats: DirectStats,
     truncated: bool,
+    /// The engine-local limit that first truncated the search, if any.
+    /// Local limits only prune branches (the search continues elsewhere),
+    /// so they are tracked separately from the latching budget meter.
+    trunc: Option<TripKind>,
+    meter: BudgetMeter,
     emitted: usize,
     /// Canonical forms of molecular goals whose clause resolution is in
     /// progress on the current derivation branch (variant loop check).
@@ -183,11 +198,13 @@ impl<'p> DirectEngine<'p> {
         };
         let mut search = Search {
             p: self.program,
-            opts: self.opts,
+            opts: self.opts.clone(),
             bind: Bindings::new(),
             next_var: alloc.len() as VarId,
             stats: DirectStats::default(),
             truncated: false,
+            trunc: None,
+            meter: BudgetMeter::new(&self.opts.budget),
             emitted: 0,
             in_progress: Vec::new(),
         };
@@ -219,10 +236,35 @@ impl<'p> DirectEngine<'p> {
         // only through deeper unrolling may be missing, so the run is
         // reported incomplete whenever pruning fired.
         let complete = !search.truncated && !hit_cap && search.stats.loop_prunes == 0;
+        let degradation = if complete {
+            None
+        } else {
+            let trip = search
+                .meter
+                .tripped()
+                .or(search.trunc)
+                .unwrap_or(if hit_cap {
+                    TripKind::Solutions
+                } else {
+                    TripKind::VariantLoop
+                });
+            Some(search.meter.degradation_for(
+                trip,
+                "direct",
+                search.stats.steps,
+                format!(
+                    "{trip} after {} steps, {} answers, {} loop prunes",
+                    search.stats.steps,
+                    answers.len(),
+                    search.stats.loop_prunes
+                ),
+            ))
+        };
         Ok(DirectResult {
             answers,
             stats: search.stats,
             complete,
+            degradation,
         })
     }
 }
@@ -256,15 +298,32 @@ pub fn ground_lookup(terms: &TermStore, t: &RTerm) -> Option<TermId> {
 }
 
 impl Search<'_> {
-    fn limits_ok(&mut self, depth: usize) -> bool {
-        if self.opts.max_depth.is_some_and(|m| depth > m)
-            || self.opts.max_steps.is_some_and(|m| self.stats.steps > m)
-        {
-            self.truncated = true;
-            false
-        } else {
-            true
+    /// Records an engine-local truncation (branch prune, search continues).
+    fn cut(&mut self, kind: TripKind) {
+        self.truncated = true;
+        if self.trunc.is_none() {
+            self.trunc = Some(kind);
         }
+    }
+
+    fn limits_ok(&mut self, depth: usize) -> bool {
+        if self.opts.max_depth.is_some_and(|m| depth > m) {
+            self.cut(TripKind::Depth);
+            return false;
+        }
+        if self.opts.max_steps.is_some_and(|m| self.stats.steps > m) {
+            self.cut(TripKind::Steps);
+            return false;
+        }
+        // Direct-resolution steps are heavyweight (store scans, variant
+        // checks over growing goals), so the deadline is checked unmasked
+        // on every step rather than at the meter's coarse tick interval.
+        if !self.meter.tick() || !self.meter.check_time_and_cancel() {
+            // Budget trip: latch and unwind the whole search.
+            self.truncated = true;
+            return false;
+        }
+        true
     }
 
     /// Returns `Ok(false)` to stop the whole search (solution cap).
@@ -1048,6 +1107,40 @@ mod tests {
         assert!(!r.complete);
         assert!(r.stats.steps > 0);
         assert!(r.stats.clause_attempts > 0);
+        let d = r.degradation.expect("degradation report");
+        assert_eq!(d.strategy, "direct");
+        assert!(d.work > 0);
+    }
+
+    #[test]
+    fn budget_deadline_degrades_gracefully() {
+        // Recursion over skolemized ids diverges without the variant loop
+        // check catching it (each unrolled subgoal `t: next(next(…))` is
+        // structurally fresh); a deadline budget must stop it with the
+        // partial answers found before the trip.
+        let p = parse_program(
+            "t: a.\n\
+             t: X :- t: next(X).",
+        )
+        .unwrap();
+        let dp = DirectProgram::compile(&p, builtin_symbols());
+        let e = DirectEngine::new(
+            &dp,
+            DirectOptions {
+                max_depth: None,
+                max_steps: None,
+                budget: Budget::with_deadline(std::time::Duration::from_millis(20)),
+                ..Default::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        let r = e.solve(&parse_query("t: X").unwrap()).unwrap();
+        assert!(start.elapsed() < std::time::Duration::from_secs(1));
+        assert!(!r.complete);
+        assert!(!r.answers.is_empty());
+        let d = r.degradation.expect("degradation report");
+        assert_eq!(d.trip, TripKind::Deadline);
+        assert_eq!(d.strategy, "direct");
     }
 
     #[test]
@@ -1064,6 +1157,10 @@ mod tests {
         let r = e.solve(&parse_query("t: X").unwrap()).unwrap();
         assert_eq!(r.answers.len(), 2);
         assert!(!r.complete);
+        assert_eq!(
+            r.degradation.expect("degradation report").trip,
+            TripKind::Solutions
+        );
     }
 
     #[test]
@@ -1159,5 +1256,9 @@ mod residuation_mode_tests {
         assert_eq!(r.answers.len(), 1);
         assert!(r.stats.loop_prunes > 0);
         assert!(!r.complete);
+        assert_eq!(
+            r.degradation.expect("degradation report").trip,
+            TripKind::VariantLoop
+        );
     }
 }

@@ -8,6 +8,7 @@
 //! delta, which is sound and non-redundant because relations are
 //! append-only and deltas are contiguous row ranges.
 
+use crate::budget::{Budget, BudgetMeter, Degradation, TripKind};
 use crate::builtins::{solve_pattern, BuiltinError};
 use crate::facts::{bound_positions, instantiate, match_term, trail_undo, Env, FactStore};
 use crate::ground::{TermId, TermStore};
@@ -28,14 +29,28 @@ pub enum Strategy {
 }
 
 /// Options for fixpoint evaluation.
-#[derive(Clone, Copy, Debug)]
+///
+/// Limit trips are **not** errors: when any ceiling here (or in
+/// [`budget`](Self::budget)) is reached, evaluation stops expanding, keeps
+/// the partial model, and reports `complete: false` with a
+/// [`Degradation`] record on the returned [`Evaluation`].
+///
+/// The library-level [`Default`] is **unbounded** (`max_facts`,
+/// `max_iterations`: `None`, empty budget): a program whose least model is
+/// infinite — e.g. a skolemizing recursive rule — will run until memory is
+/// exhausted. Embedders that accept untrusted or generated programs should
+/// set ceilings; `clogic::Session` does so by default and treats unbounded
+/// evaluation as opt-in.
+#[derive(Clone, Debug)]
 pub struct FixpointOptions {
     /// The strategy.
     pub strategy: Strategy,
-    /// Stop (with an error) after this many derived facts, if set.
+    /// Degrade gracefully after this many stored facts, if set.
     pub max_facts: Option<usize>,
-    /// Stop (with an error) after this many iterations, if set.
+    /// Degrade gracefully after this many iterations, if set.
     pub max_iterations: Option<usize>,
+    /// Shared resource ceilings (deadline, steps, memory, cancellation).
+    pub budget: Budget,
 }
 
 impl Default for FixpointOptions {
@@ -44,6 +59,7 @@ impl Default for FixpointOptions {
             strategy: Strategy::SemiNaive,
             max_facts: None,
             max_iterations: None,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -71,10 +87,6 @@ pub enum EvalError {
     NonGroundDerivation(String),
     /// A built-in raised an error (e.g. unbound arithmetic).
     Builtin(BuiltinError),
-    /// `max_facts` exceeded.
-    FactLimit(usize),
-    /// `max_iterations` exceeded.
-    IterationLimit(usize),
     /// The program is not stratifiable: a predicate depends on itself
     /// through negation.
     Unstratifiable(String),
@@ -87,8 +99,6 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::NonGroundDerivation(r) => write!(f, "non-ground derivation from rule {r}"),
             EvalError::Builtin(e) => write!(f, "builtin error: {e}"),
-            EvalError::FactLimit(n) => write!(f, "fact limit {n} exceeded"),
-            EvalError::IterationLimit(n) => write!(f, "iteration limit {n} exceeded"),
             EvalError::Unstratifiable(p) => {
                 write!(
                     f,
@@ -108,16 +118,36 @@ impl From<BuiltinError> for EvalError {
     }
 }
 
-/// The result of a fixpoint run: the term arena, the least model, and the
-/// operation counters.
-#[derive(Clone, Debug, Default)]
+/// The result of a fixpoint run: the term arena, the (possibly partial)
+/// model, and the operation counters.
+///
+/// `complete` is `true` iff the fixpoint closed without hitting any
+/// resource ceiling; otherwise `degradation` says which ceiling tripped
+/// and the `facts` hold the partial model derived up to that point.
+#[derive(Clone, Debug)]
 pub struct Evaluation {
     /// The term arena all tuples reference.
     pub store: TermStore,
-    /// The least model.
+    /// The least model (partial if `complete` is false).
     pub facts: FactStore,
     /// Counters.
     pub stats: FixpointStats,
+    /// Whether the fixpoint closed (no ceiling tripped).
+    pub complete: bool,
+    /// Why evaluation stopped early, when `complete` is false.
+    pub degradation: Option<Degradation>,
+}
+
+impl Default for Evaluation {
+    fn default() -> Self {
+        Evaluation {
+            store: TermStore::default(),
+            facts: FactStore::default(),
+            stats: FixpointStats::default(),
+            complete: true,
+            degradation: None,
+        }
+    }
 }
 
 impl Evaluation {
@@ -277,10 +307,14 @@ struct Frontier {
 /// ```
 pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Evaluation, EvalError> {
     let mut ev = Evaluation::default();
+    let mut meter = BudgetMeter::new(&opts.budget);
     let derivable: Vec<(Symbol, usize)> = program.head_predicates();
 
     // Round 0: insert facts.
     for rule in program.rules.iter().filter(|r| r.is_fact()) {
+        if !meter.tick() {
+            break;
+        }
         let env: Env = Vec::new();
         let mut tuple = Vec::with_capacity(rule.head.args.len());
         for a in &rule.head.args {
@@ -302,9 +336,35 @@ pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Eval
     let all_rules: Vec<&Rule> = program.rules.iter().filter(|r| !r.is_fact()).collect();
     let strata = stratify(&all_rules, program)?;
     for stratum_rules in strata {
-        run_stratum(&stratum_rules, &derivable, program, opts, &mut ev)?;
+        if !meter.check_time_and_cancel() {
+            break;
+        }
+        run_stratum(&stratum_rules, &derivable, program, &opts, &mut ev, &mut meter)?;
+        if meter.tripped().is_some() {
+            break;
+        }
+    }
+    if let Some(trip) = meter.tripped() {
+        ev.complete = false;
+        ev.degradation = Some(meter.degradation_for(
+            trip,
+            strategy_name(opts.strategy),
+            ev.stats.facts_derived,
+            format!(
+                "{trip} after {} iterations, {} facts",
+                ev.stats.iterations, ev.facts.total
+            ),
+        ));
     }
     Ok(ev)
+}
+
+/// Stable strategy label used in [`Degradation`] reports.
+fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Naive => "bottom-up-naive",
+        Strategy::SemiNaive => "bottom-up-semi-naive",
+    }
 }
 
 /// Assigns each rule to a stratum; returns the rules grouped by stratum.
@@ -402,16 +462,26 @@ fn run_stratum(
     rules: &[&Rule],
     derivable: &[(Symbol, usize)],
     program: &CompiledProgram,
-    opts: FixpointOptions,
+    opts: &FixpointOptions,
     ev: &mut Evaluation,
+    meter: &mut BudgetMeter,
 ) -> Result<(), EvalError> {
     let mut frontiers: HashMap<(Symbol, usize), Frontier> = HashMap::new();
     let mut first_round = true;
     loop {
+        // Round boundary: prompt deadline/cancel check plus an approximate
+        // memory check (arena terms dominate; tuples are TermId rows).
+        if !meter.check_time_and_cancel()
+            || !meter.check_memory(ev.store.len() * 64 + ev.facts.total * 24)
+        {
+            return Ok(());
+        }
         ev.stats.iterations += 1;
         if let Some(limit) = opts.max_iterations {
             if ev.stats.iterations > limit {
-                return Err(EvalError::IterationLimit(limit));
+                ev.stats.iterations -= 1;
+                meter.trip(TripKind::Iterations);
+                return Ok(());
             }
         }
         // Snapshot current lengths.
@@ -454,6 +524,7 @@ fn run_stratum(
                         &mut ev.stats,
                         program,
                         &mut new_facts,
+                        meter,
                     )?;
                 }
                 Strategy::SemiNaive => {
@@ -470,6 +541,7 @@ fn run_stratum(
                                 &mut ev.stats,
                                 program,
                                 &mut new_facts,
+                                meter,
                             )?;
                         }
                         continue;
@@ -485,9 +557,13 @@ fn run_stratum(
                             &mut ev.stats,
                             program,
                             &mut new_facts,
+                            meter,
                         )?;
                     }
                 }
+            }
+            if meter.tripped().is_some() {
+                break;
             }
         }
 
@@ -499,11 +575,22 @@ fn run_stratum(
             } else {
                 ev.stats.duplicates += 1;
             }
-            if let Some(limit) = opts.max_facts {
+            let effective_max = match (opts.max_facts, meter.budget().max_facts) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+            if let Some(limit) = effective_max {
                 if ev.facts.total > limit {
-                    return Err(EvalError::FactLimit(limit));
+                    // Keep the partial model (including this tuple) and
+                    // stop deriving; remaining new_facts are dropped.
+                    meter.trip(TripKind::Facts);
+                    break;
                 }
             }
+        }
+        if meter.tripped().is_some() {
+            return Ok(());
         }
         frontiers = current_frontiers;
         first_round = false;
@@ -528,13 +615,14 @@ fn eval_rule(
     stats: &mut FixpointStats,
     program: &CompiledProgram,
     out: &mut Vec<(Symbol, Vec<TermId>)>,
+    meter: &mut BudgetMeter,
 ) -> Result<(), EvalError> {
     let mut env: Env = vec![None; rule.n_vars as usize];
     let mut trail: Vec<crate::rterm::VarId> = Vec::new();
     let order = plan_order(rule, delta_pos, program);
     eval_body(
         rule, &order, 0, delta_pos, frontiers, facts, store, stats, program, &mut env, &mut trail,
-        out,
+        out, meter,
     )
 }
 
@@ -636,6 +724,7 @@ fn eval_body(
     env: &mut Env,
     trail: &mut Vec<crate::rterm::VarId>,
     out: &mut Vec<(Symbol, Vec<TermId>)>,
+    meter: &mut BudgetMeter,
 ) -> Result<(), EvalError> {
     if i == rule.body.len() {
         // Negation as failure: every negated atom must be absent. The
@@ -691,6 +780,7 @@ fn eval_body(
                 env,
                 trail,
                 out,
+                meter,
             )?;
         }
         trail_undo(env, trail, mark);
@@ -718,6 +808,9 @@ fn eval_body(
     let bound = bound_positions(&atom.args, env, store);
     let rows = rel.candidate_rows(&bound, range);
     for row in rows {
+        if !meter.tick() {
+            return Ok(());
+        }
         let mark = trail.len();
         stats.match_attempts += 1;
         let tuple = rel.tuple(row).to_vec();
@@ -740,6 +833,7 @@ fn eval_body(
                 env,
                 trail,
                 out,
+                meter,
             )?;
         }
         trail_undo(env, trail, mark);
@@ -881,18 +975,115 @@ mod tests {
     }
 
     #[test]
-    fn fact_limit_enforced() {
+    fn fact_limit_degrades_gracefully() {
         let p = chain_program(20);
         let cp = CompiledProgram::compile(&p, builtin_symbols());
-        let err = evaluate(
+        let ev = evaluate(
             &cp,
             FixpointOptions {
                 max_facts: Some(30),
                 ..Default::default()
             },
         )
-        .unwrap_err();
-        assert!(matches!(err, EvalError::FactLimit(30)));
+        .unwrap();
+        assert!(!ev.complete);
+        let d = ev.degradation.as_ref().expect("degradation report");
+        assert_eq!(d.trip, TripKind::Facts);
+        assert_eq!(d.strategy, "bottom-up-semi-naive");
+        // The partial model is retained: all 20 edges plus some paths,
+        // stopping right after the ceiling.
+        assert!(ev.facts.total > 30);
+        assert!(ev.facts.total <= 31);
+        assert!(ev.holds(&[atom("edge", vec![c("n0"), c("n1")])]));
+    }
+
+    #[test]
+    fn iteration_limit_degrades_gracefully() {
+        let p = chain_program(20);
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let ev = evaluate(
+            &cp,
+            FixpointOptions {
+                max_iterations: Some(3),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!ev.complete);
+        assert_eq!(
+            ev.degradation.as_ref().unwrap().trip,
+            TripKind::Iterations
+        );
+        assert_eq!(ev.stats.iterations, 3);
+        // Short paths derived before the cutoff survive.
+        assert!(ev.holds(&[atom("path", vec![c("n0"), c("n1")])]));
+    }
+
+    #[test]
+    fn budget_deadline_degrades_gracefully() {
+        use std::time::Duration;
+        // An infinite least model: count(s(X)) :- count(X). Without a
+        // ceiling this diverges; an expired deadline must stop it with a
+        // partial model rather than hang or error.
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("count", vec![c("zero")])));
+        p.push(FoClause::rule(
+            atom("count", vec![FoTerm::App(sym("s"), vec![v("X")])]),
+            vec![atom("count", vec![v("X")])],
+        ));
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let ev = evaluate(
+            &cp,
+            FixpointOptions {
+                budget: crate::budget::Budget::with_deadline(Duration::from_millis(20)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!ev.complete);
+        let d = ev.degradation.unwrap();
+        assert!(
+            matches!(d.trip, TripKind::Deadline),
+            "expected deadline trip, got {:?}",
+            d.trip
+        );
+        assert!(ev.facts.total >= 1);
+    }
+
+    #[test]
+    fn budget_step_ceiling_degrades_gracefully() {
+        let p = chain_program(20);
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let ev = evaluate(
+            &cp,
+            FixpointOptions {
+                budget: crate::budget::Budget::unlimited().max_steps(25),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!ev.complete);
+        let d = ev.degradation.unwrap();
+        assert!(matches!(d.trip, TripKind::Steps | TripKind::Deadline));
+    }
+
+    #[test]
+    fn cancel_token_stops_evaluation() {
+        use crate::budget::CancelToken;
+        let p = chain_program(10);
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let token = CancelToken::new();
+        token.cancel(); // cancelled before the run even starts
+        let ev = evaluate(
+            &cp,
+            FixpointOptions {
+                budget: crate::budget::Budget::unlimited().cancel_token(token),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!ev.complete);
+        assert_eq!(ev.degradation.unwrap().trip, TripKind::Cancelled);
     }
 
     #[test]

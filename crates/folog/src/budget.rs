@@ -1,0 +1,499 @@
+//! Resource governance shared by every evaluation strategy.
+//!
+//! A [`Budget`] bundles the resource ceilings a caller is willing to spend
+//! on one query: a wall-clock deadline, a step ceiling, a derived-fact
+//! ceiling, an approximate memory ceiling, and a cooperative
+//! [`CancelToken`]. Engines thread a [`BudgetMeter`] — a started clock plus
+//! trip state — through their inner loops and call [`BudgetMeter::tick`]
+//! at each unit of work.
+//!
+//! The contract is **graceful degradation**, not hard failure: when a
+//! ceiling trips, the engine stops expanding, keeps every answer derived so
+//! far, and reports `complete: false` together with a structured
+//! [`Degradation`] record saying which limit tripped and how much work had
+//! been done. Limit trips are never `Err`s; errors are reserved for
+//! malformed programs and builtin failures.
+//!
+//! Time is checked through a mask (every [`CHECK_INTERVAL`] ticks) so the
+//! common path costs one increment and one compare, not a syscall.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many ticks pass between wall-clock/cancellation checks. Must be a
+/// power of two; the mask keeps the hot path branch-cheap.
+pub const CHECK_INTERVAL: u64 = 1024;
+
+const CHECK_MASK: u64 = CHECK_INTERVAL - 1;
+
+/// A cooperative cancellation handle, cheaply clonable and thread-safe.
+///
+/// Callers keep one clone and hand another to the engine (inside a
+/// [`Budget`]); calling [`CancelToken::cancel`] makes the engine trip with
+/// [`TripKind::Cancelled`] at its next check point.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; wakes nothing, engines observe it
+    /// at their next budget check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`cancel`](Self::cancel) been called on any clone?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Which resource ceiling stopped an evaluation early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TripKind {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The budget's global step ceiling was reached.
+    Steps,
+    /// An engine-specific depth bound was reached (SLD / direct search).
+    Depth,
+    /// The derived-fact ceiling was reached (bottom-up / magic).
+    Facts,
+    /// The fixpoint iteration ceiling was reached (bottom-up / magic).
+    Iterations,
+    /// The table answer ceiling was reached (tabling).
+    Answers,
+    /// The requested number of solutions was reached (SLD / direct).
+    Solutions,
+    /// The approximate memory ceiling was reached.
+    Memory,
+    /// The caller's [`CancelToken`] fired.
+    Cancelled,
+    /// The direct engine pruned a variant loop; the search space was
+    /// truncated to keep termination, so answers may be missing.
+    VariantLoop,
+}
+
+impl fmt::Display for TripKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TripKind::Deadline => "deadline",
+            TripKind::Steps => "step ceiling",
+            TripKind::Depth => "depth bound",
+            TripKind::Facts => "fact ceiling",
+            TripKind::Iterations => "iteration ceiling",
+            TripKind::Answers => "answer ceiling",
+            TripKind::Solutions => "solution cap",
+            TripKind::Memory => "memory ceiling",
+            TripKind::Cancelled => "cancelled",
+            TripKind::VariantLoop => "variant loop pruned",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Resource ceilings for one evaluation. `None` everywhere (the default)
+/// means unlimited.
+///
+/// A `Budget` composes with engine-local limits (e.g. `SldOptions::
+/// max_depth`): whichever trips first stops the search, and both report
+/// through the same [`Degradation`] channel.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Wall-clock ceiling, measured from [`BudgetMeter::new`].
+    pub deadline: Option<Duration>,
+    /// Ceiling on budget ticks (units of engine work; see each engine's
+    /// docs for what one tick means there).
+    pub max_steps: Option<u64>,
+    /// Ceiling on stored derived facts (bottom-up, magic) or table
+    /// answers (tabling).
+    pub max_facts: Option<usize>,
+    /// Approximate heap ceiling in bytes, as estimated by the engine.
+    pub max_memory_bytes: Option<usize>,
+    /// Cooperative cancellation handle.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// A budget with no ceilings at all.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget with only a wall-clock deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Budget {
+            deadline: Some(deadline),
+            ..Budget::default()
+        }
+    }
+
+    /// Builder-style: set the wall-clock deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style: set the step ceiling.
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Builder-style: set the derived-fact / answer ceiling.
+    pub fn max_facts(mut self, facts: usize) -> Self {
+        self.max_facts = Some(facts);
+        self
+    }
+
+    /// Builder-style: set the approximate memory ceiling.
+    pub fn max_memory_bytes(mut self, bytes: usize) -> Self {
+        self.max_memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Builder-style: attach a cancellation token.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// True iff no ceiling and no cancel token is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_steps.is_none()
+            && self.max_facts.is_none()
+            && self.max_memory_bytes.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// Combine two budgets, keeping the tighter ceiling on each axis.
+    /// The cancel token is `self`'s if present, else `other`'s.
+    pub fn merged(&self, other: &Budget) -> Budget {
+        fn tighter<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        Budget {
+            deadline: tighter(self.deadline, other.deadline),
+            max_steps: tighter(self.max_steps, other.max_steps),
+            max_facts: tighter(self.max_facts, other.max_facts),
+            max_memory_bytes: tighter(self.max_memory_bytes, other.max_memory_bytes),
+            cancel: self.cancel.clone().or_else(|| other.cancel.clone()),
+        }
+    }
+}
+
+/// Why and how far an evaluation degraded. Present on a result whenever
+/// `complete == false`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Degradation {
+    /// Which ceiling tripped.
+    pub trip: TripKind,
+    /// Which strategy was running (`"sld"`, `"bottom-up"`, ...).
+    pub strategy: &'static str,
+    /// Wall-clock time from meter start to the report.
+    pub elapsed: Duration,
+    /// Engine-specific work counter at trip time (steps, facts, answers).
+    pub work: u64,
+    /// Human-readable context, e.g. `"fact ceiling of 30 reached"`.
+    pub detail: String,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} degraded: {} after {:?} ({} work units): {}",
+            self.strategy, self.trip, self.elapsed, self.work, self.detail
+        )
+    }
+}
+
+/// A running [`Budget`]: started clock, tick counter, and trip state.
+///
+/// One meter governs one evaluation. Engines call [`tick`](Self::tick) per
+/// unit of work and the `check_*` methods at growth points; once any check
+/// fails the meter latches the first [`TripKind`] and all later checks
+/// fail fast, so engines can unwind by testing [`tripped`](Self::tripped).
+#[derive(Clone, Debug)]
+pub struct BudgetMeter {
+    budget: Budget,
+    started: Instant,
+    deadline_at: Option<Instant>,
+    ticks: u64,
+    tripped: Option<TripKind>,
+}
+
+impl BudgetMeter {
+    /// Start metering `budget` now.
+    pub fn new(budget: &Budget) -> Self {
+        let started = Instant::now();
+        BudgetMeter {
+            deadline_at: budget.deadline.map(|d| started + d),
+            budget: budget.clone(),
+            started,
+            ticks: 0,
+
+            tripped: None,
+        }
+    }
+
+    /// The budget being metered.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Ticks recorded so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Wall-clock time since the meter started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The first ceiling that tripped, if any.
+    pub fn tripped(&self) -> Option<TripKind> {
+        self.tripped
+    }
+
+    /// Latch a trip. The first trip wins; later calls are ignored.
+    pub fn trip(&mut self, kind: TripKind) {
+        if self.tripped.is_none() {
+            self.tripped = Some(kind);
+        }
+    }
+
+    /// Record one unit of work. Returns `true` while the budget holds;
+    /// `false` once any ceiling has tripped. Wall-clock and cancellation
+    /// are only consulted every [`CHECK_INTERVAL`] ticks.
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        if self.tripped.is_some() {
+            return false;
+        }
+        self.ticks += 1;
+        if let Some(max) = self.budget.max_steps {
+            if self.ticks > max {
+                self.trip(TripKind::Steps);
+                return false;
+            }
+        }
+        if self.ticks & CHECK_MASK == 0 {
+            return self.check_time_and_cancel();
+        }
+        true
+    }
+
+    /// Check wall-clock deadline and cancellation immediately (not masked).
+    /// Engines call this at coarse boundaries — stratum starts, fixpoint
+    /// passes — where a prompt trip matters more than the syscall cost.
+    pub fn check_time_and_cancel(&mut self) -> bool {
+        if self.tripped.is_some() {
+            return false;
+        }
+        if let Some(at) = self.deadline_at {
+            if Instant::now() >= at {
+                self.trip(TripKind::Deadline);
+                return false;
+            }
+        }
+        if let Some(token) = &self.budget.cancel {
+            if token.is_cancelled() {
+                self.trip(TripKind::Cancelled);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Check the derived-fact / answer ceiling against a current count.
+    pub fn check_facts(&mut self, count: usize) -> bool {
+        if self.tripped.is_some() {
+            return false;
+        }
+        if let Some(max) = self.budget.max_facts {
+            if count > max {
+                self.trip(TripKind::Facts);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Check the approximate memory ceiling against an engine estimate.
+    pub fn check_memory(&mut self, approx_bytes: usize) -> bool {
+        if self.tripped.is_some() {
+            return false;
+        }
+        if let Some(max) = self.budget.max_memory_bytes {
+            if approx_bytes > max {
+                self.trip(TripKind::Memory);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Build the [`Degradation`] report if a ceiling tripped, else `None`.
+    pub fn degradation(
+        &self,
+        strategy: &'static str,
+        work: u64,
+        detail: impl Into<String>,
+    ) -> Option<Degradation> {
+        self.tripped.map(|trip| Degradation {
+            trip,
+            strategy,
+            elapsed: self.elapsed(),
+            work,
+            detail: detail.into(),
+        })
+    }
+
+    /// Build a [`Degradation`] for a trip that is already known without
+    /// consulting the meter's latch (e.g. an engine-local depth bound).
+    pub fn degradation_for(
+        &self,
+        trip: TripKind,
+        strategy: &'static str,
+        work: u64,
+        detail: impl Into<String>,
+    ) -> Degradation {
+        Degradation {
+            trip,
+            strategy,
+            elapsed: self.elapsed(),
+            work,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl Default for BudgetMeter {
+    fn default() -> Self {
+        BudgetMeter::new(&Budget::unlimited())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let mut meter = BudgetMeter::new(&Budget::unlimited());
+        for _ in 0..10_000 {
+            assert!(meter.tick());
+        }
+        assert!(meter.check_facts(usize::MAX - 1));
+        assert!(meter.check_memory(usize::MAX - 1));
+        assert_eq!(meter.tripped(), None);
+        assert_eq!(meter.degradation("test", 0, "n/a"), None);
+    }
+
+    #[test]
+    fn step_ceiling_trips_exactly() {
+        let mut meter = BudgetMeter::new(&Budget::unlimited().max_steps(10));
+        for _ in 0..10 {
+            assert!(meter.tick());
+        }
+        assert!(!meter.tick());
+        assert_eq!(meter.tripped(), Some(TripKind::Steps));
+        // Latched: further checks fail fast.
+        assert!(!meter.tick());
+        assert!(!meter.check_facts(0));
+    }
+
+    #[test]
+    fn deadline_trips_after_elapse() {
+        let mut meter = BudgetMeter::new(&Budget::with_deadline(Duration::from_millis(5)));
+        thread::sleep(Duration::from_millis(10));
+        assert!(!meter.check_time_and_cancel());
+        assert_eq!(meter.tripped(), Some(TripKind::Deadline));
+    }
+
+    #[test]
+    fn deadline_observed_through_masked_tick() {
+        let mut meter = BudgetMeter::new(&Budget::with_deadline(Duration::from_millis(5)));
+        thread::sleep(Duration::from_millis(10));
+        let mut held = true;
+        for _ in 0..=CHECK_INTERVAL {
+            held = meter.tick();
+            if !held {
+                break;
+            }
+        }
+        assert!(!held, "masked tick must notice an expired deadline");
+        assert_eq!(meter.tripped(), Some(TripKind::Deadline));
+    }
+
+    #[test]
+    fn fact_and_memory_ceilings() {
+        let mut meter = BudgetMeter::new(&Budget::unlimited().max_facts(100));
+        assert!(meter.check_facts(100));
+        assert!(!meter.check_facts(101));
+        assert_eq!(meter.tripped(), Some(TripKind::Facts));
+
+        let mut meter = BudgetMeter::new(&Budget::unlimited().max_memory_bytes(1 << 20));
+        assert!(meter.check_memory(1 << 20));
+        assert!(!meter.check_memory((1 << 20) + 1));
+        assert_eq!(meter.tripped(), Some(TripKind::Memory));
+    }
+
+    #[test]
+    fn cancel_token_trips() {
+        let token = CancelToken::new();
+        let budget = Budget::unlimited().cancel_token(token.clone());
+        let mut meter = BudgetMeter::new(&budget);
+        assert!(meter.check_time_and_cancel());
+        token.cancel();
+        assert!(!meter.check_time_and_cancel());
+        assert_eq!(meter.tripped(), Some(TripKind::Cancelled));
+    }
+
+    #[test]
+    fn merged_takes_tighter_ceilings() {
+        let a = Budget::with_deadline(Duration::from_millis(50)).max_facts(1000);
+        let b = Budget::with_deadline(Duration::from_millis(20)).max_steps(5);
+        let m = a.merged(&b);
+        assert_eq!(m.deadline, Some(Duration::from_millis(20)));
+        assert_eq!(m.max_facts, Some(1000));
+        assert_eq!(m.max_steps, Some(5));
+        assert_eq!(m.max_memory_bytes, None);
+    }
+
+    #[test]
+    fn first_trip_wins() {
+        let mut meter = BudgetMeter::new(&Budget::unlimited().max_facts(1));
+        assert!(!meter.check_facts(2));
+        meter.trip(TripKind::Deadline);
+        assert_eq!(meter.tripped(), Some(TripKind::Facts));
+    }
+
+    #[test]
+    fn degradation_report_is_populated() {
+        let mut meter = BudgetMeter::new(&Budget::unlimited().max_steps(1));
+        assert!(meter.tick());
+        assert!(!meter.tick());
+        let d = meter.degradation("sld", 42, "step ceiling of 1 reached").unwrap();
+        assert_eq!(d.trip, TripKind::Steps);
+        assert_eq!(d.strategy, "sld");
+        assert_eq!(d.work, 42);
+        assert!(d.detail.contains("step ceiling"));
+        let shown = d.to_string();
+        assert!(shown.contains("sld") && shown.contains("step ceiling"));
+    }
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod bottom_up;
+pub mod budget;
 pub mod builtins;
 pub mod facts;
 pub mod ground;
@@ -32,6 +33,7 @@ pub mod tabling;
 pub mod unify;
 
 pub use bottom_up::{evaluate, Evaluation, FixpointOptions, FixpointStats, Strategy};
+pub use budget::{Budget, BudgetMeter, CancelToken, Degradation, TripKind};
 pub use ground::{GroundAtom, GroundTerm, TermId, TermStore};
 pub use program::{CompiledProgram, Rule};
 pub use rterm::{RAtom, RTerm};

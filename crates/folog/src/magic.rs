@@ -228,7 +228,10 @@ pub fn solve_magic(
     }
     let mp = magic_transform(p, goals, builtins);
     let compiled = CompiledProgram::compile(&mp.program, builtins.iter().copied());
-    let ev = evaluate(&compiled, opts)?;
+    let mut ev = evaluate(&compiled, opts)?;
+    if let Some(d) = ev.degradation.as_mut() {
+        d.strategy = "magic";
+    }
     let mut answers = Vec::new();
     if let Some(rel) = ev.facts.relation(mp.answer_pred, mp.query_vars.len()) {
         for tuple in rel.tuples() {
@@ -405,6 +408,48 @@ mod tests {
         )
         .unwrap();
         assert_eq!(answers.len(), 3);
+    }
+
+    #[test]
+    fn budget_deadline_degrades_gracefully() {
+        use crate::budget::{Budget, TripKind};
+        // Infinite answer set: distances grow without bound on a cycle.
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("edge", vec![c("a"), c("b")])));
+        p.push(FoClause::fact(atom("edge", vec![c("b"), c("a")])));
+        p.push(FoClause::rule(
+            atom("dist", vec![v("X"), v("Y"), FoTerm::int(1)]),
+            vec![atom("edge", vec![v("X"), v("Y")])],
+        ));
+        p.push(FoClause::rule(
+            atom("dist", vec![v("X"), v("Z"), v("N")]),
+            vec![
+                atom("edge", vec![v("X"), v("Y")]),
+                atom("dist", vec![v("Y"), v("Z"), v("M")]),
+                atom(
+                    "is",
+                    vec![v("N"), FoTerm::App(sym("+"), vec![v("M"), FoTerm::int(1)])],
+                ),
+            ],
+        ));
+        let opts = FixpointOptions {
+            budget: Budget::with_deadline(std::time::Duration::from_millis(20)),
+            ..Default::default()
+        };
+        let start = std::time::Instant::now();
+        let (answers, ev) = solve_magic(
+            &p,
+            &[atom("dist", vec![c("a"), v("Y"), v("N")])],
+            &builtins(),
+            opts,
+        )
+        .unwrap();
+        assert!(start.elapsed() < std::time::Duration::from_secs(1));
+        assert!(!ev.complete);
+        assert!(!answers.is_empty());
+        let d = ev.degradation.expect("degradation report");
+        assert_eq!(d.trip, TripKind::Deadline);
+        assert_eq!(d.strategy, "magic");
     }
 
     #[test]

@@ -26,7 +26,37 @@ pub enum RTerm {
     App(Symbol, Vec<RTerm>),
 }
 
+/// A term did not have the structural shape a caller required.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TermShapeError {
+    /// What the caller expected, e.g. `"application"`.
+    pub expected: &'static str,
+    /// Display form of the term actually found.
+    pub found: String,
+}
+
+impl fmt::Display for TermShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected {}, found {}", self.expected, self.found)
+    }
+}
+
+impl std::error::Error for TermShapeError {}
+
 impl RTerm {
+    /// Views this term as a function application `f(args…)`, or reports
+    /// what it actually is — the non-panicking counterpart of matching on
+    /// [`RTerm::App`] directly.
+    pub fn try_app(&self) -> Result<(Symbol, &[RTerm]), TermShapeError> {
+        match self {
+            RTerm::App(f, args) => Ok((*f, args)),
+            other => Err(TermShapeError {
+                expected: "application",
+                found: other.to_string(),
+            }),
+        }
+    }
+
     /// True iff no variable occurs.
     pub fn is_ground(&self) -> bool {
         match self {
@@ -184,16 +214,24 @@ mod tests {
             vec![FoTerm::var("X"), FoTerm::var("X"), FoTerm::var("Y")],
         );
         let r = rterm_of_fo(&t, &mut map, &mut alloc);
-        match r {
-            RTerm::App(_, args) => {
-                assert_eq!(args[0], args[1]);
-                assert_ne!(args[0], args[2]);
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let (_, args) = r.try_app().expect("conversion preserves applications");
+        assert_eq!(args[0], args[1]);
+        assert_ne!(args[0], args[2]);
         assert_eq!(alloc.len(), 2);
         assert_eq!(alloc.name(0), Some(sym("X")));
         assert_eq!(alloc.name(1), Some(sym("Y")));
+    }
+
+    #[test]
+    fn try_app_reports_shape_mismatch() {
+        let t = RTerm::App(sym("f"), vec![RTerm::Var(0)]);
+        let (f, args) = t.try_app().unwrap();
+        assert_eq!(f, sym("f"));
+        assert_eq!(args, &[RTerm::Var(0)]);
+        let err = RTerm::Var(3).try_app().unwrap_err();
+        assert_eq!(err.expected, "application");
+        assert_eq!(err.found, "_G3");
+        assert!(err.to_string().contains("expected application"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! which the experiments use to demonstrate that plain SLD diverges on
 //! recursive programs over cyclic data where tabling terminates.
 
+use crate::budget::{Budget, BudgetMeter, Degradation, TripKind};
 use crate::builtins::BuiltinError;
 use crate::program::{shift_atom, CompiledProgram};
 use crate::rterm::{RAtom, RTerm, VarAlloc, VarId};
@@ -16,7 +17,10 @@ use clogic_core::symbol::Symbol;
 use std::collections::{BTreeMap, HashMap};
 
 /// Limits and options for an SLD run.
-#[derive(Clone, Copy, Debug)]
+///
+/// Hitting any limit is graceful: answers found so far are returned with
+/// `complete: false` and a [`Degradation`] report.
+#[derive(Clone, Debug)]
 pub struct SldOptions {
     /// Maximum resolution depth (goal-stack depth); `None` = unbounded.
     pub max_depth: Option<usize>,
@@ -26,6 +30,8 @@ pub struct SldOptions {
     pub max_solutions: Option<usize>,
     /// Unification options.
     pub unify: UnifyOptions,
+    /// Shared resource ceilings (deadline, steps, memory, cancellation).
+    pub budget: Budget,
 }
 
 impl Default for SldOptions {
@@ -35,6 +41,7 @@ impl Default for SldOptions {
             max_steps: Some(10_000_000),
             max_solutions: None,
             unify: UnifyOptions::default(),
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -62,6 +69,8 @@ pub struct SldResult {
     /// True iff the whole search space was explored within the limits
     /// (when false, missing answers prove nothing).
     pub complete: bool,
+    /// Why the search was cut short, when `complete` is false.
+    pub degradation: Option<Degradation>,
 }
 
 /// A resolution goal: a positive atom or a negated one (NAF).
@@ -87,6 +96,10 @@ struct Search<'p> {
     next_var: VarId,
     stats: SldStats,
     truncated: bool,
+    /// First engine-local cutoff cause (depth/step bound). Budget trips
+    /// (deadline, cancel, budget steps) live in the meter instead.
+    trunc: Option<TripKind>,
+    meter: BudgetMeter,
     emitted: usize,
 }
 
@@ -123,13 +136,16 @@ impl<'p> SldEngine<'p> {
             v.sort();
             v
         };
+        let meter = BudgetMeter::new(&self.opts.budget);
         let mut search = Search {
             program: self.program,
-            opts: self.opts,
+            opts: self.opts.clone(),
             bind: Bindings::new(),
             next_var: alloc.len() as VarId,
             stats: SldStats::default(),
             truncated: false,
+            trunc: None,
+            meter,
             emitted: 0,
         };
         let mut answers = Vec::new();
@@ -153,19 +169,50 @@ impl<'p> SldEngine<'p> {
                 .join()
                 .expect("search thread panicked")
         })?;
-        let complete = !search.truncated;
         let hit_solution_cap = self.opts.max_solutions.is_some_and(|m| answers.len() >= m);
+        let complete = !search.truncated && !hit_solution_cap;
         answers.sort();
         answers.dedup();
+        let degradation = if complete {
+            None
+        } else {
+            // Budget trips (deadline/cancel) outrank engine-local bounds,
+            // which outrank the requested solution cap.
+            let trip = search
+                .meter
+                .tripped()
+                .or(search.trunc)
+                .unwrap_or(TripKind::Solutions);
+            Some(search.meter.degradation_for(
+                trip,
+                "sld",
+                search.stats.steps,
+                format!(
+                    "{trip} after {} steps, {} answers, depth {}",
+                    search.stats.steps,
+                    answers.len(),
+                    search.stats.max_depth_reached
+                ),
+            ))
+        };
         Ok(SldResult {
             answers,
             stats: search.stats,
-            complete: complete && !hit_solution_cap,
+            complete,
+            degradation,
         })
     }
 }
 
 impl Search<'_> {
+    /// Record an engine-local cutoff: the search space was truncated.
+    fn cut(&mut self, kind: TripKind) {
+        self.truncated = true;
+        if self.trunc.is_none() {
+            self.trunc = Some(kind);
+        }
+    }
+
     /// Returns `Ok(true)` to continue searching, `Ok(false)` to stop
     /// (solution cap reached).
     fn solve(
@@ -184,10 +231,14 @@ impl Search<'_> {
             return Ok(true);
         };
         if self.opts.max_depth.is_some_and(|m| depth > m) {
-            self.truncated = true;
+            self.cut(TripKind::Depth);
             return Ok(true);
         }
         if self.opts.max_steps.is_some_and(|m| self.stats.steps > m) {
+            self.cut(TripKind::Steps);
+            return Ok(true);
+        }
+        if self.meter.tripped().is_some() {
             self.truncated = true;
             return Ok(true);
         }
@@ -231,6 +282,10 @@ impl Search<'_> {
         for ci in candidates {
             self.stats.steps += 1;
             if self.opts.max_steps.is_some_and(|m| self.stats.steps > m) {
+                self.cut(TripKind::Steps);
+                return Ok(true);
+            }
+            if !self.meter.tick() {
                 self.truncated = true;
                 return Ok(true);
             }
@@ -429,6 +484,45 @@ mod tests {
         // It finds answers but cannot exhaust the infinite SLD tree.
         assert!(!r.answers.is_empty());
         assert!(!r.complete);
+        let d = r.degradation.expect("incomplete result carries a report");
+        assert!(matches!(d.trip, TripKind::Depth | TripKind::Steps));
+        assert_eq!(d.strategy, "sld");
+        assert!(d.work > 0);
+    }
+
+    #[test]
+    fn budget_deadline_cuts_cyclic_search() {
+        use std::time::Duration;
+        let mut p = FoProgram::new();
+        p.push(FoClause::fact(atom("edge", vec![c("a"), c("b")])));
+        p.push(FoClause::fact(atom("edge", vec![c("b"), c("a")])));
+        p.push(FoClause::rule(
+            atom("path", vec![v("X"), v("Y")]),
+            vec![atom("edge", vec![v("X"), v("Y")])],
+        ));
+        p.push(FoClause::rule(
+            atom("path", vec![v("X"), v("Z")]),
+            vec![
+                atom("edge", vec![v("X"), v("Y")]),
+                atom("path", vec![v("Y"), v("Z")]),
+            ],
+        ));
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let e = SldEngine::new(
+            &cp,
+            SldOptions {
+                max_depth: None,
+                max_steps: None,
+                budget: crate::budget::Budget::with_deadline(Duration::from_millis(20)),
+                ..Default::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        let r = e.solve(&[atom("path", vec![c("a"), v("Y")])]).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(1), "deadline ignored");
+        assert!(!r.complete);
+        assert_eq!(r.degradation.unwrap().trip, TripKind::Deadline);
+        assert!(!r.answers.is_empty()); // partial answers retained
     }
 
     #[test]
@@ -473,6 +567,7 @@ mod tests {
         let r = e.solve(&[atom("parent", vec![v("X"), v("Y")])]).unwrap();
         assert_eq!(r.answers.len(), 2);
         assert!(!r.complete);
+        assert_eq!(r.degradation.unwrap().trip, TripKind::Solutions);
     }
 
     #[test]

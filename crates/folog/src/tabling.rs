@@ -11,6 +11,7 @@
 //! in its simplest correct form, chosen over suspended-consumer SLG for
 //! clarity; the asymptotics match.
 
+use crate::budget::{Budget, BudgetMeter, Degradation, TripKind};
 use crate::builtins::BuiltinError;
 use crate::program::{shift_atom, CompiledProgram};
 use crate::rterm::{RAtom, RTerm, VarId};
@@ -21,15 +22,20 @@ use clogic_core::symbol::Symbol;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Options for tabled evaluation.
-#[derive(Clone, Copy, Debug)]
+///
+/// Hitting `max_answers` or any [`budget`](Self::budget) ceiling degrades
+/// gracefully: the answers derived so far are returned with
+/// `complete: false` and a [`Degradation`] report.
+#[derive(Clone, Debug)]
 pub struct TablingOptions {
-    /// Abort (with an error) once the total number of answers across all
-    /// tables exceeds this, if set — the guard against programs with
-    /// genuinely infinite answer sets (e.g. unbounded path lengths on a
-    /// cycle).
+    /// Stop expanding once the total number of answers across all tables
+    /// exceeds this, if set — the guard against programs with genuinely
+    /// infinite answer sets (e.g. unbounded path lengths on a cycle).
     pub max_answers: Option<usize>,
     /// Unification options.
     pub unify: UnifyOptions,
+    /// Shared resource ceilings (deadline, steps, memory, cancellation).
+    pub budget: Budget,
 }
 
 impl Default for TablingOptions {
@@ -37,6 +43,7 @@ impl Default for TablingOptions {
         TablingOptions {
             max_answers: Some(1_000_000),
             unify: UnifyOptions::default(),
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -62,9 +69,6 @@ pub enum TablingError {
     /// The program uses negation, which the tabled engine does not
     /// support (use stratified bottom-up or SLD).
     NegationUnsupported,
-    /// `max_answers` exceeded — the program likely has an infinite answer
-    /// set under this query.
-    AnswerLimit(usize),
 }
 
 impl std::fmt::Display for TablingError {
@@ -74,7 +78,6 @@ impl std::fmt::Display for TablingError {
             TablingError::NegationUnsupported => {
                 write!(f, "tabled evaluation does not support negation")
             }
-            TablingError::AnswerLimit(n) => write!(f, "answer limit {n} exceeded"),
         }
     }
 }
@@ -94,6 +97,10 @@ pub struct TabledResult {
     pub answers: Vec<BTreeMap<Symbol, FoTerm>>,
     /// Counters.
     pub stats: TablingStats,
+    /// True iff the table space reached its fixpoint within the limits.
+    pub complete: bool,
+    /// Why evaluation stopped early, when `complete` is false.
+    pub degradation: Option<Degradation>,
 }
 
 /// Canonical (variant-normalized) form of a goal: variables renumbered in
@@ -140,6 +147,7 @@ struct TableSpace {
     gained: HashSet<RAtom>,
     stats: TablingStats,
     opts: TablingOptions,
+    meter: BudgetMeter,
 }
 
 impl TableSpace {
@@ -153,25 +161,26 @@ impl TableSpace {
         true
     }
 
-    fn add_answer(&mut self, key: &RAtom, answer: RAtom) -> Result<bool, TablingError> {
+    fn add_answer(&mut self, key: &RAtom, answer: RAtom) -> bool {
         let table = self.tables.get_mut(key).expect("table exists");
         if table.seen.contains(&answer) {
-            return Ok(false);
+            return false;
         }
         table.seen.insert(answer.clone());
         table.answers.push(answer);
         self.gained.insert(key.clone());
         self.stats.answers += 1;
-        if self
-            .opts
-            .max_answers
-            .is_some_and(|m| self.stats.answers > m)
-        {
-            return Err(TablingError::AnswerLimit(
-                self.opts.max_answers.expect("set"),
-            ));
+        // The answer that crossed the ceiling is kept; production stops
+        // at the next check point.
+        let effective_max = match (self.opts.max_answers, self.meter.budget().max_facts) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+        if effective_max.is_some_and(|m| self.stats.answers > m) {
+            self.meter.trip(TripKind::Answers);
         }
-        Ok(true)
+        true
     }
 }
 
@@ -236,7 +245,8 @@ impl<'p> TabledEngine<'p> {
             deps: HashMap::new(),
             gained: HashSet::new(),
             stats: TablingStats::default(),
-            opts: self.opts,
+            opts: self.opts.clone(),
+            meter: BudgetMeter::new(&self.opts.budget),
         };
         let root = RAtom {
             pred: query_pred,
@@ -249,6 +259,14 @@ impl<'p> TabledEngine<'p> {
         // previous pass (plus tables never produced yet).
         let mut dirty: HashSet<RAtom> = [root.clone()].into_iter().collect();
         loop {
+            // Pass boundary: prompt deadline/cancel check plus an
+            // approximate memory check (answer atoms dominate).
+            if !space.meter.check_time_and_cancel()
+                || !space.meter.check_memory(space.stats.answers * 96)
+                || space.meter.tripped().is_some()
+            {
+                break;
+            }
             space.stats.passes += 1;
             space.gained.clear();
             let before_tables = space.order.len();
@@ -258,6 +276,9 @@ impl<'p> TabledEngine<'p> {
                 let is_new = i >= before_tables;
                 if is_new || dirty.contains(&key) {
                     self.produce(&program, &key, &mut space)?;
+                }
+                if space.meter.tripped().is_some() {
+                    break;
                 }
                 i += 1;
             }
@@ -291,9 +312,23 @@ impl<'p> TabledEngine<'p> {
             .collect();
         answers.sort();
         answers.dedup();
+        let complete = space.meter.tripped().is_none();
+        let degradation = space.meter.tripped().map(|trip| {
+            space.meter.degradation_for(
+                trip,
+                "tabled",
+                space.stats.answers as u64,
+                format!(
+                    "{trip} after {} passes, {} tables, {} answers",
+                    space.stats.passes, space.stats.tables_created, space.stats.answers
+                ),
+            )
+        });
         Ok(TabledResult {
             answers,
             stats: space.stats,
+            complete,
+            degradation,
         })
     }
 
@@ -319,6 +354,9 @@ impl<'p> TabledEngine<'p> {
         }
         let candidates = program.candidates(key.pred, key.args.len(), key.args.first());
         for ci in candidates {
+            if !space.meter.tick() {
+                return Ok(changed);
+            }
             let rule = &program.rules[ci];
             space.stats.clause_activations += 1;
             let mut bind = Bindings::new();
@@ -350,7 +388,7 @@ impl<'p> TabledEngine<'p> {
                 pred: key.pred,
                 args: key.args.iter().map(|a| bind.resolve(a)).collect(),
             };
-            return space.add_answer(key, answer);
+            return Ok(space.add_answer(key, answer));
         }
         let goal = &body[i];
         if program.is_builtin(goal.pred) {
@@ -374,6 +412,9 @@ impl<'p> TabledEngine<'p> {
         // Consume a snapshot of current answers.
         let answers: Vec<RAtom> = space.tables[&sub_key].answers.clone();
         for ans in answers {
+            if !space.meter.tick() {
+                return Ok(changed);
+            }
             let cp = bind.checkpoint();
             // Answers are canonical-variable instances: shift their
             // variables out of the way before unifying.
@@ -524,8 +565,7 @@ mod tests {
         assert_eq!(r.answers[0][&sym("N")], FoTerm::int(2));
     }
 
-    #[test]
-    fn answer_limit_guards_infinite_sets() {
+    fn infinite_dist_program() -> CompiledProgram {
         // Unbounded lengths on a cycle: infinitely many dist answers.
         let mut p = FoProgram::new();
         p.push(FoClause::fact(atom("edge", vec![c("a"), c("b")])));
@@ -545,7 +585,12 @@ mod tests {
                 ),
             ],
         ));
-        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        CompiledProgram::compile(&p, builtin_symbols())
+    }
+
+    #[test]
+    fn answer_limit_degrades_gracefully() {
+        let cp = infinite_dist_program();
         let e = TabledEngine::new(
             &cp,
             TablingOptions {
@@ -553,10 +598,37 @@ mod tests {
                 ..Default::default()
             },
         );
-        let err = e
+        let r = e
             .solve(&[atom("dist", vec![c("a"), v("Y"), v("N")])])
-            .unwrap_err();
-        assert!(matches!(err, TablingError::AnswerLimit(100)));
+            .unwrap();
+        assert!(!r.complete);
+        assert!(!r.answers.is_empty());
+        let d = r.degradation.expect("degradation report");
+        assert_eq!(d.trip, TripKind::Answers);
+        assert_eq!(d.strategy, "tabled");
+        assert!(d.work > 0);
+    }
+
+    #[test]
+    fn budget_deadline_degrades_gracefully() {
+        let cp = infinite_dist_program();
+        let e = TabledEngine::new(
+            &cp,
+            TablingOptions {
+                max_answers: None,
+                budget: Budget::with_deadline(std::time::Duration::from_millis(20)),
+                ..Default::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        let r = e
+            .solve(&[atom("dist", vec![c("a"), v("Y"), v("N")])])
+            .unwrap();
+        assert!(start.elapsed() < std::time::Duration::from_secs(1));
+        assert!(!r.complete);
+        let d = r.degradation.expect("degradation report");
+        assert_eq!(d.trip, TripKind::Deadline);
+        assert_eq!(d.strategy, "tabled");
     }
 
     #[test]

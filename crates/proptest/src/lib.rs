@@ -1,0 +1,704 @@
+//! Minimal in-repo stand-in for the subset of the `proptest` API this
+//! workspace uses.
+//!
+//! The build environment has no access to a crates registry, so external
+//! dependencies are replaced by local path crates with the same package
+//! name. This harness keeps the upstream surface the tests rely on —
+//! `proptest!` / `prop_assert*!` / `prop_oneof!`, the [`strategy::Strategy`]
+//! trait with `prop_map` / `boxed` / `prop_recursive`, `Just`, integer
+//! ranges, tuples, `sample::select`, `collection::vec`, `bool::ANY`, and
+//! string strategies from a small regex subset — but generates cases with
+//! a deterministic per-test seed and performs **no shrinking**: a failing
+//! case is reported by the ordinary `assert!` panic, and the seed can be
+//! pinned via the `PROPTEST_SEED` environment variable to reproduce it.
+
+#![warn(missing_docs)]
+
+/// Test-case configuration and the deterministic case RNG.
+pub mod test_runner {
+    /// Run configuration (subset of `proptest::test_runner::Config`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(256);
+            Config { cases }
+        }
+    }
+
+    /// Deterministic per-case generator (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of a property whose base seed is `seed`.
+        pub fn for_case(seed: u64, case: u32) -> Self {
+            TestRng {
+                state: seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        /// Next 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0, "TestRng::below(0)");
+            self.next_u64() % n
+        }
+    }
+
+    /// Base seed for a property, derived from its fully qualified name
+    /// (stable across runs) unless overridden by `PROPTEST_SEED`.
+    pub fn case_seed(name: &str) -> u64 {
+        if let Some(fixed) = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
+            return fixed;
+        }
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::string::StringPattern;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of type `Value`.
+    ///
+    /// Unlike upstream proptest there is no value-tree/shrinking machinery:
+    /// a strategy simply draws a value from the RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Build recursive structures: starting from `self` as the leaf
+        /// strategy, apply `recurse` up to `depth` times, at each level
+        /// choosing uniformly between a leaf and a recursive case. The
+        /// `_desired_size` / `_expected_branch_size` parameters exist for
+        /// signature compatibility and are ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                current = Union::new(vec![leaf.clone(), recurse(current).boxed()]).boxed();
+            }
+            current
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+    );
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// String-literal strategies: the literal is interpreted as a pattern
+    /// from a small regex subset (see [`crate::string`]).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            StringPattern::compile(self).generate(rng)
+        }
+    }
+}
+
+/// Generation from a small regex subset, backing `&'static str` strategies.
+///
+/// Supported syntax: literal characters, `.` (any printable ASCII plus a
+/// few newline/tab/multibyte probes), character classes like `[a-z0-9_]`
+/// (ranges and singletons), `\\` escapes, and the repetition suffixes
+/// `{m}`, `{m,n}`, `?`, `*`, `+` (the unbounded forms capped at 8).
+/// Anything else panics loudly rather than silently generating the wrong
+/// distribution.
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Debug)]
+    enum CharSet {
+        Lit(char),
+        Any,
+        Class(Vec<(char, char)>),
+    }
+
+    impl CharSet {
+        fn sample(&self, rng: &mut TestRng) -> char {
+            match self {
+                CharSet::Lit(c) => *c,
+                CharSet::Any => {
+                    // Printable ASCII plus a few awkward extras to probe
+                    // lexers: newline, tab, and non-ASCII codepoints.
+                    const EXTRAS: [char; 4] = ['\n', '\t', 'λ', '⇒'];
+                    let n = (0x7F - 0x20) as u64 + EXTRAS.len() as u64;
+                    let i = rng.below(n);
+                    if i < (0x7F - 0x20) as u64 {
+                        char::from(0x20 + i as u8)
+                    } else {
+                        EXTRAS[(i - (0x7F - 0x20) as u64) as usize]
+                    }
+                }
+                CharSet::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                        .sum();
+                    let mut i = rng.below(total);
+                    for (lo, hi) in ranges {
+                        let span = (*hi as u64) - (*lo as u64) + 1;
+                        if i < span {
+                            return char::from_u32(*lo as u32 + i as u32)
+                                .expect("class range stays in scalar values");
+                        }
+                        i -= span;
+                    }
+                    unreachable!("class sampling index in bounds")
+                }
+            }
+        }
+    }
+
+    /// A compiled pattern: a sequence of (character set, min, max) runs.
+    #[derive(Clone, Debug)]
+    pub struct StringPattern {
+        parts: Vec<(CharSet, usize, usize)>,
+    }
+
+    impl StringPattern {
+        /// Compile `pattern`; panics on syntax outside the supported subset.
+        pub fn compile(pattern: &str) -> StringPattern {
+            let mut chars = pattern.chars().peekable();
+            let mut parts: Vec<(CharSet, usize, usize)> = Vec::new();
+            while let Some(c) = chars.next() {
+                let set = match c {
+                    '.' => CharSet::Any,
+                    '\\' => CharSet::Lit(
+                        chars
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+                    ),
+                    '[' => {
+                        let mut ranges = Vec::new();
+                        loop {
+                            let lo = match chars.next() {
+                                Some(']') => break,
+                                Some('\\') => chars.next().unwrap_or_else(|| {
+                                    panic!("dangling escape in pattern {pattern:?}")
+                                }),
+                                Some(ch) => ch,
+                                None => panic!("unterminated class in pattern {pattern:?}"),
+                            };
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = chars.next().unwrap_or_else(|| {
+                                    panic!("unterminated range in pattern {pattern:?}")
+                                });
+                                assert!(
+                                    lo <= hi,
+                                    "inverted range {lo}-{hi} in pattern {pattern:?}"
+                                );
+                                ranges.push((lo, hi));
+                            } else {
+                                ranges.push((lo, lo));
+                            }
+                        }
+                        assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                        CharSet::Class(ranges)
+                    }
+                    '(' | ')' | '|' | '^' | '$' => {
+                        panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+                    }
+                    other => CharSet::Lit(other),
+                };
+                // Optional repetition suffix.
+                let (min, max) = match chars.peek() {
+                    Some('{') => {
+                        chars.next();
+                        let mut spec = String::new();
+                        for d in chars.by_ref() {
+                            if d == '}' {
+                                break;
+                            }
+                            spec.push(d);
+                        }
+                        match spec.split_once(',') {
+                            Some((m, n)) => {
+                                let m: usize = m.trim().parse().unwrap_or_else(|_| {
+                                    panic!("bad repetition {spec:?} in pattern {pattern:?}")
+                                });
+                                let n: usize = n.trim().parse().unwrap_or_else(|_| {
+                                    panic!("bad repetition {spec:?} in pattern {pattern:?}")
+                                });
+                                assert!(m <= n, "inverted repetition in pattern {pattern:?}");
+                                (m, n)
+                            }
+                            None => {
+                                let m: usize = spec.trim().parse().unwrap_or_else(|_| {
+                                    panic!("bad repetition {spec:?} in pattern {pattern:?}")
+                                });
+                                (m, m)
+                            }
+                        }
+                    }
+                    Some('?') => {
+                        chars.next();
+                        (0, 1)
+                    }
+                    Some('*') => {
+                        chars.next();
+                        (0, 8)
+                    }
+                    Some('+') => {
+                        chars.next();
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                };
+                parts.push((set, min, max));
+            }
+            StringPattern { parts }
+        }
+
+        /// Draw a string matching the pattern.
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (set, min, max) in &self.parts {
+                let n = *min + rng.below((*max - *min + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(set.sample(rng));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Strategies that pick from explicit value pools.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed, non-empty vector.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Strategy producing a uniformly chosen clone of one of `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select on empty vector");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length bounds for [`vec`]; convertible from `usize` and `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range for collection::vec");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector strategy with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let n = self.size.min + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias matching upstream's `prop::` re-exports.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by any number of
+/// `fn name(pat in strategy, ...) { body }` items (attributes such as
+/// `#[test]` and doc comments are passed through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let __seed = $crate::test_runner::case_seed(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__seed, __case);
+                $crate::__proptest_bind!(__rng, $($args)*);
+                $body
+            }
+        }
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident,) => {};
+    ($rng:ident, $p:pat in $s:expr) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+    };
+    ($rng:ident, $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Property-scoped assertion; forwards to `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-scoped equality assertion; forwards to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-scoped inequality assertion; forwards to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategy expressions with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<i64>> {
+        prop::collection::vec(0i64..10, 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds; patterns match their spec.
+        #[test]
+        fn ranges_and_patterns(n in 3u32..9, mut v in small_vec(), s in "[a-z][a-z0-9]{0,5}") {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(v.len() < 5);
+            v.push(0);
+            prop_assert!(!v.is_empty());
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+
+        /// prop_oneof, Just, select, bool::ANY, tuples all compose.
+        #[test]
+        fn combinators_compose(
+            x in prop_oneof![Just(1i64), 10i64..20, Just(99i64)],
+            (a, b) in (prop::sample::select(vec!["p", "q"]), prop::bool::ANY),
+        ) {
+            prop_assert!(x == 1 || (10..20).contains(&x) || x == 99);
+            prop_assert!(a == "p" || a == "q");
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        use crate::test_runner::TestRng;
+
+        #[derive(Clone, Debug)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let strat = (0i64..4).prop_map(Tree::Leaf).boxed().prop_recursive(
+            3,
+            24,
+            2,
+            |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            },
+        );
+        let mut rng = TestRng::for_case(7, 0);
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 4, "depth bound violated: {t:?}");
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        use crate::test_runner::case_seed;
+        assert_eq!(case_seed("a::b"), case_seed("a::b"));
+        assert_ne!(case_seed("a::b"), case_seed("a::c"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimal in-repo stand-in for the subset of the `rand` crate API this
+//! workspace uses: `rngs::SmallRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` over half-open integer ranges.
+//!
+//! The build environment has no access to a crates registry, so external
+//! dependencies are replaced by local path crates with the same package
+//! name. This generator is a deterministic splitmix64 — statistically fine
+//! for benchmark data generation, and stable per seed across runs (the
+//! bench suite asserts reproducibility). It is **not** cryptographically
+//! secure and makes no attempt to match upstream `rand`'s value streams.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from a half-open `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Draw a value in `[range.start, range.end)` using `next` as the entropy source.
+    fn sample(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(
+                    range.start < range.end,
+                    "gen_range: empty range {}..{}",
+                    range.start,
+                    range.end
+                );
+                let span = range.end.wrapping_sub(range.start) as u64;
+                // Modulo bias is irrelevant for test-data generation.
+                range.start.wrapping_add((next() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(
+                    range.start < range.end,
+                    "gen_range: empty range {}..{}",
+                    range.start,
+                    range.end
+                );
+                let span = (range.end as $u).wrapping_sub(range.start as $u) as u64;
+                range.start.wrapping_add((next() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i64 => u64, i32 => u32, i16 => u16, i8 => u8, isize => usize);
+
+/// Random number generator interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Produce the next 64 bits of output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(range, &mut || self.next_u64())
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// RNGs constructible from a seed (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (splitmix64 core).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng {
+                // Avoid the all-zero fixpoint-free but weak low-entropy start.
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

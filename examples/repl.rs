@@ -114,7 +114,10 @@ fn run_query(session: &mut Session, query: &str, strategy: Strategy) {
                 }
             }
             if !answers.complete {
-                println!("% warning: search truncated by resource limits");
+                match &answers.degradation {
+                    Some(d) => println!("% incomplete: {d}"),
+                    None => println!("% warning: search truncated by resource limits"),
+                }
             }
         }
         Err(e) => println!("error: {e}"),

@@ -41,7 +41,8 @@ use folog::builtins::builtin_symbols;
 use folog::magic::solve_magic;
 use folog::tabling::{TabledEngine, TablingOptions};
 use folog::{
-    CompiledProgram, FixpointOptions, SldEngine, SldOptions, Strategy as FixpointStrategy,
+    Budget, CompiledProgram, Degradation, FixpointOptions, SldEngine, SldOptions,
+    Strategy as FixpointStrategy,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -110,9 +111,12 @@ impl fmt::Display for AnswerRow {
 pub struct Answers {
     /// Sorted, deduplicated answer rows.
     pub rows: Vec<AnswerRow>,
-    /// Whether the strategy explored its whole search space (SLD and
-    /// Direct report `false` when cut off by limits).
+    /// Whether the strategy explored its whole search space. Every
+    /// strategy reports `false` when cut off by an engine limit or a
+    /// [`Budget`] ceiling; the rows found so far are still returned.
     pub complete: bool,
+    /// Why evaluation stopped early, when `complete` is false.
+    pub degradation: Option<Degradation>,
 }
 
 impl Answers {
@@ -178,7 +182,7 @@ impl From<folog::tabling::TablingError> for SessionError {
 }
 
 /// Tuning knobs for a session.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SessionOptions {
     /// Apply the §4 redundancy-elimination rules to the translated
     /// program (on by default).
@@ -186,12 +190,36 @@ pub struct SessionOptions {
     /// Automatically skolemize head-only object variables (§2.1 high-
     /// level interface; on by default).
     pub auto_skolemize: bool,
+    /// Session-wide resource budget, merged (tighter ceiling wins, per
+    /// axis) into every engine's own budget on each query. Unlimited by
+    /// default; see [`SessionOptions::termination_guard`] for the safety
+    /// net that kicks in on provably dangerous programs.
+    pub budget: Budget,
+    /// Statically analyse the translated program before each query and,
+    /// when skolem-function recursion is detected (a recursive predicate
+    /// whose head constructs non-ground function terms — the signature of
+    /// an infinite least model, see `clogic_core::termination`), bound the
+    /// effective budget with a default deadline and a small fact ceiling
+    /// so no strategy can hang or build pathologically deep terms. On by
+    /// default; the injected bounds never *loosen* an explicitly
+    /// configured budget.
+    pub termination_guard: bool,
     /// Options for the direct engine.
     pub direct: DirectOptions,
     /// Options for SLD.
     pub sld: SldOptions,
     /// Options for tabling.
     pub tabling: TablingOptions,
+    /// Options for the bottom-up fixpoint (shared by the naive,
+    /// semi-naive and magic strategies).
+    ///
+    /// Unlike the *library* default ([`FixpointOptions::default`], which
+    /// is fully unbounded for programmatic callers that manage their own
+    /// limits), the *session* default caps the fixpoint at 1,000,000
+    /// facts and 100,000 iterations, so an unexpectedly large least model
+    /// degrades into partial answers instead of consuming the machine.
+    /// Set the fields to `None` to opt back into unbounded evaluation.
+    pub fixpoint: FixpointOptions,
 }
 
 impl Default for SessionOptions {
@@ -199,12 +227,30 @@ impl Default for SessionOptions {
         SessionOptions {
             optimize_translation: true,
             auto_skolemize: true,
+            budget: Budget::unlimited(),
+            termination_guard: true,
             direct: DirectOptions::default(),
             sld: SldOptions::default(),
             tabling: TablingOptions::default(),
+            fixpoint: FixpointOptions {
+                max_facts: Some(1_000_000),
+                max_iterations: Some(100_000),
+                ..FixpointOptions::default()
+            },
         }
     }
 }
+
+/// Deadline injected by the termination guard when the effective budget
+/// has none and the program shows skolem-function recursion.
+const GUARD_DEADLINE: std::time::Duration = std::time::Duration::from_secs(2);
+/// Fact/answer ceiling injected alongside [`GUARD_DEADLINE`]. Deliberately
+/// small: a flagged program nests its skolem terms one level deeper per
+/// derived generation, and terms beyond a few thousand levels break the
+/// recursive term operations (conversion, comparison, drop) regardless of
+/// how fast the machine reached them — so the structural cap, not the
+/// deadline, is what actually bounds term depth.
+const GUARD_MAX_FACTS: usize = 2_000;
 
 /// A loaded C-logic program plus every compiled artefact needed by the
 /// strategies. Compiled artefacts are built lazily and cached.
@@ -318,11 +364,31 @@ impl Session {
         self.query_ast(&q, strategy)
     }
 
+    /// The effective budget for one engine invocation: the engine's own
+    /// budget tightened by the session-wide budget, then bounded by the
+    /// termination guard's defaults when the translated program shows
+    /// skolem-function recursion (infinite least model).
+    fn effective_budget(&mut self, engine_budget: &Budget) -> Budget {
+        let mut b = engine_budget.merged(&self.options.budget);
+        if self.options.termination_guard
+            && clogic_core::termination::may_diverge(self.translated())
+        {
+            if b.deadline.is_none() {
+                b.deadline = Some(GUARD_DEADLINE);
+            }
+            if b.max_facts.is_none() {
+                b.max_facts = Some(GUARD_MAX_FACTS);
+            }
+        }
+        b
+    }
+
     /// Answers an already-parsed query.
     pub fn query_ast(&mut self, q: &Query, strategy: Strategy) -> Result<Answers, SessionError> {
         match strategy {
             Strategy::Direct => {
-                let opts = self.options.direct;
+                let mut opts = self.options.direct.clone();
+                opts.budget = self.effective_budget(&opts.budget);
                 let dp = self.direct_program();
                 let r = DirectEngine::new(dp, opts).solve(q)?;
                 Ok(Answers {
@@ -332,6 +398,7 @@ impl Session {
                         .map(|bindings| AnswerRow { bindings })
                         .collect(),
                     complete: r.complete,
+                    degradation: r.degradation,
                 })
             }
             Strategy::Sld => {
@@ -339,7 +406,8 @@ impl Session {
                 let mut aux = Vec::new();
                 let mut counter = 0;
                 let (goals, neg_goals) = tr.query_parts(q, &mut aux, &mut counter);
-                let opts = self.options.sld;
+                let mut opts = self.options.sld.clone();
+                opts.budget = self.effective_budget(&opts.budget);
                 let r = if aux.is_empty() {
                     SldEngine::new(self.compiled_fo(), opts)
                         .solve_with_negation(&goals, &neg_goals)?
@@ -359,6 +427,7 @@ impl Session {
                         .map(|bindings| AnswerRow { bindings })
                         .collect(),
                     complete: r.complete,
+                    degradation: r.degradation,
                 })
             }
             Strategy::BottomUpNaive | Strategy::BottomUpSemiNaive => {
@@ -371,27 +440,20 @@ impl Session {
                 } else {
                     FixpointStrategy::SemiNaive
                 };
+                let mut opts = FixpointOptions {
+                    strategy,
+                    ..self.options.fixpoint.clone()
+                };
+                opts.budget = self.effective_budget(&opts.budget);
                 let ev = if aux.is_empty() {
-                    folog::evaluate(
-                        self.compiled_fo(),
-                        FixpointOptions {
-                            strategy,
-                            ..FixpointOptions::default()
-                        },
-                    )?
+                    folog::evaluate(self.compiled_fo(), opts)?
                 } else {
                     let mut fo = self.translated().clone();
                     for c in aux {
                         fo.push(c);
                     }
                     let cp = CompiledProgram::compile(&fo, builtin_symbols());
-                    folog::evaluate(
-                        &cp,
-                        FixpointOptions {
-                            strategy,
-                            ..FixpointOptions::default()
-                        },
-                    )?
+                    folog::evaluate(&cp, opts)?
                 };
                 Ok(Answers {
                     rows: ev
@@ -401,7 +463,8 @@ impl Session {
                             bindings: bindings.into_iter().collect(),
                         })
                         .collect(),
-                    complete: true,
+                    complete: ev.complete,
+                    degradation: ev.degradation,
                 })
             }
             Strategy::Tabled => {
@@ -411,7 +474,8 @@ impl Session {
                     ));
                 }
                 let goals = self.translate_query(q);
-                let opts = self.options.tabling;
+                let mut opts = self.options.tabling.clone();
+                opts.budget = self.effective_budget(&opts.budget);
                 let cp = self.compiled_fo();
                 let r = TabledEngine::new(cp, opts).solve(&goals)?;
                 Ok(Answers {
@@ -420,7 +484,8 @@ impl Session {
                         .into_iter()
                         .map(|bindings| AnswerRow { bindings })
                         .collect(),
-                    complete: true,
+                    complete: r.complete,
+                    degradation: r.degradation,
                 })
             }
             Strategy::Magic => {
@@ -430,9 +495,11 @@ impl Session {
                     ));
                 }
                 let goals = self.translate_query(q);
+                let mut opts = self.options.fixpoint.clone();
+                opts.budget = self.effective_budget(&opts.budget);
                 let fo = self.translated().clone();
                 let builtins = builtin_symbols().collect();
-                let (answers, _) = solve_magic(&fo, &goals, &builtins, FixpointOptions::default())?;
+                let (answers, ev) = solve_magic(&fo, &goals, &builtins, opts)?;
                 Ok(Answers {
                     rows: answers
                         .into_iter()
@@ -440,7 +507,8 @@ impl Session {
                             bindings: bindings.into_iter().collect(),
                         })
                         .collect(),
-                    complete: true,
+                    complete: ev.complete,
+                    degradation: ev.degradation,
                 })
             }
         }

@@ -287,7 +287,7 @@ fn sld_diverges_where_tabling_terminates() {
     };
     let mut literal = Session::with_options(SessionOptions {
         optimize_translation: false,
-        sld: tight_sld,
+        sld: tight_sld.clone(),
         ..SessionOptions::default()
     });
     literal.load(NOUN_PHRASE).unwrap();
