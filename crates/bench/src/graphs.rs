@@ -11,6 +11,11 @@ pub fn node(i: usize) -> String {
     format!("n{i}")
 }
 
+/// A single `node: from[linkto => to]` fact, for hand-built deltas.
+pub fn link(from: &str, to: &str) -> DefiniteClause {
+    link_fact(from, to)
+}
+
 fn link_fact(from: &str, to: &str) -> DefiniteClause {
     DefiniteClause::fact(Atomic::term(
         Term::molecule(
@@ -43,6 +48,20 @@ pub fn two_chains(n: usize) -> Program {
     let mut p = chain(n);
     for i in 0..n {
         p.push(link_fact(&format!("m{i}"), &format!("m{}", i + 1)));
+    }
+    p
+}
+
+/// `chains` disjoint chains of `len` edges each (nodes `c{c}n{i}`): a
+/// large fact base whose `path` closure stays linear in the input —
+/// the serving workload for the incremental benchmarks (one appended
+/// edge only extends one component).
+pub fn disjoint_chains(chains: usize, len: usize) -> Program {
+    let mut p = Program::new();
+    for c in 0..chains {
+        for i in 0..len {
+            p.push(link_fact(&format!("c{c}n{i}"), &format!("c{c}n{}", i + 1)));
+        }
     }
     p
 }

@@ -162,6 +162,21 @@ pub fn us(d: Duration) -> String {
     format!("{:.1}", d.as_secs_f64() * 1e6)
 }
 
+/// Writes a flat JSON object to `path`. Each field's value is a raw
+/// JSON fragment the caller has already formatted (a number, or a
+/// string including its quotes) — enough for the benchmark dumps
+/// without pulling in a serializer.
+pub fn dump_json(
+    path: impl AsRef<std::path::Path>,
+    fields: &[(&str, String)],
+) -> std::io::Result<()> {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    std::fs::write(path, format!("{{\n{}\n}}\n", body.join(",\n")))
+}
+
 /// Prints an aligned table (markdown-flavoured) to stdout.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");

@@ -29,7 +29,7 @@ use crate::fol::{FoAtom, FoClause, FoProgram, FoTerm, GeneralizedClause};
 use crate::hierarchy::{object_type, TypeHierarchy};
 use crate::program::Program;
 use crate::symbol::Symbol;
-use crate::transform::Transformer;
+use crate::transform::{TranslationState, Transformer};
 use std::collections::{BTreeSet, HashSet};
 
 /// Applies the §4 rules to generalized clauses of a particular program.
@@ -159,26 +159,92 @@ impl Optimizer {
     /// generalized clause optimized (rules 1–2 then rule 3 on the body),
     /// split, then dead clauses removed.
     pub fn optimized_program(&self, transformer: &Transformer, p: &Program) -> FoProgram {
-        let (axioms, generalized) = transformer.generalized_program(p);
+        self.optimized_program_with_state(transformer, p).0
+    }
+
+    /// Like [`Optimizer::optimized_program`], additionally returning the
+    /// [`TranslationState`] needed to later extend the translation with
+    /// delta clauses ([`Optimizer::extend_optimized`]).
+    ///
+    /// When the final dead-clause elimination drops anything, the state is
+    /// marked `dropped_clauses`: the emitted program is then not a pure
+    /// union of per-clause translations (a later delta could make a
+    /// dropped clause derivable again), so callers must fall back to full
+    /// re-translation on the next load.
+    pub fn optimized_program_with_state(
+        &self,
+        transformer: &Transformer,
+        p: &Program,
+    ) -> (FoProgram, TranslationState) {
+        let mut state = TranslationState::default();
         let mut out = FoProgram::new();
-        let mut seen = std::collections::HashSet::new();
-        for gc in generalized {
+        self.extend_optimized(transformer, p, &mut out, &mut state);
+        let eliminated = eliminate_dead_clauses(&out, transformer);
+        if eliminated.len() != out.len() {
+            state.dropped_clauses = true;
+        }
+        (eliminated, state)
+    }
+
+    /// Incremental optimized translation: translates and optimizes
+    /// `p.clauses[state.clauses_done()..]` (rules 1–2 then rule 3,
+    /// per clause) and appends the results — plus any not-yet-emitted
+    /// type axioms — to `out`, updating `state`.
+    ///
+    /// The per-clause rules only consult the type hierarchy and the type
+    /// symbol set, so this is exact whenever the delta leaves the
+    /// hierarchy alone; the *global* dead-clause elimination is **not**
+    /// re-run here (it may not be: it could have dropped a clause the
+    /// delta resurrects). The precise conditions under which a session
+    /// may take this path instead of a full rebuild are enforced by
+    /// `clogic::Session` and documented in DESIGN.md §"Incremental
+    /// pipeline":
+    ///
+    /// 1. the delta declares no new subtypes (rules 1–2 of §4 depend on
+    ///    the hierarchy, so a new declaration can change how *earlier*
+    ///    clauses should have been optimized);
+    /// 2. the base translation's dead-clause elimination dropped nothing
+    ///    (`!state.dropped_clauses`);
+    /// 3. the cumulative program is negation-free (with negation, a
+    ///    clause kept here but droppable by the global analysis could
+    ///    change stratifiability).
+    ///
+    /// Under those conditions the only divergence from a from-scratch
+    /// optimized build is that delta clauses skip dead-clause
+    /// elimination — inert for definite programs — and that new *type
+    /// symbols* introduced by the delta did not inform the optimization
+    /// of earlier clauses, which affects how many redundant typing atoms
+    /// survive but never the answer set (rules 1–3 are
+    /// semantics-preserving relative to the axioms, which stay).
+    pub fn extend_optimized(
+        &self,
+        transformer: &Transformer,
+        p: &Program,
+        out: &mut FoProgram,
+        state: &mut TranslationState,
+    ) {
+        let mut aux = Vec::new();
+        let from = state.clauses_done().min(p.clauses.len());
+        for c in &p.clauses[from..] {
+            let gc = transformer.clause_with_aux(c, &mut aux, state.aux_counter_mut());
             if let Some(mut opt) = self.optimize_clause(&gc) {
                 opt.body = self.prune_object_checks(&opt.body);
-                for c in opt.split() {
-                    if seen.insert(c.clone()) {
-                        out.push(c);
+                for cl in opt.split() {
+                    if state.emit(&cl) {
+                        out.push(cl);
                     }
                 }
             }
         }
+        state.set_clauses_done(p.clauses.len());
         // Axioms last: top-down engines should reach facts first.
+        let mut axioms = transformer.new_type_axioms(p, state);
+        axioms.extend(aux);
         for a in axioms {
-            if seen.insert(a.clone()) {
+            if state.emit(&a) {
                 out.push(a);
             }
         }
-        eliminate_dead_clauses(&out, transformer)
     }
 }
 

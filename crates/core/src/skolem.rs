@@ -143,12 +143,39 @@ pub struct SkolemReport {
 /// not entity-creating in the paper's sense, and there are no determining
 /// variables to use.
 pub fn auto_skolemize(p: &Program) -> (Program, Vec<SkolemReport>) {
+    auto_skolemize_from(p, &mut 0, &BTreeSet::new())
+}
+
+/// Like [`auto_skolemize`], continuing from an external numbering state —
+/// the interface for *cumulative* loading, where each delta is
+/// skolemized on its own but the `skN` identities must come out exactly
+/// as if the combined program had been skolemized in one pass (oid
+/// stability: `id(...)` terms are object identities, and answers about
+/// objects created by an earlier load must keep naming them the same
+/// way).
+///
+/// `counter` carries the numbering across deltas (it holds the last `N`
+/// tried; fresh names continue at `N+1`) and `taken` lists function
+/// symbols already present in previously loaded program text — both user
+/// functors and previously generated skolems — which must not be reused.
+/// Symbols of the *delta itself* are avoided via its own signature, as in
+/// the single-shot path.
+///
+/// One divergence from single-pass skolemization is inherent: if a later
+/// delta *textually* uses a name `skN` that single-pass freshness would
+/// have skipped but the split run had already assigned (or vice versa),
+/// the numberings differ. Callers that need exact equivalence should
+/// avoid literal `skN` symbols in source programs.
+pub fn auto_skolemize_from(
+    p: &Program,
+    counter: &mut usize,
+    taken: &BTreeSet<Symbol>,
+) -> (Program, Vec<SkolemReport>) {
     let sig = p.signature();
-    let mut counter = 0usize;
     let mut fresh = || loop {
-        counter += 1;
+        *counter += 1;
         let name = Symbol::new(&format!("sk{counter}"));
-        if !sig.functions.contains(&name) {
+        if !sig.functions.contains(&name) && !taken.contains(&name) {
             return name;
         }
     };
@@ -338,6 +365,25 @@ mod tests {
         p.push(path_rule_1());
         let (_, reports) = auto_skolemize(&p);
         assert_eq!(reports[0].spec.functor, sym("sk2"));
+    }
+
+    #[test]
+    fn auto_skolemize_from_threads_counter_and_taken_set() {
+        let mut first = Program::new();
+        first.push(path_rule_1());
+        let mut counter = 0usize;
+        let mut taken = BTreeSet::new();
+        let (out1, reports1) = auto_skolemize_from(&first, &mut counter, &taken);
+        assert_eq!(reports1[0].spec.functor, sym("sk1"));
+
+        // A second delta must not reuse sk1 even though its own signature
+        // does not mention it: the session records prior functors in
+        // `taken` and threads `counter` forward.
+        taken.extend(out1.signature().functions);
+        let mut second = Program::new();
+        second.push(path_rule_1());
+        let (_, reports2) = auto_skolemize_from(&second, &mut counter, &taken);
+        assert_eq!(reports2[0].spec.functor, sym("sk2"));
     }
 
     #[test]

@@ -35,12 +35,79 @@ use crate::hierarchy::object_type;
 use crate::program::Program;
 use crate::symbol::Symbol;
 use crate::term::{IdTerm, Term};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// The built-in predicate symbols treated as evaluable by default.
 pub const DEFAULT_BUILTINS: &[&str] = &[
     "is", "<", ">", "=<", ">=", "=:=", "=\\=", "=", "\\=", "==", "\\==",
 ];
+
+/// Carry-over state for *incremental* (delta) translation.
+///
+/// A session that loads program text cumulatively wants to translate only
+/// the clauses appended since the last translation and push the resulting
+/// first-order clauses onto the cached [`FoProgram`]. For the result to
+/// match a from-scratch translation of the whole program, three pieces of
+/// translator state must survive across deltas:
+///
+/// * the **split-clause dedup set** — distinct molecules sharing values
+///   produce identical split facts, and a delta must not re-emit a clause
+///   an earlier load already produced (nor miss that a "duplicate" within
+///   the delta is actually new program-wide);
+/// * the **auxiliary predicate counter** — negated molecules compile to
+///   `__nauxN` helper clauses, and `N` must keep counting program-wide;
+/// * the **emitted type axioms** — `object(X) :- t(X)` is emitted once
+///   per proper type and `sup(X) :- sub(X)` once per subtype declaration,
+///   so the state records which are already present.
+///
+/// The only divergence an extension permits is clause *order* (a delta's
+/// clauses land after the earlier loads' axioms); the emitted clause
+/// *set* is identical, which is what every evaluation strategy depends
+/// on. See `Optimizer::extend_optimized` for the extra conditions the §4
+/// optimizer imposes before a delta may extend an optimized translation.
+#[derive(Clone, Debug, Default)]
+pub struct TranslationState {
+    /// Split clauses emitted so far (program-wide dedup).
+    seen: HashSet<FoClause>,
+    /// Auxiliary predicate counter for negated molecules (`__nauxN`).
+    aux_counter: usize,
+    /// Proper types whose axiom `object(X) :- t(X)` has been emitted.
+    axiom_types: BTreeSet<Symbol>,
+    /// Subtype declarations already turned into `sup(X) :- sub(X)`.
+    subtype_axioms: usize,
+    /// Program clauses translated so far.
+    clauses_done: usize,
+    /// Set by `Optimizer::optimized_program_with_state` when the global
+    /// dead-clause elimination dropped clauses: the cached translation is
+    /// then not a pure union of per-clause translations, and a delta must
+    /// re-translate from scratch (an appended clause could resurrect a
+    /// dropped one).
+    pub dropped_clauses: bool,
+}
+
+impl TranslationState {
+    /// How many program clauses this state has translated.
+    pub fn clauses_done(&self) -> usize {
+        self.clauses_done
+    }
+
+    /// Record that `n` program clauses are now covered (used by the
+    /// optimizer's extension path, which translates clause by clause).
+    pub(crate) fn set_clauses_done(&mut self, n: usize) {
+        self.clauses_done = n;
+    }
+
+    /// The shared aux-predicate counter (see `__nauxN` clauses).
+    pub(crate) fn aux_counter_mut(&mut self) -> &mut usize {
+        &mut self.aux_counter
+    }
+
+    /// Inserts a split clause into the program-wide dedup set; true when
+    /// it was new (and should be emitted).
+    pub(crate) fn emit(&mut self, c: &FoClause) -> bool {
+        self.seen.insert(c.clone())
+    }
+}
 
 /// The transformer from C-logic into first-order logic.
 ///
@@ -349,23 +416,76 @@ impl Transformer {
     /// clauses in program order, and facts should be found before the
     /// axioms recurse.
     pub fn program(&self, p: &Program) -> FoProgram {
-        let (axioms, generalized) = self.generalized_program(p);
+        self.program_with_state(p).0
+    }
+
+    /// Like [`Transformer::program`], additionally returning the
+    /// [`TranslationState`] needed to later *extend* the translation with
+    /// delta clauses instead of re-translating from scratch.
+    pub fn program_with_state(&self, p: &Program) -> (FoProgram, TranslationState) {
+        let mut state = TranslationState::default();
         let mut out = FoProgram::new();
-        let mut seen = std::collections::HashSet::new();
+        self.extend_program(p, &mut out, &mut state);
+        (out, state)
+    }
+
+    /// Incremental translation: translates `p.clauses[state.clauses_done()..]`
+    /// (plus any type axioms not yet emitted — new proper types and new
+    /// subtype declarations) and appends the results to `out`, updating
+    /// `state`. Starting from a default state and an empty program this
+    /// *is* the full translation; called after earlier extensions it emits
+    /// exactly the clause set a from-scratch translation of the cumulative
+    /// program would, modulo order (see [`TranslationState`]).
+    pub fn extend_program(&self, p: &Program, out: &mut FoProgram, state: &mut TranslationState) {
+        let mut aux = Vec::new();
+        let from = state.clauses_done.min(p.clauses.len());
+        let generalized: Vec<GeneralizedClause> = p.clauses[from..]
+            .iter()
+            .map(|c| self.clause_with_aux(c, &mut aux, &mut state.aux_counter))
+            .collect();
+        state.clauses_done = p.clauses.len();
         for gc in generalized {
             for c in gc.split() {
                 // Distinct molecules sharing values produce identical
                 // split facts (object(v) over and over); keep one copy.
-                if seen.insert(c.clone()) {
+                if state.emit(&c) {
                     out.push(c);
                 }
             }
         }
+        let mut axioms = self.new_type_axioms(p, state);
+        axioms.extend(aux);
         for a in axioms {
-            if seen.insert(a.clone()) {
+            if state.emit(&a) {
                 out.push(a);
             }
         }
+    }
+
+    /// The type axioms `p` needs that `state` has not yet emitted:
+    /// `object(X) :- t(X)` for proper types first seen in this delta, and
+    /// `sup(X) :- sub(X)` for subtype declarations appended since the
+    /// last translation. Updates `state` accordingly.
+    pub fn new_type_axioms(&self, p: &Program, state: &mut TranslationState) -> Vec<FoClause> {
+        let x = FoTerm::var("X");
+        let mut out = Vec::new();
+        let sig = p.signature();
+        for t in sig.proper_types() {
+            if state.axiom_types.insert(t) {
+                out.push(FoClause::rule(
+                    FoAtom::new(object_type(), vec![x.clone()]),
+                    vec![FoAtom::new(t, vec![x.clone()])],
+                ));
+            }
+        }
+        let from = state.subtype_axioms.min(p.subtype_decls.len());
+        for &(sub, sup) in &p.subtype_decls[from..] {
+            out.push(FoClause::rule(
+                FoAtom::new(sup, vec![x.clone()]),
+                vec![FoAtom::new(sub, vec![x.clone()])],
+            ));
+        }
+        state.subtype_axioms = p.subtype_decls.len();
         out
     }
 }

@@ -304,14 +304,33 @@ impl DirectProgram {
             builtins: builtins.into_iter().collect(),
             ..DirectProgram::default()
         };
-        for c in &p.clauses {
+        out.absorb(&p.clauses);
+        out
+    }
+
+    /// Extends a compiled program in place with the clauses of `p` from
+    /// index `from` on, for cumulative loading: the clustered store and
+    /// tuple store are merged into (not rebuilt), clauses are appended,
+    /// and the hierarchy is recomputed from the cumulative program (a
+    /// delta may add subtype declarations, which change `is_subtype` for
+    /// already-compiled symbols — the hierarchy is small, so refreshing
+    /// it wholesale is cheap and keeps the result identical to a
+    /// from-scratch [`DirectProgram::compile`] of `p`).
+    pub fn extend(&mut self, p: &Program, from: usize) {
+        self.hierarchy = p.hierarchy();
+        let from = from.min(p.clauses.len());
+        self.absorb(&p.clauses[from..]);
+    }
+
+    fn absorb(&mut self, clauses: &[clogic_core::formula::DefiniteClause]) {
+        for c in clauses {
             let mut map = HashMap::new();
             let mut alloc = VarAlloc::new();
             let heads = compile_atomic(
                 &c.head,
                 &mut map,
                 &mut alloc,
-                &out.builtins,
+                &self.builtins,
                 EmitMode::Assertions,
             );
             let mut body = Vec::new();
@@ -320,42 +339,41 @@ impl DirectProgram {
                     b,
                     &mut map,
                     &mut alloc,
-                    &out.builtins,
+                    &self.builtins,
                     EmitMode::Checks,
                 ));
             }
             for n in &c.neg_body {
                 let inner =
-                    compile_atomic(n, &mut map, &mut alloc, &out.builtins, EmitMode::Checks);
+                    compile_atomic(n, &mut map, &mut alloc, &self.builtins, EmitMode::Checks);
                 body.push(Goal::Neg(inner));
             }
             if body.is_empty() && heads.iter().all(goal_is_ground) {
                 for h in &heads {
-                    out.insert_ground(h);
+                    self.insert_ground(h);
                 }
             } else {
                 for h in &heads {
                     match h {
                         Goal::Mol(m) => {
-                            out.intensional_types.insert(m.ty);
+                            self.intensional_types.insert(m.ty);
                             for (l, _) in &m.specs {
-                                out.intensional_labels.insert(*l);
+                                self.intensional_labels.insert(*l);
                             }
                         }
                         Goal::Pred { pred, .. } => {
-                            out.intensional_preds.insert(*pred);
+                            self.intensional_preds.insert(*pred);
                         }
                         Goal::Neg(_) => unreachable!("negation cannot occur in a head"),
                     }
                 }
-                out.clauses.push(MolClause {
+                self.clauses.push(MolClause {
                     heads,
                     body,
                     n_vars: alloc.len() as u32,
                 });
             }
         }
-        out
     }
 
     /// Inserts a ground goal into the extensional stores.
@@ -647,6 +665,43 @@ mod tests {
             shown.contains(&"path: id(a, b)[src => a]".to_string()),
             "{shown:?}"
         );
+    }
+
+    #[test]
+    fn extend_matches_from_scratch_compile() {
+        let mut first = Program::new();
+        first.push_fact(Atomic::term(
+            Term::molecule(
+                Term::typed_constant("path", "p"),
+                vec![LabelSpec::one("src", Term::constant("a"))],
+            )
+            .unwrap(),
+        ));
+        let mut combined = first.clone();
+        // The delta adds a subtype declaration, a clause, and a fact that
+        // clusters onto the already-stored object p.
+        combined.declare_subtype("shortpath", "path");
+        combined.push(DefiniteClause::rule(
+            Atomic::term(Term::typed_var("shortpath", "X")),
+            vec![Atomic::term(Term::typed_var("path", "X"))],
+        ));
+        combined.push_fact(Atomic::term(
+            Term::molecule(
+                Term::typed_constant("path", "p"),
+                vec![LabelSpec::one("dest", Term::constant("b"))],
+            )
+            .unwrap(),
+        ));
+
+        let mut dp = DirectProgram::compile(&first, builtins());
+        dp.extend(&combined, first.clauses.len());
+        let full = DirectProgram::compile(&combined, builtins());
+
+        assert_eq!(dp.clauses, full.clauses);
+        assert_eq!(dp.objects.display(&dp.terms), full.objects.display(&full.terms));
+        assert_eq!(dp.preds.total, full.preds.total);
+        assert_eq!(dp.intensional_types, full.intensional_types);
+        assert!(dp.hierarchy.is_subtype(sym("shortpath"), sym("path")));
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct ObjectStore {
     by_label: HashMap<Symbol, Vec<TermId>>,
     /// Total label pairs stored.
     pub pair_count: usize,
+    /// The load epoch currently being merged (see [`ObjectStore::set_epoch`]).
+    epoch: u64,
+    /// Epoch of the most recent successful insertion.
+    last_growth: u64,
 }
 
 impl ObjectStore {
@@ -80,6 +84,24 @@ impl ObjectStore {
         self.records.get(&id)
     }
 
+    /// Sets the load epoch stamped onto subsequent insertions. Deltas are
+    /// merged into the clustered store in place (indexes are appended to,
+    /// not rebuilt); the stamp lets cumulative-loading callers tell which
+    /// epoch last actually grew the store.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The current load epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch of the most recent insertion that added new information.
+    pub fn last_growth(&self) -> u64 {
+        self.last_growth
+    }
+
     /// All identities, in insertion order.
     pub fn identities(&self) -> &[TermId] {
         &self.order
@@ -97,6 +119,7 @@ impl ObjectStore {
         let rec = self.entry(id);
         if rec.types.insert(ty) {
             self.by_type.entry(ty).or_default().push(id);
+            self.last_growth = self.epoch;
             true
         } else {
             false
@@ -112,6 +135,7 @@ impl ObjectStore {
         }
         vs.push(value);
         self.pair_count += 1;
+        self.last_growth = self.epoch;
         self.by_label_value
             .entry((label, value))
             .or_default()
@@ -289,6 +313,24 @@ mod tests {
         assert!(os.record(x).is_none());
         assert!(!os.has_type(x, object_type(), &h));
         assert!(os.is_empty());
+    }
+
+    #[test]
+    fn epoch_stamps_growth() {
+        let (mut ts, mut os) = setup();
+        let p = ts.intern_const(Const::Sym(sym("p")));
+        let a = ts.intern_const(Const::Sym(sym("a")));
+        os.set_epoch(3);
+        assert_eq!(os.epoch(), 3);
+        os.add_type(p, sym("path"));
+        assert_eq!(os.last_growth(), 3);
+        os.set_epoch(4);
+        // A duplicate insertion does not count as growth…
+        os.add_type(p, sym("path"));
+        assert_eq!(os.last_growth(), 3);
+        // …but new information does.
+        os.add_label(p, sym("src"), a);
+        assert_eq!(os.last_growth(), 4);
     }
 
     #[test]

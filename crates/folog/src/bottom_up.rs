@@ -13,14 +13,14 @@ use crate::builtins::{solve_pattern, BuiltinError};
 use crate::facts::{bound_positions, instantiate, match_term, trail_undo, Env, FactStore};
 use crate::ground::{TermId, TermStore};
 use crate::program::{CompiledProgram, Rule};
-use crate::rterm::RAtom;
+use crate::rterm::{RAtom, RTerm};
 use clogic_core::fol::{FoAtom, FoTerm};
 use clogic_core::symbol::Symbol;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// Evaluation strategy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Full re-evaluation every round.
     Naive,
@@ -64,8 +64,11 @@ impl Default for FixpointOptions {
     }
 }
 
-/// Operation counters for the experiments.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Operation counters for the experiments. On a resumed evaluation
+/// ([`evaluate_delta`]) the counters accumulate across runs, so the
+/// marginal cost of a delta is visible as the difference between
+/// snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FixpointStats {
     /// Fixpoint rounds executed.
     pub iterations: usize,
@@ -77,6 +80,9 @@ pub struct FixpointStats {
     pub facts_derived: u64,
     /// Derivations that produced an already-known fact.
     pub duplicates: u64,
+    /// Facts inserted per fixpoint round, in order. A resumed run keeps
+    /// appending, so the tail shows how little work a delta needed.
+    pub delta_sizes: Vec<u64>,
 }
 
 /// Evaluation failure.
@@ -173,10 +179,11 @@ impl Evaluation {
     pub fn query(&self, goals: &[FoAtom]) -> Vec<BTreeMap<Symbol, FoTerm>> {
         let mut alloc = crate::rterm::VarAlloc::new();
         let mut map = HashMap::new();
-        let ratoms: Vec<RAtom> = goals
+        let mut ratoms: Vec<RAtom> = goals
             .iter()
             .map(|g| crate::rterm::ratom_of_fo(g, &mut map, &mut alloc))
             .collect();
+        order_query_goals(&mut ratoms, &self.facts);
         let mut env: Env = vec![None; alloc.len()];
         let mut trail = Vec::new();
         let mut out = Vec::new();
@@ -232,6 +239,23 @@ impl Evaluation {
         !self.query(goals).is_empty()
     }
 
+    /// Total facts newly inserted over this evaluation (accumulated
+    /// across resumed runs).
+    pub fn facts_derived(&self) -> u64 {
+        self.stats.facts_derived
+    }
+
+    /// Fixpoint rounds executed (accumulated across resumed runs).
+    pub fn iterations(&self) -> usize {
+        self.stats.iterations
+    }
+
+    /// Facts inserted per fixpoint round, in order. After a resume, the
+    /// tail entries are the rounds the delta needed.
+    pub fn delta_sizes(&self) -> &[u64] {
+        &self.stats.delta_sizes
+    }
+
     /// Answers to a query with negated goals: positives matched against
     /// the least model, then answers filtered by the absence of each
     /// (substituted, necessarily ground) negated atom.
@@ -264,6 +288,55 @@ impl Evaluation {
             out.push(a);
         }
         Ok(out)
+    }
+}
+
+/// Greedy selectivity-based join order for conjunctive query goals:
+/// repeatedly pick the goal with the fewest still-unbound variables
+/// (ties broken towards the smaller relation), then treat its variables
+/// as bound. A goal with constant arguments thus runs before an open
+/// scan of a large relation, turning the scan into an indexed lookup —
+/// the difference between O(model) and O(answers) on point-ish queries
+/// against a saturated store. Answers are unaffected: the caller sorts
+/// and deduplicates them.
+fn order_query_goals(goals: &mut [RAtom], facts: &FactStore) {
+    fn collect_vars(t: &RTerm, out: &mut Vec<crate::rterm::VarId>) {
+        match t {
+            RTerm::Var(v) => out.push(*v),
+            RTerm::Const(_) => {}
+            RTerm::App(_, args) => {
+                for a in args {
+                    collect_vars(a, out);
+                }
+            }
+        }
+    }
+    let mut bound: HashSet<crate::rterm::VarId> = HashSet::new();
+    for i in 0..goals.len() {
+        let best = goals[i..]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, g)| {
+                let mut vars = Vec::new();
+                for a in &g.args {
+                    collect_vars(a, &mut vars);
+                }
+                vars.sort_unstable();
+                vars.dedup();
+                let unbound = vars.iter().filter(|v| !bound.contains(v)).count();
+                let size = facts
+                    .relation(g.pred, g.args.len())
+                    .map_or(0, |r| r.len());
+                (unbound, size)
+            })
+            .map(|(j, _)| i + j)
+            .expect("non-empty tail");
+        goals.swap(i, best);
+        let mut vars = Vec::new();
+        for a in &goals[i].args {
+            collect_vars(a, &mut vars);
+        }
+        bound.extend(vars);
     }
 }
 
@@ -311,7 +384,135 @@ pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Eval
     let derivable: Vec<(Symbol, usize)> = program.head_predicates();
 
     // Round 0: insert facts.
-    for rule in program.rules.iter().filter(|r| r.is_fact()) {
+    insert_fact_rules(
+        program.rules.iter().filter(|r| r.is_fact()),
+        &mut ev,
+        &mut meter,
+    )?;
+
+    // Stratify: rules whose head depends on a predicate through negation
+    // must evaluate after that predicate's stratum is complete. Programs
+    // without negation form a single stratum.
+    let all_rules: Vec<&Rule> = program.rules.iter().filter(|r| !r.is_fact()).collect();
+    let strata = stratify(&all_rules, program)?;
+    for stratum_rules in strata {
+        if !meter.check_time_and_cancel() {
+            break;
+        }
+        run_stratum(
+            &stratum_rules,
+            &derivable,
+            program,
+            &opts,
+            &mut ev,
+            &mut meter,
+            None,
+        )?;
+        if meter.tripped().is_some() {
+            break;
+        }
+    }
+    finish(&mut ev, &meter, &opts);
+    Ok(ev)
+}
+
+/// Resumes a saturated evaluation over a program that grew by appended
+/// rules: `prev` must be a **complete** model of `program.rules[..prev_rules]`,
+/// and `program.rules[prev_rules..]` is the delta (new facts and/or new
+/// rules). The previous [`FactStore`] — tuples, hash indexes and term
+/// arena — is kept and extended in place; the semi-naive frontier is
+/// seeded so that only the delta's consequences are recomputed.
+///
+/// Falls back to a full [`evaluate`] when the program uses negation
+/// (stratified negation is non-monotonic: an appended fact can retract
+/// earlier conclusions, so the saturated model is not reusable) or when
+/// `prev` is incomplete (a tripped ceiling means the old model is not
+/// the least model of the old program, so there is nothing sound to
+/// resume from).
+///
+/// The resume itself is exact, not approximate: after the catch-up pass
+/// (each new rule evaluated once against the whole existing model) and
+/// the seeded semi-naive rounds (every rule joined against rows appended
+/// since the seed snapshot), the standard semi-naive invariant holds and
+/// the result equals `evaluate` on the full program.
+pub fn evaluate_delta(
+    program: &CompiledProgram,
+    prev: Evaluation,
+    prev_rules: usize,
+    opts: FixpointOptions,
+) -> Result<Evaluation, EvalError> {
+    if program.has_negation() || !prev.complete {
+        return evaluate(program, opts);
+    }
+    let mut ev = prev;
+    ev.degradation = None;
+    let mut meter = BudgetMeter::new(&opts.budget);
+    let derivable: Vec<(Symbol, usize)> = program.head_predicates();
+
+    // Seed snapshot: everything stored before the delta counts as "old";
+    // rows appended from here on are the frontier of the first resumed
+    // round.
+    let base = ev.facts.lens();
+
+    // Round 0 of the delta: insert its facts.
+    let delta_rules = &program.rules[prev_rules.min(program.rules.len())..];
+    insert_fact_rules(
+        delta_rules.iter().filter(|r| r.is_fact()),
+        &mut ev,
+        &mut meter,
+    )?;
+
+    // Catch-up pass: a rule the old run never saw must join against the
+    // *whole* existing model once (the seeded rounds below only cover
+    // combinations that involve at least one appended row).
+    let new_rules: Vec<&Rule> = delta_rules.iter().filter(|r| !r.is_fact()).collect();
+    if !new_rules.is_empty() && meter.tripped().is_none() {
+        let full: HashMap<(Symbol, usize), Frontier> = HashMap::new();
+        let mut new_facts: Vec<(Symbol, Vec<TermId>)> = Vec::new();
+        for rule in &new_rules {
+            ev.stats.rule_activations += 1;
+            eval_rule(
+                rule,
+                &full,
+                None,
+                &ev.facts,
+                &mut ev.store,
+                &mut ev.stats,
+                program,
+                &mut new_facts,
+                &mut meter,
+            )?;
+            if meter.tripped().is_some() {
+                break;
+            }
+        }
+        insert_derived(new_facts, &mut ev, &opts, &mut meter);
+    }
+
+    // Seeded semi-naive continuation over all rules.
+    let all_rules: Vec<&Rule> = program.rules.iter().filter(|r| !r.is_fact()).collect();
+    if meter.tripped().is_none() {
+        run_stratum(
+            &all_rules,
+            &derivable,
+            program,
+            &opts,
+            &mut ev,
+            &mut meter,
+            Some(&base),
+        )?;
+    }
+    finish(&mut ev, &meter, &opts);
+    Ok(ev)
+}
+
+/// Interns and stores the head tuples of ground fact rules.
+fn insert_fact_rules<'r>(
+    rules: impl Iterator<Item = &'r Rule>,
+    ev: &mut Evaluation,
+    meter: &mut BudgetMeter,
+) -> Result<(), EvalError> {
+    for rule in rules {
         if !meter.tick() {
             break;
         }
@@ -329,21 +530,44 @@ pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Eval
             ev.stats.duplicates += 1;
         }
     }
+    Ok(())
+}
 
-    // Stratify: rules whose head depends on a predicate through negation
-    // must evaluate after that predicate's stratum is complete. Programs
-    // without negation form a single stratum.
-    let all_rules: Vec<&Rule> = program.rules.iter().filter(|r| !r.is_fact()).collect();
-    let strata = stratify(&all_rules, program)?;
-    for stratum_rules in strata {
-        if !meter.check_time_and_cancel() {
-            break;
+/// Stores a batch of derived tuples, enforcing the fact ceiling; returns
+/// how many were new.
+fn insert_derived(
+    new_facts: Vec<(Symbol, Vec<TermId>)>,
+    ev: &mut Evaluation,
+    opts: &FixpointOptions,
+    meter: &mut BudgetMeter,
+) -> u64 {
+    let mut inserted = 0u64;
+    for (pred, tuple) in new_facts {
+        if ev.facts.insert(pred, tuple, &ev.store) {
+            ev.stats.facts_derived += 1;
+            inserted += 1;
+        } else {
+            ev.stats.duplicates += 1;
         }
-        run_stratum(&stratum_rules, &derivable, program, &opts, &mut ev, &mut meter)?;
-        if meter.tripped().is_some() {
-            break;
+        let effective_max = match (opts.max_facts, meter.budget().max_facts) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+        if let Some(limit) = effective_max {
+            if ev.facts.total > limit {
+                // Keep the partial model (including this tuple) and
+                // stop deriving; remaining new_facts are dropped.
+                meter.trip(TripKind::Facts);
+                break;
+            }
         }
     }
+    inserted
+}
+
+/// Stamps completeness and the degradation report from the meter state.
+fn finish(ev: &mut Evaluation, meter: &BudgetMeter, opts: &FixpointOptions) {
     if let Some(trip) = meter.tripped() {
         ev.complete = false;
         ev.degradation = Some(meter.degradation_for(
@@ -356,7 +580,6 @@ pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Eval
             ),
         ));
     }
-    Ok(ev)
 }
 
 /// Stable strategy label used in [`Degradation`] reports.
@@ -455,9 +678,19 @@ fn stratify<'r>(
     Ok(out)
 }
 
-/// Runs the fixpoint rounds for one stratum's rules. The frontier map
-/// starts empty, so every fact visible at stratum entry (lower strata and
-/// the extensional base) counts as delta in the first round.
+/// Runs the fixpoint rounds for one stratum's rules.
+///
+/// With `seed = None` (a fresh run) the frontier map starts empty, so
+/// every fact visible at stratum entry (lower strata and the extensional
+/// base) counts as delta in the first round.
+///
+/// With `seed = Some(base)` (a resumed run, see [`evaluate_delta`]) the
+/// frontiers are pre-populated from the `base` length snapshot: rows
+/// below `base` are already-saturated "old" rows, rows appended since are
+/// the first round's delta. `first_round` is also suppressed, so
+/// builtin-only rules don't refire and an empty delta terminates
+/// immediately.
+#[allow(clippy::too_many_arguments)]
 fn run_stratum(
     rules: &[&Rule],
     derivable: &[(Symbol, usize)],
@@ -465,9 +698,16 @@ fn run_stratum(
     opts: &FixpointOptions,
     ev: &mut Evaluation,
     meter: &mut BudgetMeter,
+    seed: Option<&HashMap<(Symbol, usize), u32>>,
 ) -> Result<(), EvalError> {
-    let mut frontiers: HashMap<(Symbol, usize), Frontier> = HashMap::new();
-    let mut first_round = true;
+    let mut frontiers: HashMap<(Symbol, usize), Frontier> = match seed {
+        Some(base) => base
+            .iter()
+            .map(|(&k, &len)| (k, Frontier { old: 0, cur: len }))
+            .collect(),
+        None => HashMap::new(),
+    };
+    let mut first_round = seed.is_none();
     loop {
         // Round boundary: prompt deadline/cancel check plus an approximate
         // memory check (arena terms dominate; tuples are TermId rows).
@@ -567,34 +807,14 @@ fn run_stratum(
             }
         }
 
-        let mut inserted = false;
-        for (pred, tuple) in new_facts {
-            if ev.facts.insert(pred, tuple, &ev.store) {
-                ev.stats.facts_derived += 1;
-                inserted = true;
-            } else {
-                ev.stats.duplicates += 1;
-            }
-            let effective_max = match (opts.max_facts, meter.budget().max_facts) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, None) => a,
-                (None, b) => b,
-            };
-            if let Some(limit) = effective_max {
-                if ev.facts.total > limit {
-                    // Keep the partial model (including this tuple) and
-                    // stop deriving; remaining new_facts are dropped.
-                    meter.trip(TripKind::Facts);
-                    break;
-                }
-            }
-        }
+        let inserted = insert_derived(new_facts, ev, opts, meter);
+        ev.stats.delta_sizes.push(inserted);
         if meter.tripped().is_some() {
             return Ok(());
         }
         frontiers = current_frontiers;
         first_round = false;
-        if !inserted {
+        if inserted == 0 {
             break;
         }
     }
@@ -1136,6 +1356,136 @@ mod tests {
         assert!(ev.stats.facts_derived >= 14);
         assert!(ev.stats.rule_activations > 0);
         assert!(ev.stats.match_attempts > 0);
+    }
+
+    #[test]
+    fn evaluate_delta_matches_full_evaluation() {
+        // Saturate a chain, append one edge, resume — must equal the
+        // from-scratch model, with far less matching work.
+        let p = chain_program(6);
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let prev = evaluate(&cp, FixpointOptions::default()).unwrap();
+        let prev_rules = cp.len();
+        let mut p2 = p.clone();
+        p2.push(FoClause::fact(atom("edge", vec![c("n7"), c("n8")])));
+        p2.push(FoClause::fact(atom("edge", vec![c("n6"), c("n7")])));
+        let cp2 = CompiledProgram::compile(&p2, builtin_symbols());
+        let full = evaluate(&cp2, FixpointOptions::default()).unwrap();
+        let before_matches = prev.stats.match_attempts;
+        let resumed = evaluate_delta(&cp2, prev, prev_rules, FixpointOptions::default()).unwrap();
+        assert!(resumed.complete);
+        assert_eq!(resumed.ground_atoms(), full.ground_atoms());
+        let delta_matches = resumed.stats.match_attempts - before_matches;
+        assert!(
+            delta_matches < full.stats.match_attempts,
+            "resume did {delta_matches} matches, full run {}",
+            full.stats.match_attempts
+        );
+    }
+
+    #[test]
+    fn evaluate_delta_with_new_rules_catches_up() {
+        // The delta appends a *rule* (not just facts): the catch-up pass
+        // must join it against the whole pre-existing saturated store.
+        let mut p = FoProgram::new();
+        for i in 0..4 {
+            p.push(FoClause::fact(atom(
+                "edge",
+                vec![c(&format!("n{i}")), c(&format!("n{}", i + 1))],
+            )));
+        }
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let prev = evaluate(&cp, FixpointOptions::default()).unwrap();
+        let prev_rules = cp.len();
+        let mut p2 = p.clone();
+        p2.push(FoClause::rule(
+            atom("path", vec![v("X"), v("Y")]),
+            vec![atom("edge", vec![v("X"), v("Y")])],
+        ));
+        p2.push(FoClause::rule(
+            atom("path", vec![v("X"), v("Z")]),
+            vec![
+                atom("edge", vec![v("X"), v("Y")]),
+                atom("path", vec![v("Y"), v("Z")]),
+            ],
+        ));
+        let cp2 = CompiledProgram::compile(&p2, builtin_symbols());
+        let full = evaluate(&cp2, FixpointOptions::default()).unwrap();
+        let resumed = evaluate_delta(&cp2, prev, prev_rules, FixpointOptions::default()).unwrap();
+        assert_eq!(resumed.ground_atoms(), full.ground_atoms());
+        assert_eq!(
+            resumed.facts.relation(sym("path"), 2).unwrap().len(),
+            10 // all i<j pairs over 5 nodes
+        );
+    }
+
+    #[test]
+    fn evaluate_delta_with_empty_delta_is_a_noop_round() {
+        let p = chain_program(4);
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let prev = evaluate(&cp, FixpointOptions::default()).unwrap();
+        let iterations = prev.stats.iterations;
+        let total = prev.facts.total;
+        let resumed = evaluate_delta(&cp, prev, cp.len(), FixpointOptions::default()).unwrap();
+        assert!(resumed.complete);
+        assert_eq!(resumed.facts.total, total);
+        // the empty termination round is not counted
+        assert_eq!(resumed.stats.iterations, iterations);
+    }
+
+    #[test]
+    fn evaluate_delta_falls_back_on_negation() {
+        // Stratified negation is non-monotonic: adding reached(b) must
+        // *retract* unreachable(b), which a resumed run can't do — so
+        // evaluate_delta recomputes from scratch and stays correct.
+        let mut p = FoProgram::new();
+        for n in ["a", "b"] {
+            p.push(FoClause::fact(atom("node", vec![c(n)])));
+        }
+        p.push(FoClause::fact(atom("reached", vec![c("a")])));
+        p.push(FoClause::rule_with_negation(
+            atom("unreachable", vec![v("X")]),
+            vec![atom("node", vec![v("X")])],
+            vec![atom("reached", vec![v("X")])],
+        ));
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let prev = evaluate(&cp, FixpointOptions::default()).unwrap();
+        assert!(prev.holds(&[atom("unreachable", vec![c("b")])]));
+        let prev_rules = cp.len();
+        let mut p2 = p.clone();
+        p2.push(FoClause::fact(atom("reached", vec![c("b")])));
+        let cp2 = CompiledProgram::compile(&p2, builtin_symbols());
+        let resumed = evaluate_delta(&cp2, prev, prev_rules, FixpointOptions::default()).unwrap();
+        assert!(!resumed.holds(&[atom("unreachable", vec![c("b")])]));
+    }
+
+    #[test]
+    fn delta_sizes_track_per_round_insertions() {
+        let p = chain_program(4);
+        let ev = eval_with(&p, Strategy::SemiNaive);
+        let sizes = ev.delta_sizes();
+        assert_eq!(sizes.iter().sum::<u64>() + 4, ev.facts_derived()); // 4 edges in round 0
+        assert_eq!(sizes.len(), ev.iterations()); // one entry per counted round
+        // round 1 derives the 4 one-step paths
+        assert_eq!(sizes[0], 4);
+    }
+
+    #[test]
+    fn fact_store_epoch_stamps_grown_relations() {
+        let p = chain_program(2);
+        let cp = CompiledProgram::compile(&p, builtin_symbols());
+        let mut prev = evaluate(&cp, FixpointOptions::default()).unwrap();
+        assert_eq!(prev.facts.relation(sym("edge"), 2).unwrap().stamp(), 0);
+        prev.facts.set_epoch(7);
+        let prev_rules = cp.len();
+        let mut p2 = p.clone();
+        p2.push(FoClause::fact(atom("edge", vec![c("n2"), c("n3")])));
+        let cp2 = CompiledProgram::compile(&p2, builtin_symbols());
+        let resumed = evaluate_delta(&cp2, prev, prev_rules, FixpointOptions::default()).unwrap();
+        // grown relations carry the new stamp; the indexes were extended,
+        // not rebuilt (same store, same tuple prefix)
+        assert_eq!(resumed.facts.relation(sym("edge"), 2).unwrap().stamp(), 7);
+        assert_eq!(resumed.facts.epoch(), 7);
     }
 
     #[test]

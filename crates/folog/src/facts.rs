@@ -34,12 +34,22 @@ pub struct Relation {
     index: HashMap<(u32, TermId), Vec<u32>>,
     /// `(position, functor, first argument) → rows`, for compound values.
     sub_index: HashMap<(u32, Symbol, TermId), Vec<u32>>,
+    /// Epoch (set by the owning [`FactStore`]) at which this relation
+    /// last grew. Inserts extend the tuple vector and hash indexes in
+    /// place — a delta load never rebuilds an index.
+    stamp: u64,
 }
 
 impl Relation {
     /// Number of tuples.
     pub fn len(&self) -> usize {
         self.tuples.len()
+    }
+
+    /// The epoch at which this relation last grew (0 until touched
+    /// inside an epoch-stamped store).
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// True iff empty.
@@ -123,6 +133,8 @@ pub struct FactStore {
     relations: HashMap<(Symbol, usize), Relation>,
     /// Total number of stored tuples.
     pub total: usize,
+    /// Current epoch; every insert stamps its relation with this value.
+    epoch: u64,
 }
 
 impl FactStore {
@@ -131,15 +143,36 @@ impl FactStore {
         FactStore::default()
     }
 
+    /// The store's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the store to `epoch`. Relations grown from now on carry
+    /// this stamp; existing tuples and indexes are untouched, so a
+    /// resumed fixpoint extends them in place instead of rebuilding.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// A snapshot of every relation's current length, used to seed a
+    /// resumed semi-naive run: rows appended after the snapshot form the
+    /// delta frontier.
+    pub fn lens(&self) -> HashMap<(Symbol, usize), u32> {
+        self.relations
+            .iter()
+            .map(|(&k, r)| (k, r.len() as u32))
+            .collect()
+    }
+
     /// Inserts a fact; returns true when new.
     pub fn insert(&mut self, pred: Symbol, tuple: Vec<TermId>, store: &TermStore) -> bool {
         let arity = tuple.len();
-        let fresh = self
-            .relations
-            .entry((pred, arity))
-            .or_default()
-            .insert(tuple, store);
+        let epoch = self.epoch;
+        let rel = self.relations.entry((pred, arity)).or_default();
+        let fresh = rel.insert(tuple, store);
         if fresh {
+            rel.stamp = epoch;
             self.total += 1;
         }
         fresh

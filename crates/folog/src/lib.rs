@@ -32,7 +32,7 @@ pub mod sld;
 pub mod tabling;
 pub mod unify;
 
-pub use bottom_up::{evaluate, Evaluation, FixpointOptions, FixpointStats, Strategy};
+pub use bottom_up::{evaluate, evaluate_delta, Evaluation, FixpointOptions, FixpointStats, Strategy};
 pub use budget::{Budget, BudgetMeter, CancelToken, Degradation, TripKind};
 pub use ground::{GroundAtom, GroundTerm, TermId, TermStore};
 pub use program::{CompiledProgram, Rule};

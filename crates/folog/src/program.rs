@@ -154,6 +154,34 @@ impl CompiledProgram {
         self.rules.push(rule);
     }
 
+    /// Removes rules `len..` and unwinds their index entries — the exact
+    /// inverse of the [`CompiledProgram::push_rule`] calls that added
+    /// them. This lets query-local auxiliary clauses run as a *scratch
+    /// overlay* on a shared compiled program (push, solve, truncate)
+    /// instead of cloning the whole program per query.
+    pub fn truncate(&mut self, len: usize) {
+        fn prune<K: std::hash::Hash + Eq>(map: &mut HashMap<K, Vec<usize>>, key: K, idx: usize) {
+            if let Some(v) = map.get_mut(&key) {
+                if let Some(pos) = v.iter().rposition(|&i| i == idx) {
+                    v.remove(pos);
+                }
+                if v.is_empty() {
+                    map.remove(&key);
+                }
+            }
+        }
+        while self.rules.len() > len {
+            let rule = self.rules.pop().expect("len checked");
+            let idx = self.rules.len();
+            let key = (rule.head.pred, rule.head.args.len());
+            prune(&mut self.by_pred, key, idx);
+            match rule.head.args.first().and_then(arg_key) {
+                Some(k) => prune(&mut self.by_first_arg, (key.0, key.1, k), idx),
+                None => prune(&mut self.var_headed, key, idx),
+            }
+        }
+    }
+
     /// Whether `pred` is an evaluable built-in.
     pub fn is_builtin(&self, pred: Symbol) -> bool {
         self.builtins.contains(&pred)
@@ -328,6 +356,38 @@ mod tests {
         let cp = CompiledProgram::compile(&program(), [sym("is")]);
         assert!(cp.is_builtin(sym("is")));
         assert!(!cp.is_builtin(sym("edge")));
+    }
+
+    #[test]
+    fn truncate_unwinds_overlay_clauses() {
+        let mut cp = CompiledProgram::compile(&program(), []);
+        let base = cp.len();
+        let before: Vec<usize> = cp.candidates(sym("edge"), 2, None);
+        // Overlay: a new edge fact, a var-headed rule, and a whole new
+        // predicate — each exercises a different index map.
+        cp.push_clause(&FoClause::fact(FoAtom::new(
+            "edge",
+            vec![FoTerm::constant("c"), FoTerm::constant("d")],
+        )));
+        cp.push_clause(&FoClause::rule(
+            FoAtom::new("path", vec![FoTerm::var("X"), FoTerm::var("X")]),
+            vec![FoAtom::new("edge", vec![FoTerm::var("X"), FoTerm::var("X")])],
+        ));
+        cp.push_clause(&FoClause::fact(FoAtom::new(
+            "aux",
+            vec![FoTerm::constant("z")],
+        )));
+        assert_eq!(cp.len(), base + 3);
+        assert_eq!(cp.candidates(sym("edge"), 2, None).len(), 3);
+        assert_eq!(cp.candidates(sym("aux"), 1, None), vec![base + 2]);
+        cp.truncate(base);
+        assert_eq!(cp.len(), base);
+        assert_eq!(cp.candidates(sym("edge"), 2, None), before);
+        assert!(cp.candidates(sym("aux"), 1, None).is_empty());
+        assert_eq!(cp.candidates(sym("path"), 2, None), vec![2, 3]);
+        // truncating to the current length is a no-op
+        cp.truncate(base + 10);
+        assert_eq!(cp.len(), base);
     }
 
     #[test]

@@ -119,6 +119,18 @@ fn run_query(session: &mut Session, query: &str, strategy: Strategy) {
                     None => println!("% warning: search truncated by resource limits"),
                 }
             }
+            // The session is reused across the whole top-level run, so
+            // repeated queries hit the per-epoch answer cache and loads
+            // only cost their delta.
+            let stats = session.cache_stats();
+            println!(
+                "% epoch {} | answer cache: {} hit{}, {} miss{}",
+                session.epoch(),
+                stats.hits,
+                if stats.hits == 1 { "" } else { "s" },
+                stats.misses,
+                if stats.misses == 1 { "" } else { "es" },
+            );
         }
         Err(e) => println!("error: {e}"),
     }

@@ -19,4 +19,4 @@ pub use folog;
 
 pub mod session;
 
-pub use session::{Answers, Session, SessionError, SessionOptions, Strategy};
+pub use session::{Answers, CacheStats, Session, SessionError, SessionOptions, Strategy};

@@ -31,9 +31,9 @@
 use clogic_core::fol::{FoAtom, FoProgram, FoTerm};
 use clogic_core::optimize::Optimizer;
 use clogic_core::program::Program;
-use clogic_core::skolem::{auto_skolemize, SkolemReport};
+use clogic_core::skolem::{auto_skolemize_from, SkolemReport};
 use clogic_core::symbol::Symbol;
-use clogic_core::transform::Transformer;
+use clogic_core::transform::{TranslationState, Transformer};
 use clogic_core::Query;
 use clogic_engine::{DirectEngine, DirectOptions, DirectProgram};
 use clogic_parser::{parse_query, parse_source, ParseError};
@@ -41,10 +41,10 @@ use folog::builtins::builtin_symbols;
 use folog::magic::solve_magic;
 use folog::tabling::{TabledEngine, TablingOptions};
 use folog::{
-    Budget, CompiledProgram, Degradation, FixpointOptions, SldEngine, SldOptions,
-    Strategy as FixpointStrategy,
+    Budget, CompiledProgram, Degradation, Evaluation, FixpointOptions, FixpointStats, SldEngine,
+    SldOptions, Strategy as FixpointStrategy,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// An evaluation strategy.
@@ -252,17 +252,96 @@ const GUARD_DEADLINE: std::time::Duration = std::time::Duration::from_secs(2);
 /// deadline, is what actually bounds term depth.
 const GUARD_MAX_FACTS: usize = 2_000;
 
+/// Hit/miss counters of the per-strategy answer cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to be evaluated.
+    pub misses: u64,
+}
+
+/// The translated first-order program together with the state needed to
+/// extend it when the next load epoch arrives.
+struct TranslatedArtifact {
+    /// Load epoch this artifact is current for.
+    epoch: u64,
+    /// Bumped on every full re-translation; dependent artifacts
+    /// (compiled program, saturated models) check it to know whether
+    /// they may extend in place or must start over.
+    generation: u64,
+    /// `subtype_decls` already reflected in the translation.
+    subtypes: usize,
+    /// Incremental translation state (dedup set, aux counter, axiom
+    /// bookkeeping, whether the optimizer dropped clauses globally).
+    state: TranslationState,
+    /// Cached termination-guard verdict for `fo` — the skolem-recursion
+    /// analysis is linear in the program, so it runs once per (re-)
+    /// translation instead of once per query.
+    may_diverge: bool,
+    fo: FoProgram,
+}
+
+/// The indexed runtime form of the translated program.
+struct CompiledArtifact {
+    /// Generation of the [`TranslatedArtifact`] this was compiled from.
+    generation: u64,
+    /// Number of translated clauses already compiled in.
+    fo_len: usize,
+    cp: CompiledProgram,
+}
+
+/// The direct engine's compiled program. Never rebuilt: deltas merge
+/// into the clustered store and append clauses.
+struct DirectArtifact {
+    epoch: u64,
+    /// C-logic clauses already compiled in.
+    clauses: usize,
+    dp: DirectProgram,
+}
+
+/// A saturated (or budget-cut) bottom-up model, kept for resumption.
+struct ModelArtifact {
+    epoch: u64,
+    /// Generation of the translation it was computed over.
+    generation: u64,
+    /// Compiled rules already reflected in the model.
+    rules: usize,
+    ev: Evaluation,
+}
+
 /// A loaded C-logic program plus every compiled artefact needed by the
-/// strategies. Compiled artefacts are built lazily and cached.
+/// strategies.
+///
+/// Artefacts are built lazily, cached, and — this is the serving-workload
+/// design — *extended* rather than rebuilt when more program text is
+/// loaded. Each [`Session::load`] bumps the session **epoch**; every
+/// artifact records the epoch it is current for and, on first use after a
+/// load, catches up from the delta alone: the translator appends the new
+/// clauses' translation (falling back to a full re-translation only in
+/// the documented cases, see `Optimizer::extend_optimized`), the compiled
+/// program indexes the new clauses in place, the direct engine merges new
+/// ground facts into its clustered store, and saturated bottom-up models
+/// are resumed by seeding the fixpoint with the delta instead of starting
+/// from nothing. Ground answers are additionally memoized per
+/// `(epoch, strategy, query)` — see [`Session::cache_stats`].
 #[derive(Default)]
 pub struct Session {
     options: SessionOptions,
     program: Program,
     skolem_reports: Vec<SkolemReport>,
-    // caches
-    translated: Option<FoProgram>,
-    compiled_fo: Option<CompiledProgram>,
-    direct: Option<DirectProgram>,
+    /// Skolem numbering state threaded across loads so `skN` identities
+    /// are stable under cumulative loading.
+    skolem_counter: usize,
+    /// Bumped on every load.
+    epoch: u64,
+    // epoch-versioned artifacts
+    translated: Option<TranslatedArtifact>,
+    compiled_fo: Option<CompiledArtifact>,
+    direct: Option<DirectArtifact>,
+    models: HashMap<FixpointStrategy, ModelArtifact>,
+    answer_cache: HashMap<(u64, Strategy, String), Answers>,
+    cache_stats: CacheStats,
 }
 
 impl Session {
@@ -294,16 +373,25 @@ impl Session {
         Ok(())
     }
 
-    /// Loads an already-built program (cumulative).
+    /// Loads an already-built program (cumulative). Bumps the session
+    /// epoch; compiled artefacts catch up incrementally on next use.
     pub fn load_program(&mut self, mut p: Program) {
         if self.options.auto_skolemize {
-            let (sk, mut reports) = auto_skolemize(&p);
+            let taken = self.program.signature().functions;
+            let (sk, reports) = auto_skolemize_from(&p, &mut self.skolem_counter, &taken);
             p = sk;
-            self.skolem_reports.append(&mut reports);
+            let offset = self.program.clauses.len();
+            self.skolem_reports.extend(reports.into_iter().map(|mut r| {
+                r.clause_index += offset;
+                r
+            }));
         }
         self.program.subtype_decls.extend(p.subtype_decls);
         self.program.clauses.extend(p.clauses);
-        self.invalidate();
+        self.epoch += 1;
+        // Prior-epoch answers can never be served again (the cache key
+        // includes the epoch), so drop them.
+        self.answer_cache.clear();
     }
 
     /// The loaded program (after skolemization).
@@ -316,40 +404,205 @@ impl Session {
         &self.skolem_reports
     }
 
-    fn invalidate(&mut self) {
-        self.translated = None;
-        self.compiled_fo = None;
-        self.direct = None;
+    /// The current load epoch: 0 for an empty session, bumped by every
+    /// [`Session::load`] / [`Session::load_program`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Answer-cache hit/miss counters (cumulative over the session).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats
+    }
+
+    /// Fixpoint statistics of the cached bottom-up model for a strategy,
+    /// if one has been computed. A model resumed across epochs keeps
+    /// accumulating into the same counters.
+    pub fn model_stats(&self, strategy: Strategy) -> Option<&FixpointStats> {
+        let fs = match strategy {
+            Strategy::BottomUpNaive => FixpointStrategy::Naive,
+            Strategy::BottomUpSemiNaive => FixpointStrategy::SemiNaive,
+            _ => return None,
+        };
+        self.models.get(&fs).map(|m| &m.ev.stats)
+    }
+
+    /// Brings the translated program up to the current epoch.
+    ///
+    /// Three outcomes: already current (no work); *extendable* — the
+    /// delta's translation is appended to the cached program, reusing the
+    /// incremental [`TranslationState`]; or a full re-translation, which
+    /// bumps the artifact generation so downstream artefacts (compiled
+    /// program, saturated models) know their basis changed.
+    ///
+    /// With the §4 optimizer off, translation is clause-local and the
+    /// delta path is always sound (new subtype declarations only append
+    /// inclusion axioms). With the optimizer on, we fall back to a full
+    /// re-translation when the delta adds subtype declarations (rules 1–2
+    /// consult the hierarchy, so earlier clauses' optimizations may be
+    /// invalidated), when the previous build's dead-clause elimination
+    /// actually dropped clauses (a global analysis the delta may
+    /// re-legitimize), or when the cumulative program uses negation.
+    fn ensure_translated(&mut self) {
+        enum Plan {
+            Current,
+            Extend,
+            Rebuild,
+        }
+        let plan = match &self.translated {
+            None => Plan::Rebuild,
+            Some(t) if t.epoch == self.epoch => Plan::Current,
+            Some(t) => {
+                let extendable = if self.options.optimize_translation {
+                    self.program.subtype_decls.len() == t.subtypes
+                        && !t.state.dropped_clauses
+                        && self.program.clauses.iter().all(|c| c.neg_body.is_empty())
+                } else {
+                    true
+                };
+                if extendable {
+                    Plan::Extend
+                } else {
+                    Plan::Rebuild
+                }
+            }
+        };
+        let tr = Transformer::new();
+        match plan {
+            Plan::Current => {}
+            Plan::Extend => {
+                let t = self.translated.as_mut().expect("extend plan");
+                if self.options.optimize_translation {
+                    Optimizer::new(&self.program).extend_optimized(
+                        &tr,
+                        &self.program,
+                        &mut t.fo,
+                        &mut t.state,
+                    );
+                } else {
+                    tr.extend_program(&self.program, &mut t.fo, &mut t.state);
+                }
+                t.epoch = self.epoch;
+                t.subtypes = self.program.subtype_decls.len();
+                t.may_diverge = clogic_core::termination::may_diverge(&t.fo);
+            }
+            Plan::Rebuild => {
+                let generation = self.translated.as_ref().map_or(0, |t| t.generation + 1);
+                let (fo, state) = if self.options.optimize_translation {
+                    Optimizer::new(&self.program).optimized_program_with_state(&tr, &self.program)
+                } else {
+                    tr.program_with_state(&self.program)
+                };
+                self.translated = Some(TranslatedArtifact {
+                    epoch: self.epoch,
+                    generation,
+                    subtypes: self.program.subtype_decls.len(),
+                    state,
+                    may_diverge: clogic_core::termination::may_diverge(&fo),
+                    fo,
+                });
+            }
+        }
     }
 
     /// The translated first-order program (Theorem 1), optimized per the
-    /// session options. Cached.
+    /// session options. Cached and extended across epochs.
     pub fn translated(&mut self) -> &FoProgram {
-        if self.translated.is_none() {
-            let tr = Transformer::new();
-            let fo = if self.options.optimize_translation {
-                Optimizer::new(&self.program).optimized_program(&tr, &self.program)
-            } else {
-                tr.program(&self.program)
-            };
-            self.translated = Some(fo);
-        }
-        self.translated.as_ref().expect("just set")
+        self.ensure_translated();
+        &self.translated.as_ref().expect("ensured").fo
     }
 
-    fn compiled_fo(&mut self) -> &CompiledProgram {
-        if self.compiled_fo.is_none() {
-            let fo = self.translated().clone();
-            self.compiled_fo = Some(CompiledProgram::compile(&fo, builtin_symbols()));
+    /// Brings the compiled first-order program up to date: recompiled
+    /// from scratch only when the translation's generation changed,
+    /// otherwise new translated clauses are pushed into the existing
+    /// indexes.
+    fn ensure_compiled(&mut self) {
+        self.ensure_translated();
+        let t = self.translated.as_ref().expect("ensured");
+        match &mut self.compiled_fo {
+            Some(c) if c.generation == t.generation => {
+                for clause in &t.fo.clauses[c.fo_len.min(t.fo.clauses.len())..] {
+                    c.cp.push_clause(clause);
+                }
+                c.fo_len = t.fo.clauses.len();
+            }
+            _ => {
+                self.compiled_fo = Some(CompiledArtifact {
+                    generation: t.generation,
+                    fo_len: t.fo.clauses.len(),
+                    cp: CompiledProgram::compile(&t.fo, builtin_symbols()),
+                });
+            }
         }
-        self.compiled_fo.as_ref().expect("just set")
     }
 
-    fn direct_program(&mut self) -> &DirectProgram {
-        if self.direct.is_none() {
-            self.direct = Some(DirectProgram::compile(&self.program, builtin_symbols()));
+    /// Brings the direct engine's program up to date. Never rebuilt:
+    /// delta clauses are compiled and their ground facts merged into the
+    /// clustered store (indexes are appended to, not rebuilt); the type
+    /// hierarchy is refreshed from the cumulative program.
+    fn ensure_direct(&mut self) {
+        match &mut self.direct {
+            Some(d) if d.epoch == self.epoch => {}
+            Some(d) => {
+                d.dp.objects.set_epoch(self.epoch);
+                d.dp.preds.set_epoch(self.epoch);
+                d.dp.extend(&self.program, d.clauses);
+                d.epoch = self.epoch;
+                d.clauses = self.program.clauses.len();
+            }
+            None => {
+                let mut dp = DirectProgram::compile(&self.program, builtin_symbols());
+                dp.objects.set_epoch(self.epoch);
+                dp.preds.set_epoch(self.epoch);
+                self.direct = Some(DirectArtifact {
+                    epoch: self.epoch,
+                    clauses: self.program.clauses.len(),
+                    dp,
+                });
+            }
         }
-        self.direct.as_ref().expect("just set")
+    }
+
+    /// The saturated bottom-up model for a fixpoint strategy, current for
+    /// this epoch. A cached *complete* model from an earlier epoch of the
+    /// same translation generation is resumed — the fixpoint is seeded
+    /// with the delta and run forward over the already-saturated store —
+    /// instead of recomputed. Incomplete (budget-cut) models are served
+    /// for the epoch they were computed in but never resumed.
+    fn ensure_model(
+        &mut self,
+        fs: FixpointStrategy,
+        opts: FixpointOptions,
+    ) -> Result<(), SessionError> {
+        self.ensure_compiled();
+        let gen = self.translated.as_ref().expect("ensured").generation;
+        let cp = &self.compiled_fo.as_ref().expect("ensured").cp;
+        let rules = cp.rules.len();
+        if self
+            .models
+            .get(&fs)
+            .is_some_and(|m| m.epoch == self.epoch && m.generation == gen && m.rules == rules)
+        {
+            return Ok(());
+        }
+        let prev = self.models.remove(&fs);
+        let cp = &self.compiled_fo.as_ref().expect("ensured").cp;
+        let ev = match prev {
+            Some(m) if m.generation == gen && m.rules <= rules && m.ev.complete => {
+                folog::evaluate_delta(cp, m.ev, m.rules, opts)?
+            }
+            _ => folog::evaluate(cp, opts)?,
+        };
+        self.models.insert(
+            fs,
+            ModelArtifact {
+                epoch: self.epoch,
+                generation: gen,
+                rules,
+                ev,
+            },
+        );
+        Ok(())
     }
 
     /// Translates a query for the first-order strategies (positive goals
@@ -370,8 +623,8 @@ impl Session {
     /// skolem-function recursion (infinite least model).
     fn effective_budget(&mut self, engine_budget: &Budget) -> Budget {
         let mut b = engine_budget.merged(&self.options.budget);
-        if self.options.termination_guard
-            && clogic_core::termination::may_diverge(self.translated())
+        self.ensure_translated();
+        if self.options.termination_guard && self.translated.as_ref().expect("ensured").may_diverge
         {
             if b.deadline.is_none() {
                 b.deadline = Some(GUARD_DEADLINE);
@@ -384,12 +637,33 @@ impl Session {
     }
 
     /// Answers an already-parsed query.
+    ///
+    /// Answers are memoized per `(epoch, strategy, canonicalized query)`;
+    /// only complete answer sets enter the cache (a budget-cut partial
+    /// result is recomputed on the next ask, which may have more budget
+    /// left). Loading more program text bumps the epoch and thereby
+    /// invalidates every cached answer.
     pub fn query_ast(&mut self, q: &Query, strategy: Strategy) -> Result<Answers, SessionError> {
+        let key = (self.epoch, strategy, q.to_string());
+        if let Some(hit) = self.answer_cache.get(&key) {
+            self.cache_stats.hits += 1;
+            return Ok(hit.clone());
+        }
+        self.cache_stats.misses += 1;
+        let answers = self.answer_uncached(q, strategy)?;
+        if answers.complete {
+            self.answer_cache.insert(key, answers.clone());
+        }
+        Ok(answers)
+    }
+
+    fn answer_uncached(&mut self, q: &Query, strategy: Strategy) -> Result<Answers, SessionError> {
         match strategy {
             Strategy::Direct => {
                 let mut opts = self.options.direct.clone();
                 opts.budget = self.effective_budget(&opts.budget);
-                let dp = self.direct_program();
+                self.ensure_direct();
+                let dp = &self.direct.as_ref().expect("ensured").dp;
                 let r = DirectEngine::new(dp, opts).solve(q)?;
                 Ok(Answers {
                     rows: r
@@ -408,17 +682,22 @@ impl Session {
                 let (goals, neg_goals) = tr.query_parts(q, &mut aux, &mut counter);
                 let mut opts = self.options.sld.clone();
                 opts.budget = self.effective_budget(&opts.budget);
+                self.ensure_compiled();
+                let art = self.compiled_fo.as_mut().expect("ensured");
                 let r = if aux.is_empty() {
-                    SldEngine::new(self.compiled_fo(), opts)
-                        .solve_with_negation(&goals, &neg_goals)?
+                    SldEngine::new(&art.cp, opts).solve_with_negation(&goals, &neg_goals)?
                 } else {
                     // Conjunction-shaped negated goals need their
-                    // auxiliary clauses in the program.
-                    let mut cp = self.compiled_fo().clone();
+                    // auxiliary clauses in the program: push them as a
+                    // scratch overlay and unwind afterwards instead of
+                    // cloning the whole compiled program per query.
+                    let base = art.cp.rules.len();
                     for c in &aux {
-                        cp.push_clause(c);
+                        art.cp.push_clause(c);
                     }
-                    SldEngine::new(&cp, opts).solve_with_negation(&goals, &neg_goals)?
+                    let r = SldEngine::new(&art.cp, opts).solve_with_negation(&goals, &neg_goals);
+                    art.cp.truncate(base);
+                    r?
                 };
                 Ok(Answers {
                     rows: r
@@ -435,37 +714,61 @@ impl Session {
                 let mut aux = Vec::new();
                 let mut counter = 0;
                 let (goals, neg_goals) = tr.query_parts(q, &mut aux, &mut counter);
-                let strategy = if strategy == Strategy::BottomUpNaive {
+                let fs = if strategy == Strategy::BottomUpNaive {
                     FixpointStrategy::Naive
                 } else {
                     FixpointStrategy::SemiNaive
                 };
                 let mut opts = FixpointOptions {
-                    strategy,
+                    strategy: fs,
                     ..self.options.fixpoint.clone()
                 };
                 opts.budget = self.effective_budget(&opts.budget);
-                let ev = if aux.is_empty() {
-                    folog::evaluate(self.compiled_fo(), opts)?
+                self.ensure_model(fs, opts.clone())?;
+                if aux.is_empty() {
+                    let ev = &self.models.get(&fs).expect("ensured").ev;
+                    Ok(Answers {
+                        rows: ev
+                            .query_with_negation(&goals, &neg_goals)?
+                            .into_iter()
+                            .map(|bindings| AnswerRow {
+                                bindings: bindings.into_iter().collect(),
+                            })
+                            .collect(),
+                        complete: ev.complete,
+                        degradation: ev.degradation.clone(),
+                    })
                 } else {
-                    let mut fo = self.translated().clone();
-                    for c in aux {
-                        fo.push(c);
+                    // The auxiliary clauses for conjunction-shaped
+                    // negated goals derive query-local `__naux…` facts
+                    // that must not persist in the cached model: overlay
+                    // the clauses, resume a *clone* of the saturated
+                    // model over them, and unwind the overlay.
+                    let prev = self.models.get(&fs).expect("ensured");
+                    let art = self.compiled_fo.as_mut().expect("ensured");
+                    let base = art.cp.rules.len();
+                    for c in &aux {
+                        art.cp.push_clause(c);
                     }
-                    let cp = CompiledProgram::compile(&fo, builtin_symbols());
-                    folog::evaluate(&cp, opts)?
-                };
-                Ok(Answers {
-                    rows: ev
-                        .query_with_negation(&goals, &neg_goals)?
-                        .into_iter()
-                        .map(|bindings| AnswerRow {
-                            bindings: bindings.into_iter().collect(),
-                        })
-                        .collect(),
-                    complete: ev.complete,
-                    degradation: ev.degradation,
-                })
+                    let result = if prev.ev.complete {
+                        folog::evaluate_delta(&art.cp, prev.ev.clone(), base, opts)
+                    } else {
+                        folog::evaluate(&art.cp, opts)
+                    };
+                    art.cp.truncate(base);
+                    let ev = result?;
+                    Ok(Answers {
+                        rows: ev
+                            .query_with_negation(&goals, &neg_goals)?
+                            .into_iter()
+                            .map(|bindings| AnswerRow {
+                                bindings: bindings.into_iter().collect(),
+                            })
+                            .collect(),
+                        complete: ev.complete,
+                        degradation: ev.degradation,
+                    })
+                }
             }
             Strategy::Tabled => {
                 if q.has_negation() {
@@ -476,7 +779,8 @@ impl Session {
                 let goals = self.translate_query(q);
                 let mut opts = self.options.tabling.clone();
                 opts.budget = self.effective_budget(&opts.budget);
-                let cp = self.compiled_fo();
+                self.ensure_compiled();
+                let cp = &self.compiled_fo.as_ref().expect("ensured").cp;
                 let r = TabledEngine::new(cp, opts).solve(&goals)?;
                 Ok(Answers {
                     rows: r
@@ -497,9 +801,13 @@ impl Session {
                 let goals = self.translate_query(q);
                 let mut opts = self.options.fixpoint.clone();
                 opts.budget = self.effective_budget(&opts.budget);
-                let fo = self.translated().clone();
+                // The magic rewrite is query-specific, so there is no
+                // model to reuse — but the translated program itself is
+                // borrowed, not cloned.
+                self.ensure_translated();
+                let fo = &self.translated.as_ref().expect("ensured").fo;
                 let builtins = builtin_symbols().collect();
-                let (answers, ev) = solve_magic(&fo, &goals, &builtins, opts)?;
+                let (answers, ev) = solve_magic(fo, &goals, &builtins, opts)?;
                 Ok(Answers {
                     rows: answers
                         .into_iter()
