@@ -119,6 +119,52 @@ pub fn skolemize_clause(c: &DefiniteClause, spec: &SkolemSpec) -> DefiniteClause
     }
 }
 
+/// The complete skolem-numbering state of a cumulative-loading session,
+/// in serializable form — what must survive a restart for recovered
+/// sessions to mint the *same* `skN` identities (oid stability: a skolem
+/// term **is** the identity of the object it creates, so regenerating it
+/// differently changes the database).
+///
+/// `counter` is the last `N` tried by [`auto_skolemize_from`]; `taken` is
+/// the set of function symbols already present in loaded text (user
+/// functors and previously minted skolems alike), which fresh names must
+/// avoid.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SkolemState {
+    /// Last skolem number tried; fresh names continue at `counter + 1`.
+    pub counter: usize,
+    /// Function symbols that must not be reused as skolem functors.
+    pub taken: BTreeSet<Symbol>,
+}
+
+impl SkolemState {
+    /// A line-oriented text encoding: the counter on the first line, one
+    /// taken name per following line. Stable and human-auditable; newline
+    /// cannot occur inside a symbol, so no escaping is needed.
+    pub fn encode(&self) -> String {
+        let mut out = self.counter.to_string();
+        for name in &self.taken {
+            out.push('\n');
+            out.push_str(&name.to_string());
+        }
+        out
+    }
+
+    /// Decodes [`SkolemState::encode`]'s output; `None` on any deviation.
+    pub fn decode(text: &str) -> Option<SkolemState> {
+        let mut lines = text.lines();
+        let counter: usize = lines.next()?.parse().ok()?;
+        let mut taken = BTreeSet::new();
+        for line in lines {
+            if line.is_empty() {
+                return None;
+            }
+            taken.insert(Symbol::new(line));
+        }
+        Some(SkolemState { counter, taken })
+    }
+}
+
 /// Report of one automatic skolemization, so callers can tell the user
 /// which identity semantics was chosen.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -384,6 +430,19 @@ mod tests {
         second.push(path_rule_1());
         let (_, reports2) = auto_skolemize_from(&second, &mut counter, &taken);
         assert_eq!(reports2[0].spec.functor, sym("sk2"));
+    }
+
+    #[test]
+    fn skolem_state_roundtrips() {
+        let state = SkolemState {
+            counter: 42,
+            taken: BTreeSet::from([sym("sk1"), sym("id"), sym("np")]),
+        };
+        assert_eq!(SkolemState::decode(&state.encode()), Some(state));
+        let empty = SkolemState::default();
+        assert_eq!(SkolemState::decode(&empty.encode()), Some(empty));
+        assert_eq!(SkolemState::decode(""), None);
+        assert_eq!(SkolemState::decode("not-a-number"), None);
     }
 
     #[test]

@@ -39,8 +39,24 @@ struct Lexer<'a> {
     col: usize,
 }
 
-/// Tokenizes a source string. The result always ends with [`Token::Eof`].
+/// Tokenizes a source string, stopping at the first lexical error. The
+/// result always ends with [`Token::Eof`].
 pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let (tokens, mut errors) = tokenize_recovering(src);
+    if errors.is_empty() {
+        Ok(tokens)
+    } else {
+        Err(errors.remove(0))
+    }
+}
+
+/// Tokenizes a source string with error **recovery**: a lexical error is
+/// recorded and lexing continues at the next sound position, so one bad
+/// character (or an unterminated string) yields one diagnostic instead of
+/// hiding everything after it. Total — any input, however malformed,
+/// produces a token stream ending in [`Token::Eof`] plus zero or more
+/// positioned errors; it never panics.
+pub fn tokenize_recovering(src: &str) -> (Vec<Spanned>, Vec<LexError>) {
     let mut lx = Lexer {
         src: src.as_bytes(),
         pos: 0,
@@ -48,14 +64,28 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
         col: 1,
     };
     let mut out = Vec::new();
+    let mut errors = Vec::new();
     loop {
         lx.skip_trivia();
         let (line, col) = (lx.line, lx.col);
-        let token = lx.next_token()?;
-        let eof = token == Token::Eof;
-        out.push(Spanned { token, line, col });
-        if eof {
-            return Ok(out);
+        let before = lx.pos;
+        match lx.next_token() {
+            Ok(token) => {
+                let eof = token == Token::Eof;
+                out.push(Spanned { token, line, col });
+                if eof {
+                    return (out, errors);
+                }
+            }
+            Err(e) => {
+                errors.push(e);
+                // Every error path consumes the offending input, but
+                // guarantee forward progress regardless so recovery can
+                // never loop.
+                if lx.pos == before {
+                    lx.bump();
+                }
+            }
         }
     }
 }
@@ -213,7 +243,9 @@ impl Lexer<'_> {
                         Ok(Token::Op("\\=".into()))
                     }
                 } else {
-                    Err(self.error("unexpected `\\`"))
+                    let err = self.error("unexpected `\\`");
+                    self.bump();
+                    Err(err)
                 }
             }
             b'>' => {
@@ -240,41 +272,90 @@ impl Lexer<'_> {
             b'"' => {
                 self.bump();
                 let mut s = String::new();
+                // On a bad escape, remember the first error but keep
+                // scanning to the closing quote so recovery resumes after
+                // the whole literal, not in the middle of it. A newline
+                // ends an unterminated literal so one missing quote can't
+                // swallow the rest of the file.
+                let mut bad_escape: Option<LexError> = None;
                 loop {
-                    match self.bump() {
-                        None => return Err(self.error("unterminated string literal")),
-                        Some(b'"') => break,
-                        Some(b'\\') => match self.bump() {
-                            Some(b'"') => s.push('"'),
-                            Some(b'\\') => s.push('\\'),
-                            Some(b'n') => s.push('\n'),
-                            Some(b't') => s.push('\t'),
-                            other => {
-                                return Err(self.error(format!(
-                                    "unknown escape `\\{}`",
-                                    other.map(|c| c as char).unwrap_or(' ')
-                                )))
+                    match self.peek() {
+                        None | Some(b'\n') => {
+                            return Err(bad_escape
+                                .unwrap_or_else(|| self.error("unterminated string literal")));
+                        }
+                        Some(b'"') => {
+                            self.bump();
+                            break;
+                        }
+                        Some(b'\\') => {
+                            self.bump();
+                            match self.peek() {
+                                Some(b'"') => {
+                                    self.bump();
+                                    s.push('"');
+                                }
+                                Some(b'\\') => {
+                                    self.bump();
+                                    s.push('\\');
+                                }
+                                Some(b'n') => {
+                                    self.bump();
+                                    s.push('\n');
+                                }
+                                Some(b't') => {
+                                    self.bump();
+                                    s.push('\t');
+                                }
+                                Some(c) if c != b'\n' => {
+                                    if bad_escape.is_none() {
+                                        bad_escape = Some(self.error(format!(
+                                            "unknown escape `\\{}`",
+                                            c as char
+                                        )));
+                                    }
+                                    self.bump();
+                                }
+                                // Backslash at end of line/input: the next
+                                // loop turn reports the unterminated string.
+                                _ => {}
                             }
-                        },
-                        Some(c) => s.push(c as char),
+                        }
+                        Some(c) => {
+                            self.bump();
+                            s.push(c as char);
+                        }
                     }
                 }
-                Ok(Token::Str(s))
+                match bad_escape {
+                    Some(err) => Err(err),
+                    None => Ok(Token::Str(s)),
+                }
             }
             b'0'..=b'9' => {
                 let mut n: i64 = 0;
+                // Consume the whole digit run even past an overflow so the
+                // recovering lexer resumes after the literal.
+                let mut overflow: Option<LexError> = None;
                 while let Some(d) = self.peek() {
-                    if d.is_ascii_digit() {
-                        n = n
-                            .checked_mul(10)
-                            .and_then(|x| x.checked_add((d - b'0') as i64))
-                            .ok_or_else(|| self.error("integer literal overflows i64"))?;
-                        self.bump();
-                    } else {
+                    if !d.is_ascii_digit() {
                         break;
                     }
+                    if overflow.is_none() {
+                        match n
+                            .checked_mul(10)
+                            .and_then(|x| x.checked_add((d - b'0') as i64))
+                        {
+                            Some(v) => n = v,
+                            None => overflow = Some(self.error("integer literal overflows i64")),
+                        }
+                    }
+                    self.bump();
                 }
-                Ok(Token::Int(n))
+                match overflow {
+                    Some(err) => Err(err),
+                    None => Ok(Token::Int(n)),
+                }
             }
             c if c.is_ascii_lowercase() => {
                 let word = self.take_word();
@@ -289,7 +370,23 @@ impl Lexer<'_> {
                 }
             }
             c if c.is_ascii_uppercase() || c == b'_' => Ok(Token::Var(self.take_word())),
-            other => Err(self.error(format!("unexpected character `{}`", other as char))),
+            _ => {
+                // Report (and consume) the full codepoint, not its lead
+                // byte, so multibyte input yields a readable diagnostic and
+                // recovery lands back on a character boundary.
+                let (ch, width) = match std::str::from_utf8(&self.src[self.pos..])
+                    .ok()
+                    .and_then(|rest| rest.chars().next())
+                {
+                    Some(ch) => (ch, ch.len_utf8()),
+                    None => (char::REPLACEMENT_CHARACTER, 1),
+                };
+                let err = self.error(format!("unexpected character `{ch}`"));
+                for _ in 0..width {
+                    self.bump();
+                }
+                Err(err)
+            }
         }
     }
 
@@ -311,11 +408,9 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src)
-            .unwrap()
-            .into_iter()
-            .map(|s| s.token)
-            .collect()
+        let (tokens, errors) = tokenize_recovering(src);
+        assert!(errors.is_empty(), "unexpected lex errors: {errors:?}");
+        tokens.into_iter().map(|s| s.token).collect()
     }
 
     #[test]
@@ -446,6 +541,74 @@ mod tests {
         assert!(tokenize("@").is_err());
         assert!(tokenize("99999999999999999999").is_err());
         assert!(tokenize(r#""bad \q escape""#).is_err());
+    }
+
+    #[test]
+    fn recovery_collects_all_errors_and_keeps_lexing() {
+        let (tokens, errors) = tokenize_recovering("a. @ b. # c.");
+        assert_eq!(errors.len(), 2);
+        assert_eq!(errors[0].message, "unexpected character `@`");
+        assert_eq!((errors[0].line, errors[0].col), (1, 4));
+        assert_eq!(errors[1].message, "unexpected character `#`");
+        let idents: Vec<_> = tokens
+            .iter()
+            .filter_map(|s| match &s.token {
+                Token::Ident(w) => Some(w.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn recovery_resumes_after_unterminated_string_at_newline() {
+        let (tokens, errors) = tokenize_recovering("p(\"oops.\nq(1).");
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("unterminated string"));
+        // The second line still lexes.
+        assert!(tokens.iter().any(|s| s.token == Token::Ident("q".into())));
+        assert!(tokens.iter().any(|s| s.token == Token::Int(1)));
+    }
+
+    #[test]
+    fn recovery_consumes_whole_bad_string_and_number() {
+        let (tokens, errors) = tokenize_recovering(r#""bad \q esc" 99999999999999999999 x"#);
+        assert_eq!(errors.len(), 2);
+        assert!(errors[0].message.contains("unknown escape"));
+        assert!(errors[1].message.contains("overflows"));
+        // Recovery lands after the bad literals: only `x` and EOF remain.
+        let rest: Vec<_> = tokens.iter().map(|s| &s.token).collect();
+        assert_eq!(rest, vec![&Token::Ident("x".into()), &Token::Eof]);
+    }
+
+    #[test]
+    fn recovery_handles_multibyte_garbage_without_panic() {
+        let (tokens, errors) = tokenize_recovering("é a λ b");
+        assert_eq!(errors.len(), 2);
+        assert_eq!(errors[0].message, "unexpected character `é`");
+        assert_eq!(errors[1].message, "unexpected character `λ`");
+        let idents = tokens
+            .iter()
+            .filter(|s| matches!(s.token, Token::Ident(_)))
+            .count();
+        assert_eq!(idents, 2);
+    }
+
+    #[test]
+    fn recovery_is_total_on_arbitrary_garbage() {
+        // Deterministic pseudo-random byte soup: recovery must neither
+        // panic nor loop, for any input.
+        let mut state = 0x9E37_79B9u32;
+        for len in 0..64usize {
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                bytes.push((state >> 24) as u8);
+            }
+            let src = String::from_utf8_lossy(&bytes).into_owned();
+            let (tokens, _errors) = tokenize_recovering(&src);
+            assert_eq!(tokens.last().map(|s| &s.token), Some(&Token::Eof));
+        }
     }
 
     #[test]

@@ -22,5 +22,7 @@ pub mod lexer;
 pub mod parser;
 pub mod token;
 
-pub use lexer::{tokenize, LexError};
-pub use parser::{parse_program, parse_query, parse_source, parse_term, ParseError, ParsedSource};
+pub use lexer::{tokenize, tokenize_recovering, LexError};
+pub use parser::{
+    parse_program, parse_query, parse_source, parse_term, ParseError, ParseErrors, ParsedSource,
+};

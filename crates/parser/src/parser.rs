@@ -22,7 +22,7 @@
 //! example); anything type-prefixed, bracketed, or atomic (`john`, `X`)
 //! is a term formula.
 
-use crate::lexer::{tokenize, LexError};
+use crate::lexer::{tokenize, tokenize_recovering, LexError};
 use crate::token::{Spanned, Token};
 use clogic_core::formula::{Atomic, DefiniteClause, Query};
 use clogic_core::hierarchy::object_type;
@@ -64,6 +64,49 @@ impl From<LexError> for ParseError {
     }
 }
 
+/// All diagnostics from one parse, in source order. [`parse_source`] and
+/// [`parse_program`] recover at the next `.` after an error and keep
+/// going, so a single bad clause reports itself without hiding problems in
+/// the rest of the file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseErrors {
+    /// The individual positioned diagnostics; never empty.
+    pub errors: Vec<ParseError>,
+}
+
+impl ParseErrors {
+    /// The first (source-order) diagnostic.
+    pub fn first(&self) -> &ParseError {
+        &self.errors[0]
+    }
+}
+
+impl fmt::Display for ParseErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseErrors {}
+
+impl From<ParseError> for ParseErrors {
+    fn from(e: ParseError) -> ParseErrors {
+        ParseErrors { errors: vec![e] }
+    }
+}
+
+impl From<LexError> for ParseErrors {
+    fn from(e: LexError) -> ParseErrors {
+        ParseError::from(e).into()
+    }
+}
+
 /// The result of parsing a source file: the program plus any queries that
 /// appeared in it, in source order.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -74,14 +117,27 @@ pub struct ParsedSource {
     pub queries: Vec<Query>,
 }
 
-/// Parses a complete source string.
-pub fn parse_source(src: &str) -> Result<ParsedSource, ParseError> {
-    let mut p = Parser::new(src)?;
+/// Parses a complete source string, collecting **all** diagnostics: after
+/// a lexical or syntax error the parser resynchronizes at the next `.`
+/// and continues with the following item, so the returned error lists
+/// every problem in the file with its line/column, not just the first.
+pub fn parse_source(src: &str) -> Result<ParsedSource, ParseErrors> {
+    let (tokens, lex_errors) = tokenize_recovering(src);
+    let mut errors: Vec<ParseError> = lex_errors.into_iter().map(ParseError::from).collect();
+    let mut p = Parser { tokens, pos: 0 };
     let mut out = ParsedSource::default();
     while !p.at(&Token::Eof) {
-        p.item(&mut out)?;
+        let before = p.pos;
+        if let Err(e) = p.item(&mut out) {
+            errors.push(e);
+            p.recover_to_next_item(before);
+        }
     }
-    Ok(out)
+    if errors.is_empty() {
+        Ok(out)
+    } else {
+        Err(ParseErrors { errors })
+    }
 }
 
 /// Parses a program, rejecting queries.
@@ -95,7 +151,7 @@ pub fn parse_source(src: &str) -> Result<ParsedSource, ParseError> {
 /// assert_eq!(program.clauses.len(), 1);
 /// assert_eq!(program.subtype_decls.len(), 1);
 /// ```
-pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+pub fn parse_program(src: &str) -> Result<Program, ParseErrors> {
     let parsed = parse_source(src)?;
     if parsed.queries.is_empty() {
         Ok(parsed.program)
@@ -104,7 +160,8 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
             message: "unexpected query in program".into(),
             line: 0,
             col: 0,
-        })
+        }
+        .into())
     }
 }
 
@@ -192,6 +249,23 @@ impl Parser {
             message: message.into(),
             line: s.line,
             col: s.col,
+        }
+    }
+
+    /// Resynchronizes after a failed item: skip to just past the next `.`
+    /// (the item terminator) so the following item parses on a clean
+    /// boundary. `before` is where the failed item started; if the error
+    /// consumed nothing, one token is skipped unconditionally to guarantee
+    /// progress.
+    fn recover_to_next_item(&mut self, before: usize) {
+        if self.pos == before && !self.at(&Token::Eof) {
+            self.bump();
+        }
+        while !self.at(&Token::Dot) && !self.at(&Token::Eof) {
+            self.bump();
+        }
+        if self.at(&Token::Dot) {
+            self.bump();
         }
     }
 
@@ -724,7 +798,11 @@ mod tests {
     fn double_molecule_rejected() {
         // student: id[name=>joe][age=>20] is not a term (Example 1).
         let err = parse_program("student: id[name => joe][age => 20].").unwrap_err();
-        assert!(err.message.contains("molecule"), "{}", err.message);
+        assert!(
+            err.first().message.contains("molecule"),
+            "{}",
+            err.first().message
+        );
     }
 
     #[test]
@@ -748,9 +826,41 @@ mod tests {
     #[test]
     fn error_positions() {
         let err = parse_program("name: john").unwrap_err(); // missing '.'
-        assert!(err.message.contains("expected"));
+        assert!(err.first().message.contains("expected"));
         let err2 = parse_program("p(").unwrap_err();
-        assert!(err2.line >= 1);
+        assert!(err2.first().line >= 1);
+    }
+
+    #[test]
+    fn recovery_reports_every_bad_item() {
+        // Three bad items on three lines, interleaved with good ones: the
+        // parser must resynchronize at each `.` and report all three with
+        // their positions.
+        let src = "a.\np(.\nb.\nq[l =>.\nc.\nr(1,.\nd.";
+        let err = parse_source(src).unwrap_err();
+        assert_eq!(err.errors.len(), 3, "{err}");
+        assert_eq!(err.errors[0].line, 2);
+        assert_eq!(err.errors[1].line, 4);
+        assert_eq!(err.errors[2].line, 6);
+    }
+
+    #[test]
+    fn recovery_combines_lex_and_parse_diagnostics() {
+        let src = "a @ b.\np(.\nok.";
+        let err = parse_source(src).unwrap_err();
+        // One lexical (`@`) + at least one syntactic diagnostic.
+        assert!(err.errors.len() >= 2, "{err}");
+        assert!(err.errors.iter().any(|e| e.message.contains('@')));
+        let rendered = err.to_string();
+        assert!(rendered.lines().count() >= 2);
+    }
+
+    #[test]
+    fn recovery_makes_progress_on_pathological_input() {
+        // No `.` anywhere and nothing parseable: must terminate with
+        // diagnostics rather than loop.
+        let err = parse_source("[[[[[").unwrap_err();
+        assert!(!err.errors.is_empty());
     }
 
     #[test]

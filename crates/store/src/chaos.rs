@@ -1,0 +1,243 @@
+//! Fault injection at the storage seam.
+//!
+//! [`ChaosStorage`] wraps any [`Storage`] and counts every operation.
+//! When the count reaches a configured trigger, it injects one fault and
+//! then passes everything through untouched — modelling a process that
+//! crashes (or a disk that hiccups) at exactly one point and is then
+//! restarted. Sweeping the trigger across the operation count of a clean
+//! run visits **every** I/O boundary of the durability protocol, which is
+//! how `tests/recovery.rs` proves crash recovery is sound at all of them.
+
+use crate::storage::{Storage, StoreError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The kind of fault to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation fails cleanly: an error is returned and nothing is
+    /// written.
+    Fail,
+    /// A torn write: only a prefix of the data reaches the file, then the
+    /// operation errors — what a crash mid-`write(2)` leaves behind.
+    ShortWrite,
+    /// The data is silently written **twice** and the operation reports
+    /// success — modelling a retried append whose first attempt actually
+    /// landed.
+    DuplicateAppend,
+    /// The data is fully written, then the file loses a few tail bytes
+    /// and the operation errors — a crash after the page cache absorbed
+    /// the write but before the final sectors hit the platter.
+    TruncateTail,
+}
+
+impl Fault {
+    /// All injectable faults, for sweep loops.
+    pub const ALL: [Fault; 4] = [
+        Fault::Fail,
+        Fault::ShortWrite,
+        Fault::DuplicateAppend,
+        Fault::TruncateTail,
+    ];
+}
+
+/// A [`Storage`] wrapper that injects one [`Fault`] at the `trigger`-th
+/// operation (1-based). A trigger of 0 never fires, which turns the
+/// wrapper into a pure operation counter for measuring clean runs.
+pub struct ChaosStorage<S> {
+    inner: S,
+    /// Shared so a sweep can read the count after the storage has been
+    /// boxed into (and consumed by) the system under test.
+    ops: Arc<AtomicU64>,
+    trigger: u64,
+    fault: Fault,
+    tripped: bool,
+}
+
+impl<S: Storage> ChaosStorage<S> {
+    /// Wraps `inner`, injecting `fault` at operation number `trigger`.
+    pub fn new(inner: S, trigger: u64, fault: Fault) -> ChaosStorage<S> {
+        ChaosStorage {
+            inner,
+            ops: Arc::new(AtomicU64::new(0)),
+            trigger,
+            fault,
+            tripped: false,
+        }
+    }
+
+    /// Operations performed so far (including the faulted one).
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// A handle on the operation counter that stays readable after the
+    /// storage is moved into the system under test.
+    pub fn op_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.ops)
+    }
+
+    /// Whether the fault has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Counts one operation; true when the fault fires on it.
+    fn strike(&mut self) -> bool {
+        let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.tripped && self.trigger != 0 && n == self.trigger {
+            self.tripped = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn injected(&self, op: &'static str, file: &str) -> StoreError {
+        StoreError::new(op, file, format!("injected {:?} fault", self.fault))
+    }
+
+    /// Chops up to 3 bytes (but at least 1, when possible) off `file`.
+    fn tear_tail(&mut self, file: &str) -> Result<(), StoreError> {
+        if let Some(bytes) = self.inner.read(file)? {
+            let cut = (bytes.len() as u64).min(3).max(u64::from(!bytes.is_empty()));
+            self.inner.truncate(file, bytes.len() as u64 - cut)?;
+        }
+        Ok(())
+    }
+}
+
+impl<S: Storage> Storage for ChaosStorage<S> {
+    fn read(&mut self, file: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        // Reads cannot tear or duplicate; every fault degrades to Fail.
+        if self.strike() {
+            return Err(self.injected("read", file));
+        }
+        self.inner.read(file)
+    }
+
+    fn write(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
+        if self.strike() {
+            return match self.fault {
+                Fault::Fail => Err(self.injected("write", file)),
+                Fault::ShortWrite => {
+                    self.inner.write(file, &data[..data.len() / 2])?;
+                    Err(self.injected("write", file))
+                }
+                Fault::DuplicateAppend => {
+                    // A replace applied twice is just a replace.
+                    self.inner.write(file, data)?;
+                    self.inner.write(file, data)
+                }
+                Fault::TruncateTail => {
+                    self.inner.write(file, data)?;
+                    self.tear_tail(file)?;
+                    Err(self.injected("write", file))
+                }
+            };
+        }
+        self.inner.write(file, data)
+    }
+
+    fn append(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
+        if self.strike() {
+            return match self.fault {
+                Fault::Fail => Err(self.injected("append", file)),
+                Fault::ShortWrite => {
+                    self.inner.append(file, &data[..data.len() / 2])?;
+                    Err(self.injected("append", file))
+                }
+                Fault::DuplicateAppend => {
+                    self.inner.append(file, data)?;
+                    self.inner.append(file, data)
+                }
+                Fault::TruncateTail => {
+                    self.inner.append(file, data)?;
+                    self.tear_tail(file)?;
+                    Err(self.injected("append", file))
+                }
+            };
+        }
+        self.inner.append(file, data)
+    }
+
+    fn truncate(&mut self, file: &str, len: u64) -> Result<(), StoreError> {
+        if self.strike() && self.fault != Fault::DuplicateAppend {
+            return Err(self.injected("truncate", file));
+        }
+        self.inner.truncate(file, len)
+    }
+
+    fn sync(&mut self, file: &str) -> Result<(), StoreError> {
+        if self.strike() && self.fault != Fault::DuplicateAppend {
+            return Err(self.injected("sync", file));
+        }
+        self.inner.sync(file)
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
+        if self.strike() && self.fault != Fault::DuplicateAppend {
+            return Err(self.injected("rename", from));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&mut self, file: &str) -> Result<(), StoreError> {
+        if self.strike() && self.fault != Fault::DuplicateAppend {
+            return Err(self.injected("remove", file));
+        }
+        self.inner.remove(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    #[test]
+    fn trigger_zero_only_counts() {
+        let mem = MemStorage::new();
+        let mut chaos = ChaosStorage::new(mem.clone(), 0, Fault::Fail);
+        chaos.append("f", b"abc").unwrap();
+        chaos.sync("f").unwrap();
+        assert_eq!(chaos.ops(), 2);
+        assert!(!chaos.tripped());
+        assert_eq!(mem.len("f"), Some(3));
+    }
+
+    #[test]
+    fn fail_leaves_no_bytes() {
+        let mem = MemStorage::new();
+        let mut chaos = ChaosStorage::new(mem.clone(), 1, Fault::Fail);
+        assert!(chaos.append("f", b"abcdef").is_err());
+        assert_eq!(mem.len("f"), None);
+        // Subsequent operations pass through.
+        chaos.append("f", b"xy").unwrap();
+        assert_eq!(mem.len("f"), Some(2));
+    }
+
+    #[test]
+    fn short_write_persists_a_prefix_then_errors() {
+        let mem = MemStorage::new();
+        let mut chaos = ChaosStorage::new(mem.clone(), 1, Fault::ShortWrite);
+        assert!(chaos.append("f", b"abcdef").is_err());
+        assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn duplicate_append_doubles_and_succeeds() {
+        let mem = MemStorage::new();
+        let mut chaos = ChaosStorage::new(mem.clone(), 1, Fault::DuplicateAppend);
+        chaos.append("f", b"ab").unwrap();
+        assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"abab");
+    }
+
+    #[test]
+    fn truncate_tail_tears_the_end() {
+        let mem = MemStorage::new();
+        let mut chaos = ChaosStorage::new(mem.clone(), 1, Fault::TruncateTail);
+        assert!(chaos.append("f", b"abcdef").is_err());
+        assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"abc");
+    }
+}

@@ -1,0 +1,39 @@
+//! # clogic-store — durability for C-logic sessions
+//!
+//! A session's durable form is a **snapshot + write-ahead log** pair in
+//! one directory (or any [`Storage`] implementation):
+//!
+//! * every successful `load` appends one checksummed, length-prefixed
+//!   [`LoadRecord`] (source text + epoch + skolem state) to `wal.log`;
+//! * `snapshot()` compacts the log into `snapshot.clg` — the whole
+//!   program in concrete syntax — via tmp-write + fsync + atomic rename.
+//!
+//! Recovery replays the snapshot and then the log through the session's
+//! normal (epoch-versioned, incremental) load path, so recovered sessions
+//! rebuild the same artifacts — and, critically, mint the **same skolem
+//! identities** (`skN`), because each record carries the
+//! [`SkolemState`](clogic_core::skolem::SkolemState) to verify against.
+//! Torn or corrupt tails are detected by CRC, dropped, and reported in a
+//! structured [`RecoveryReport`]; recovery never panics on any byte
+//! content.
+//!
+//! The [`Storage`] trait is the fault-injection seam: [`ChaosStorage`]
+//! fails, short-writes, duplicates, or tears exactly one operation, and
+//! the recovery test suite sweeps that trigger across every I/O boundary
+//! of the protocol.
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod crc;
+pub mod log;
+pub mod report;
+pub mod storage;
+pub mod wal;
+
+pub use chaos::{ChaosStorage, Fault};
+pub use crc::crc32;
+pub use log::{DurableLog, OpenedLog, SNAPSHOT_FILE, SNAPSHOT_TMP, WAL_FILE};
+pub use report::{CorruptionSite, RecoveryIssue, RecoveryReport};
+pub use storage::{FileStorage, MemStorage, Storage, StoreError};
+pub use wal::{Corruption, LoadRecord, ScannedRecord, SnapshotRecord};

@@ -1,0 +1,242 @@
+//! The durable log: one snapshot file plus one write-ahead log, managed
+//! together over a [`Storage`].
+//!
+//! Protocol:
+//!
+//! * **Append** (per successful load): frame the record, append, sync.
+//!   A crash mid-append leaves a torn tail that the next open detects by
+//!   CRC and drops.
+//! * **Compact** (`snapshot`): write the full state to `snapshot.tmp`,
+//!   sync it, atomically rename over `snapshot.clg`, then reset the WAL
+//!   to a bare header. A crash before the rename leaves the old snapshot
+//!   intact; a crash after the rename but before the WAL reset leaves
+//!   records whose epochs the snapshot already covers — recovery skips
+//!   them as duplicates.
+//! * **Open**: read and validate both files, truncate any torn WAL tail
+//!   (so later appends are well-framed), report everything found.
+
+use crate::report::{CorruptionSite, RecoveryReport};
+use crate::storage::{Storage, StoreError};
+use crate::wal::{
+    decode_snapshot_file, encode_load, encode_snapshot_file, scan_wal, Corruption, LoadRecord,
+    ScannedRecord, SnapshotRecord, WAL_MAGIC,
+};
+
+/// File name of the write-ahead log inside a store.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the snapshot inside a store.
+pub const SNAPSHOT_FILE: &str = "snapshot.clg";
+/// Scratch name used during compaction.
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// A snapshot + WAL pair over some storage.
+pub struct DurableLog {
+    storage: Box<dyn Storage>,
+}
+
+/// Everything [`DurableLog::open`] found on disk.
+pub struct OpenedLog {
+    /// The log, ready for appends and compaction.
+    pub log: DurableLog,
+    /// The snapshot, if one exists and is structurally valid.
+    pub snapshot: Option<SnapshotRecord>,
+    /// Structurally valid WAL records, in append order.
+    pub records: Vec<ScannedRecord>,
+    /// Framing-level findings (corruption sites, tail truncation);
+    /// semantic replay fields are filled in by the caller.
+    pub report: RecoveryReport,
+}
+
+impl DurableLog {
+    /// Opens (or initializes) the store, validating both files, sealing a
+    /// torn WAL tail, and clearing compaction scratch. Total over file
+    /// *content* — corrupt bytes become report entries, never errors —
+    /// but storage I/O failures are returned.
+    pub fn open(mut storage: Box<dyn Storage>) -> Result<OpenedLog, StoreError> {
+        let mut report = RecoveryReport::default();
+
+        let snapshot = match storage.read(SNAPSHOT_FILE)? {
+            None => None,
+            Some(bytes) => match decode_snapshot_file(&bytes) {
+                Ok(snap) => {
+                    report.snapshot_epoch = Some(snap.epoch);
+                    Some(snap)
+                }
+                Err(corruption) => {
+                    report.corruption.push(CorruptionSite {
+                        file: SNAPSHOT_FILE.to_string(),
+                        corruption,
+                    });
+                    None
+                }
+            },
+        };
+
+        let records = match storage.read(WAL_FILE)? {
+            None => {
+                storage.write(WAL_FILE, WAL_MAGIC)?;
+                storage.sync(WAL_FILE)?;
+                Vec::new()
+            }
+            Some(bytes) => {
+                let scan = scan_wal(&bytes);
+                if let Some(corruption) = scan.corruption {
+                    let bad_magic = corruption == Corruption::BadMagic;
+                    report.corruption.push(CorruptionSite {
+                        file: WAL_FILE.to_string(),
+                        corruption,
+                    });
+                    // Seal: drop the unusable tail so future appends
+                    // start at a clean frame boundary.
+                    if bad_magic {
+                        storage.write(WAL_FILE, WAL_MAGIC)?;
+                        report.wal_truncated_to = Some(WAL_MAGIC.len() as u64);
+                    } else {
+                        storage.truncate(WAL_FILE, scan.valid_len)?;
+                        report.wal_truncated_to = Some(scan.valid_len);
+                    }
+                    storage.sync(WAL_FILE)?;
+                }
+                scan.records
+            }
+        };
+
+        // A leftover snapshot.tmp is an interrupted compaction that never
+        // reached its rename; it holds nothing the snapshot + WAL don't.
+        storage.remove(SNAPSHOT_TMP)?;
+
+        Ok(OpenedLog {
+            log: DurableLog { storage },
+            snapshot,
+            records,
+            report,
+        })
+    }
+
+    /// Initializes a **fresh** store, discarding any existing state:
+    /// removes the snapshot and resets the WAL to a bare header. Used by
+    /// save-as semantics, not by recovery.
+    pub fn create(mut storage: Box<dyn Storage>) -> Result<DurableLog, StoreError> {
+        storage.write(WAL_FILE, WAL_MAGIC)?;
+        storage.sync(WAL_FILE)?;
+        storage.remove(SNAPSHOT_FILE)?;
+        storage.remove(SNAPSHOT_TMP)?;
+        Ok(DurableLog { storage })
+    }
+
+    /// Appends one load record and syncs it to stable storage.
+    pub fn append(&mut self, rec: &LoadRecord) -> Result<(), StoreError> {
+        self.storage.append(WAL_FILE, &encode_load(rec))?;
+        self.storage.sync(WAL_FILE)
+    }
+
+    /// Compacts the log into `snap`: tmp-write + fsync + atomic rename,
+    /// then resets the WAL. Crash-safe at every step (see module docs).
+    pub fn compact(&mut self, snap: &SnapshotRecord) -> Result<(), StoreError> {
+        let bytes = encode_snapshot_file(snap);
+        self.storage.write(SNAPSHOT_TMP, &bytes)?;
+        self.storage.sync(SNAPSHOT_TMP)?;
+        self.storage.rename(SNAPSHOT_TMP, SNAPSHOT_FILE)?;
+        self.storage.write(WAL_FILE, WAL_MAGIC)?;
+        self.storage.sync(WAL_FILE)
+    }
+
+    /// Truncates the WAL to `len` bytes — used when replay finds a
+    /// structurally valid but semantically unusable record and must drop
+    /// it (plus everything after) so appended epochs stay consistent.
+    pub fn truncate_wal(&mut self, len: u64) -> Result<(), StoreError> {
+        self.storage.truncate(WAL_FILE, len)?;
+        self.storage.sync(WAL_FILE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use clogic_core::skolem::SkolemState;
+
+    fn rec(epoch: u64, source: &str) -> LoadRecord {
+        LoadRecord {
+            epoch,
+            skolem: SkolemState {
+                counter: 0,
+                taken: Default::default(),
+            },
+            source: source.to_string(),
+        }
+    }
+
+    #[test]
+    fn append_then_open_replays() {
+        let mem = MemStorage::new();
+        let opened = DurableLog::open(Box::new(mem.clone())).unwrap();
+        assert!(opened.records.is_empty());
+        assert!(opened.report.corruption.is_empty());
+        let mut log = opened.log;
+        log.append(&rec(1, "t1: c1.")).unwrap();
+        log.append(&rec(2, "t1: c2.")).unwrap();
+
+        let reopened = DurableLog::open(Box::new(mem.clone())).unwrap();
+        assert_eq!(reopened.records.len(), 2);
+        assert_eq!(reopened.records[1].record.source, "t1: c2.");
+        assert!(reopened.report.corruption.is_empty());
+    }
+
+    #[test]
+    fn compact_resets_wal_and_survives_reopen() {
+        let mem = MemStorage::new();
+        let mut log = DurableLog::open(Box::new(mem.clone())).unwrap().log;
+        log.append(&rec(1, "t1: c1.")).unwrap();
+        log.compact(&SnapshotRecord {
+            epoch: 1,
+            skolem: SkolemState::default(),
+            program: "t1: c1.\n".into(),
+        })
+        .unwrap();
+        assert_eq!(mem.len(WAL_FILE), Some(WAL_MAGIC.len() as u64));
+
+        let opened = DurableLog::open(Box::new(mem.clone())).unwrap();
+        assert_eq!(opened.snapshot.unwrap().epoch, 1);
+        assert!(opened.records.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_sealed_on_open() {
+        let mem = MemStorage::new();
+        let mut log = DurableLog::open(Box::new(mem.clone())).unwrap().log;
+        log.append(&rec(1, "t1: c1.")).unwrap();
+        let good_len = mem.len(WAL_FILE).unwrap();
+        // Simulate a torn append.
+        let mut raw = mem.clone();
+        raw.append(WAL_FILE, &[1, 2, 3, 4, 5]).unwrap();
+
+        let opened = DurableLog::open(Box::new(mem.clone())).unwrap();
+        assert_eq!(opened.records.len(), 1);
+        assert_eq!(opened.report.wal_truncated_to, Some(good_len));
+        assert_eq!(mem.len(WAL_FILE), Some(good_len));
+        // The sealed log accepts appends again.
+        let mut log = opened.log;
+        log.append(&rec(2, "t1: c2.")).unwrap();
+        let reopened = DurableLog::open(Box::new(mem)).unwrap();
+        assert_eq!(reopened.records.len(), 2);
+        assert!(reopened.report.corruption.is_empty());
+    }
+
+    #[test]
+    fn create_discards_existing_state() {
+        let mem = MemStorage::new();
+        let mut log = DurableLog::open(Box::new(mem.clone())).unwrap().log;
+        log.append(&rec(1, "t1: c1.")).unwrap();
+        log.compact(&SnapshotRecord {
+            epoch: 1,
+            skolem: SkolemState::default(),
+            program: "t1: c1.\n".into(),
+        })
+        .unwrap();
+        let _ = DurableLog::create(Box::new(mem.clone())).unwrap();
+        let opened = DurableLog::open(Box::new(mem)).unwrap();
+        assert!(opened.snapshot.is_none());
+        assert!(opened.records.is_empty());
+    }
+}

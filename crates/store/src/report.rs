@@ -1,0 +1,132 @@
+//! The structured account of what recovery found and did.
+//!
+//! Recovery never panics and never silently discards state: everything
+//! unusual — a torn tail, a duplicate record, an identity drift — lands
+//! in the [`RecoveryReport`] the caller gets back alongside the recovered
+//! session.
+
+use crate::wal::Corruption;
+use std::fmt;
+
+/// Where a piece of corruption was found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorruptionSite {
+    /// The store file (`wal.log` / `snapshot.clg`).
+    pub file: String,
+    /// What was wrong.
+    pub corruption: Corruption,
+}
+
+/// A semantic problem found while *replaying* structurally valid records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryIssue {
+    /// The snapshot decoded but its program text failed to parse; the
+    /// store is refused rather than replayed onto the wrong base.
+    SnapshotUnusable {
+        /// The parse failure.
+        message: String,
+    },
+    /// A CRC-valid WAL record's source failed to parse. Replay stops at
+    /// the record and the log is truncated there.
+    RecordUnusable {
+        /// Epoch the record claimed.
+        epoch: u64,
+        /// The parse failure.
+        message: String,
+    },
+    /// Replay produced a different epoch than the record had recorded;
+    /// the recorded value was adopted.
+    EpochDrift {
+        /// Epoch replay produced.
+        replayed: u64,
+        /// Epoch the record carried.
+        recorded: u64,
+    },
+    /// Replay minted a different skolem counter than the record had
+    /// recorded — object identities would drift — so the recorded value
+    /// was adopted.
+    SkolemDrift {
+        /// Counter replay produced.
+        replayed: u64,
+        /// Counter the record carried.
+        recorded: u64,
+    },
+}
+
+impl fmt::Display for RecoveryIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryIssue::SnapshotUnusable { message } => {
+                write!(f, "snapshot unusable: {message}")
+            }
+            RecoveryIssue::RecordUnusable { epoch, message } => {
+                write!(f, "record for epoch {epoch} unusable: {message}")
+            }
+            RecoveryIssue::EpochDrift { replayed, recorded } => {
+                write!(f, "epoch drift: replayed {replayed}, recorded {recorded}")
+            }
+            RecoveryIssue::SkolemDrift { replayed, recorded } => write!(
+                f,
+                "skolem-counter drift: replayed {replayed}, recorded {recorded}"
+            ),
+        }
+    }
+}
+
+/// What recovery found, dropped, and restored.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Epoch of the snapshot that was restored, if one was.
+    pub snapshot_epoch: Option<u64>,
+    /// WAL records replayed into the session.
+    pub records_replayed: usize,
+    /// WAL records skipped as duplicates (epoch already covered — left
+    /// behind by a retried append or an interrupted compaction).
+    pub records_skipped: usize,
+    /// The session epoch after recovery.
+    pub recovered_epoch: u64,
+    /// New length of the WAL after dropping a torn/corrupt tail, if that
+    /// happened.
+    pub wal_truncated_to: Option<u64>,
+    /// Structural corruption found (and neutralized) during the scan.
+    pub corruption: Vec<CorruptionSite>,
+    /// Semantic issues found during replay.
+    pub issues: Vec<RecoveryIssue>,
+}
+
+impl RecoveryReport {
+    /// True when recovery found nothing unusual at all.
+    pub fn is_clean(&self) -> bool {
+        self.corruption.is_empty() && self.issues.is_empty() && self.records_skipped == 0
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recovered to epoch {}", self.recovered_epoch)?;
+        match self.snapshot_epoch {
+            Some(e) => write!(f, " (snapshot at epoch {e}", )?,
+            None => write!(f, " (no snapshot")?,
+        }
+        write!(
+            f,
+            ", {} record{} replayed",
+            self.records_replayed,
+            if self.records_replayed == 1 { "" } else { "s" }
+        )?;
+        if self.records_skipped > 0 {
+            write!(f, ", {} duplicate(s) skipped", self.records_skipped)?;
+        }
+        write!(f, ")")?;
+        if let Some(len) = self.wal_truncated_to {
+            write!(f, "; log truncated to {len} bytes")?;
+        }
+        for c in &self.corruption {
+            write!(f, "\n  corruption in {}: {}", c.file, c.corruption)?;
+        }
+        for i in &self.issues {
+            write!(f, "\n  issue: {i}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,298 @@
+//! The I/O seam of the durability layer.
+//!
+//! Everything the [`DurableLog`](crate::log::DurableLog) does to disk goes
+//! through the [`Storage`] trait, so tests can substitute an in-memory
+//! implementation ([`MemStorage`]) and the fault-injection harness can
+//! wrap either one in a [`ChaosStorage`](crate::chaos::ChaosStorage) that
+//! fails, short-writes, or duplicates at a chosen operation.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A failed storage operation, with enough context to tell *which* I/O
+/// step on *which* file went wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreError {
+    /// The operation that failed (`read`, `append`, `sync`, …).
+    pub op: &'static str,
+    /// The file the operation targeted.
+    pub file: String,
+    /// The underlying failure, rendered.
+    pub message: String,
+}
+
+impl StoreError {
+    /// Builds an error for a failed `op` on `file`.
+    pub fn new(op: &'static str, file: &str, message: impl ToString) -> StoreError {
+        StoreError {
+            op,
+            file: file.to_string(),
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "storage {} on `{}`: {}", self.op, self.file, self.message)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Flat-namespace file operations, relative to one store root.
+///
+/// Implementations must make `append` + `sync` durable in order: once
+/// `sync(file)` returns, every byte appended before it survives a crash.
+/// `rename` must be atomic with respect to crashes (the destination is
+/// either the old or the new file, never a mix) — this is what makes
+/// snapshot compaction safe.
+pub trait Storage: Send {
+    /// The full content of `file`, or `None` if it does not exist.
+    fn read(&mut self, file: &str) -> Result<Option<Vec<u8>>, StoreError>;
+    /// Creates or replaces `file` with `data`.
+    fn write(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError>;
+    /// Appends `data` to `file`, creating it if absent.
+    fn append(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError>;
+    /// Truncates `file` to `len` bytes.
+    fn truncate(&mut self, file: &str, len: u64) -> Result<(), StoreError>;
+    /// Flushes `file`'s data to stable storage.
+    fn sync(&mut self, file: &str) -> Result<(), StoreError>;
+    /// Atomically renames `from` to `to`, replacing `to` if it exists.
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError>;
+    /// Removes `file`; succeeds if it does not exist.
+    fn remove(&mut self, file: &str) -> Result<(), StoreError>;
+}
+
+/// Real files under a root directory.
+pub struct FileStorage {
+    root: PathBuf,
+}
+
+impl FileStorage {
+    /// Opens `root` as a store, creating the directory if needed.
+    pub fn create(root: impl AsRef<Path>) -> Result<FileStorage, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)
+            .map_err(|e| StoreError::new("create-dir", &root.display().to_string(), e))?;
+        Ok(FileStorage { root })
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.root.join(file)
+    }
+
+    /// Flushes the directory entry itself, so a completed rename survives
+    /// a crash. Best-effort on platforms where directories cannot be
+    /// opened as files.
+    fn sync_dir(&self) {
+        #[cfg(unix)]
+        if let Ok(d) = fs::File::open(&self.root) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+impl Storage for FileStorage {
+    fn read(&mut self, file: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        match fs::read(self.path(file)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StoreError::new("read", file, e)),
+        }
+    }
+
+    fn write(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
+        fs::write(self.path(file), data).map_err(|e| StoreError::new("write", file, e))
+    }
+
+    fn append(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
+        let mut f = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.path(file))
+            .map_err(|e| StoreError::new("append", file, e))?;
+        f.write_all(data)
+            .map_err(|e| StoreError::new("append", file, e))
+    }
+
+    fn truncate(&mut self, file: &str, len: u64) -> Result<(), StoreError> {
+        let f = OpenOptions::new()
+            .write(true)
+            .open(self.path(file))
+            .map_err(|e| StoreError::new("truncate", file, e))?;
+        f.set_len(len)
+            .map_err(|e| StoreError::new("truncate", file, e))
+    }
+
+    fn sync(&mut self, file: &str) -> Result<(), StoreError> {
+        let f = fs::File::open(self.path(file)).map_err(|e| StoreError::new("sync", file, e))?;
+        f.sync_all().map_err(|e| StoreError::new("sync", file, e))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
+        fs::rename(self.path(from), self.path(to))
+            .map_err(|e| StoreError::new("rename", from, e))?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn remove(&mut self, file: &str) -> Result<(), StoreError> {
+        match fs::remove_file(self.path(file)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::new("remove", file, e)),
+        }
+    }
+}
+
+/// An in-memory store, shared between clones — reopening a clone of a
+/// `MemStorage` after a simulated crash sees exactly the bytes the
+/// crashed instance managed to write. `sync` is a no-op: every completed
+/// write is considered durable, which is the *pessimistic* model for
+/// recovery testing (torn writes are injected explicitly by the chaos
+/// layer, not by dropping unsynced suffixes).
+#[derive(Clone, Default)]
+pub struct MemStorage {
+    files: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+}
+
+impl MemStorage {
+    /// An empty in-memory store.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// The current size of `file`, for test assertions.
+    pub fn len(&self, file: &str) -> Option<u64> {
+        self.files
+            .lock()
+            .expect("mem storage lock")
+            .get(file)
+            .map(|v| v.len() as u64)
+    }
+
+    /// True when the store holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.lock().expect("mem storage lock").is_empty()
+    }
+}
+
+impl Storage for MemStorage {
+    fn read(&mut self, file: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self
+            .files
+            .lock()
+            .expect("mem storage lock")
+            .get(file)
+            .cloned())
+    }
+
+    fn write(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
+        self.files
+            .lock()
+            .expect("mem storage lock")
+            .insert(file.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn append(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
+        self.files
+            .lock()
+            .expect("mem storage lock")
+            .entry(file.to_string())
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn truncate(&mut self, file: &str, len: u64) -> Result<(), StoreError> {
+        match self
+            .files
+            .lock()
+            .expect("mem storage lock")
+            .get_mut(file)
+        {
+            Some(v) => {
+                v.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(StoreError::new("truncate", file, "no such file")),
+        }
+    }
+
+    fn sync(&mut self, _file: &str) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
+        let mut files = self.files.lock().expect("mem storage lock");
+        match files.remove(from) {
+            Some(v) => {
+                files.insert(to.to_string(), v);
+                Ok(())
+            }
+            None => Err(StoreError::new("rename", from, "no such file")),
+        }
+    }
+
+    fn remove(&mut self, file: &str) -> Result<(), StoreError> {
+        self.files.lock().expect("mem storage lock").remove(file);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(mut s: impl Storage) {
+        assert_eq!(s.read("a").unwrap(), None);
+        s.write("a", b"hello").unwrap();
+        s.append("a", b" world").unwrap();
+        s.sync("a").unwrap();
+        assert_eq!(s.read("a").unwrap().unwrap(), b"hello world");
+        s.truncate("a", 5).unwrap();
+        assert_eq!(s.read("a").unwrap().unwrap(), b"hello");
+        s.rename("a", "b").unwrap();
+        assert_eq!(s.read("a").unwrap(), None);
+        assert_eq!(s.read("b").unwrap().unwrap(), b"hello");
+        s.remove("b").unwrap();
+        s.remove("b").unwrap(); // idempotent
+        assert_eq!(s.read("b").unwrap(), None);
+        // Appending to an absent file creates it.
+        s.append("c", b"x").unwrap();
+        assert_eq!(s.read("c").unwrap().unwrap(), b"x");
+        s.remove("c").unwrap();
+    }
+
+    #[test]
+    fn mem_storage_contract() {
+        exercise(MemStorage::new());
+    }
+
+    #[test]
+    fn file_storage_contract() {
+        let dir = std::env::temp_dir().join(format!(
+            "clogic-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        exercise(FileStorage::create(&dir).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_storage_clones_share_state() {
+        let a = MemStorage::new();
+        let mut b = a.clone();
+        b.write("f", b"shared").unwrap();
+        assert_eq!(a.clone().read("f").unwrap().unwrap(), b"shared");
+        assert_eq!(a.len("f"), Some(6));
+    }
+}

@@ -8,14 +8,25 @@
 //! ?- :strategy tabled                % switch evaluation strategy
 //! ?- :program                        % show the loaded program
 //! ?- :translated                     % show the Theorem 1 translation
+//! ?- :save db                       % persist the session to ./db
+//! ?- :open db                       % recover a session from ./db
 //! ?- :quit
 //! ```
 //!
 //! Lines starting with `:-` (or `?-`) are queries; other clause-shaped
 //! lines extend the program.
+//!
+//! The top level is hardened: parse errors print *all* their diagnostics
+//! with positions, evaluation panics are caught and reported, and no
+//! error short of stdin closing ends the loop. A session opened (or
+//! saved) with `:open`/`:save` logs every load durably and survives a
+//! crash — reopen it to recover, and the recovery report prints what was
+//! found on disk.
 
-use clogic::session::{Session, Strategy};
+use clogic::session::{Session, SessionError, Strategy};
+use std::fmt::Display;
 use std::io::{self, BufRead, Write};
+use std::panic::{self, AssertUnwindSafe};
 
 fn parse_strategy(name: &str) -> Option<Strategy> {
     match name.trim().to_ascii_lowercase().as_str() {
@@ -29,7 +40,38 @@ fn parse_strategy(name: &str) -> Option<Strategy> {
     }
 }
 
-fn main() -> io::Result<()> {
+/// Prints a (possibly multi-line) diagnostic, one `!`-prefixed line per
+/// underlying error, so a recovered parse with three bad clauses shows
+/// three positioned messages.
+fn report_error(e: &dyn Display) {
+    for line in e.to_string().lines() {
+        println!("! {line}");
+    }
+}
+
+/// Runs a session action behind a panic guard: an engine bug becomes a
+/// printed diagnostic, never an exit. The session itself is plain data
+/// (no poisoned locks), so it stays usable afterwards.
+fn guarded<T>(action: impl FnOnce() -> Result<T, SessionError>) -> Option<T> {
+    match panic::catch_unwind(AssertUnwindSafe(action)) {
+        Ok(Ok(v)) => Some(v),
+        Ok(Err(e)) => {
+            report_error(&e);
+            None
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            println!("! internal error (caught panic): {msg}");
+            None
+        }
+    }
+}
+
+fn main() {
     let mut session = Session::new();
     let mut strategy = Strategy::Direct;
     let stdin = io::stdin();
@@ -38,10 +80,15 @@ fn main() -> io::Result<()> {
     println!("C-logic top level (strategy: {strategy:?}). Type :help for commands.");
     loop {
         print!("?- ");
-        out.flush()?;
+        let _ = out.flush();
         let mut line = String::new();
-        if stdin.lock().read_line(&mut line)? == 0 {
-            break; // EOF
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                report_error(&format!("cannot read input: {e}"));
+                break;
+            }
         }
         let line = line.trim();
         if line.is_empty() {
@@ -54,84 +101,103 @@ fn main() -> io::Result<()> {
                 Some("help") => {
                     println!(
                         ":strategy <direct|sld|naive|seminaive|tabled|magic>\n\
-                         :program      show the loaded program\n\
-                         :translated   show the first-order translation\n\
+                         :program       show the loaded program\n\
+                         :translated    show the first-order translation\n\
+                         :save <path>   persist the session to a directory (then keep logging)\n\
+                         :open <path>   recover a session from a directory\n\
+                         :snapshot      compact the write-ahead log now\n\
                          :quit"
                     );
-                    continue;
                 }
-                Some("strategy") => {
-                    match words.next().and_then(parse_strategy) {
-                        Some(s) => {
-                            strategy = s;
-                            println!("strategy: {strategy:?}");
-                        }
-                        None => println!("unknown strategy"),
+                Some("strategy") => match words.next().and_then(parse_strategy) {
+                    Some(s) => {
+                        strategy = s;
+                        println!("strategy: {strategy:?}");
                     }
-                    continue;
-                }
-                Some("program") => {
-                    print!("{}", session.program());
-                    continue;
-                }
+                    None => println!("unknown strategy"),
+                },
+                Some("program") => print!("{}", session.program()),
                 Some("translated") => {
-                    print!("{}", session.translated());
-                    continue;
+                    let shown = guarded(|| {
+                        let text = session.translated().to_string();
+                        print!("{text}");
+                        Ok(())
+                    });
+                    if shown.is_none() {
+                        println!("! translation failed; program unchanged");
+                    }
+                }
+                Some("save") => match words.next() {
+                    Some(path) => {
+                        if guarded(|| session.save(path)).is_some() {
+                            println!("saved to `{path}`; further loads are logged durably");
+                        }
+                    }
+                    None => println!("usage: :save <path>"),
+                },
+                Some("open") => match words.next() {
+                    Some(path) => {
+                        if let Some((recovered, report)) = guarded(|| Session::persistent(path)) {
+                            session = recovered;
+                            for l in report.to_string().lines() {
+                                println!("% {l}");
+                            }
+                        }
+                    }
+                    None => println!("usage: :open <path>"),
+                },
+                Some("snapshot") => {
+                    if guarded(|| session.snapshot()).is_some() {
+                        println!("log compacted into snapshot");
+                    }
                 }
                 Some("-") => {
                     // ":- query." typed at the prompt
                     let query = cmd.trim_start_matches('-');
                     run_query(&mut session, query, strategy);
-                    continue;
                 }
-                _ => {
-                    println!("unknown command; :help");
-                    continue;
-                }
+                _ => println!("unknown command; :help"),
             }
+            continue;
         }
         if let Some(query) = line.strip_prefix("?-") {
             run_query(&mut session, query, strategy);
             continue;
         }
         // Otherwise: program text.
-        match session.load(line) {
-            Ok(()) => println!("ok"),
-            Err(e) => println!("error: {e}"),
+        if guarded(|| session.load(line)).is_some() {
+            println!("ok");
         }
     }
-    Ok(())
 }
 
 fn run_query(session: &mut Session, query: &str, strategy: Strategy) {
-    match session.query(query, strategy) {
-        Ok(answers) => {
-            if answers.rows.is_empty() {
-                println!("no");
-            } else {
-                for row in &answers.rows {
-                    println!("{row}");
-                }
-            }
-            if !answers.complete {
-                match &answers.degradation {
-                    Some(d) => println!("% incomplete: {d}"),
-                    None => println!("% warning: search truncated by resource limits"),
-                }
-            }
-            // The session is reused across the whole top-level run, so
-            // repeated queries hit the per-epoch answer cache and loads
-            // only cost their delta.
-            let stats = session.cache_stats();
-            println!(
-                "% epoch {} | answer cache: {} hit{}, {} miss{}",
-                session.epoch(),
-                stats.hits,
-                if stats.hits == 1 { "" } else { "s" },
-                stats.misses,
-                if stats.misses == 1 { "" } else { "es" },
-            );
+    let Some(answers) = guarded(|| session.query(query, strategy)) else {
+        return;
+    };
+    if answers.rows.is_empty() {
+        println!("no");
+    } else {
+        for row in &answers.rows {
+            println!("{row}");
         }
-        Err(e) => println!("error: {e}"),
     }
+    if !answers.complete {
+        match &answers.degradation {
+            Some(d) => println!("% incomplete: {d}"),
+            None => println!("% warning: search truncated by resource limits"),
+        }
+    }
+    // The session is reused across the whole top-level run, so repeated
+    // queries hit the per-epoch answer cache and loads only cost their
+    // delta.
+    let stats = session.cache_stats();
+    println!(
+        "% epoch {} | answer cache: {} hit{}, {} miss{}",
+        session.epoch(),
+        stats.hits,
+        if stats.hits == 1 { "" } else { "s" },
+        stats.misses,
+        if stats.misses == 1 { "" } else { "es" },
+    );
 }

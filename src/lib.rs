@@ -10,11 +10,15 @@
 //!   (unification, naive/semi-naive bottom-up, SLD, tabling).
 //! * [`engine`] — direct evaluation over complex objects (order-sorted
 //!   type resolution, object clustering, residuation).
+//! * [`store`] — durability: snapshot + write-ahead-log persistence with
+//!   checksummed records, crash recovery, and a fault-injection seam.
 //! * [`session`] — the high-level API: load a program once, query it
-//!   through any of the six evaluation strategies.
+//!   through any of the six evaluation strategies; optionally persistent
+//!   ([`Session::persistent`]) with crash recovery.
 pub use clogic_core as core;
 pub use clogic_engine as engine;
 pub use clogic_parser as parser;
+pub use clogic_store as store;
 pub use folog;
 
 pub mod session;

@@ -31,12 +31,16 @@
 use clogic_core::fol::{FoAtom, FoProgram, FoTerm};
 use clogic_core::optimize::Optimizer;
 use clogic_core::program::Program;
-use clogic_core::skolem::{auto_skolemize_from, SkolemReport};
+use clogic_core::skolem::{auto_skolemize_from, SkolemReport, SkolemState};
 use clogic_core::symbol::Symbol;
 use clogic_core::transform::{TranslationState, Transformer};
 use clogic_core::Query;
 use clogic_engine::{DirectEngine, DirectOptions, DirectProgram};
-use clogic_parser::{parse_query, parse_source, ParseError};
+use clogic_parser::{parse_query, parse_source, ParseError, ParseErrors};
+use clogic_store::{
+    DurableLog, FileStorage, LoadRecord, RecoveryIssue, RecoveryReport, SnapshotRecord, Storage,
+    StoreError, SNAPSHOT_FILE, WAL_FILE,
+};
 use folog::builtins::builtin_symbols;
 use folog::magic::solve_magic;
 use folog::tabling::{TabledEngine, TablingOptions};
@@ -134,8 +138,9 @@ impl Answers {
 /// Any error the session can raise.
 #[derive(Debug)]
 pub enum SessionError {
-    /// Source failed to parse.
-    Parse(ParseError),
+    /// Source failed to parse; carries **every** diagnostic the parser
+    /// collected (it recovers at each `.` and keeps going).
+    Parse(ParseErrors),
     /// The strategy does not support a feature the program/query uses.
     Unsupported(String),
     /// A built-in raised an error.
@@ -144,6 +149,10 @@ pub enum SessionError {
     Eval(folog::bottom_up::EvalError),
     /// Tabled evaluation failed.
     Tabling(folog::tabling::TablingError),
+    /// Durable storage failed. The in-memory session may be ahead of the
+    /// log when this is returned from [`Session::load`] — treat it as a
+    /// crash and recover from the store.
+    Store(StoreError),
 }
 
 impl fmt::Display for SessionError {
@@ -154,6 +163,7 @@ impl fmt::Display for SessionError {
             SessionError::Builtin(e) => write!(f, "{e}"),
             SessionError::Eval(e) => write!(f, "{e}"),
             SessionError::Tabling(e) => write!(f, "{e}"),
+            SessionError::Store(e) => write!(f, "{e}"),
         }
     }
 }
@@ -162,7 +172,17 @@ impl std::error::Error for SessionError {}
 
 impl From<ParseError> for SessionError {
     fn from(e: ParseError) -> Self {
+        SessionError::Parse(e.into())
+    }
+}
+impl From<ParseErrors> for SessionError {
+    fn from(e: ParseErrors) -> Self {
         SessionError::Parse(e)
+    }
+}
+impl From<StoreError> for SessionError {
+    fn from(e: StoreError) -> Self {
+        SessionError::Store(e)
     }
 }
 impl From<folog::builtins::BuiltinError> for SessionError {
@@ -210,6 +230,12 @@ pub struct SessionOptions {
     pub sld: SldOptions,
     /// Options for tabling.
     pub tabling: TablingOptions,
+    /// For a persistent session, compact the write-ahead log into a
+    /// snapshot automatically after this many logged loads (`None` turns
+    /// periodic compaction off; [`Session::snapshot`] is always available
+    /// manually). Compaction bounds both recovery replay time and log
+    /// growth.
+    pub snapshot_every: Option<u64>,
     /// Options for the bottom-up fixpoint (shared by the naive,
     /// semi-naive and magic strategies).
     ///
@@ -232,6 +258,7 @@ impl Default for SessionOptions {
             direct: DirectOptions::default(),
             sld: SldOptions::default(),
             tabling: TablingOptions::default(),
+            snapshot_every: Some(64),
             fixpoint: FixpointOptions {
                 max_facts: Some(1_000_000),
                 max_iterations: Some(100_000),
@@ -342,6 +369,10 @@ pub struct Session {
     models: HashMap<FixpointStrategy, ModelArtifact>,
     answer_cache: HashMap<(u64, Strategy, String), Answers>,
     cache_stats: CacheStats,
+    /// Durable snapshot + WAL storage, when the session is persistent.
+    durable: Option<DurableLog>,
+    /// Loads appended to the WAL since the last compaction.
+    loads_since_snapshot: u64,
 }
 
 impl Session {
@@ -358,19 +389,267 @@ impl Session {
         }
     }
 
+    /// Opens (or initializes) a **persistent** session backed by a
+    /// snapshot + write-ahead-log store at `path` (a directory), with
+    /// default options. Existing state is recovered through the normal
+    /// incremental load pipeline; every subsequent successful
+    /// [`Session::load`] is logged durably before it returns. The
+    /// [`RecoveryReport`] says what was found on disk (and is
+    /// [clean](RecoveryReport::is_clean) for a fresh directory).
+    pub fn persistent(path: impl AsRef<std::path::Path>) -> Result<(Session, RecoveryReport), SessionError> {
+        Session::persistent_with_options(path, SessionOptions::default())
+    }
+
+    /// [`Session::persistent`] with explicit options.
+    pub fn persistent_with_options(
+        path: impl AsRef<std::path::Path>,
+        options: SessionOptions,
+    ) -> Result<(Session, RecoveryReport), SessionError> {
+        let storage = FileStorage::create(path)?;
+        Session::recover_from(Box::new(storage), options)
+    }
+
+    /// Recovers a session from an **existing** store at `path`, with
+    /// default options. Unlike [`Session::persistent`] this refuses a
+    /// path holding no durable state, so a typo can't silently start an
+    /// empty session.
+    pub fn recover(path: impl AsRef<std::path::Path>) -> Result<(Session, RecoveryReport), SessionError> {
+        let path = path.as_ref();
+        let has_state =
+            path.join(SNAPSHOT_FILE).exists() || path.join(WAL_FILE).exists();
+        if !has_state {
+            return Err(SessionError::Store(StoreError::new(
+                "recover",
+                &path.display().to_string(),
+                "no durable session state found (expected wal.log or snapshot.clg)",
+            )));
+        }
+        Session::persistent_with_options(path, SessionOptions::default())
+    }
+
+    /// Recovers a session from any [`Storage`] implementation — the
+    /// injection point for the fault harness.
+    ///
+    /// The protocol: restore the snapshot (if any), then replay every
+    /// structurally valid WAL record through the ordinary epoch-versioned
+    /// load pipeline, skipping records whose epoch the snapshot already
+    /// covers (left behind by an interrupted compaction). Torn or corrupt
+    /// tails were already dropped by the framing scan; a CRC-valid record
+    /// whose *content* fails to parse stops replay there and truncates
+    /// the log at that record so future appends stay consistent. A
+    /// corrupt snapshot with surviving WAL records is refused outright —
+    /// replaying them onto the wrong base would fork history.
+    pub fn recover_from(
+        storage: Box<dyn Storage>,
+        options: SessionOptions,
+    ) -> Result<(Session, RecoveryReport), SessionError> {
+        let opened = DurableLog::open(storage)?;
+        let mut report = opened.report;
+        let mut log = opened.log;
+        let mut session = Session::with_options(options);
+
+        let snapshot_corrupt = report.corruption.iter().any(|c| c.file == SNAPSHOT_FILE);
+        match opened.snapshot {
+            Some(snap) => {
+                if let Err(message) = session.restore_snapshot(&snap) {
+                    if !opened.records.is_empty() {
+                        return Err(SessionError::Store(StoreError::new(
+                            "recover",
+                            SNAPSHOT_FILE,
+                            format!("{message}; refusing to replay the log onto the wrong base"),
+                        )));
+                    }
+                    report.issues.push(RecoveryIssue::SnapshotUnusable { message });
+                }
+            }
+            None if snapshot_corrupt && !opened.records.is_empty() => {
+                return Err(SessionError::Store(StoreError::new(
+                    "recover",
+                    SNAPSHOT_FILE,
+                    "snapshot is corrupt but WAL records survive; refusing to replay onto the wrong base",
+                )));
+            }
+            None => {}
+        }
+
+        let mut kept: u64 = 0;
+        for sr in &opened.records {
+            if sr.record.epoch <= session.epoch {
+                report.records_skipped += 1;
+                kept += 1;
+                continue;
+            }
+            match session.replay_record(&sr.record, &mut report) {
+                Ok(()) => {
+                    report.records_replayed += 1;
+                    kept += 1;
+                }
+                Err(e) => {
+                    report.issues.push(RecoveryIssue::RecordUnusable {
+                        epoch: sr.record.epoch,
+                        message: e.to_string(),
+                    });
+                    log.truncate_wal(sr.offset)?;
+                    report.wal_truncated_to = Some(sr.offset);
+                    break;
+                }
+            }
+        }
+        report.recovered_epoch = session.epoch;
+        session.durable = Some(log);
+        session.loads_since_snapshot = kept;
+        Ok((session, report))
+    }
+
+    /// Attaches durable storage at `path` to this session, **discarding**
+    /// any store already there: the current state is written as a fresh
+    /// snapshot and subsequent loads are logged. Save-as semantics.
+    pub fn save(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), SessionError> {
+        let storage = FileStorage::create(path)?;
+        let mut log = DurableLog::create(Box::new(storage))?;
+        log.compact(&self.snapshot_record())?;
+        self.durable = Some(log);
+        self.loads_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Compacts the write-ahead log into a single snapshot file (tmp
+    /// write + fsync + atomic rename). Errors if the session is not
+    /// persistent.
+    pub fn snapshot(&mut self) -> Result<(), SessionError> {
+        let snap = self.snapshot_record();
+        let Some(log) = self.durable.as_mut() else {
+            return Err(SessionError::Store(StoreError::new(
+                "snapshot",
+                SNAPSHOT_FILE,
+                "session has no durable storage; open it with Session::persistent or save it first",
+            )));
+        };
+        log.compact(&snap)?;
+        self.loads_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Whether loads are being logged durably.
+    pub fn is_persistent(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The skolem-minting state after the loads so far: the next `skN`
+    /// counter plus the function symbols it must avoid. Logged with every
+    /// record so recovery can verify identity stability.
+    pub fn skolem_state(&self) -> SkolemState {
+        SkolemState {
+            counter: self.skolem_counter,
+            taken: self.program.signature().functions,
+        }
+    }
+
+    fn snapshot_record(&self) -> SnapshotRecord {
+        SnapshotRecord {
+            epoch: self.epoch,
+            skolem: self.skolem_state(),
+            program: self.program.to_string(),
+        }
+    }
+
+    /// Restores snapshot state directly — the snapshot text is the
+    /// already-skolemized program, so it bypasses [`Session::load_program`]
+    /// (no re-skolemization, no epoch bump). Returns a message rather
+    /// than an error so the caller decides whether an unusable snapshot
+    /// is fatal.
+    fn restore_snapshot(&mut self, snap: &SnapshotRecord) -> Result<(), String> {
+        let parsed = parse_source(&snap.program).map_err(|e| e.to_string())?;
+        if !parsed.queries.is_empty() {
+            return Err("snapshot contains queries".to_string());
+        }
+        self.program = parsed.program;
+        self.epoch = snap.epoch;
+        self.skolem_counter = snap.skolem.counter;
+        Ok(())
+    }
+
+    /// Replays one WAL record through the normal load path, then checks
+    /// the epoch and skolem counter against what the record logged.
+    /// Drift means the replayed environment differs from the one that
+    /// wrote the log (it should be impossible within one version); the
+    /// recorded values win, because they are what later records' object
+    /// identities were minted against.
+    fn replay_record(
+        &mut self,
+        rec: &LoadRecord,
+        report: &mut RecoveryReport,
+    ) -> Result<(), SessionError> {
+        let parsed = parse_source(&rec.source)?;
+        if !parsed.queries.is_empty() {
+            return Err(SessionError::Parse(
+                ParseError {
+                    message: "logged source contains queries".into(),
+                    line: 0,
+                    col: 0,
+                }
+                .into(),
+            ));
+        }
+        self.load_program(parsed.program);
+        if self.epoch != rec.epoch {
+            report.issues.push(RecoveryIssue::EpochDrift {
+                replayed: self.epoch,
+                recorded: rec.epoch,
+            });
+            self.epoch = rec.epoch;
+        }
+        if self.skolem_counter != rec.skolem.counter {
+            report.issues.push(RecoveryIssue::SkolemDrift {
+                replayed: self.skolem_counter as u64,
+                recorded: rec.skolem.counter as u64,
+            });
+            self.skolem_counter = rec.skolem.counter;
+        }
+        Ok(())
+    }
+
+    /// Logs a successful load durably; called after the in-memory state
+    /// has advanced. On storage failure the in-memory session is ahead of
+    /// the log — the error tells the caller to treat the session as
+    /// crashed and recover from the store.
+    fn persist_load(&mut self, src: &str) -> Result<(), SessionError> {
+        let rec = LoadRecord {
+            epoch: self.epoch,
+            skolem: self.skolem_state(),
+            source: src.to_string(),
+        };
+        let Some(log) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        log.append(&rec)?;
+        self.loads_since_snapshot += 1;
+        if let Some(every) = self.options.snapshot_every {
+            if every > 0 && self.loads_since_snapshot >= every {
+                self.snapshot()?;
+            }
+        }
+        Ok(())
+    }
+
     /// Parses and loads more program text (cumulative). Queries embedded
-    /// in the source are rejected — use [`Session::query`].
+    /// in the source are rejected — use [`Session::query`]. In a
+    /// persistent session the load is appended to the write-ahead log
+    /// (and periodically compacted into a snapshot) before returning.
     pub fn load(&mut self, src: &str) -> Result<(), SessionError> {
         let parsed = parse_source(src)?;
         if !parsed.queries.is_empty() {
-            return Err(SessionError::Parse(ParseError {
-                message: "queries are not allowed in loaded sources; use Session::query".into(),
-                line: 0,
-                col: 0,
-            }));
+            return Err(SessionError::Parse(
+                ParseError {
+                    message: "queries are not allowed in loaded sources; use Session::query".into(),
+                    line: 0,
+                    col: 0,
+                }
+                .into(),
+            ));
         }
         self.load_program(parsed.program);
-        Ok(())
+        self.persist_load(src)
     }
 
     /// Loads an already-built program (cumulative). Bumps the session
