@@ -1,0 +1,133 @@
+//! E8 — observability overhead: quiet metrics vs null-subscriber tracing
+//! vs a memory-subscriber trace, over a recursive serving workload.
+//!
+//! The design claim under test: spans open at evaluation granularity and
+//! engines flush counter *deltas* once per run, so attaching a tracer
+//! costs a constant handful of events per query — never a per-tuple tax.
+//! The acceptance bound is that tracing into a [`NullSubscriber`] stays
+//! within 5% of the quiet configuration.
+//!
+//! Hand-written harness (`harness = false`): `--test` runs a small smoke
+//! configuration (for CI) with a loose bound; the full run asserts the
+//! 5% acceptance bound on release code. Either mode dumps
+//! `BENCH_observability.json` at the workspace root.
+
+use clogic::obs::{MemorySubscriber, NullSubscriber, Obs};
+use clogic::{Session, SessionOptions, Strategy};
+use clogic_bench::graphs;
+use clogic_bench::measure::{dump_json, print_table, us};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const QUERY: &str = "path: P[src => c0n0, dest => D]";
+
+/// One serving run: load the chain database, saturate, answer, and
+/// re-answer twice from cache. Returns (answers, wall).
+fn serve(obs: Obs, chains: usize, len: usize) -> (usize, Duration) {
+    let start = Instant::now();
+    let mut s = Session::with_options(SessionOptions {
+        termination_guard: false,
+        obs,
+        ..SessionOptions::default()
+    });
+    s.load_program(graphs::with_rules(
+        &graphs::disjoint_chains(chains, len),
+        graphs::path_rules_by_endpoints(),
+    ));
+    let mut answers = 0;
+    for _ in 0..3 {
+        let r = s.query(QUERY, Strategy::BottomUpSemiNaive).expect("query");
+        assert!(r.complete);
+        answers = r.rows.len();
+    }
+    (answers, start.elapsed())
+}
+
+fn best_of(times: usize, mut run: impl FnMut() -> (usize, Duration)) -> (usize, Duration) {
+    let mut best = (0, Duration::MAX);
+    for _ in 0..times {
+        let (answers, wall) = run();
+        if wall < best.1 {
+            best = (answers, wall);
+        }
+    }
+    best
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (chains, len, reps) = if test_mode { (20, 10, 5) } else { (200, 12, 9) };
+
+    let (quiet_answers, quiet) = best_of(reps, || serve(Obs::new(), chains, len));
+    let (null_answers, nulled) = best_of(reps, || {
+        serve(Obs::with_subscriber(Arc::new(NullSubscriber)), chains, len)
+    });
+    assert_eq!(quiet_answers, null_answers, "tracing changed answers");
+
+    // A real subscriber for scale: a bounded in-memory ring. Also count
+    // the events one run produces — the "constant handful" claim.
+    let ring = Arc::new(MemorySubscriber::new(4096));
+    let (_, ringed) = best_of(reps, || {
+        serve(Obs::with_subscriber(ring.clone()), chains, len)
+    });
+    let events_per_run = {
+        let sub = Arc::new(MemorySubscriber::new(4096));
+        serve(Obs::with_subscriber(sub.clone()), chains, len);
+        sub.drain().len()
+    };
+
+    let overhead = nulled.as_secs_f64() / quiet.as_secs_f64().max(1e-9) - 1.0;
+    let ring_overhead = ringed.as_secs_f64() / quiet.as_secs_f64().max(1e-9) - 1.0;
+    print_table(
+        "e8_observability (tracing overhead on a serving workload)",
+        &["config", "answers", "wall (us)", "overhead"],
+        &[
+            vec![
+                "quiet (metrics only)".into(),
+                quiet_answers.to_string(),
+                us(quiet),
+                "-".into(),
+            ],
+            vec![
+                "null subscriber".into(),
+                null_answers.to_string(),
+                us(nulled),
+                format!("{:+.1}%", overhead * 100.0),
+            ],
+            vec![
+                "memory subscriber".into(),
+                quiet_answers.to_string(),
+                us(ringed),
+                format!("{:+.1}%", ring_overhead * 100.0),
+            ],
+        ],
+    );
+    println!("\ntrace events per serving run: {events_per_run}");
+
+    // Acceptance: ≤5% on the full (release) run; smoke mode tolerates
+    // debug-build and CI jitter.
+    let bound = if test_mode { 0.25 } else { 0.05 };
+    assert!(
+        overhead <= bound,
+        "null-subscriber overhead {:.1}% exceeds {:.0}%",
+        overhead * 100.0,
+        bound * 100.0
+    );
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_observability.json");
+    dump_json(
+        out,
+        &[
+            ("mode", format!("\"{}\"", if test_mode { "test" } else { "full" })),
+            ("chains", chains.to_string()),
+            ("answers", quiet_answers.to_string()),
+            ("quiet_us", us(quiet)),
+            ("null_subscriber_us", us(nulled)),
+            ("memory_subscriber_us", us(ringed)),
+            ("null_overhead_pct", format!("{:.2}", overhead * 100.0)),
+            ("events_per_run", events_per_run.to_string()),
+        ],
+    )
+    .expect("benchmark dump written");
+    println!("wrote {out}");
+}

@@ -29,7 +29,7 @@ use crate::fol::{FoAtom, FoClause, FoProgram, FoTerm, GeneralizedClause};
 use crate::hierarchy::{object_type, TypeHierarchy};
 use crate::program::Program;
 use crate::symbol::Symbol;
-use crate::transform::{TranslationState, Transformer};
+use crate::transform::{TranslationState, TranslationStats, Transformer};
 use std::collections::{BTreeSet, HashSet};
 
 /// Applies the §4 rules to generalized clauses of a particular program.
@@ -100,8 +100,21 @@ impl Optimizer {
     /// Rules 1 and 2 on a generalized clause. Returns `None` when every
     /// head atom was deleted (the clause is subsumed by the type axioms).
     pub fn optimize_clause(&self, gc: &GeneralizedClause) -> Option<GeneralizedClause> {
+        self.optimize_clause_counted(gc, &mut TranslationStats::default())
+    }
+
+    /// [`Optimizer::optimize_clause`], tallying per-rule deletions into
+    /// `stats` (`rule1_deletions`, `rule2_deletions`, `clauses_subsumed`).
+    pub fn optimize_clause_counted(
+        &self,
+        gc: &GeneralizedClause,
+        stats: &mut TranslationStats,
+    ) -> Option<GeneralizedClause> {
         let body = self.minimize_typing(&gc.body);
         let head1 = self.minimize_typing(&gc.heads);
+        stats.rule1_deletions +=
+            (gc.body.len() - body.len() + gc.heads.len() - head1.len()) as u64;
+        let heads_before = head1.len();
         // Rule 2: drop head typing atoms guaranteed by the body.
         let heads: Vec<FoAtom> = head1
             .into_iter()
@@ -116,7 +129,9 @@ impl Optimizer {
                 })
             })
             .collect();
+        stats.rule2_deletions += (heads_before - heads.len()) as u64;
         if heads.is_empty() {
+            stats.clauses_subsumed += 1;
             None
         } else {
             Some(GeneralizedClause {
@@ -182,6 +197,7 @@ impl Optimizer {
         let eliminated = eliminate_dead_clauses(&out, transformer);
         if eliminated.len() != out.len() {
             state.dropped_clauses = true;
+            state.stats.dead_clauses_removed += (out.len() - eliminated.len()) as u64;
         }
         (eliminated, state)
     }
@@ -225,17 +241,26 @@ impl Optimizer {
     ) {
         let mut aux = Vec::new();
         let from = state.clauses_done().min(p.clauses.len());
+        state.stats.clauses_transformed += (p.clauses.len() - from) as u64;
         for c in &p.clauses[from..] {
             let gc = transformer.clause_with_aux(c, &mut aux, state.aux_counter_mut());
-            if let Some(mut opt) = self.optimize_clause(&gc) {
+            let mut per_clause = TranslationStats::default();
+            if let Some(mut opt) = self.optimize_clause_counted(&gc, &mut per_clause) {
+                let body_before = opt.body.len();
                 opt.body = self.prune_object_checks(&opt.body);
+                per_clause.rule3_object_prunes += (body_before - opt.body.len()) as u64;
                 for cl in opt.split() {
                     if state.emit(&cl) {
                         out.push(cl);
                     }
                 }
             }
+            state.stats.rule1_deletions += per_clause.rule1_deletions;
+            state.stats.rule2_deletions += per_clause.rule2_deletions;
+            state.stats.rule3_object_prunes += per_clause.rule3_object_prunes;
+            state.stats.clauses_subsumed += per_clause.clauses_subsumed;
         }
+        state.stats.aux_clauses += aux.len() as u64;
         state.set_clauses_done(p.clauses.len());
         // Axioms last: top-down engines should reach facts first.
         let mut axioms = transformer.new_type_axioms(p, state);

@@ -42,6 +42,39 @@ pub const DEFAULT_BUILTINS: &[&str] = &[
     "is", "<", ">", "=<", ">=", "=:=", "=\\=", "=", "\\=", "==", "\\==",
 ];
 
+/// Work counters accumulated across a translation (and its incremental
+/// extensions), including the §4 optimizer's per-rule deletion tallies.
+///
+/// This crate stays dependency-free, so the counters are plain fields;
+/// the session layer flushes them into its metrics registry (as
+/// `core.translate.*`) after each load. All counts are cumulative over
+/// the life of the owning [`TranslationState`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TranslationStats {
+    /// C-logic program clauses translated.
+    pub clauses_transformed: u64,
+    /// First-order clauses emitted (split clauses, axioms, aux clauses).
+    pub clauses_emitted: u64,
+    /// Candidate clauses suppressed by the program-wide dedup set.
+    pub duplicates_suppressed: u64,
+    /// Type axioms emitted (`object(X) :- t(X)` and `sup(X) :- sub(X)`).
+    pub type_axioms_emitted: u64,
+    /// Auxiliary `__nauxN` clauses created for negated molecules.
+    pub aux_clauses: u64,
+    /// Typing atoms deleted by §4 rule 1 (a more specific typing atom for
+    /// the same argument was present in the same head or body).
+    pub rule1_deletions: u64,
+    /// Head typing atoms deleted by §4 rule 2 (guaranteed by the body).
+    pub rule2_deletions: u64,
+    /// Body `object(t)` checks pruned by rule 3 (implied by another body
+    /// atom mentioning `t`).
+    pub rule3_object_prunes: u64,
+    /// Whole clauses dropped because rules 1–2 deleted every head atom.
+    pub clauses_subsumed: u64,
+    /// Clauses removed by the global dead-clause elimination.
+    pub dead_clauses_removed: u64,
+}
+
 /// Carry-over state for *incremental* (delta) translation.
 ///
 /// A session that loads program text cumulatively wants to translate only
@@ -83,6 +116,8 @@ pub struct TranslationState {
     /// re-translate from scratch (an appended clause could resurrect a
     /// dropped one).
     pub dropped_clauses: bool,
+    /// Cumulative work counters (clauses transformed, §4 deletions, …).
+    pub stats: TranslationStats,
 }
 
 impl TranslationState {
@@ -103,9 +138,16 @@ impl TranslationState {
     }
 
     /// Inserts a split clause into the program-wide dedup set; true when
-    /// it was new (and should be emitted).
+    /// it was new (and should be emitted). Counts emissions and
+    /// suppressed duplicates into [`TranslationState::stats`].
     pub(crate) fn emit(&mut self, c: &FoClause) -> bool {
-        self.seen.insert(c.clone())
+        let fresh = self.seen.insert(c.clone());
+        if fresh {
+            self.stats.clauses_emitted += 1;
+        } else {
+            self.stats.duplicates_suppressed += 1;
+        }
+        fresh
     }
 }
 
@@ -443,6 +485,8 @@ impl Transformer {
             .iter()
             .map(|c| self.clause_with_aux(c, &mut aux, &mut state.aux_counter))
             .collect();
+        state.stats.clauses_transformed += (p.clauses.len() - from) as u64;
+        state.stats.aux_clauses += aux.len() as u64;
         state.clauses_done = p.clauses.len();
         for gc in generalized {
             for c in gc.split() {
@@ -486,6 +530,7 @@ impl Transformer {
             ));
         }
         state.subtype_axioms = p.subtype_decls.len();
+        state.stats.type_axioms_emitted += out.len() as u64;
         out
     }
 }

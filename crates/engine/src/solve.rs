@@ -72,6 +72,9 @@ pub struct DirectOptions {
     pub residuation: ResiduationMode,
     /// Shared resource ceilings (deadline, steps, memory, cancellation).
     pub budget: Budget,
+    /// Observability handles; counter deltas are flushed once per solve,
+    /// never from the resolution loop.
+    pub obs: clogic_obs::Obs,
 }
 
 impl Default for DirectOptions {
@@ -83,6 +86,7 @@ impl Default for DirectOptions {
             unify: UnifyOptions::default(),
             residuation: ResiduationMode::OnFailure,
             budget: Budget::unlimited(),
+            obs: clogic_obs::Obs::default(),
         }
     }
 }
@@ -116,6 +120,11 @@ pub struct DirectResult {
     pub complete: bool,
     /// Why the search stopped or pruned early, when `complete` is false.
     pub degradation: Option<Degradation>,
+    /// Successful head resolutions per clause, indexed by the clause's
+    /// position in the compiled program — the direct engine's analogue of
+    /// the fixpoint's per-rule tuple counts. (Lives on the result, not
+    /// [`DirectStats`], which stays `Copy`.)
+    pub per_rule: Vec<u64>,
 }
 
 /// Stack size for the dedicated search thread (resolution recursion is
@@ -159,6 +168,17 @@ struct Search<'p> {
     /// Canonical forms of molecular goals whose clause resolution is in
     /// progress on the current derivation branch (variant loop check).
     in_progress: Vec<MolGoal>,
+    /// Successful head resolutions per clause index.
+    per_rule: Vec<u64>,
+}
+
+impl Search<'_> {
+    fn bump_rule(&mut self, ci: usize) {
+        if self.per_rule.len() <= ci {
+            self.per_rule.resize(ci + 1, 0);
+        }
+        self.per_rule[ci] += 1;
+    }
 }
 
 impl<'p> DirectEngine<'p> {
@@ -207,8 +227,13 @@ impl<'p> DirectEngine<'p> {
             meter: BudgetMeter::new(&self.opts.budget),
             emitted: 0,
             in_progress: Vec::new(),
+            per_rule: Vec::new(),
         };
         let mut answers = Vec::new();
+        let mut span = self.opts.obs.tracer.span_with(
+            "engine.direct.solve",
+            vec![("goals", (query.goals.len() + query.neg_goals.len()).into())],
+        );
         // Resolution recurses once per goal; deep (but depth-limited)
         // searches need more stack than a default test thread provides,
         // so the search runs on a dedicated big-stack thread.
@@ -260,11 +285,28 @@ impl<'p> DirectEngine<'p> {
                 ),
             ))
         };
+        span.record("steps", search.stats.steps);
+        span.record("answers", answers.len());
+        span.record("residuals", search.stats.residuals);
+        span.record("complete", u64::from(complete));
+        drop(span);
+        let m = &self.opts.obs.metrics;
+        m.counter("engine.direct.queries").inc();
+        m.counter("engine.direct.steps").add(search.stats.steps);
+        m.counter("engine.direct.clause_attempts")
+            .add(search.stats.clause_attempts);
+        m.counter("engine.direct.piece_matches")
+            .add(search.stats.piece_matches);
+        m.counter("engine.direct.residuals")
+            .add(search.stats.residuals);
+        m.counter("engine.direct.loop_prunes")
+            .add(search.stats.loop_prunes);
         Ok(DirectResult {
             answers,
             stats: search.stats,
             complete,
             degradation,
+            per_rule: search.per_rule,
         })
     }
 }
@@ -437,7 +479,8 @@ impl Search<'_> {
         }
         // Intensional clauses with predicate heads.
         if self.p.intensional_preds.contains(&pred) {
-            for clause in &self.p.clauses {
+            for ci in 0..self.p.clauses.len() {
+                let clause = &self.p.clauses[ci];
                 for (hi, head) in clause.heads.iter().enumerate() {
                     let Goal::Pred {
                         pred: hp,
@@ -456,6 +499,7 @@ impl Search<'_> {
                         unify(a, &shift_term(h, offset), &mut self.bind, self.opts.unify)
                     });
                     if ok {
+                        self.bump_rule(ci);
                         let saved = self.next_var;
                         self.next_var += clause.n_vars;
                         let mut new_goals: Vec<Goal> =
@@ -702,7 +746,7 @@ impl Search<'_> {
         depth: usize,
         emit: &mut impl FnMut(&Bindings),
     ) -> Result<bool, BuiltinError> {
-        for clause in &self.p.clauses {
+        for (ci, clause) in self.p.clauses.iter().enumerate() {
             for head in &clause.heads {
                 let Goal::Mol(h) = head else { continue };
                 self.stats.clause_attempts += 1;
@@ -732,6 +776,7 @@ impl Search<'_> {
                     self.bind.rollback(cp);
                     continue;
                 }
+                self.bump_rule(ci);
                 let h_shifted: Vec<(Symbol, RTerm)> = h
                     .specs
                     .iter()

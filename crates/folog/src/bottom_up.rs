@@ -51,6 +51,11 @@ pub struct FixpointOptions {
     pub max_iterations: Option<usize>,
     /// Shared resource ceilings (deadline, steps, memory, cancellation).
     pub budget: Budget,
+    /// Observability handles. The default is a disabled tracer and a
+    /// private registry, so instrumentation costs one branch per span and
+    /// a handful of relaxed atomic adds per evaluation. Counter deltas are
+    /// flushed once at the end of each run — never from the join loops.
+    pub obs: clogic_obs::Obs,
 }
 
 impl Default for FixpointOptions {
@@ -60,6 +65,7 @@ impl Default for FixpointOptions {
             max_facts: None,
             max_iterations: None,
             budget: Budget::unlimited(),
+            obs: clogic_obs::Obs::default(),
         }
     }
 }
@@ -83,6 +89,23 @@ pub struct FixpointStats {
     /// Facts inserted per fixpoint round, in order. A resumed run keeps
     /// appending, so the tail shows how little work a delta needed.
     pub delta_sizes: Vec<u64>,
+    /// Tuples produced per rule, indexed by the rule's position in the
+    /// compiled program (facts count their one tuple). Counted *before*
+    /// deduplication: under the naive strategy a rule re-deriving known
+    /// facts keeps counting, which is exactly the redundancy the
+    /// semi-naive strategy exists to avoid.
+    pub per_rule: Vec<u64>,
+}
+
+impl FixpointStats {
+    /// Adds `n` produced tuples to rule `idx`, growing the vector on
+    /// demand (rules may be appended between resumed runs).
+    pub fn bump_rule(&mut self, idx: usize, n: u64) {
+        if self.per_rule.len() <= idx {
+            self.per_rule.resize(idx + 1, 0);
+        }
+        self.per_rule[idx] += n;
+    }
 }
 
 /// Evaluation failure.
@@ -382,10 +405,21 @@ pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Eval
     let mut ev = Evaluation::default();
     let mut meter = BudgetMeter::new(&opts.budget);
     let derivable: Vec<(Symbol, usize)> = program.head_predicates();
+    let mut span = opts.obs.tracer.span_with(
+        "folog.evaluate",
+        vec![
+            ("strategy", strategy_name(opts.strategy).into()),
+            ("rules", program.rules.len().into()),
+        ],
+    );
 
     // Round 0: insert facts.
     insert_fact_rules(
-        program.rules.iter().filter(|r| r.is_fact()),
+        program
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_fact()),
         &mut ev,
         &mut meter,
     )?;
@@ -393,14 +427,22 @@ pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Eval
     // Stratify: rules whose head depends on a predicate through negation
     // must evaluate after that predicate's stratum is complete. Programs
     // without negation form a single stratum.
-    let all_rules: Vec<&Rule> = program.rules.iter().filter(|r| !r.is_fact()).collect();
+    let all_rules: Vec<(usize, &Rule)> = program
+        .rules
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.is_fact())
+        .collect();
     let strata = stratify(&all_rules, program)?;
-    for stratum_rules in strata {
+    for (si, stratum_rules) in strata.iter().enumerate() {
         if !meter.check_time_and_cancel() {
             break;
         }
+        let before_iters = ev.stats.iterations;
+        let before_facts = ev.stats.facts_derived;
+        let mut stratum_span = span.child("folog.stratum");
         run_stratum(
-            &stratum_rules,
+            stratum_rules,
             &derivable,
             program,
             &opts,
@@ -408,11 +450,19 @@ pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Eval
             &mut meter,
             None,
         )?;
+        stratum_span.record("stratum", si);
+        stratum_span.record("iterations", ev.stats.iterations - before_iters);
+        stratum_span.record("facts", ev.stats.facts_derived - before_facts);
+        drop(stratum_span);
         if meter.tripped().is_some() {
             break;
         }
     }
     finish(&mut ev, &meter, &opts);
+    span.record("iterations", ev.stats.iterations);
+    span.record("facts", ev.facts.total);
+    span.record("complete", u64::from(ev.complete));
+    flush_metrics(&opts.obs, &FixpointStats::default(), &ev.stats);
     Ok(ev)
 }
 
@@ -446,8 +496,18 @@ pub fn evaluate_delta(
     }
     let mut ev = prev;
     ev.degradation = None;
+    let stats_before = ev.stats.clone();
     let mut meter = BudgetMeter::new(&opts.budget);
     let derivable: Vec<(Symbol, usize)> = program.head_predicates();
+    let offset = prev_rules.min(program.rules.len());
+    let mut span = opts.obs.tracer.span_with(
+        "folog.evaluate_delta",
+        vec![
+            ("strategy", strategy_name(opts.strategy).into()),
+            ("rules", program.rules.len().into()),
+            ("delta_rules", (program.rules.len() - offset).into()),
+        ],
+    );
 
     // Seed snapshot: everything stored before the delta counts as "old";
     // rows appended from here on are the frontier of the first resumed
@@ -455,9 +515,13 @@ pub fn evaluate_delta(
     let base = ev.facts.lens();
 
     // Round 0 of the delta: insert its facts.
-    let delta_rules = &program.rules[prev_rules.min(program.rules.len())..];
+    let delta_rules = &program.rules[offset..];
     insert_fact_rules(
-        delta_rules.iter().filter(|r| r.is_fact()),
+        delta_rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (offset + i, r))
+            .filter(|(_, r)| r.is_fact()),
         &mut ev,
         &mut meter,
     )?;
@@ -465,12 +529,18 @@ pub fn evaluate_delta(
     // Catch-up pass: a rule the old run never saw must join against the
     // *whole* existing model once (the seeded rounds below only cover
     // combinations that involve at least one appended row).
-    let new_rules: Vec<&Rule> = delta_rules.iter().filter(|r| !r.is_fact()).collect();
+    let new_rules: Vec<(usize, &Rule)> = delta_rules
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (offset + i, r))
+        .filter(|(_, r)| !r.is_fact())
+        .collect();
     if !new_rules.is_empty() && meter.tripped().is_none() {
         let full: HashMap<(Symbol, usize), Frontier> = HashMap::new();
         let mut new_facts: Vec<(Symbol, Vec<TermId>)> = Vec::new();
-        for rule in &new_rules {
+        for &(ri, rule) in &new_rules {
             ev.stats.rule_activations += 1;
+            let produced_before = new_facts.len();
             eval_rule(
                 rule,
                 &full,
@@ -482,6 +552,8 @@ pub fn evaluate_delta(
                 &mut new_facts,
                 &mut meter,
             )?;
+            let produced = (new_facts.len() - produced_before) as u64;
+            ev.stats.bump_rule(ri, produced);
             if meter.tripped().is_some() {
                 break;
             }
@@ -490,7 +562,12 @@ pub fn evaluate_delta(
     }
 
     // Seeded semi-naive continuation over all rules.
-    let all_rules: Vec<&Rule> = program.rules.iter().filter(|r| !r.is_fact()).collect();
+    let all_rules: Vec<(usize, &Rule)> = program
+        .rules
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.is_fact())
+        .collect();
     if meter.tripped().is_none() {
         run_stratum(
             &all_rules,
@@ -503,16 +580,20 @@ pub fn evaluate_delta(
         )?;
     }
     finish(&mut ev, &meter, &opts);
+    span.record("iterations", ev.stats.iterations - stats_before.iterations);
+    span.record("facts", ev.stats.facts_derived - stats_before.facts_derived);
+    span.record("complete", u64::from(ev.complete));
+    flush_metrics(&opts.obs, &stats_before, &ev.stats);
     Ok(ev)
 }
 
 /// Interns and stores the head tuples of ground fact rules.
 fn insert_fact_rules<'r>(
-    rules: impl Iterator<Item = &'r Rule>,
+    rules: impl Iterator<Item = (usize, &'r Rule)>,
     ev: &mut Evaluation,
     meter: &mut BudgetMeter,
 ) -> Result<(), EvalError> {
-    for rule in rules {
+    for (ri, rule) in rules {
         if !meter.tick() {
             break;
         }
@@ -524,6 +605,7 @@ fn insert_fact_rules<'r>(
                     .ok_or_else(|| EvalError::NonGroundDerivation(rule.to_string()))?,
             );
         }
+        ev.stats.bump_rule(ri, 1);
         if ev.facts.insert(rule.head.pred, tuple, &ev.store) {
             ev.stats.facts_derived += 1;
         } else {
@@ -531,6 +613,30 @@ fn insert_fact_rules<'r>(
         }
     }
     Ok(())
+}
+
+/// Flushes the run's counter *deltas* into the registry, once per
+/// evaluation. Snapshot-and-diff (rather than live counters in the join
+/// loops) keeps the hot path free of atomics and makes resumed runs —
+/// whose [`FixpointStats`] accumulate across calls — report only their
+/// marginal work.
+fn flush_metrics(obs: &clogic_obs::Obs, before: &FixpointStats, after: &FixpointStats) {
+    let m = &obs.metrics;
+    m.counter("folog.fixpoint.evaluations").inc();
+    m.counter("folog.fixpoint.iterations")
+        .add((after.iterations - before.iterations) as u64);
+    m.counter("folog.fixpoint.rule_activations")
+        .add(after.rule_activations - before.rule_activations);
+    m.counter("folog.fixpoint.match_attempts")
+        .add(after.match_attempts - before.match_attempts);
+    m.counter("folog.fixpoint.facts_derived")
+        .add(after.facts_derived - before.facts_derived);
+    m.counter("folog.fixpoint.duplicates")
+        .add(after.duplicates - before.duplicates);
+    let h = m.histogram("folog.fixpoint.delta_size");
+    for &d in &after.delta_sizes[before.delta_sizes.len().min(after.delta_sizes.len())..] {
+        h.observe(d);
+    }
 }
 
 /// Stores a batch of derived tuples, enforcing the fact ceiling; returns
@@ -600,11 +706,11 @@ fn strategy_name(s: Strategy) -> &'static str {
 /// are replicated into every stratum and `object` stays in sync with each
 /// stratum's fixpoint. Negating `object` itself remains unstratifiable.
 fn stratify<'r>(
-    rules: &[&'r Rule],
+    rules: &[(usize, &'r Rule)],
     program: &CompiledProgram,
-) -> Result<Vec<Vec<&'r Rule>>, EvalError> {
+) -> Result<Vec<Vec<(usize, &'r Rule)>>, EvalError> {
     use std::collections::HashMap as Map;
-    if rules.iter().all(|r| !r.has_negation()) {
+    if rules.iter().all(|(_, r)| !r.has_negation()) {
         // Fast path: no negation, one stratum.
         return Ok(vec![rules.to_vec()]);
     }
@@ -617,14 +723,18 @@ fn stratify<'r>(
             && r.body[0].args.len() == 1
             && r.head.args[0] == r.body[0].args[0]
     };
-    if rules.iter().any(|r| {
+    if rules.iter().any(|(_, r)| {
         r.neg_body
             .iter()
             .any(|n| n.pred == object && n.args.len() == 1)
     }) {
         return Err(EvalError::Unstratifiable(object.to_string()));
     }
-    let (axioms, others): (Vec<&Rule>, Vec<&Rule>) = rules.iter().partition(|r| is_object_axiom(r));
+    type IndexedRules<'a> = Vec<(usize, &'a Rule)>;
+    let (axioms, others): (IndexedRules, IndexedRules) = rules
+        .iter()
+        .copied()
+        .partition(|&(_, r)| is_object_axiom(r));
 
     let mut stratum: Map<(Symbol, usize), usize> = Map::new();
     let preds: Vec<(Symbol, usize)> = program.head_predicates();
@@ -634,7 +744,7 @@ fn stratify<'r>(
     let bound = preds.len() + 1;
     loop {
         let mut changed = false;
-        for rule in &others {
+        for (_, rule) in &others {
             let head_key = (rule.head.pred, rule.head.args.len());
             let mut need = stratum.get(&head_key).copied().unwrap_or(0);
             for b in &rule.body {
@@ -663,13 +773,13 @@ fn stratify<'r>(
     }
     let max_stratum = others
         .iter()
-        .map(|r| stratum[&(r.head.pred, r.head.args.len())])
+        .map(|(_, r)| stratum[&(r.head.pred, r.head.args.len())])
         .max()
         .unwrap_or(0);
-    let mut out: Vec<Vec<&Rule>> = vec![Vec::new(); max_stratum + 1];
-    for rule in &others {
+    let mut out: Vec<Vec<(usize, &Rule)>> = vec![Vec::new(); max_stratum + 1];
+    for &(ri, rule) in &others {
         let sidx = stratum[&(rule.head.pred, rule.head.args.len())];
-        out[sidx].push(rule);
+        out[sidx].push((ri, rule));
     }
     // Replicate the object axioms into every stratum.
     for level in &mut out {
@@ -692,7 +802,7 @@ fn stratify<'r>(
 /// immediately.
 #[allow(clippy::too_many_arguments)]
 fn run_stratum(
-    rules: &[&Rule],
+    rules: &[(usize, &Rule)],
     derivable: &[(Symbol, usize)],
     program: &CompiledProgram,
     opts: &FixpointOptions,
@@ -744,7 +854,7 @@ fn run_stratum(
         }
 
         let mut new_facts: Vec<(Symbol, Vec<TermId>)> = Vec::new();
-        for rule in rules {
+        for &(ri, rule) in rules {
             let body_derivable: Vec<usize> = rule
                 .body
                 .iter()
@@ -752,6 +862,7 @@ fn run_stratum(
                 .filter(|(_, a)| !program.is_builtin(a.pred))
                 .map(|(i, _)| i)
                 .collect();
+            let produced_before = new_facts.len();
             match opts.strategy {
                 Strategy::Naive => {
                     ev.stats.rule_activations += 1;
@@ -783,6 +894,8 @@ fn run_stratum(
                                 &mut new_facts,
                                 meter,
                             )?;
+                            let produced = (new_facts.len() - produced_before) as u64;
+                            ev.stats.bump_rule(ri, produced);
                         }
                         continue;
                     }
@@ -802,6 +915,8 @@ fn run_stratum(
                     }
                 }
             }
+            let produced = (new_facts.len() - produced_before) as u64;
+            ev.stats.bump_rule(ri, produced);
             if meter.tripped().is_some() {
                 break;
             }

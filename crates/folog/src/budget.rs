@@ -80,6 +80,26 @@ pub enum TripKind {
     VariantLoop,
 }
 
+impl TripKind {
+    /// A stable machine-readable identifier for the trip, used in the
+    /// JSON form of a [`Degradation`]. These are part of the serialized
+    /// contract: renaming one is a breaking change.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            TripKind::Deadline => "deadline",
+            TripKind::Steps => "steps",
+            TripKind::Depth => "depth",
+            TripKind::Facts => "facts",
+            TripKind::Iterations => "iterations",
+            TripKind::Answers => "answers",
+            TripKind::Solutions => "solutions",
+            TripKind::Memory => "memory",
+            TripKind::Cancelled => "cancelled",
+            TripKind::VariantLoop => "variant_loop",
+        }
+    }
+}
+
 impl fmt::Display for TripKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -216,6 +236,23 @@ impl fmt::Display for Degradation {
             "{} degraded: {} after {:?} ({} work units): {}",
             self.strategy, self.trip, self.elapsed, self.work, self.detail
         )
+    }
+}
+
+impl clogic_obs::Render for Degradation {
+    fn render_text(&self) -> String {
+        self.to_string()
+    }
+
+    fn render_json(&self) -> clogic_obs::Json {
+        use clogic_obs::Json;
+        Json::Object(vec![
+            ("trip".into(), Json::str(self.trip.slug())),
+            ("strategy".into(), Json::str(self.strategy)),
+            ("elapsed_us".into(), Json::U64(self.elapsed.as_micros() as u64)),
+            ("work".into(), Json::U64(self.work)),
+            ("detail".into(), Json::str(self.detail.clone())),
+        ])
     }
 }
 

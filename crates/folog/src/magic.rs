@@ -219,6 +219,22 @@ pub fn solve_magic(
     builtins: &BTreeSet<Symbol>,
     opts: FixpointOptions,
 ) -> Result<(Vec<BTreeMap<Symbol, FoTerm>>, Evaluation), EvalError> {
+    let (answers, ev, _labels) = solve_magic_labeled(p, goals, builtins, opts)?;
+    Ok((answers, ev))
+}
+
+/// [`solve_magic`], additionally returning the **rewritten** program's
+/// rule labels. The evaluation's per-rule tuple counts
+/// ([`crate::FixpointStats::per_rule`]) index into the rewritten program —
+/// magic rules, guards and adorned copies — not the source program, so a
+/// profiler needs these labels to say which rewritten rule produced what.
+#[allow(clippy::type_complexity)]
+pub fn solve_magic_labeled(
+    p: &FoProgram,
+    goals: &[FoAtom],
+    builtins: &BTreeSet<Symbol>,
+    opts: FixpointOptions,
+) -> Result<(Vec<BTreeMap<Symbol, FoTerm>>, Evaluation, Vec<String>), EvalError> {
     if p.clauses.iter().any(|c| c.has_negation()) {
         // Magic rewriting of normal programs can break stratification;
         // out of scope (use stratified bottom-up).
@@ -226,8 +242,19 @@ pub fn solve_magic(
             "negation under magic sets".into(),
         ));
     }
+    let mut span = opts.obs.tracer.span_with(
+        "folog.magic.solve",
+        vec![("source_clauses", p.clauses.len().into())],
+    );
     let mp = magic_transform(p, goals, builtins);
     let compiled = CompiledProgram::compile(&mp.program, builtins.iter().copied());
+    let labels: Vec<String> = compiled.rules.iter().map(|r| r.to_string()).collect();
+    opts.obs.metrics.counter("folog.magic.queries").inc();
+    opts.obs
+        .metrics
+        .histogram("folog.magic.rewritten_rules")
+        .observe(compiled.rules.len() as u64);
+    span.record("rewritten_rules", compiled.rules.len());
     let mut ev = evaluate(&compiled, opts)?;
     if let Some(d) = ev.degradation.as_mut() {
         d.strategy = "magic";
@@ -246,7 +273,9 @@ pub fn solve_magic(
     }
     answers.sort();
     answers.dedup();
-    Ok((answers, ev))
+    span.record("answers", answers.len());
+    span.record("complete", u64::from(ev.complete));
+    Ok((answers, ev, labels))
 }
 
 #[cfg(test)]

@@ -32,6 +32,9 @@ pub struct SldOptions {
     pub unify: UnifyOptions,
     /// Shared resource ceilings (deadline, steps, memory, cancellation).
     pub budget: Budget,
+    /// Observability handles; counter deltas are flushed once per solve,
+    /// never from the resolution loop.
+    pub obs: clogic_obs::Obs,
 }
 
 impl Default for SldOptions {
@@ -42,6 +45,7 @@ impl Default for SldOptions {
             max_solutions: None,
             unify: UnifyOptions::default(),
             budget: Budget::unlimited(),
+            obs: clogic_obs::Obs::default(),
         }
     }
 }
@@ -71,6 +75,11 @@ pub struct SldResult {
     pub complete: bool,
     /// Why the search was cut short, when `complete` is false.
     pub degradation: Option<Degradation>,
+    /// Successful head unifications per clause, indexed by the clause's
+    /// position in the compiled program — the top-down analogue of the
+    /// fixpoint's per-rule tuple counts. (Lives on the result, not
+    /// [`SldStats`], which stays `Copy`.)
+    pub per_rule: Vec<u64>,
 }
 
 /// A resolution goal: a positive atom or a negated one (NAF).
@@ -101,6 +110,7 @@ struct Search<'p> {
     trunc: Option<TripKind>,
     meter: BudgetMeter,
     emitted: usize,
+    per_rule: Vec<u64>,
 }
 
 impl<'p> SldEngine<'p> {
@@ -147,8 +157,13 @@ impl<'p> SldEngine<'p> {
             trunc: None,
             meter,
             emitted: 0,
+            per_rule: Vec::new(),
         };
         let mut answers = Vec::new();
+        let mut span = self.opts.obs.tracer.span_with(
+            "folog.sld.solve",
+            vec![("goals", (goals.len() + neg_goals.len()).into())],
+        );
         // SLD recursion is depth-limited but can legitimately run
         // thousands of frames deep; use a dedicated big-stack thread so
         // callers (including 2 MiB test threads) never overflow.
@@ -195,11 +210,25 @@ impl<'p> SldEngine<'p> {
                 ),
             ))
         };
+        span.record("steps", search.stats.steps);
+        span.record("answers", answers.len());
+        span.record("complete", u64::from(complete));
+        drop(span);
+        let m = &self.opts.obs.metrics;
+        m.counter("folog.sld.queries").inc();
+        m.counter("folog.sld.steps").add(search.stats.steps);
+        m.counter("folog.sld.unify_attempts")
+            .add(search.stats.unify_attempts);
+        m.counter("folog.sld.unify_successes")
+            .add(search.stats.unify_successes);
+        m.histogram("folog.sld.depth")
+            .observe(search.stats.max_depth_reached as u64);
         Ok(SldResult {
             answers,
             stats: search.stats,
             complete,
             degradation,
+            per_rule: search.per_rule,
         })
     }
 }
@@ -296,6 +325,10 @@ impl Search<'_> {
             self.stats.unify_attempts += 1;
             if unify_atoms(goal, &head, &mut self.bind, self.opts.unify) {
                 self.stats.unify_successes += 1;
+                if self.per_rule.len() <= ci {
+                    self.per_rule.resize(ci + 1, 0);
+                }
+                self.per_rule[ci] += 1;
                 let saved_next = self.next_var;
                 self.next_var += rule.n_vars;
                 let mut new_goals: Vec<SldGoal> =

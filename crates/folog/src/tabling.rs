@@ -36,6 +36,9 @@ pub struct TablingOptions {
     pub unify: UnifyOptions,
     /// Shared resource ceilings (deadline, steps, memory, cancellation).
     pub budget: Budget,
+    /// Observability handles; counter deltas are flushed once per solve,
+    /// never from the production loop.
+    pub obs: clogic_obs::Obs,
 }
 
 impl Default for TablingOptions {
@@ -44,6 +47,7 @@ impl Default for TablingOptions {
             max_answers: Some(1_000_000),
             unify: UnifyOptions::default(),
             budget: Budget::unlimited(),
+            obs: clogic_obs::Obs::default(),
         }
     }
 }
@@ -101,6 +105,11 @@ pub struct TabledResult {
     pub complete: bool,
     /// Why evaluation stopped early, when `complete` is false.
     pub degradation: Option<Degradation>,
+    /// Table answers produced per clause, indexed by the clause's position
+    /// in the compiled program. The synthetic `__query` wrapper rule is
+    /// one past the program's last clause. (Lives on the result, not
+    /// [`TablingStats`], which stays `Copy`.)
+    pub per_rule: Vec<u64>,
 }
 
 /// Canonical (variant-normalized) form of a goal: variables renumbered in
@@ -148,6 +157,7 @@ struct TableSpace {
     stats: TablingStats,
     opts: TablingOptions,
     meter: BudgetMeter,
+    per_rule: Vec<u64>,
 }
 
 impl TableSpace {
@@ -247,7 +257,13 @@ impl<'p> TabledEngine<'p> {
             stats: TablingStats::default(),
             opts: self.opts.clone(),
             meter: BudgetMeter::new(&self.opts.budget),
+            per_rule: Vec::new(),
         };
+        let mut span = self
+            .opts
+            .obs
+            .tracer
+            .span_with("folog.tabling.solve", vec![("goals", goals.len().into())]);
         let root = RAtom {
             pred: query_pred,
             args: (0..vars.len()).map(|i| RTerm::Var(i as VarId)).collect(),
@@ -324,11 +340,27 @@ impl<'p> TabledEngine<'p> {
                 ),
             )
         });
+        span.record("tables", space.stats.tables_created);
+        span.record("passes", space.stats.passes);
+        span.record("answers", space.stats.answers);
+        span.record("complete", u64::from(complete));
+        drop(span);
+        let m = &self.opts.obs.metrics;
+        m.counter("folog.tabling.queries").inc();
+        m.counter("folog.tabling.tables_created")
+            .add(space.stats.tables_created as u64);
+        m.counter("folog.tabling.answers")
+            .add(space.stats.answers as u64);
+        m.counter("folog.tabling.clause_activations")
+            .add(space.stats.clause_activations);
+        m.histogram("folog.tabling.passes")
+            .observe(space.stats.passes as u64);
         Ok(TabledResult {
             answers,
             stats: space.stats,
             complete,
             degradation,
+            per_rule: space.per_rule,
         })
     }
 
@@ -366,7 +398,8 @@ impl<'p> TabledEngine<'p> {
             }
             let body: Vec<RAtom> = rule.body.iter().map(|b| shift_atom(b, max_var)).collect();
             let mut next_var = max_var + rule.n_vars;
-            changed |= self.solve_body(program, key, &body, 0, &mut bind, &mut next_var, space)?;
+            changed |=
+                self.solve_body(program, key, ci, &body, 0, &mut bind, &mut next_var, space)?;
         }
         Ok(changed)
     }
@@ -376,6 +409,7 @@ impl<'p> TabledEngine<'p> {
         &self,
         program: &CompiledProgram,
         key: &RAtom,
+        ci: usize,
         body: &[RAtom],
         i: usize,
         bind: &mut Bindings,
@@ -388,7 +422,14 @@ impl<'p> TabledEngine<'p> {
                 pred: key.pred,
                 args: key.args.iter().map(|a| bind.resolve(a)).collect(),
             };
-            return Ok(space.add_answer(key, answer));
+            let added = space.add_answer(key, answer);
+            if added {
+                if space.per_rule.len() <= ci {
+                    space.per_rule.resize(ci + 1, 0);
+                }
+                space.per_rule[ci] += 1;
+            }
+            return Ok(added);
         }
         let goal = &body[i];
         if program.is_builtin(goal.pred) {
@@ -396,7 +437,7 @@ impl<'p> TabledEngine<'p> {
             let ok = crate::builtins::solve(goal, bind, self.opts.unify)?;
             let mut changed = false;
             if ok {
-                changed = self.solve_body(program, key, body, i + 1, bind, next_var, space)?;
+                changed = self.solve_body(program, key, ci, body, i + 1, bind, next_var, space)?;
             }
             bind.rollback(cp);
             return Ok(changed);
@@ -430,7 +471,8 @@ impl<'p> TabledEngine<'p> {
             if unify_atoms(goal, &shifted, bind, self.opts.unify) {
                 let saved = *next_var;
                 *next_var = local_next;
-                changed |= self.solve_body(program, key, body, i + 1, bind, next_var, space)?;
+                changed |=
+                    self.solve_body(program, key, ci, body, i + 1, bind, next_var, space)?;
                 *next_var = (*next_var).max(saved);
             }
             bind.rollback(cp);

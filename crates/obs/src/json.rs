@@ -1,0 +1,116 @@
+//! A minimal JSON value with a stable rendering — the serialized form
+//! behind [`crate::Render::render_json`]. No parser, no derive macros, no
+//! external dependency: the stack's reports only ever need to *produce*
+//! JSON, and the object-key order is whatever the builder chose, so the
+//! output is deterministic.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An unsigned integer (the stack's counters are all `u64`).
+    U64(u64),
+    /// A float, rendered with enough precision to round-trip timings.
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; key order is preserved as built.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::U64(n) => write!(f, "{n}"),
+            Json::F64(x) => {
+                if x.is_finite() {
+                    write!(f, "{x}")
+                } else {
+                    write!(f, "null") // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                escape(s, &mut buf);
+                write!(f, "\"{buf}\"")
+            }
+            Json::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Object(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    let mut buf = String::with_capacity(k.len());
+                    escape(k, &mut buf);
+                    write!(f, "\"{buf}\": {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_stably() {
+        let j = Json::Object(vec![
+            ("b".into(), Json::U64(2)),
+            ("a".into(), Json::Array(vec![Json::Bool(true), Json::Null])),
+            ("s".into(), Json::str("he said \"hi\"\n")),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"b": 2, "a": [true, null], "s": "he said \"hi\"\n"}"#
+        );
+    }
+
+    #[test]
+    fn floats_and_control_chars() {
+        assert_eq!(Json::F64(1.5).to_string(), "1.5");
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,77 @@
+//! Observability substrate for the clogic stack.
+//!
+//! This crate sits at the very bottom of the dependency graph (it depends
+//! on nothing, not even the other clogic crates) and provides three small
+//! pieces every layer above instruments itself with:
+//!
+//! * [`metrics`] — a lock-cheap metrics [`Registry`]: monotonic
+//!   [`Counter`]s, point-in-time [`Gauge`]s and log₂-bucketed
+//!   [`Histogram`]s, all backed by atomics so recording a value is a
+//!   handful of instructions and never blocks. Registration (name →
+//!   instrument) takes a mutex; the hot path does not.
+//! * [`trace`] — a span-based structured [`Tracer`] with pluggable
+//!   [`Subscriber`]s: [`NullSubscriber`] (enabled but dropping events, for
+//!   overhead measurement), [`MemorySubscriber`] (bounded ring buffer, the
+//!   default sink behind `Session::explain`), and [`JsonlSubscriber`]
+//!   (newline-delimited JSON over any [`LineSink`] — `clogic-store`
+//!   adapts its `Storage` trait to it, keeping this crate
+//!   dependency-free).
+//! * [`render`] — the shared [`Render`] trait: one implementation per
+//!   report type produces *both* the human text and the stable JSON form,
+//!   so the REPL, tests and any machine consumer can never drift apart.
+//!
+//! The conventions (span taxonomy, metric names and units) are documented
+//! in `DESIGN.md` §11.
+//!
+//! ```
+//! use clogic_obs::Obs;
+//!
+//! let obs = Obs::default();                    // metrics on, tracing off
+//! obs.metrics.counter("demo.queries").inc();
+//! assert_eq!(obs.metrics.snapshot().counter("demo.queries"), Some(1));
+//! ```
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod render;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use render::Render;
+pub use trace::{
+    JsonlSubscriber, LineSink, MemorySubscriber, NullSubscriber, Span, Subscriber, TraceEvent,
+    TraceEventKind, Tracer,
+};
+
+/// The handle threaded through the stack: a [`Tracer`] plus a metrics
+/// [`Registry`]. Cloning is cheap (two `Arc` bumps) — every engine's
+/// options struct carries one by value.
+///
+/// The default is the *quiet* configuration: metrics recording works (the
+/// registry is always live; its cost is a few atomic adds per evaluation,
+/// paid only at counter-flush points), tracing is disabled (span creation
+/// is a single relaxed load and no event is built).
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    /// Structured tracer; disabled by default.
+    pub tracer: Tracer,
+    /// Metrics registry; always live.
+    pub metrics: Registry,
+}
+
+impl Obs {
+    /// A quiet handle: live metrics, disabled tracer.
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// A handle tracing into `subscriber`.
+    pub fn with_subscriber(subscriber: std::sync::Arc<dyn Subscriber>) -> Obs {
+        Obs {
+            tracer: Tracer::enabled(subscriber),
+            metrics: Registry::new(),
+        }
+    }
+}

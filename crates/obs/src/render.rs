@@ -1,0 +1,28 @@
+//! The shared rendering contract for structured reports.
+//!
+//! Every user-facing report in the stack — `Degradation` (folog),
+//! `RecoveryReport` (clogic-store), `QueryProfile` and the metrics
+//! snapshot (clogic) — implements [`Render`] once, and both the human
+//! text and the machine-readable JSON are derived from the same struct
+//! fields in the same method pair. The REPL prints `render_text()`, tests
+//! and tooling consume `render_json()`; neither can drift from the other
+//! without the compiler noticing the type changed.
+
+use crate::json::Json;
+
+/// A report with both a human text form and a stable JSON form.
+pub trait Render {
+    /// The human-readable rendering (possibly multi-line, `\n`-separated).
+    fn render_text(&self) -> String;
+
+    /// The stable machine-readable rendering. Field names are part of the
+    /// report's public contract; adding fields is fine, renaming is a
+    /// breaking change.
+    fn render_json(&self) -> Json;
+
+    /// `render_json()` serialized to a string — what `:metrics --json`
+    /// style consumers read.
+    fn render_json_string(&self) -> String {
+        self.render_json().to_string()
+    }
+}

@@ -1,0 +1,521 @@
+//! A span-based structured tracer.
+//!
+//! A [`Tracer`] is either disabled (the default — starting a span is one
+//! relaxed atomic load and nothing is allocated) or enabled with a
+//! [`Subscriber`] that receives [`TraceEvent`]s. Spans are RAII guards:
+//! [`Tracer::span`] emits a `SpanStart` event and returns a [`Span`]
+//! whose `Drop` emits the matching `SpanEnd` with the measured duration.
+//! One-shot facts that aren't worth a span are emitted with
+//! [`Tracer::event`].
+//!
+//! Three subscribers cover the stack's needs:
+//!
+//! * [`NullSubscriber`] — events are built and immediately dropped; used
+//!   by the overhead bench to measure the cost of *instrumentation* as
+//!   opposed to the cost of a sink;
+//! * [`MemorySubscriber`] — a bounded ring buffer (oldest events evicted
+//!   first) that [`Session::explain`](../../clogic/session/struct.Session.html)
+//!   drains into the query profile;
+//! * [`JsonlSubscriber`] — renders each event as one JSON line into a
+//!   [`LineSink`]. `clogic-store` adapts its `Storage` trait to
+//!   `LineSink`, so traces can be written through the same fault-injected
+//!   I/O seam as the WAL; sink errors are counted, never propagated (a
+//!   failing trace sink must not fail the traced operation).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A span began.
+    SpanStart,
+    /// A span ended; `dur_us` is set.
+    SpanEnd,
+    /// A point event inside (or outside) any span.
+    Instant,
+}
+
+impl fmt::Display for TraceEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEventKind::SpanStart => write!(f, "start"),
+            TraceEventKind::SpanEnd => write!(f, "end"),
+            TraceEventKind::Instant => write!(f, "event"),
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Global sequence number (per tracer), dense from 0.
+    pub seq: u64,
+    /// Span id this event belongs to (`SpanStart`/`SpanEnd`), or the
+    /// enclosing span for `Instant` events (0 = no span).
+    pub span: u64,
+    /// The parent span id (0 = root).
+    pub parent: u64,
+    /// Event kind.
+    pub kind: TraceEventKind,
+    /// Span or event name (static, from the span taxonomy in DESIGN.md §11).
+    pub name: &'static str,
+    /// Microseconds since the tracer was created.
+    pub at_us: u64,
+    /// Span duration in microseconds (only for `SpanEnd`).
+    pub dur_us: Option<u64>,
+    /// Structured payload fields.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// A trace field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A string.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+impl TraceEvent {
+    /// The event as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        use crate::json::Json;
+        let mut obj = vec![
+            ("seq".to_string(), Json::U64(self.seq)),
+            ("span".to_string(), Json::U64(self.span)),
+            ("parent".to_string(), Json::U64(self.parent)),
+            ("kind".to_string(), Json::str(self.kind.to_string())),
+            ("name".to_string(), Json::str(self.name)),
+            ("at_us".to_string(), Json::U64(self.at_us)),
+        ];
+        if let Some(d) = self.dur_us {
+            obj.push(("dur_us".to_string(), Json::U64(d)));
+        }
+        if !self.fields.is_empty() {
+            let fields = self
+                .fields
+                .iter()
+                .map(|(k, v)| {
+                    let jv = match v {
+                        FieldValue::U64(n) => Json::U64(*n),
+                        FieldValue::Str(s) => Json::str(s.clone()),
+                    };
+                    (k.to_string(), jv)
+                })
+                .collect();
+            obj.push(("fields".to_string(), Json::Object(fields)));
+        }
+        Json::Object(obj).to_string()
+    }
+}
+
+/// Receives trace events. Implementations must be cheap and must never
+/// panic on the record path.
+pub trait Subscriber: Send + Sync + fmt::Debug {
+    /// Called once per event, in emission order per thread.
+    fn on_event(&self, event: &TraceEvent);
+}
+
+/// Drops every event (but the events *are* built): measures pure
+/// instrumentation overhead.
+#[derive(Debug, Default)]
+pub struct NullSubscriber;
+
+impl Subscriber for NullSubscriber {
+    fn on_event(&self, _event: &TraceEvent) {}
+}
+
+/// A bounded in-memory ring buffer of events.
+#[derive(Debug)]
+pub struct MemorySubscriber {
+    buf: Mutex<MemoryBuf>,
+}
+
+#[derive(Debug)]
+struct MemoryBuf {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl MemorySubscriber {
+    /// A ring buffer holding up to `capacity` events; when full, the
+    /// oldest event is evicted (and counted as dropped).
+    pub fn new(capacity: usize) -> MemorySubscriber {
+        MemorySubscriber {
+            buf: Mutex::new(MemoryBuf {
+                events: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+                capacity: capacity.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Removes and returns all buffered events.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut buf = self.buf.lock().expect("trace buffer poisoned");
+        buf.events.drain(..).collect()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.buf.lock().expect("trace buffer poisoned").dropped
+    }
+}
+
+impl Default for MemorySubscriber {
+    fn default() -> Self {
+        MemorySubscriber::new(4096)
+    }
+}
+
+impl Subscriber for MemorySubscriber {
+    fn on_event(&self, event: &TraceEvent) {
+        let mut buf = self.buf.lock().expect("trace buffer poisoned");
+        if buf.events.len() >= buf.capacity {
+            buf.events.pop_front();
+            buf.dropped += 1;
+        }
+        buf.events.push_back(event.clone());
+    }
+}
+
+/// Where [`JsonlSubscriber`] writes lines. The stack's storage layer
+/// implements this over its own `Storage` trait; tests implement it over
+/// a `Vec<String>`.
+pub trait LineSink: Send + Sync + fmt::Debug {
+    /// Appends one line (no trailing newline included). Errors are
+    /// reported as a plain message; the subscriber counts them and drops
+    /// the event — tracing must never fail the traced operation.
+    fn write_line(&self, line: &str) -> Result<(), String>;
+}
+
+/// Renders each event as one JSON line into a [`LineSink`].
+#[derive(Debug)]
+pub struct JsonlSubscriber {
+    sink: Box<dyn LineSink>,
+    errors: AtomicU64,
+    written: AtomicU64,
+}
+
+impl JsonlSubscriber {
+    /// A subscriber writing into `sink`.
+    pub fn new(sink: Box<dyn LineSink>) -> JsonlSubscriber {
+        JsonlSubscriber {
+            sink,
+            errors: AtomicU64::new(0),
+            written: AtomicU64::new(0),
+        }
+    }
+
+    /// Lines successfully written.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped because the sink errored.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+impl Subscriber for JsonlSubscriber {
+    fn on_event(&self, event: &TraceEvent) {
+        match self.sink.write_line(&event.to_json_line()) {
+            Ok(()) => {
+                self.written.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    subscriber: Arc<dyn Subscriber>,
+    seq: AtomicU64,
+    next_span: AtomicU64,
+    origin: Instant,
+}
+
+/// The tracer handle. Cloning shares the sequence numbers and subscriber.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    /// `None` = disabled: spans and events cost one branch.
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A disabled tracer (the default).
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A tracer emitting into `subscriber`.
+    pub fn enabled(subscriber: Arc<dyn Subscriber>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                subscriber,
+                seq: AtomicU64::new(0),
+                next_span: AtomicU64::new(1),
+                origin: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn emit(
+        inner: &Arc<TracerInner>,
+        kind: TraceEventKind,
+        name: &'static str,
+        span: u64,
+        parent: u64,
+        dur_us: Option<u64>,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        let event = TraceEvent {
+            seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+            span,
+            parent,
+            kind,
+            name,
+            at_us: inner.origin.elapsed().as_micros() as u64,
+            dur_us,
+            fields,
+        };
+        inner.subscriber.on_event(&event);
+    }
+
+    /// Starts a span; the returned guard emits `SpanEnd` when dropped.
+    /// On a disabled tracer this is a no-op returning an inert guard.
+    pub fn span(&self, name: &'static str) -> Span {
+        self.span_with(name, Vec::new())
+    }
+
+    /// [`Tracer::span`] with structured start fields.
+    pub fn span_with(&self, name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                tracer: None,
+                id: 0,
+                parent: 0,
+                name,
+                started: None,
+                end_fields: Vec::new(),
+            };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        Self::emit(inner, TraceEventKind::SpanStart, name, id, 0, None, fields);
+        Span {
+            tracer: Some(inner.clone()),
+            id,
+            parent: 0,
+            name,
+            started: Some(Instant::now()),
+            end_fields: Vec::new(),
+        }
+    }
+
+    /// Emits a point event.
+    pub fn event(&self, name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+        if let Some(inner) = &self.inner {
+            Self::emit(inner, TraceEventKind::Instant, name, 0, 0, None, fields);
+        }
+    }
+}
+
+/// An open span; emits its end event (with duration) on drop.
+#[derive(Debug)]
+pub struct Span {
+    tracer: Option<Arc<TracerInner>>,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    started: Option<Instant>,
+    end_fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Span {
+    /// Attaches a field to the span's end event — the idiom for results
+    /// known only when the work finishes (counts, outcomes).
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.tracer.is_some() {
+            self.end_fields.push((key, value.into()));
+        }
+    }
+
+    /// Starts a child span of this span.
+    pub fn child(&self, name: &'static str) -> Span {
+        let Some(inner) = &self.tracer else {
+            return Span {
+                tracer: None,
+                id: 0,
+                parent: 0,
+                name,
+                started: None,
+                end_fields: Vec::new(),
+            };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        Tracer::emit(
+            inner,
+            TraceEventKind::SpanStart,
+            name,
+            id,
+            self.id,
+            None,
+            Vec::new(),
+        );
+        Span {
+            tracer: Some(inner.clone()),
+            id,
+            parent: self.id,
+            name,
+            started: Some(Instant::now()),
+            end_fields: Vec::new(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(inner), Some(started)) = (&self.tracer, self.started) {
+            Tracer::emit(
+                inner,
+                TraceEventKind::SpanEnd,
+                self.name,
+                self.id,
+                self.parent,
+                Some(started.elapsed().as_micros() as u64),
+                std::mem::take(&mut self.end_fields),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let mut s = t.span("x");
+        s.record("n", 1u64);
+        drop(s);
+        t.event("y", vec![]);
+    }
+
+    #[test]
+    fn memory_subscriber_pairs_spans() {
+        let sub = Arc::new(MemorySubscriber::new(100));
+        let t = Tracer::enabled(sub.clone());
+        {
+            let mut s = t.span("eval");
+            s.record("facts", 42u64);
+            let _c = s.child("stratum");
+        }
+        let events = sub.drain();
+        assert_eq!(events.len(), 4); // eval start, stratum start/end, eval end
+        assert_eq!(events[0].kind, TraceEventKind::SpanStart);
+        assert_eq!(events[0].name, "eval");
+        let end = events.last().unwrap();
+        assert_eq!(end.kind, TraceEventKind::SpanEnd);
+        assert_eq!(end.name, "eval");
+        assert!(end.dur_us.is_some());
+        assert_eq!(end.fields, vec![("facts", FieldValue::U64(42))]);
+        // the child knows its parent
+        let child_end = &events[2];
+        assert_eq!(child_end.name, "stratum");
+        assert_eq!(child_end.parent, events[0].span);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let sub = Arc::new(MemorySubscriber::new(2));
+        let t = Tracer::enabled(sub.clone());
+        t.event("a", vec![]);
+        t.event("b", vec![]);
+        t.event("c", vec![]);
+        assert_eq!(sub.dropped(), 1);
+        let names: Vec<_> = sub.drain().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[derive(Debug)]
+    struct FlakySink {
+        lines: Mutex<Vec<String>>,
+        fail: std::sync::atomic::AtomicBool,
+    }
+    impl LineSink for FlakySink {
+        fn write_line(&self, line: &str) -> Result<(), String> {
+            if self.fail.load(Ordering::Relaxed) {
+                return Err("disk on fire".into());
+            }
+            self.lines.lock().unwrap().push(line.to_string());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_subscriber_counts_errors_and_never_panics() {
+        let sink = Box::new(FlakySink {
+            lines: Mutex::new(Vec::new()),
+            fail: std::sync::atomic::AtomicBool::new(false),
+        });
+        let sub = Arc::new(JsonlSubscriber::new(sink));
+        let t = Tracer::enabled(sub.clone());
+        t.event("ok", vec![("n", 7u64.into())]);
+        assert_eq!(sub.written(), 1);
+        assert_eq!(sub.errors(), 0);
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let e = TraceEvent {
+            seq: 3,
+            span: 1,
+            parent: 0,
+            kind: TraceEventKind::SpanEnd,
+            name: "eval",
+            at_us: 10,
+            dur_us: Some(5),
+            fields: vec![("facts", FieldValue::U64(2)), ("s", "x".into())],
+        };
+        assert_eq!(
+            e.to_json_line(),
+            r#"{"seq": 3, "span": 1, "parent": 0, "kind": "end", "name": "eval", "at_us": 10, "dur_us": 5, "fields": {"facts": 2, "s": "x"}}"#
+        );
+    }
+}

@@ -28,6 +28,7 @@ pub mod chaos;
 pub mod crc;
 pub mod log;
 pub mod report;
+pub mod sink;
 pub mod storage;
 pub mod wal;
 
@@ -35,5 +36,6 @@ pub use chaos::{ChaosStorage, Fault};
 pub use crc::crc32;
 pub use log::{DurableLog, OpenedLog, SNAPSHOT_FILE, SNAPSHOT_TMP, WAL_FILE};
 pub use report::{CorruptionSite, RecoveryIssue, RecoveryReport};
+pub use sink::{StorageSink, TRACE_FILE};
 pub use storage::{FileStorage, MemStorage, Storage, StoreError};
 pub use wal::{Corruption, LoadRecord, ScannedRecord, SnapshotRecord};

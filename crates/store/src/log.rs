@@ -21,6 +21,7 @@ use crate::wal::{
     decode_snapshot_file, encode_load, encode_snapshot_file, scan_wal, Corruption, LoadRecord,
     ScannedRecord, SnapshotRecord, WAL_MAGIC,
 };
+use clogic_obs::Obs;
 
 /// File name of the write-ahead log inside a store.
 pub const WAL_FILE: &str = "wal.log";
@@ -32,6 +33,7 @@ pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
 /// A snapshot + WAL pair over some storage.
 pub struct DurableLog {
     storage: Box<dyn Storage>,
+    obs: Obs,
 }
 
 /// Everything [`DurableLog::open`] found on disk.
@@ -52,7 +54,15 @@ impl DurableLog {
     /// torn WAL tail, and clearing compaction scratch. Total over file
     /// *content* — corrupt bytes become report entries, never errors —
     /// but storage I/O failures are returned.
-    pub fn open(mut storage: Box<dyn Storage>) -> Result<OpenedLog, StoreError> {
+    pub fn open(storage: Box<dyn Storage>) -> Result<OpenedLog, StoreError> {
+        DurableLog::open_with(storage, Obs::default())
+    }
+
+    /// [`DurableLog::open`] with an observability handle: torn-tail seals
+    /// bump `store.recovery.torn_tail_seals`, and the returned log counts
+    /// its appends, fsyncs, and compactions into `obs` for the rest of
+    /// its life.
+    pub fn open_with(mut storage: Box<dyn Storage>, obs: Obs) -> Result<OpenedLog, StoreError> {
         let mut report = RecoveryReport::default();
 
         let snapshot = match storage.read(SNAPSHOT_FILE)? {
@@ -81,6 +91,7 @@ impl DurableLog {
             Some(bytes) => {
                 let scan = scan_wal(&bytes);
                 if let Some(corruption) = scan.corruption {
+                    obs.metrics.counter("store.recovery.torn_tail_seals").inc();
                     let bad_magic = corruption == Corruption::BadMagic;
                     report.corruption.push(CorruptionSite {
                         file: WAL_FILE.to_string(),
@@ -106,7 +117,7 @@ impl DurableLog {
         storage.remove(SNAPSHOT_TMP)?;
 
         Ok(OpenedLog {
-            log: DurableLog { storage },
+            log: DurableLog { storage, obs },
             snapshot,
             records,
             report,
@@ -121,13 +132,25 @@ impl DurableLog {
         storage.sync(WAL_FILE)?;
         storage.remove(SNAPSHOT_FILE)?;
         storage.remove(SNAPSHOT_TMP)?;
-        Ok(DurableLog { storage })
+        Ok(DurableLog {
+            storage,
+            obs: Obs::default(),
+        })
+    }
+
+    /// Replaces the observability handle counting this log's appends,
+    /// fsyncs, and compactions.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Appends one load record and syncs it to stable storage.
     pub fn append(&mut self, rec: &LoadRecord) -> Result<(), StoreError> {
         self.storage.append(WAL_FILE, &encode_load(rec))?;
-        self.storage.sync(WAL_FILE)
+        self.storage.sync(WAL_FILE)?;
+        self.obs.metrics.counter("store.wal.appends").inc();
+        self.obs.metrics.counter("store.wal.fsyncs").inc();
+        Ok(())
     }
 
     /// Compacts the log into `snap`: tmp-write + fsync + atomic rename,
@@ -138,7 +161,10 @@ impl DurableLog {
         self.storage.sync(SNAPSHOT_TMP)?;
         self.storage.rename(SNAPSHOT_TMP, SNAPSHOT_FILE)?;
         self.storage.write(WAL_FILE, WAL_MAGIC)?;
-        self.storage.sync(WAL_FILE)
+        self.storage.sync(WAL_FILE)?;
+        self.obs.metrics.counter("store.compactions").inc();
+        self.obs.metrics.counter("store.wal.fsyncs").add(2);
+        Ok(())
     }
 
     /// Truncates the WAL to `len` bytes — used when replay finds a

@@ -101,6 +101,65 @@ impl RecoveryReport {
     }
 }
 
+impl clogic_obs::Render for RecoveryReport {
+    fn render_text(&self) -> String {
+        self.to_string()
+    }
+
+    fn render_json(&self) -> clogic_obs::Json {
+        use clogic_obs::Json;
+        Json::Object(vec![
+            (
+                "snapshot_epoch".into(),
+                match self.snapshot_epoch {
+                    Some(e) => Json::U64(e),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "records_replayed".into(),
+                Json::U64(self.records_replayed as u64),
+            ),
+            (
+                "records_skipped".into(),
+                Json::U64(self.records_skipped as u64),
+            ),
+            ("recovered_epoch".into(), Json::U64(self.recovered_epoch)),
+            (
+                "wal_truncated_to".into(),
+                match self.wal_truncated_to {
+                    Some(len) => Json::U64(len),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "corruption".into(),
+                Json::Array(
+                    self.corruption
+                        .iter()
+                        .map(|c| {
+                            Json::Object(vec![
+                                ("file".into(), Json::str(c.file.clone())),
+                                ("corruption".into(), Json::str(c.corruption.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "issues".into(),
+                Json::Array(
+                    self.issues
+                        .iter()
+                        .map(|i| Json::str(i.to_string()))
+                        .collect(),
+                ),
+            ),
+            ("clean".into(), Json::Bool(self.is_clean())),
+        ])
+    }
+}
+
 impl fmt::Display for RecoveryReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "recovered to epoch {}", self.recovered_epoch)?;

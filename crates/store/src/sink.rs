@@ -1,0 +1,118 @@
+//! Bridges the durability layer's [`Storage`] seam to the tracing
+//! layer's [`LineSink`], so a session can stream its JSONL trace into
+//! the *same* store (directory, memory image, or chaos wrapper) that
+//! holds its snapshot and WAL.
+//!
+//! The adapter lives here — not in `clogic-obs` — because obs must stay
+//! dependency-free; it defines the [`LineSink`] trait and this crate
+//! implements it.
+
+use crate::storage::Storage;
+use clogic_obs::LineSink;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Default file name for the JSONL trace inside a store.
+pub const TRACE_FILE: &str = "trace.jsonl";
+
+/// A [`LineSink`] appending each line (plus `\n`) to one file of a
+/// [`Storage`].
+///
+/// [`LineSink::write_line`] takes `&self` while every [`Storage`] method
+/// takes `&mut self`, so the storage sits behind a mutex. Trace lines are
+/// appended but **not** fsynced — traces are diagnostics, not state the
+/// recovery protocol depends on; a crash may lose the tail of the trace
+/// but never corrupts the snapshot/WAL pair.
+pub struct StorageSink {
+    storage: Mutex<Box<dyn Storage>>,
+    file: String,
+}
+
+impl StorageSink {
+    /// A sink appending to [`TRACE_FILE`] in `storage`.
+    pub fn new(storage: Box<dyn Storage>) -> StorageSink {
+        StorageSink::with_file(storage, TRACE_FILE)
+    }
+
+    /// A sink appending to `file` in `storage`.
+    pub fn with_file(storage: Box<dyn Storage>, file: impl Into<String>) -> StorageSink {
+        StorageSink {
+            storage: Mutex::new(storage),
+            file: file.into(),
+        }
+    }
+}
+
+impl fmt::Debug for StorageSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StorageSink")
+            .field("file", &self.file)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LineSink for StorageSink {
+    fn write_line(&self, line: &str) -> Result<(), String> {
+        let mut storage = self
+            .storage
+            .lock()
+            .map_err(|_| "storage sink poisoned".to_string())?;
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+        storage
+            .append(&self.file, &bytes)
+            .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{ChaosStorage, Fault};
+    use crate::storage::MemStorage;
+    use clogic_obs::{JsonlSubscriber, Obs};
+    use std::sync::Arc;
+
+    #[test]
+    fn lines_land_in_storage() {
+        let mem = MemStorage::new();
+        let sink = StorageSink::new(Box::new(mem.clone()));
+        sink.write_line("{\"a\":1}").unwrap();
+        sink.write_line("{\"b\":2}").unwrap();
+        let bytes = mem.clone().read(TRACE_FILE).unwrap().unwrap();
+        assert_eq!(bytes, b"{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn jsonl_subscriber_streams_spans_into_store() {
+        let mem = MemStorage::new();
+        let sub = JsonlSubscriber::new(Box::new(StorageSink::new(Box::new(mem.clone()))));
+        let sub = Arc::new(sub);
+        let obs = Obs::with_subscriber(sub.clone());
+        {
+            let span = obs.tracer.span("store.test");
+            drop(span);
+        }
+        assert!(sub.written() >= 2, "span start + end");
+        assert_eq!(sub.errors(), 0);
+        let bytes = mem.clone().read(TRACE_FILE).unwrap().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("store.test"));
+    }
+
+    #[test]
+    fn sink_errors_are_counted_not_propagated() {
+        let mem = MemStorage::new();
+        let chaos = ChaosStorage::new(mem.clone(), 1, Fault::Fail);
+        let sub = Arc::new(JsonlSubscriber::new(Box::new(StorageSink::new(Box::new(
+            chaos,
+        )))));
+        let obs = Obs::with_subscriber(sub.clone());
+        // First event hits the injected fault; later ones go through.
+        obs.tracer.event("e1", vec![]);
+        obs.tracer.event("e2", vec![]);
+        assert_eq!(sub.errors(), 1);
+        assert_eq!(sub.written(), 1);
+    }
+}

@@ -15,7 +15,7 @@
 //! trusting anything after the last good record. For a WAL record `extra`
 //! is the loaded source text; for a snapshot record it is the rendered
 //! (already-skolemized) program. `skolem` is the
-//! [`SkolemState`](clogic_core::skolem::SkolemState) text encoding.
+//! [`SkolemState`] text encoding.
 //!
 //! [`scan_wal`] is total: any byte string maps to a (possibly empty)
 //! record prefix plus an optional [`Corruption`] describing why scanning

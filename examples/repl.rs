@@ -10,6 +10,8 @@
 //! ?- :translated                     % show the Theorem 1 translation
 //! ?- :save db                       % persist the session to ./db
 //! ?- :open db                       % recover a session from ./db
+//! ?- :explain person: X[age => A]   % profile the query (EXPLAIN mode)
+//! ?- :metrics                       % dump the metrics registry
 //! ?- :quit
 //! ```
 //!
@@ -23,6 +25,7 @@
 //! crash — reopen it to recover, and the recovery report prints what was
 //! found on disk.
 
+use clogic::obs::Render;
 use clogic::session::{Session, SessionError, Strategy};
 use std::fmt::Display;
 use std::io::{self, BufRead, Write};
@@ -106,6 +109,8 @@ fn main() {
                          :save <path>   persist the session to a directory (then keep logging)\n\
                          :open <path>   recover a session from a directory\n\
                          :snapshot      compact the write-ahead log now\n\
+                         :explain <q>   profile query <q> under the current strategy\n\
+                         :metrics       dump the session's metrics registry\n\
                          :quit"
                     );
                 }
@@ -149,6 +154,24 @@ fn main() {
                 Some("snapshot") => {
                     if guarded(|| session.snapshot()).is_some() {
                         println!("log compacted into snapshot");
+                    }
+                }
+                Some("explain") => {
+                    let query = cmd["explain".len()..].trim();
+                    if query.is_empty() {
+                        println!("usage: :explain <query>");
+                    } else if let Some(profile) =
+                        guarded(|| session.explain(query, strategy))
+                    {
+                        println!("{}", profile.render_text());
+                    }
+                }
+                Some("metrics") => {
+                    let text = session.metrics().render_text();
+                    if text.is_empty() {
+                        println!("% no metrics recorded yet");
+                    } else {
+                        println!("{text}");
                     }
                 }
                 Some("-") => {

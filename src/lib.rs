@@ -12,15 +12,25 @@
 //!   type resolution, object clustering, residuation).
 //! * [`store`] — durability: snapshot + write-ahead-log persistence with
 //!   checksummed records, crash recovery, and a fault-injection seam.
+//! * [`obs`] — observability: the metrics registry, span tracer, and
+//!   [`obs::Render`] trait behind [`Session::explain`] and the REPL's
+//!   `:explain` / `:metrics` commands.
 //! * [`session`] — the high-level API: load a program once, query it
 //!   through any of the six evaluation strategies; optionally persistent
 //!   ([`Session::persistent`]) with crash recovery.
+#![warn(missing_docs)]
+
 pub use clogic_core as core;
 pub use clogic_engine as engine;
+pub use clogic_obs as obs;
 pub use clogic_parser as parser;
 pub use clogic_store as store;
 pub use folog;
 
 pub mod session;
 
-pub use session::{Answers, CacheStats, Session, SessionError, SessionOptions, Strategy};
+pub use obs::Render;
+pub use session::{
+    Answers, ArtifactProvenance, CacheStats, ModelProvenance, QueryProfile, Session, SessionError,
+    SessionOptions, Strategy,
+};

@@ -33,16 +33,17 @@ use clogic_core::optimize::Optimizer;
 use clogic_core::program::Program;
 use clogic_core::skolem::{auto_skolemize_from, SkolemReport, SkolemState};
 use clogic_core::symbol::Symbol;
-use clogic_core::transform::{TranslationState, Transformer};
+use clogic_core::transform::{TranslationState, TranslationStats, Transformer};
 use clogic_core::Query;
 use clogic_engine::{DirectEngine, DirectOptions, DirectProgram};
+use clogic_obs::{Json, MetricsSnapshot, Obs, Render};
 use clogic_parser::{parse_query, parse_source, ParseError, ParseErrors};
 use clogic_store::{
     DurableLog, FileStorage, LoadRecord, RecoveryIssue, RecoveryReport, SnapshotRecord, Storage,
     StoreError, SNAPSHOT_FILE, WAL_FILE,
 };
 use folog::builtins::builtin_symbols;
-use folog::magic::solve_magic;
+use folog::magic::{solve_magic, solve_magic_labeled};
 use folog::tabling::{TabledEngine, TablingOptions};
 use folog::{
     Budget, CompiledProgram, Degradation, Evaluation, FixpointOptions, FixpointStats, SldEngine,
@@ -50,6 +51,7 @@ use folog::{
 };
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::time::Instant;
 
 /// An evaluation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -246,6 +248,13 @@ pub struct SessionOptions {
     /// degrades into partial answers instead of consuming the machine.
     /// Set the fields to `None` to opt back into unbounded evaluation.
     pub fixpoint: FixpointOptions,
+    /// Observability handle: session-level counters (loads, cache
+    /// hits/misses, recovery, translation work) land in its metrics
+    /// registry, engine evaluations flush their tallies into it, and its
+    /// tracer (disabled by default — effectively free) receives spans for
+    /// loads, recovery and every evaluation. Clone-shared with the
+    /// durable log and every engine invocation.
+    pub obs: Obs,
 }
 
 impl Default for SessionOptions {
@@ -264,7 +273,53 @@ impl Default for SessionOptions {
                 max_iterations: Some(100_000),
                 ..FixpointOptions::default()
             },
+            obs: Obs::default(),
         }
+    }
+}
+
+/// How an epoch-versioned artifact (translation, compiled program,
+/// direct-engine program) was brought up to date for a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArtifactProvenance {
+    /// Already current for this epoch — no work done.
+    Current,
+    /// Extended in place from the load delta.
+    Extended,
+    /// Rebuilt from scratch (first use, or a delta the incremental path
+    /// cannot handle — see [`Session`]'s artifact docs).
+    Rebuilt,
+}
+
+impl fmt::Display for ArtifactProvenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArtifactProvenance::Current => "current",
+            ArtifactProvenance::Extended => "extended",
+            ArtifactProvenance::Rebuilt => "rebuilt",
+        })
+    }
+}
+
+/// How a saturated bottom-up model was obtained for a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelProvenance {
+    /// A cached model current for this epoch was served as-is.
+    Reused,
+    /// A complete model from an earlier epoch was resumed by seeding the
+    /// fixpoint with the load delta.
+    Resumed,
+    /// Computed from scratch.
+    Computed,
+}
+
+impl fmt::Display for ModelProvenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ModelProvenance::Reused => "reused",
+            ModelProvenance::Resumed => "resumed",
+            ModelProvenance::Computed => "computed",
+        })
     }
 }
 
@@ -288,6 +343,257 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// Wall time of one pipeline phase inside [`Session::explain`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// Phase name (`parse`, `translate`, `compile`, `model`, `evaluate`).
+    pub name: &'static str,
+    /// Wall time in microseconds.
+    pub micros: u64,
+}
+
+/// Provenance of one artifact consulted by the profiled query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArtifactNote {
+    /// Artifact name (`translation`, `compiled`, `direct`, `model`).
+    pub artifact: &'static str,
+    /// How it was brought up to date (`current` / `extended` / `rebuilt`,
+    /// or `reused` / `resumed` / `computed` for models).
+    pub provenance: String,
+}
+
+/// Tuples one rule produced during the profiled evaluation. What a
+/// "tuple" is depends on the strategy: derived facts before dedup for the
+/// bottom-up strategies, successful head unifications for SLD and the
+/// direct engine, table answers for tabling. Zero-count rules are
+/// omitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleTuples {
+    /// The rule, rendered. For [`Strategy::Magic`] this is a rule of the
+    /// *rewritten* program (magic/supplementary predicates included).
+    pub rule: String,
+    /// Tuples produced by that rule.
+    pub tuples: u64,
+}
+
+/// The governor budget the profiled evaluation ran under, and what it
+/// consumed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BudgetUse {
+    /// Wall-clock ceiling, in milliseconds, if any.
+    pub deadline_ms: Option<u64>,
+    /// Step ceiling, if any.
+    pub max_steps: Option<u64>,
+    /// Derived-fact / answer ceiling, if any.
+    pub max_facts: Option<u64>,
+    /// Heap ceiling in bytes, if any.
+    pub max_memory_bytes: Option<u64>,
+    /// True when the ceilings were injected by the termination guard
+    /// (skolem-function recursion detected) rather than configured.
+    pub guard_injected: bool,
+    /// Wall time the evaluation phase actually spent, in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// What [`Session::explain`] found: an EXPLAIN-style profile of one query
+/// under one strategy.
+///
+/// The profile is built by *evaluating the query for real* — bypassing
+/// the answer cache but reporting whether it would have hit — with a
+/// fresh metrics registry attached, so [`QueryProfile::metrics`] holds
+/// exactly this evaluation's engine counters. Render it with
+/// [`Render::render_text`] (the REPL's `:explain`) or
+/// [`Render::render_json`].
+#[derive(Clone, Debug)]
+pub struct QueryProfile {
+    /// The query, canonicalized.
+    pub query: String,
+    /// Strategy profiled.
+    pub strategy: Strategy,
+    /// Session epoch at profile time.
+    pub epoch: u64,
+    /// Whether [`Session::query`] would have served this from the answer
+    /// cache instead of evaluating.
+    pub cache_would_hit: bool,
+    /// Wall time per pipeline phase, in pipeline order.
+    pub phases: Vec<PhaseTiming>,
+    /// Provenance of each artifact the strategy consulted.
+    pub artifacts: Vec<ArtifactNote>,
+    /// Per-rule tuple production (zero-count rules omitted). For a
+    /// [`ModelProvenance::Reused`]/`Resumed` bottom-up model the counts
+    /// are cumulative over the model's whole life, not this query alone —
+    /// the `model` artifact note says which case applies.
+    pub rules: Vec<RuleTuples>,
+    /// Answers the evaluation produced.
+    pub answers: usize,
+    /// Whether the search space was fully explored.
+    pub complete: bool,
+    /// Why evaluation stopped early, when `complete` is false.
+    pub degradation: Option<Degradation>,
+    /// Budget ceilings and consumption.
+    pub budget: BudgetUse,
+    /// Engine metrics flushed during this evaluation only.
+    pub metrics: MetricsSnapshot,
+}
+
+impl Render for QueryProfile {
+    fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "EXPLAIN {} [strategy: {:?}, epoch {}]\n",
+            self.query, self.strategy, self.epoch
+        ));
+        out.push_str(&format!(
+            "  cache: {}\n",
+            if self.cache_would_hit {
+                "would hit (bypassed for profiling)"
+            } else {
+                "miss"
+            }
+        ));
+        out.push_str("  phases:\n");
+        for p in &self.phases {
+            out.push_str(&format!("    {:<10} {:>8} µs\n", p.name, p.micros));
+        }
+        if !self.artifacts.is_empty() {
+            out.push_str("  artifacts:\n");
+            for a in &self.artifacts {
+                out.push_str(&format!("    {:<12} {}\n", a.artifact, a.provenance));
+            }
+        }
+        if !self.rules.is_empty() {
+            out.push_str("  rules (tuples produced):\n");
+            for r in &self.rules {
+                out.push_str(&format!("    {:>8}  {}\n", r.tuples, r.rule));
+            }
+        }
+        let b = &self.budget;
+        let mut limits = Vec::new();
+        if let Some(ms) = b.deadline_ms {
+            limits.push(format!("deadline {ms} ms"));
+        }
+        if let Some(s) = b.max_steps {
+            limits.push(format!("max steps {s}"));
+        }
+        if let Some(fa) = b.max_facts {
+            limits.push(format!("max facts {fa}"));
+        }
+        if let Some(m) = b.max_memory_bytes {
+            limits.push(format!("max memory {m} B"));
+        }
+        let limits = if limits.is_empty() {
+            "unlimited".to_string()
+        } else {
+            limits.join(", ")
+        };
+        out.push_str(&format!(
+            "  budget: {}{}; evaluation took {} µs\n",
+            limits,
+            if b.guard_injected {
+                " (termination guard)"
+            } else {
+                ""
+            },
+            b.elapsed_us
+        ));
+        if let Some(d) = &self.degradation {
+            out.push_str(&format!("  degraded: {d}\n"));
+        }
+        out.push_str(&format!(
+            "  answers: {}{}\n",
+            self.answers,
+            if self.complete { " (complete)" } else { " (partial)" }
+        ));
+        let metrics = self.metrics.render_text();
+        if !metrics.is_empty() {
+            out.push_str("  metrics:\n");
+            for line in metrics.lines() {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
+        out
+    }
+
+    fn render_json(&self) -> Json {
+        let opt_u64 = |v: Option<u64>| v.map_or(Json::Null, Json::U64);
+        Json::Object(vec![
+            ("query".into(), Json::str(self.query.clone())),
+            ("strategy".into(), Json::str(format!("{:?}", self.strategy))),
+            ("epoch".into(), Json::U64(self.epoch)),
+            ("cache_would_hit".into(), Json::Bool(self.cache_would_hit)),
+            (
+                "phases".into(),
+                Json::Array(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::Object(vec![
+                                ("name".into(), Json::str(p.name)),
+                                ("micros".into(), Json::U64(p.micros)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "artifacts".into(),
+                Json::Array(
+                    self.artifacts
+                        .iter()
+                        .map(|a| {
+                            Json::Object(vec![
+                                ("artifact".into(), Json::str(a.artifact)),
+                                ("provenance".into(), Json::str(a.provenance.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "rules".into(),
+                Json::Array(
+                    self.rules
+                        .iter()
+                        .map(|r| {
+                            Json::Object(vec![
+                                ("rule".into(), Json::str(r.rule.clone())),
+                                ("tuples".into(), Json::U64(r.tuples)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("answers".into(), Json::U64(self.answers as u64)),
+            ("complete".into(), Json::Bool(self.complete)),
+            (
+                "degradation".into(),
+                match &self.degradation {
+                    Some(d) => d.render_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "budget".into(),
+                Json::Object(vec![
+                    ("deadline_ms".into(), opt_u64(self.budget.deadline_ms)),
+                    ("max_steps".into(), opt_u64(self.budget.max_steps)),
+                    ("max_facts".into(), opt_u64(self.budget.max_facts)),
+                    (
+                        "max_memory_bytes".into(),
+                        opt_u64(self.budget.max_memory_bytes),
+                    ),
+                    (
+                        "guard_injected".into(),
+                        Json::Bool(self.budget.guard_injected),
+                    ),
+                    ("elapsed_us".into(), Json::U64(self.budget.elapsed_us)),
+                ]),
+            ),
+            ("metrics".into(), self.metrics.render_json()),
+        ])
+    }
+}
+
 /// The translated first-order program together with the state needed to
 /// extend it when the next load epoch arrives.
 struct TranslatedArtifact {
@@ -306,6 +612,10 @@ struct TranslatedArtifact {
     /// analysis is linear in the program, so it runs once per (re-)
     /// translation instead of once per query.
     may_diverge: bool,
+    /// Translation counters already flushed to the metrics registry;
+    /// flushing reports only the delta since this snapshot, so counters
+    /// measure marginal work per load rather than re-reporting totals.
+    stats_flushed: TranslationStats,
     fo: FoProgram,
 }
 
@@ -443,7 +753,9 @@ impl Session {
         storage: Box<dyn Storage>,
         options: SessionOptions,
     ) -> Result<(Session, RecoveryReport), SessionError> {
-        let opened = DurableLog::open(storage)?;
+        let obs = options.obs.clone();
+        let mut span = obs.tracer.span("session.recover");
+        let opened = DurableLog::open_with(storage, obs.clone())?;
         let mut report = opened.report;
         let mut log = opened.log;
         let mut session = Session::with_options(options);
@@ -498,6 +810,17 @@ impl Session {
         report.recovered_epoch = session.epoch;
         session.durable = Some(log);
         session.loads_since_snapshot = kept;
+        let m = &obs.metrics;
+        m.counter("session.recovery.runs").inc();
+        m.counter("session.recovery.records_replayed")
+            .add(report.records_replayed as u64);
+        m.counter("session.recovery.records_skipped")
+            .add(report.records_skipped as u64);
+        m.counter("session.recovery.issues")
+            .add(report.issues.len() as u64);
+        span.record("epoch", report.recovered_epoch);
+        span.record("replayed", report.records_replayed as u64);
+        span.record("clean", u64::from(report.is_clean()));
         Ok((session, report))
     }
 
@@ -507,6 +830,7 @@ impl Session {
     pub fn save(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), SessionError> {
         let storage = FileStorage::create(path)?;
         let mut log = DurableLog::create(Box::new(storage))?;
+        log.set_obs(self.options.obs.clone());
         log.compact(&self.snapshot_record())?;
         self.durable = Some(log);
         self.loads_since_snapshot = 0;
@@ -655,6 +979,12 @@ impl Session {
     /// Loads an already-built program (cumulative). Bumps the session
     /// epoch; compiled artefacts catch up incrementally on next use.
     pub fn load_program(&mut self, mut p: Program) {
+        let mut span = self
+            .options
+            .obs
+            .tracer
+            .span_with("session.load", vec![("clauses", p.clauses.len().into())]);
+        let skolems_before = self.skolem_counter;
         if self.options.auto_skolemize {
             let taken = self.program.signature().functions;
             let (sk, reports) = auto_skolemize_from(&p, &mut self.skolem_counter, &taken);
@@ -671,6 +1001,17 @@ impl Session {
         // Prior-epoch answers can never be served again (the cache key
         // includes the epoch), so drop them.
         self.answer_cache.clear();
+        let m = &self.options.obs.metrics;
+        m.counter("session.loads").inc();
+        m.gauge("session.epoch").set(self.epoch);
+        m.gauge("session.program_clauses")
+            .set(self.program.clauses.len() as u64);
+        let minted = (self.skolem_counter - skolems_before) as u64;
+        if minted > 0 {
+            m.counter("session.skolems_minted").add(minted);
+        }
+        span.record("epoch", self.epoch);
+        span.record("skolems_minted", minted);
     }
 
     /// The loaded program (after skolemization).
@@ -692,6 +1033,18 @@ impl Session {
     /// Answer-cache hit/miss counters (cumulative over the session).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache_stats
+    }
+
+    /// The session's observability handle (configure it via
+    /// [`SessionOptions::obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.options.obs
+    }
+
+    /// A snapshot of every metric the session and its engines have
+    /// recorded (the REPL's `:metrics`).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.options.obs.metrics.snapshot()
     }
 
     /// Fixpoint statistics of the cached bottom-up model for a strategy,
@@ -722,15 +1075,10 @@ impl Session {
     /// invalidated), when the previous build's dead-clause elimination
     /// actually dropped clauses (a global analysis the delta may
     /// re-legitimize), or when the cumulative program uses negation.
-    fn ensure_translated(&mut self) {
-        enum Plan {
-            Current,
-            Extend,
-            Rebuild,
-        }
+    fn ensure_translated(&mut self) -> ArtifactProvenance {
         let plan = match &self.translated {
-            None => Plan::Rebuild,
-            Some(t) if t.epoch == self.epoch => Plan::Current,
+            None => ArtifactProvenance::Rebuilt,
+            Some(t) if t.epoch == self.epoch => ArtifactProvenance::Current,
             Some(t) => {
                 let extendable = if self.options.optimize_translation {
                     self.program.subtype_decls.len() == t.subtypes
@@ -740,16 +1088,16 @@ impl Session {
                     true
                 };
                 if extendable {
-                    Plan::Extend
+                    ArtifactProvenance::Extended
                 } else {
-                    Plan::Rebuild
+                    ArtifactProvenance::Rebuilt
                 }
             }
         };
         let tr = Transformer::new();
         match plan {
-            Plan::Current => {}
-            Plan::Extend => {
+            ArtifactProvenance::Current => return plan,
+            ArtifactProvenance::Extended => {
                 let t = self.translated.as_mut().expect("extend plan");
                 if self.options.optimize_translation {
                     Optimizer::new(&self.program).extend_optimized(
@@ -765,7 +1113,7 @@ impl Session {
                 t.subtypes = self.program.subtype_decls.len();
                 t.may_diverge = clogic_core::termination::may_diverge(&t.fo);
             }
-            Plan::Rebuild => {
+            ArtifactProvenance::Rebuilt => {
                 let generation = self.translated.as_ref().map_or(0, |t| t.generation + 1);
                 let (fo, state) = if self.options.optimize_translation {
                     Optimizer::new(&self.program).optimized_program_with_state(&tr, &self.program)
@@ -778,10 +1126,80 @@ impl Session {
                     subtypes: self.program.subtype_decls.len(),
                     state,
                     may_diverge: clogic_core::termination::may_diverge(&fo),
+                    stats_flushed: TranslationStats::default(),
                     fo,
                 });
             }
         }
+        self.flush_translation_metrics();
+        plan
+    }
+
+    /// Flushes the translation counters accumulated since the last flush
+    /// into the metrics registry (`core.translate.*` / `core.optimize.*`).
+    /// clogic-core stays dependency-free, so the session does the flush.
+    fn flush_translation_metrics(&mut self) {
+        let t = self.translated.as_mut().expect("ensured");
+        let cur = t.state.stats.clone();
+        let prev = &t.stats_flushed;
+        let m = &self.options.obs.metrics;
+        let flush = |name: &str, now: u64, before: u64| {
+            let delta = now.saturating_sub(before);
+            if delta > 0 {
+                m.counter(name).add(delta);
+            }
+        };
+        flush(
+            "core.translate.clauses_transformed",
+            cur.clauses_transformed,
+            prev.clauses_transformed,
+        );
+        flush(
+            "core.translate.clauses_emitted",
+            cur.clauses_emitted,
+            prev.clauses_emitted,
+        );
+        flush(
+            "core.translate.duplicates_suppressed",
+            cur.duplicates_suppressed,
+            prev.duplicates_suppressed,
+        );
+        flush(
+            "core.translate.type_axioms",
+            cur.type_axioms_emitted,
+            prev.type_axioms_emitted,
+        );
+        flush(
+            "core.translate.aux_clauses",
+            cur.aux_clauses,
+            prev.aux_clauses,
+        );
+        flush(
+            "core.optimize.rule1_deletions",
+            cur.rule1_deletions,
+            prev.rule1_deletions,
+        );
+        flush(
+            "core.optimize.rule2_deletions",
+            cur.rule2_deletions,
+            prev.rule2_deletions,
+        );
+        flush(
+            "core.optimize.rule3_object_prunes",
+            cur.rule3_object_prunes,
+            prev.rule3_object_prunes,
+        );
+        flush(
+            "core.optimize.clauses_subsumed",
+            cur.clauses_subsumed,
+            prev.clauses_subsumed,
+        );
+        flush(
+            "core.optimize.dead_clauses_removed",
+            cur.dead_clauses_removed,
+            prev.dead_clauses_removed,
+        );
+        t.stats_flushed = cur;
     }
 
     /// The translated first-order program (Theorem 1), optimized per the
@@ -795,15 +1213,24 @@ impl Session {
     /// from scratch only when the translation's generation changed,
     /// otherwise new translated clauses are pushed into the existing
     /// indexes.
-    fn ensure_compiled(&mut self) {
+    fn ensure_compiled(&mut self) -> ArtifactProvenance {
         self.ensure_translated();
         let t = self.translated.as_ref().expect("ensured");
+        let m = &self.options.obs.metrics;
         match &mut self.compiled_fo {
             Some(c) if c.generation == t.generation => {
-                for clause in &t.fo.clauses[c.fo_len.min(t.fo.clauses.len())..] {
+                let from = c.fo_len.min(t.fo.clauses.len());
+                let pushed = t.fo.clauses.len() - from;
+                for clause in &t.fo.clauses[from..] {
                     c.cp.push_clause(clause);
                 }
                 c.fo_len = t.fo.clauses.len();
+                if pushed == 0 {
+                    ArtifactProvenance::Current
+                } else {
+                    m.counter("folog.index.clauses_pushed").add(pushed as u64);
+                    ArtifactProvenance::Extended
+                }
             }
             _ => {
                 self.compiled_fo = Some(CompiledArtifact {
@@ -811,6 +1238,8 @@ impl Session {
                     fo_len: t.fo.clauses.len(),
                     cp: CompiledProgram::compile(&t.fo, builtin_symbols()),
                 });
+                m.counter("folog.index.builds").inc();
+                ArtifactProvenance::Rebuilt
             }
         }
     }
@@ -819,15 +1248,18 @@ impl Session {
     /// delta clauses are compiled and their ground facts merged into the
     /// clustered store (indexes are appended to, not rebuilt); the type
     /// hierarchy is refreshed from the cumulative program.
-    fn ensure_direct(&mut self) {
+    fn ensure_direct(&mut self) -> ArtifactProvenance {
+        let m = &self.options.obs.metrics;
         match &mut self.direct {
-            Some(d) if d.epoch == self.epoch => {}
+            Some(d) if d.epoch == self.epoch => ArtifactProvenance::Current,
             Some(d) => {
                 d.dp.objects.set_epoch(self.epoch);
                 d.dp.preds.set_epoch(self.epoch);
                 d.dp.extend(&self.program, d.clauses);
                 d.epoch = self.epoch;
                 d.clauses = self.program.clauses.len();
+                m.counter("engine.index.extends").inc();
+                ArtifactProvenance::Extended
             }
             None => {
                 let mut dp = DirectProgram::compile(&self.program, builtin_symbols());
@@ -838,6 +1270,8 @@ impl Session {
                     clauses: self.program.clauses.len(),
                     dp,
                 });
+                m.counter("engine.index.builds").inc();
+                ArtifactProvenance::Rebuilt
             }
         }
     }
@@ -852,7 +1286,7 @@ impl Session {
         &mut self,
         fs: FixpointStrategy,
         opts: FixpointOptions,
-    ) -> Result<(), SessionError> {
+    ) -> Result<ModelProvenance, SessionError> {
         self.ensure_compiled();
         let gen = self.translated.as_ref().expect("ensured").generation;
         let cp = &self.compiled_fo.as_ref().expect("ensured").cp;
@@ -862,15 +1296,16 @@ impl Session {
             .get(&fs)
             .is_some_and(|m| m.epoch == self.epoch && m.generation == gen && m.rules == rules)
         {
-            return Ok(());
+            return Ok(ModelProvenance::Reused);
         }
         let prev = self.models.remove(&fs);
         let cp = &self.compiled_fo.as_ref().expect("ensured").cp;
-        let ev = match prev {
-            Some(m) if m.generation == gen && m.rules <= rules && m.ev.complete => {
-                folog::evaluate_delta(cp, m.ev, m.rules, opts)?
-            }
-            _ => folog::evaluate(cp, opts)?,
+        let (ev, provenance) = match prev {
+            Some(m) if m.generation == gen && m.rules <= rules && m.ev.complete => (
+                folog::evaluate_delta(cp, m.ev, m.rules, opts)?,
+                ModelProvenance::Resumed,
+            ),
+            _ => (folog::evaluate(cp, opts)?, ModelProvenance::Computed),
         };
         self.models.insert(
             fs,
@@ -881,7 +1316,7 @@ impl Session {
                 ev,
             },
         );
-        Ok(())
+        Ok(provenance)
     }
 
     /// Translates a query for the first-order strategies (positive goals
@@ -926,9 +1361,15 @@ impl Session {
         let key = (self.epoch, strategy, q.to_string());
         if let Some(hit) = self.answer_cache.get(&key) {
             self.cache_stats.hits += 1;
+            self.options.obs.metrics.counter("session.cache.hits").inc();
             return Ok(hit.clone());
         }
         self.cache_stats.misses += 1;
+        self.options
+            .obs
+            .metrics
+            .counter("session.cache.misses")
+            .inc();
         let answers = self.answer_uncached(q, strategy)?;
         if answers.complete {
             self.answer_cache.insert(key, answers.clone());
@@ -941,6 +1382,7 @@ impl Session {
             Strategy::Direct => {
                 let mut opts = self.options.direct.clone();
                 opts.budget = self.effective_budget(&opts.budget);
+                opts.obs = self.options.obs.clone();
                 self.ensure_direct();
                 let dp = &self.direct.as_ref().expect("ensured").dp;
                 let r = DirectEngine::new(dp, opts).solve(q)?;
@@ -961,6 +1403,7 @@ impl Session {
                 let (goals, neg_goals) = tr.query_parts(q, &mut aux, &mut counter);
                 let mut opts = self.options.sld.clone();
                 opts.budget = self.effective_budget(&opts.budget);
+                opts.obs = self.options.obs.clone();
                 self.ensure_compiled();
                 let art = self.compiled_fo.as_mut().expect("ensured");
                 let r = if aux.is_empty() {
@@ -1003,6 +1446,7 @@ impl Session {
                     ..self.options.fixpoint.clone()
                 };
                 opts.budget = self.effective_budget(&opts.budget);
+                opts.obs = self.options.obs.clone();
                 self.ensure_model(fs, opts.clone())?;
                 if aux.is_empty() {
                     let ev = &self.models.get(&fs).expect("ensured").ev;
@@ -1058,6 +1502,7 @@ impl Session {
                 let goals = self.translate_query(q);
                 let mut opts = self.options.tabling.clone();
                 opts.budget = self.effective_budget(&opts.budget);
+                opts.obs = self.options.obs.clone();
                 self.ensure_compiled();
                 let cp = &self.compiled_fo.as_ref().expect("ensured").cp;
                 let r = TabledEngine::new(cp, opts).solve(&goals)?;
@@ -1080,6 +1525,7 @@ impl Session {
                 let goals = self.translate_query(q);
                 let mut opts = self.options.fixpoint.clone();
                 opts.budget = self.effective_budget(&opts.budget);
+                opts.obs = self.options.obs.clone();
                 // The magic rewrite is query-specific, so there is no
                 // model to reuse — but the translated program itself is
                 // borrowed, not cloned.
@@ -1100,4 +1546,345 @@ impl Session {
             }
         }
     }
+
+    /// Profiles one query under one strategy: per-phase wall time,
+    /// artifact provenance, per-rule tuple counts, governor budget
+    /// consumption, and the engine metrics of exactly this evaluation.
+    ///
+    /// The query is **evaluated for real** with a fresh metrics registry
+    /// attached; the session's answer cache is bypassed (but
+    /// [`QueryProfile::cache_would_hit`] reports whether a plain
+    /// [`Session::query`] would have been served from it), and the result
+    /// is *not* inserted into the cache — profiling leaves the session's
+    /// caching behavior unchanged.
+    ///
+    /// ```
+    /// use clogic::session::{Session, Strategy};
+    /// use clogic::obs::Render;
+    ///
+    /// let mut s = Session::new();
+    /// s.load("person: john[children => {bob, bill}].").unwrap();
+    /// let profile = s
+    ///     .explain("john[children => {bob, bill}]", Strategy::BottomUpSemiNaive)
+    ///     .unwrap();
+    /// assert_eq!(profile.answers, 1);
+    /// assert!(profile.complete);
+    /// println!("{}", profile.render_text()); // the REPL's `:explain`
+    /// ```
+    pub fn explain(&mut self, src: &str, strategy: Strategy) -> Result<QueryProfile, SessionError> {
+        let t0 = Instant::now();
+        let q = parse_query(src)?;
+        let parse_us = t0.elapsed().as_micros() as u64;
+        let cache_would_hit = self
+            .answer_cache
+            .contains_key(&(self.epoch, strategy, q.to_string()));
+
+        // A fresh registry so the profile's metrics cover exactly this
+        // evaluation; the session's own registry is untouched by it.
+        let obs = Obs::new();
+        let mut phases = vec![PhaseTiming {
+            name: "parse",
+            micros: parse_us,
+        }];
+        let mut artifacts = Vec::new();
+
+        // Every strategy consults the translation (the direct engine only
+        // for the termination-guard analysis), so time it as its own
+        // phase.
+        let t = Instant::now();
+        let translated = self.ensure_translated();
+        phases.push(PhaseTiming {
+            name: "translate",
+            micros: t.elapsed().as_micros() as u64,
+        });
+        artifacts.push(ArtifactNote {
+            artifact: "translation",
+            provenance: translated.to_string(),
+        });
+
+        let rules;
+        let answers;
+        let complete;
+        let degradation;
+        let eff_budget;
+        let guard_injected;
+        let eval_us;
+
+        match strategy {
+            Strategy::Direct => {
+                let mut opts = self.options.direct.clone();
+                let base = opts.budget.merged(&self.options.budget);
+                opts.budget = self.effective_budget(&opts.budget);
+                guard_injected = opts.budget.deadline != base.deadline
+                    || opts.budget.max_facts != base.max_facts;
+                eff_budget = opts.budget.clone();
+                opts.obs = obs.clone();
+                let t = Instant::now();
+                let prov = self.ensure_direct();
+                phases.push(PhaseTiming {
+                    name: "compile",
+                    micros: t.elapsed().as_micros() as u64,
+                });
+                artifacts.push(ArtifactNote {
+                    artifact: "direct",
+                    provenance: prov.to_string(),
+                });
+                let t = Instant::now();
+                let dp = &self.direct.as_ref().expect("ensured").dp;
+                let r = DirectEngine::new(dp, opts).solve(&q)?;
+                eval_us = t.elapsed().as_micros() as u64;
+                rules = rule_tuples(&r.per_rule, |i| {
+                    self.program
+                        .clauses
+                        .get(i)
+                        .map_or_else(|| format!("clause #{i}"), |c| c.to_string())
+                });
+                answers = r.answers.len();
+                complete = r.complete;
+                degradation = r.degradation;
+            }
+            Strategy::Sld => {
+                let tr = Transformer::new();
+                let mut aux = Vec::new();
+                let mut counter = 0;
+                let (goals, neg_goals) = tr.query_parts(&q, &mut aux, &mut counter);
+                let mut opts = self.options.sld.clone();
+                let base = opts.budget.merged(&self.options.budget);
+                opts.budget = self.effective_budget(&opts.budget);
+                guard_injected = opts.budget.deadline != base.deadline
+                    || opts.budget.max_facts != base.max_facts;
+                eff_budget = opts.budget.clone();
+                opts.obs = obs.clone();
+                let t = Instant::now();
+                let prov = self.ensure_compiled();
+                phases.push(PhaseTiming {
+                    name: "compile",
+                    micros: t.elapsed().as_micros() as u64,
+                });
+                artifacts.push(ArtifactNote {
+                    artifact: "compiled",
+                    provenance: prov.to_string(),
+                });
+                let t = Instant::now();
+                let art = self.compiled_fo.as_mut().expect("ensured");
+                let base_rules = art.cp.rules.len();
+                for c in &aux {
+                    art.cp.push_clause(c);
+                }
+                let r = SldEngine::new(&art.cp, opts).solve_with_negation(&goals, &neg_goals);
+                let labels: Vec<String> = art.cp.rules.iter().map(|r| r.to_string()).collect();
+                art.cp.truncate(base_rules);
+                let r = r?;
+                eval_us = t.elapsed().as_micros() as u64;
+                rules = rule_tuples(&r.per_rule, |i| {
+                    labels
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| format!("rule #{i}"))
+                });
+                answers = r.answers.len();
+                complete = r.complete;
+                degradation = r.degradation;
+            }
+            Strategy::BottomUpNaive | Strategy::BottomUpSemiNaive => {
+                let tr = Transformer::new();
+                let mut aux = Vec::new();
+                let mut counter = 0;
+                let (goals, neg_goals) = tr.query_parts(&q, &mut aux, &mut counter);
+                let fs = if strategy == Strategy::BottomUpNaive {
+                    FixpointStrategy::Naive
+                } else {
+                    FixpointStrategy::SemiNaive
+                };
+                let mut opts = FixpointOptions {
+                    strategy: fs,
+                    ..self.options.fixpoint.clone()
+                };
+                let base = opts.budget.merged(&self.options.budget);
+                opts.budget = self.effective_budget(&opts.budget);
+                guard_injected = opts.budget.deadline != base.deadline
+                    || opts.budget.max_facts != base.max_facts;
+                eff_budget = opts.budget.clone();
+                opts.obs = obs.clone();
+                let t = Instant::now();
+                self.ensure_compiled();
+                let prov = self.ensure_model(fs, opts.clone())?;
+                phases.push(PhaseTiming {
+                    name: "model",
+                    micros: t.elapsed().as_micros() as u64,
+                });
+                artifacts.push(ArtifactNote {
+                    artifact: "model",
+                    provenance: prov.to_string(),
+                });
+                let t = Instant::now();
+                if aux.is_empty() {
+                    let labels: Vec<String> = self
+                        .compiled_fo
+                        .as_ref()
+                        .expect("ensured")
+                        .cp
+                        .rules
+                        .iter()
+                        .map(|r| r.to_string())
+                        .collect();
+                    let ev = &self.models.get(&fs).expect("ensured").ev;
+                    let rows = ev.query_with_negation(&goals, &neg_goals)?;
+                    eval_us = t.elapsed().as_micros() as u64;
+                    rules = rule_tuples(&ev.stats.per_rule, |i| {
+                        labels
+                            .get(i)
+                            .cloned()
+                            .unwrap_or_else(|| format!("rule #{i}"))
+                    });
+                    answers = rows.len();
+                    complete = ev.complete;
+                    degradation = ev.degradation.clone();
+                } else {
+                    // Same overlay dance as the plain query path: aux
+                    // clauses for conjunction-shaped negated goals must
+                    // not contaminate the cached model.
+                    let prev = self.models.get(&fs).expect("ensured");
+                    let art = self.compiled_fo.as_mut().expect("ensured");
+                    let base_rules = art.cp.rules.len();
+                    for c in &aux {
+                        art.cp.push_clause(c);
+                    }
+                    let result = if prev.ev.complete {
+                        folog::evaluate_delta(&art.cp, prev.ev.clone(), base_rules, opts)
+                    } else {
+                        folog::evaluate(&art.cp, opts)
+                    };
+                    let labels: Vec<String> =
+                        art.cp.rules.iter().map(|r| r.to_string()).collect();
+                    art.cp.truncate(base_rules);
+                    let ev = result?;
+                    let rows = ev.query_with_negation(&goals, &neg_goals)?;
+                    eval_us = t.elapsed().as_micros() as u64;
+                    rules = rule_tuples(&ev.stats.per_rule, |i| {
+                        labels
+                            .get(i)
+                            .cloned()
+                            .unwrap_or_else(|| format!("rule #{i}"))
+                    });
+                    answers = rows.len();
+                    complete = ev.complete;
+                    degradation = ev.degradation;
+                }
+            }
+            Strategy::Tabled => {
+                if q.has_negation() {
+                    return Err(SessionError::Unsupported(
+                        "tabled evaluation does not support negation".into(),
+                    ));
+                }
+                let goals = self.translate_query(&q);
+                let mut opts = self.options.tabling.clone();
+                let base = opts.budget.merged(&self.options.budget);
+                opts.budget = self.effective_budget(&opts.budget);
+                guard_injected = opts.budget.deadline != base.deadline
+                    || opts.budget.max_facts != base.max_facts;
+                eff_budget = opts.budget.clone();
+                opts.obs = obs.clone();
+                let t = Instant::now();
+                let prov = self.ensure_compiled();
+                phases.push(PhaseTiming {
+                    name: "compile",
+                    micros: t.elapsed().as_micros() as u64,
+                });
+                artifacts.push(ArtifactNote {
+                    artifact: "compiled",
+                    provenance: prov.to_string(),
+                });
+                let t = Instant::now();
+                let cp = &self.compiled_fo.as_ref().expect("ensured").cp;
+                let r = TabledEngine::new(cp, opts).solve(&goals)?;
+                eval_us = t.elapsed().as_micros() as u64;
+                let program_rules = cp.rules.len();
+                let labels: Vec<String> = cp.rules.iter().map(|r| r.to_string()).collect();
+                rules = rule_tuples(&r.per_rule, |i| {
+                    if i == program_rules {
+                        "__query (goal wrapper)".to_string()
+                    } else {
+                        labels
+                            .get(i)
+                            .cloned()
+                            .unwrap_or_else(|| format!("rule #{i}"))
+                    }
+                });
+                answers = r.answers.len();
+                complete = r.complete;
+                degradation = r.degradation;
+            }
+            Strategy::Magic => {
+                if q.has_negation() {
+                    return Err(SessionError::Unsupported(
+                        "magic sets do not support negation".into(),
+                    ));
+                }
+                let goals = self.translate_query(&q);
+                let mut opts = self.options.fixpoint.clone();
+                let base = opts.budget.merged(&self.options.budget);
+                opts.budget = self.effective_budget(&opts.budget);
+                guard_injected = opts.budget.deadline != base.deadline
+                    || opts.budget.max_facts != base.max_facts;
+                eff_budget = opts.budget.clone();
+                opts.obs = obs.clone();
+                let t = Instant::now();
+                let fo = &self.translated.as_ref().expect("ensured").fo;
+                let builtins = builtin_symbols().collect();
+                let (rows, ev, labels) = solve_magic_labeled(fo, &goals, &builtins, opts)?;
+                eval_us = t.elapsed().as_micros() as u64;
+                rules = rule_tuples(&ev.stats.per_rule, |i| {
+                    labels
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| format!("rule #{i}"))
+                });
+                answers = rows.len();
+                complete = ev.complete;
+                degradation = ev.degradation;
+            }
+        }
+
+        phases.push(PhaseTiming {
+            name: "evaluate",
+            micros: eval_us,
+        });
+        Ok(QueryProfile {
+            query: q.to_string(),
+            strategy,
+            epoch: self.epoch,
+            cache_would_hit,
+            phases,
+            artifacts,
+            rules,
+            answers,
+            complete,
+            degradation,
+            budget: BudgetUse {
+                deadline_ms: eff_budget.deadline.map(|d| d.as_millis() as u64),
+                max_steps: eff_budget.max_steps,
+                max_facts: eff_budget.max_facts.map(|v| v as u64),
+                max_memory_bytes: eff_budget.max_memory_bytes.map(|v| v as u64),
+                guard_injected,
+                elapsed_us: eval_us,
+            },
+            metrics: obs.metrics.snapshot(),
+        })
+    }
+}
+
+/// Zips per-rule tuple counts with rendered rule labels, dropping
+/// zero-count rules.
+fn rule_tuples(per_rule: &[u64], label: impl Fn(usize) -> String) -> Vec<RuleTuples> {
+    per_rule
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(i, &n)| RuleTuples {
+            rule: label(i),
+            tuples: n,
+        })
+        .collect()
 }

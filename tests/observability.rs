@@ -1,0 +1,310 @@
+//! The observability layer end to end: metrics monotonicity across
+//! incremental loads, EXPLAIN fidelity against real query answers on all
+//! six strategies, tracer overhead, stable JSON rendering, and the JSONL
+//! trace sink under storage fault injection.
+
+use clogic::obs::{Json, JsonlSubscriber, NullSubscriber, Obs, Render};
+use clogic::session::{Session, SessionOptions, Strategy};
+use clogic::store::{ChaosStorage, Fault, MemStorage, Storage, StorageSink, TRACE_FILE};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A recursive, function-free program every strategy answers (Direct's
+/// variant loop check flags it incomplete but still enumerates the
+/// reachable answers deterministically).
+const REACH: &str = "edge: a[to => b].\nedge: b[to => c].\nedge: c[to => d].\n\
+                     reach(X, Y) :- edge: X[to => Y].\n\
+                     reach(X, Z) :- edge: X[to => Y], reach(Y, Z).";
+
+/// A recursive *entity-creating* program (§2.1's path example): the rule
+/// heads mint `path` objects with explicit skolem identities.
+const PATH_SKOLEM: &str = "node: a[linkto => b].\nnode: b[linkto => c].\nnode: c[linkto => d].\n\
+     path: id(X, Y)[src => X, dest => Y] :- node: X[linkto => Y].\n\
+     path: id(X, Y)[src => X, dest => Y] :- node: X[linkto => Z], path: id(Z, Y)[src => Z, dest => Y].";
+
+// ---------- metrics monotonicity ----------
+
+#[test]
+fn counters_are_monotone_across_incremental_loads() {
+    let mut s = Session::new();
+    let mut prev = s.metrics();
+    let increments = [
+        "node: a[linkto => b].",
+        "node: b[linkto => c].",
+        "reach(X, Y) :- node: X[linkto => Y].\nreach(X, Z) :- node: X[linkto => Y], reach(Y, Z).",
+        "node: c[linkto => d].",
+    ];
+    for (i, src) in increments.iter().enumerate() {
+        s.load(src).unwrap();
+        s.query("reach(a, Z)", Strategy::BottomUpSemiNaive).unwrap();
+        s.query("reach(a, Z)", Strategy::Direct).unwrap();
+        let cur = s.metrics();
+        // Every counter present before is still present and has not
+        // decreased — counters are monotone by construction, and flushes
+        // across epochs only ever add.
+        for (name, &before) in &prev.counters {
+            let now = cur.counter(name).unwrap_or_else(|| {
+                panic!("counter {name} vanished after load #{i}");
+            });
+            assert!(now >= before, "counter {name} went {before} -> {now}");
+        }
+        prev = cur;
+    }
+    // The load/epoch bookkeeping reflects all four increments.
+    assert_eq!(prev.counter("session.loads"), Some(4));
+    assert_eq!(prev.gauge("session.epoch"), Some(4));
+    // Re-querying the same epoch hits the answer cache.
+    s.query("reach(a, Z)", Strategy::BottomUpSemiNaive).unwrap();
+    assert_eq!(s.metrics().counter("session.cache.hits"), Some(1));
+}
+
+#[test]
+fn translation_metrics_flush_once_per_epoch() {
+    let mut s = Session::new();
+    s.load("person: john[children => {bob, bill}].").unwrap();
+    s.query("person: X", Strategy::Sld).unwrap();
+    let after_first = s.metrics();
+    let emitted = after_first.counter("core.translate.clauses_emitted").unwrap();
+    assert!(emitted > 0);
+    // Querying again (same epoch, cached artifacts) must not re-count
+    // translation work.
+    s.query("person: X", Strategy::Tabled).unwrap();
+    assert_eq!(
+        s.metrics().counter("core.translate.clauses_emitted"),
+        Some(emitted)
+    );
+    // A new load re-translates only the delta.
+    s.load("person: mary.").unwrap();
+    s.query("person: X", Strategy::Sld).unwrap();
+    let after_second = s
+        .metrics()
+        .counter("core.translate.clauses_emitted")
+        .unwrap();
+    assert!(after_second > emitted);
+}
+
+// ---------- EXPLAIN fidelity ----------
+
+#[test]
+fn explain_answer_counts_agree_with_query_on_all_six_strategies() {
+    for strategy in Strategy::ALL {
+        let mut s = Session::new();
+        s.load(REACH).unwrap();
+        let profile = s.explain("reach(a, Z)", strategy).unwrap();
+        let direct = s.query("reach(a, Z)", strategy).unwrap();
+        assert_eq!(
+            profile.answers,
+            direct.rows.len(),
+            "explain vs query disagree under {strategy:?}"
+        );
+        assert_eq!(profile.complete, direct.complete, "{strategy:?}");
+        assert_eq!(profile.strategy, strategy);
+        // Phase structure: parse and translate always, evaluate last.
+        let names: Vec<&str> = profile.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names[0], "parse", "{strategy:?}");
+        assert_eq!(names[1], "translate", "{strategy:?}");
+        assert_eq!(*names.last().unwrap(), "evaluate", "{strategy:?}");
+        assert!(!profile.artifacts.is_empty(), "{strategy:?}");
+    }
+}
+
+#[test]
+fn explain_profiles_recursive_entity_creating_query_on_all_six() {
+    // Acceptance: `:explain` on a recursive entity-creating query reports
+    // per-phase timing, per-rule tuple counts, and budget consumption for
+    // every strategy. (SLD needs the termination guard here: the
+    // skolemized recursion is exactly the shape it diverges on, and the
+    // guard's injected deadline must show up in the profile.)
+    for strategy in Strategy::ALL {
+        let mut s = Session::new();
+        s.load(PATH_SKOLEM).unwrap();
+        let profile = s.explain("path: P[src => a]", strategy).unwrap();
+        assert!(
+            profile.phases.iter().all(|p| p.name.is_ascii()),
+            "{strategy:?}"
+        );
+        assert!(
+            profile.phases.iter().any(|p| p.name == "evaluate"),
+            "{strategy:?}"
+        );
+        if profile.complete {
+            assert_eq!(profile.answers, 3, "{strategy:?}");
+        } else {
+            // The termination guard stepped in: the profile must say so.
+            assert!(
+                profile.budget.guard_injected || profile.degradation.is_some(),
+                "{strategy:?} incomplete without a reported cause"
+            );
+        }
+        // Rule-producing strategies attribute tuples to source rules.
+        if matches!(
+            strategy,
+            Strategy::BottomUpNaive | Strategy::BottomUpSemiNaive | Strategy::Magic
+        ) {
+            assert!(!profile.rules.is_empty(), "{strategy:?} lost rule tuples");
+            assert!(profile.rules.iter().all(|r| r.tuples > 0));
+        }
+        // The rendered forms exist and carry the headline facts.
+        let text = profile.render_text();
+        assert!(text.contains("EXPLAIN"), "{strategy:?}");
+        assert!(text.contains("phases:"), "{strategy:?}");
+        assert!(text.contains("budget:"), "{strategy:?}");
+        match profile.render_json() {
+            Json::Object(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                for key in ["query", "strategy", "phases", "rules", "budget", "answers"] {
+                    assert!(keys.contains(&key), "{strategy:?} JSON missing {key}");
+                }
+            }
+            other => panic!("{strategy:?}: profile JSON is not an object: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn explain_bypasses_but_reports_the_answer_cache() {
+    let mut s = Session::new();
+    s.load(REACH).unwrap();
+    let cold = s.explain("reach(a, Z)", Strategy::Tabled).unwrap();
+    assert!(!cold.cache_would_hit);
+    // explain() itself must not have populated the cache…
+    let stats = s.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (0, 0));
+    // …but once a real query has, explain reports the hit it bypasses.
+    s.query("reach(a, Z)", Strategy::Tabled).unwrap();
+    let warm = s.explain("reach(a, Z)", Strategy::Tabled).unwrap();
+    assert!(warm.cache_would_hit);
+    assert_eq!(warm.answers, cold.answers);
+}
+
+#[test]
+fn explain_metrics_cover_exactly_one_evaluation() {
+    let mut s = Session::new();
+    s.load(REACH).unwrap();
+    // Warm everything up so the profile below measures only evaluation.
+    s.query("reach(a, Z)", Strategy::BottomUpSemiNaive).unwrap();
+    let profile = s
+        .explain("reach(a, Z)", Strategy::BottomUpSemiNaive)
+        .unwrap();
+    // The profile's registry is private to the explain call: exactly one
+    // fixpoint query, and none of the session-level counters leak in.
+    assert_eq!(profile.metrics.counter("folog.fixpoint.evaluations"), None);
+    assert_eq!(profile.metrics.counter("session.loads"), None);
+    assert!(profile.metrics.counter("folog.fixpoint.rule_activations").is_none());
+    // (The model was reused, so no new fixpoint ran — the artifact note
+    // says so.)
+    assert!(profile
+        .artifacts
+        .iter()
+        .any(|a| a.artifact == "model" && a.provenance == "reused"));
+}
+
+// ---------- tracer overhead ----------
+
+#[test]
+fn null_subscriber_overhead_is_small() {
+    // The tracer only opens spans at evaluation granularity and engines
+    // flush counters once per run, so tracing into a null subscriber must
+    // cost within a few percent of the quiet configuration. Measured as
+    // best-of-N to shed scheduler noise; the release-mode bench enforces
+    // the strict 5% acceptance bound.
+    fn workload(obs: Obs) -> std::time::Duration {
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..7 {
+            let start = Instant::now();
+            let mut s = Session::with_options(SessionOptions {
+                obs: obs.clone(),
+                ..SessionOptions::default()
+            });
+            s.load(REACH).unwrap();
+            for strategy in [
+                Strategy::BottomUpSemiNaive,
+                Strategy::Tabled,
+                Strategy::Magic,
+            ] {
+                let r = s.query("reach(a, Z)", strategy).unwrap();
+                assert_eq!(r.rows.len(), 3);
+            }
+            best = best.min(start.elapsed());
+        }
+        best
+    }
+    let quiet = workload(Obs::new());
+    let traced = workload(Obs::with_subscriber(Arc::new(NullSubscriber)));
+    let ratio = traced.as_secs_f64() / quiet.as_secs_f64().max(1e-9);
+    // Debug builds and shared CI runners jitter; 25% here is the smoke
+    // bound, the bench asserts the real 5% one on release code.
+    assert!(
+        ratio <= 1.25,
+        "null-subscriber tracing cost {:.1}% (quiet {quiet:?}, traced {traced:?})",
+        (ratio - 1.0) * 100.0
+    );
+}
+
+// ---------- JSONL sink under faults ----------
+
+fn traced_session(storage: impl Storage + 'static) -> (Session, Arc<JsonlSubscriber>) {
+    let sink = StorageSink::new(Box::new(storage));
+    let sub = Arc::new(JsonlSubscriber::new(Box::new(sink)));
+    let obs = Obs::with_subscriber(sub.clone());
+    let s = Session::with_options(SessionOptions {
+        obs,
+        ..SessionOptions::default()
+    });
+    (s, sub)
+}
+
+#[test]
+fn jsonl_sink_streams_valid_lines_into_storage() {
+    let mem = MemStorage::new();
+    let (mut s, sub) = traced_session(mem.clone());
+    s.load(REACH).unwrap();
+    s.query("reach(a, Z)", Strategy::BottomUpSemiNaive).unwrap();
+    assert!(sub.written() > 0);
+    assert_eq!(sub.errors(), 0);
+    let mut mem = mem;
+    let bytes = mem.read(TRACE_FILE).unwrap().expect("trace file exists");
+    let text = String::from_utf8(bytes).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len() as u64, sub.written());
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    assert!(text.contains("session.load"), "missing load span: {text}");
+}
+
+#[test]
+fn jsonl_sink_survives_chaos_storage_faults() {
+    for fault in [
+        Fault::Fail,
+        Fault::ShortWrite,
+        Fault::DuplicateAppend,
+        Fault::TruncateTail,
+    ] {
+        let mem = MemStorage::new();
+        let chaotic = ChaosStorage::new(mem.clone(), 2, fault);
+        let (mut s, sub) = traced_session(chaotic);
+        // The faulting trace sink must never disturb evaluation.
+        s.load(REACH).unwrap();
+        let r = s.query("reach(a, Z)", Strategy::Tabled).unwrap();
+        assert_eq!(r.rows.len(), 3, "{fault:?} disturbed answers");
+        assert!(sub.written() > 0, "{fault:?}");
+        if fault == Fault::Fail {
+            assert_eq!(sub.errors(), 1, "hard fault not counted");
+        }
+        // Whatever made it to storage is still line-structured JSON: a
+        // short write may tear the *last* line, but every earlier one
+        // stays intact because appends are whole lines.
+        let mut mem = mem;
+        if let Some(bytes) = mem.read(TRACE_FILE).unwrap() {
+            let text = String::from_utf8_lossy(&bytes).into_owned();
+            let lines: Vec<&str> = text.lines().collect();
+            for line in lines.iter().take(lines.len().saturating_sub(1)) {
+                assert!(
+                    line.starts_with('{') && line.ends_with('}'),
+                    "{fault:?}: non-terminal line torn: {line}"
+                );
+            }
+        }
+    }
+}
