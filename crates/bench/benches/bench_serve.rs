@@ -1,0 +1,150 @@
+//! E9 — serving throughput: the shared (`&self`) query path through the
+//! `clogic-serve` thread pool vs the same workload run serially.
+//!
+//! The design claim under test: after `Session::prepare`, queries touch
+//! only immutable epoch-stamped artifacts, so a pool of workers scales
+//! query throughput without re-deriving anything — and with zero faults
+//! the serving layer's robustness machinery stays entirely off the books
+//! (no sheds, no retries, no breaker transitions).
+//!
+//! Hand-written harness (`harness = false`): `--test` runs a small smoke
+//! configuration for CI; either mode dumps `BENCH_serve.json` at the
+//! workspace root. Answer counts are cross-checked between every
+//! configuration, so a speedup can never come from dropped work.
+
+use clogic::folog::Budget;
+use clogic::{Session, SessionOptions, Strategy};
+use clogic_bench::graphs;
+use clogic_bench::measure::{dump_json, print_table, us};
+use clogic_serve::{ServeOptions, Server};
+use std::time::{Duration, Instant};
+
+/// The job mix: one endpoint query per chain, under a strategy rotation
+/// that mixes cheap saturated-model reads with per-query evaluations
+/// (tabling, magic sets), repeated `reps` times.
+fn jobs(chains: usize, reps: usize) -> Vec<(String, Strategy)> {
+    let rotation = [Strategy::BottomUpSemiNaive, Strategy::Tabled, Strategy::Magic];
+    let mut out = Vec::new();
+    for r in 0..reps {
+        for c in 0..chains {
+            out.push((
+                format!("path: P[src => c{c}n0, dest => D]"),
+                rotation[(r + c) % rotation.len()],
+            ));
+        }
+    }
+    out
+}
+
+fn session(chains: usize, len: usize) -> Session {
+    let mut s = Session::with_options(SessionOptions {
+        termination_guard: false,
+        ..SessionOptions::default()
+    });
+    s.load_program(graphs::with_rules(
+        &graphs::disjoint_chains(chains, len),
+        graphs::path_rules_by_endpoints(),
+    ));
+    s.prepare().expect("prepare artifacts");
+    s
+}
+
+/// Serial reference: the same shared path the workers use, one thread.
+fn run_serial(s: &Session, jobs: &[(String, Strategy)]) -> (usize, Duration) {
+    let unlimited = Budget::unlimited();
+    let start = Instant::now();
+    let mut rows = 0;
+    for (q, strategy) in jobs {
+        rows += s.query_shared(q, *strategy, &unlimited).expect("query").rows.len();
+    }
+    (rows, start.elapsed())
+}
+
+/// The same jobs through a server with `workers` threads; all submitted
+/// before any ticket is redeemed, so evaluations overlap fully.
+fn run_pool(s: Session, workers: usize, jobs: &[(String, Strategy)]) -> (usize, Duration) {
+    let server = Server::start(
+        s,
+        ServeOptions {
+            workers,
+            queue_depth: jobs.len().max(64),
+            default_deadline: None,
+        },
+    )
+    .expect("start server");
+    let start = Instant::now();
+    let pending: Vec<_> = jobs
+        .iter()
+        .map(|(q, strategy)| server.submit(q, *strategy).expect("submit"))
+        .collect();
+    let mut rows = 0;
+    for p in pending {
+        rows += p.wait().expect("answer").rows.len();
+    }
+    let wall = start.elapsed();
+    let snap = server.obs().metrics.snapshot();
+    assert_eq!(snap.counter("serve.shed").unwrap_or(0), 0, "zero-fault sheds");
+    assert_eq!(snap.counter("serve.retry").unwrap_or(0), 0, "zero-fault retries");
+    assert_eq!(snap.counter("serve.worker_panics").unwrap_or(0), 0);
+    server.shutdown();
+    (rows, wall)
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (chains, len, reps) = if test_mode { (8, 8, 3) } else { (24, 12, 4) };
+    let pool = std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 8));
+    let jobs = jobs(chains, reps);
+
+    let (serial_rows, serial) = run_serial(&session(chains, len), &jobs);
+    let (one_rows, one) = run_pool(session(chains, len), 1, &jobs);
+    let (pool_rows, pooled) = run_pool(session(chains, len), pool, &jobs);
+    assert_eq!(serial_rows, one_rows, "1-worker pool changed answers");
+    assert_eq!(serial_rows, pool_rows, "{pool}-worker pool changed answers");
+
+    let speedup = serial.as_secs_f64() / pooled.as_secs_f64().max(1e-9);
+    let qps = |wall: Duration| jobs.len() as f64 / wall.as_secs_f64().max(1e-9);
+    print_table(
+        "e9_serve (shared-path throughput, zero faults)",
+        &["config", "rows", "wall (us)", "queries/s"],
+        &[
+            vec![
+                "serial (&self path)".into(),
+                serial_rows.to_string(),
+                us(serial),
+                format!("{:.0}", qps(serial)),
+            ],
+            vec![
+                "pool x1".into(),
+                one_rows.to_string(),
+                us(one),
+                format!("{:.0}", qps(one)),
+            ],
+            vec![
+                format!("pool x{pool}"),
+                pool_rows.to_string(),
+                us(pooled),
+                format!("{:.0}", qps(pooled)),
+            ],
+        ],
+    );
+    println!("\npool x{pool} speedup over serial: {speedup:.2}x");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    dump_json(
+        out,
+        &[
+            ("mode", format!("\"{}\"", if test_mode { "test" } else { "full" })),
+            ("chains", chains.to_string()),
+            ("jobs", jobs.len().to_string()),
+            ("rows", serial_rows.to_string()),
+            ("workers", pool.to_string()),
+            ("serial_us", us(serial)),
+            ("pool1_us", us(one)),
+            ("pool_us", us(pooled)),
+            ("speedup", format!("{speedup:.3}")),
+        ],
+    )
+    .expect("dump BENCH_serve.json");
+    println!("wrote {out}");
+}

@@ -78,6 +78,10 @@ pub enum TripKind {
     /// The direct engine pruned a variant loop; the search space was
     /// truncated to keep termination, so answers may be missing.
     VariantLoop,
+    /// A serving front-end refused the request before evaluation started
+    /// (admission queue full). No work was done; resubmit when load
+    /// drops.
+    Shed,
 }
 
 impl TripKind {
@@ -96,6 +100,7 @@ impl TripKind {
             TripKind::Memory => "memory",
             TripKind::Cancelled => "cancelled",
             TripKind::VariantLoop => "variant_loop",
+            TripKind::Shed => "shed",
         }
     }
 }
@@ -113,6 +118,7 @@ impl fmt::Display for TripKind {
             TripKind::Memory => "memory ceiling",
             TripKind::Cancelled => "cancelled",
             TripKind::VariantLoop => "variant loop pruned",
+            TripKind::Shed => "load shed",
         };
         f.write_str(s)
     }

@@ -52,6 +52,22 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Adds 1 atomically — for live occupancy gauges (queue depths,
+    /// in-flight counts) moved from several threads at once.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts 1 atomically, saturating at 0 (a racy double-decrement
+    /// must not wrap an occupancy gauge to `u64::MAX`).
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// The current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)

@@ -41,32 +41,57 @@ impl Fault {
     ];
 }
 
-/// A [`Storage`] wrapper that injects one [`Fault`] at the `trigger`-th
-/// operation (1-based). A trigger of 0 never fires, which turns the
-/// wrapper into a pure operation counter for measuring clean runs.
+/// A [`Storage`] wrapper that injects a [`Fault`] starting at the
+/// `trigger`-th operation (1-based). A trigger of 0 never fires, which
+/// turns the wrapper into a pure operation counter for measuring clean
+/// runs.
+///
+/// Two firing modes:
+///
+/// * [`ChaosStorage::new`] — **one-shot**: the fault fires exactly once,
+///   modelling a process crash or a single disk hiccup followed by a
+///   restart;
+/// * [`ChaosStorage::intermittent`] — **burst**: the fault fires on
+///   `burst` consecutive operations starting at `trigger`, then the
+///   storage *heals* and passes everything through — modelling a flaky
+///   disk or a network mount that drops out and comes back. This is what
+///   exercises retry/backoff paths: a retry loop keeps striking the fault
+///   until the burst is exhausted, then succeeds.
 pub struct ChaosStorage<S> {
     inner: S,
     /// Shared so a sweep can read the count after the storage has been
     /// boxed into (and consumed by) the system under test.
     ops: Arc<AtomicU64>,
     trigger: u64,
+    /// Consecutive faulted operations before the storage heals.
+    burst: u64,
+    /// Faults injected so far (shared for the same reason as `ops`).
+    fired: Arc<AtomicU64>,
     fault: Fault,
-    tripped: bool,
 }
 
 impl<S: Storage> ChaosStorage<S> {
-    /// Wraps `inner`, injecting `fault` at operation number `trigger`.
+    /// Wraps `inner`, injecting `fault` exactly once, at operation number
+    /// `trigger`.
     pub fn new(inner: S, trigger: u64, fault: Fault) -> ChaosStorage<S> {
+        ChaosStorage::intermittent(inner, trigger, 1, fault)
+    }
+
+    /// Wraps `inner`, injecting `fault` on `burst` consecutive operations
+    /// starting at operation number `trigger`, after which the storage
+    /// heals. `burst == 0` behaves like a trigger of 0 (never fires).
+    pub fn intermittent(inner: S, trigger: u64, burst: u64, fault: Fault) -> ChaosStorage<S> {
         ChaosStorage {
             inner,
             ops: Arc::new(AtomicU64::new(0)),
             trigger,
+            burst,
+            fired: Arc::new(AtomicU64::new(0)),
             fault,
-            tripped: false,
         }
     }
 
-    /// Operations performed so far (including the faulted one).
+    /// Operations performed so far (including the faulted ones).
     pub fn ops(&self) -> u64 {
         self.ops.load(Ordering::Relaxed)
     }
@@ -77,24 +102,40 @@ impl<S: Storage> ChaosStorage<S> {
         Arc::clone(&self.ops)
     }
 
-    /// Whether the fault has fired.
+    /// Whether the fault has fired at least once.
     pub fn tripped(&self) -> bool {
-        self.tripped
+        self.fired.load(Ordering::Relaxed) > 0
+    }
+
+    /// Faults injected so far (≤ `burst`); a handle that stays readable
+    /// after the storage moves into the system under test.
+    pub fn fault_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.fired)
+    }
+
+    /// True once the whole burst has been delivered and the storage is
+    /// passing operations through again.
+    pub fn healed(&self) -> bool {
+        self.fired.load(Ordering::Relaxed) >= self.burst
     }
 
     /// Counts one operation; true when the fault fires on it.
     fn strike(&mut self) -> bool {
         let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
-        if !self.tripped && self.trigger != 0 && n == self.trigger {
-            self.tripped = true;
+        let fired = self.fired.load(Ordering::Relaxed);
+        if self.trigger != 0 && n >= self.trigger && fired < self.burst {
+            self.fired.store(fired + 1, Ordering::Relaxed);
             true
         } else {
             false
         }
     }
 
+    /// Injected faults model hiccups a restart (or a retry) can outlive,
+    /// so they are **transient** — this is what lets
+    /// [`RetryingStorage`](crate::retry::RetryingStorage) absorb them.
     fn injected(&self, op: &'static str, file: &str) -> StoreError {
-        StoreError::new(op, file, format!("injected {:?} fault", self.fault))
+        StoreError::transient(op, file, format!("injected {:?} fault", self.fault))
     }
 
     /// Chops up to 3 bytes (but at least 1, when possible) off `file`.
@@ -231,6 +272,40 @@ mod tests {
         let mut chaos = ChaosStorage::new(mem.clone(), 1, Fault::DuplicateAppend);
         chaos.append("f", b"ab").unwrap();
         assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"abab");
+    }
+
+    #[test]
+    fn intermittent_faults_for_burst_then_heals() {
+        let mem = MemStorage::new();
+        let mut chaos = ChaosStorage::intermittent(mem.clone(), 2, 3, Fault::Fail);
+        chaos.append("f", b"a").unwrap(); // op 1: clean
+        assert!(!chaos.tripped());
+        assert!(chaos.append("f", b"b").is_err()); // op 2: fault 1
+        assert!(chaos.append("f", b"c").is_err()); // op 3: fault 2
+        assert!(chaos.append("f", b"d").is_err()); // op 4: fault 3
+        assert!(chaos.tripped());
+        assert!(chaos.healed());
+        chaos.append("f", b"e").unwrap(); // op 5: healed
+        assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"ae");
+        assert_eq!(chaos.ops(), 5);
+        assert_eq!(chaos.fault_counter().load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn intermittent_zero_burst_never_fires() {
+        let mem = MemStorage::new();
+        let mut chaos = ChaosStorage::intermittent(mem, 1, 0, Fault::Fail);
+        chaos.append("f", b"a").unwrap();
+        assert!(!chaos.tripped());
+        assert!(chaos.healed());
+    }
+
+    #[test]
+    fn injected_faults_are_transient() {
+        let mem = MemStorage::new();
+        let mut chaos = ChaosStorage::new(mem, 1, Fault::Fail);
+        let err = chaos.append("f", b"abc").unwrap_err();
+        assert!(err.is_transient());
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod chaos;
 pub mod crc;
 pub mod log;
 pub mod report;
+pub mod retry;
 pub mod sink;
 pub mod storage;
 pub mod wal;
@@ -36,6 +37,20 @@ pub use chaos::{ChaosStorage, Fault};
 pub use crc::crc32;
 pub use log::{DurableLog, OpenedLog, SNAPSHOT_FILE, SNAPSHOT_TMP, WAL_FILE};
 pub use report::{CorruptionSite, RecoveryIssue, RecoveryReport};
+pub use retry::{BreakerState, RetryPolicy, RetryingStorage, Sleeper};
 pub use sink::{StorageSink, TRACE_FILE};
 pub use storage::{FileStorage, MemStorage, Storage, StoreError};
 pub use wal::{Corruption, LoadRecord, ScannedRecord, SnapshotRecord};
+
+// Compile-time thread-safety contracts: the serve layer shares these
+// across a thread pool, so a regression must fail the build, not a test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FileStorage>();
+    assert_send_sync::<MemStorage>();
+    assert_send_sync::<ChaosStorage<MemStorage>>();
+    assert_send_sync::<RetryingStorage<FileStorage>>();
+    assert_send_sync::<StoreError>();
+    assert_send_sync::<RecoveryReport>();
+    assert_send_sync::<Box<dyn Storage>>();
+};

@@ -116,6 +116,7 @@ impl DurableLog {
         // reached its rename; it holds nothing the snapshot + WAL don't.
         storage.remove(SNAPSHOT_TMP)?;
 
+        report.breaker_open = storage.breaker_open();
         Ok(OpenedLog {
             log: DurableLog { storage, obs },
             snapshot,
@@ -142,6 +143,12 @@ impl DurableLog {
     /// fsyncs, and compactions.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Whether the underlying storage's circuit breaker is open
+    /// (persistence suspended). `false` for storages without a breaker.
+    pub fn breaker_open(&self) -> bool {
+        self.storage.breaker_open()
     }
 
     /// Appends one load record and syncs it to stable storage.

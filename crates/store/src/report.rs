@@ -92,6 +92,10 @@ pub struct RecoveryReport {
     pub corruption: Vec<CorruptionSite>,
     /// Semantic issues found during replay.
     pub issues: Vec<RecoveryIssue>,
+    /// Whether the storage's circuit breaker (if it has one — see
+    /// [`RetryingStorage`](crate::retry::RetryingStorage)) was open when
+    /// the report was built: persistence suspended, session read-only.
+    pub breaker_open: bool,
 }
 
 impl RecoveryReport {
@@ -155,6 +159,7 @@ impl clogic_obs::Render for RecoveryReport {
                         .collect(),
                 ),
             ),
+            ("breaker_open".into(), Json::Bool(self.breaker_open)),
             ("clean".into(), Json::Bool(self.is_clean())),
         ])
     }
@@ -185,6 +190,9 @@ impl fmt::Display for RecoveryReport {
         }
         for i in &self.issues {
             write!(f, "\n  issue: {i}")?;
+        }
+        if self.breaker_open {
+            write!(f, "\n  circuit breaker open: persistence suspended")?;
         }
         Ok(())
     }

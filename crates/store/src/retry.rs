@@ -1,0 +1,400 @@
+//! Retrying storage with a circuit breaker — the absorption layer
+//! between a serving session and a flaky disk.
+//!
+//! [`RetryingStorage`] wraps any [`Storage`] and gives every operation
+//! two defenses:
+//!
+//! * **bounded retry with exponential backoff** for *transient* failures
+//!   ([`StoreError::is_transient`]): the operation is re-attempted up to
+//!   [`RetryPolicy::max_retries`] times, sleeping `base_backoff · 2ⁿ`
+//!   (capped at `max_backoff`) between attempts. The backoff schedule is
+//!   deterministic and the sleeper is injectable, so tests assert the
+//!   exact sleep sequence without waiting for it.
+//! * **a circuit breaker** for failures retry cannot absorb: after
+//!   [`RetryPolicy::breaker_threshold`] *consecutive* operations that
+//!   ultimately failed (a permanent error, or a transient one that
+//!   outlived its retries), the breaker **opens** and every subsequent
+//!   operation fails fast — no I/O, no backoff sleeps — so a session can
+//!   keep answering queries read-only instead of stalling each load on a
+//!   full retry storm against a dead disk. After
+//!   [`RetryPolicy::probe_after`] fail-fast rejections the breaker goes
+//!   **half-open**: the next operation is attempted for real; success
+//!   closes the breaker, failure re-opens it.
+//!
+//! Retrying an `append` whose first attempt actually landed produces a
+//! duplicate WAL record — exactly the case [`Fault::DuplicateAppend`]
+//! (see [`ChaosStorage`](crate::chaos::ChaosStorage)) injects, and one
+//! recovery already tolerates: duplicate epochs are skipped during
+//! replay. That pre-existing tolerance is what makes blind retry safe at
+//! this seam.
+//!
+//! [`Fault::DuplicateAppend`]: crate::chaos::Fault::DuplicateAppend
+
+use crate::storage::{Storage, StoreError};
+use clogic_obs::Obs;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Retry and breaker tuning for a [`RetryingStorage`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Re-attempts allowed per operation beyond the first try.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Consecutive ultimately-failed operations that open the breaker.
+    pub breaker_threshold: u32,
+    /// Fail-fast rejections while open before a half-open probe is
+    /// allowed through. Counted in operations, not wall time, so breaker
+    /// recovery is deterministic under test.
+    pub probe_after: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            breaker_threshold: 3,
+            probe_after: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic backoff before retry number `n` (0-based):
+    /// `base_backoff · 2ⁿ`, capped at `max_backoff`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX));
+        exp.min(self.max_backoff)
+    }
+}
+
+/// Where the circuit breaker stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Operations flow through (with retry protection).
+    Closed,
+    /// Persistence is suspended; operations fail fast without I/O.
+    Open,
+    /// The next operation is a probe: success closes the breaker,
+    /// failure re-opens it.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// The sleep function a [`RetryingStorage`] backs off with. The default
+/// is [`std::thread::sleep`]; tests inject a recorder so the backoff
+/// schedule is asserted, not waited for.
+pub type Sleeper = Arc<dyn Fn(Duration) + Send + Sync>;
+
+/// A [`Storage`] wrapper adding bounded retry with exponential backoff
+/// and a circuit breaker. See the [module docs](self) for the protocol.
+pub struct RetryingStorage<S> {
+    inner: S,
+    policy: RetryPolicy,
+    sleeper: Sleeper,
+    obs: Obs,
+    state: BreakerState,
+    /// Consecutive operations that ultimately failed (resets on success).
+    consecutive_failures: u32,
+    /// Fail-fast rejections since the breaker opened.
+    rejections: u32,
+}
+
+impl<S: Storage> RetryingStorage<S> {
+    /// Wraps `inner` with the default [`RetryPolicy`] and a real sleeper.
+    pub fn new(inner: S) -> RetryingStorage<S> {
+        RetryingStorage::with_policy(inner, RetryPolicy::default())
+    }
+
+    /// Wraps `inner` with an explicit policy and a real sleeper.
+    pub fn with_policy(inner: S, policy: RetryPolicy) -> RetryingStorage<S> {
+        RetryingStorage::with_sleeper(inner, policy, Arc::new(std::thread::sleep))
+    }
+
+    /// Wraps `inner` with an explicit policy and an injected sleeper —
+    /// the deterministic-test entry point.
+    pub fn with_sleeper(inner: S, policy: RetryPolicy, sleeper: Sleeper) -> RetryingStorage<S> {
+        RetryingStorage {
+            inner,
+            policy,
+            sleeper,
+            obs: Obs::default(),
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Counts retries (`serve.retry`), retry exhaustions
+    /// (`store.retry.exhausted`), breaker transitions
+    /// (`serve.breaker_open`) and the live breaker state
+    /// (`store.breaker.open` gauge) into `obs`. Builder-style.
+    pub fn with_obs(mut self, obs: Obs) -> RetryingStorage<S> {
+        self.obs = obs;
+        self
+    }
+
+    /// The wrapped storage, for test assertions.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Current breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Runs one operation under retry + breaker discipline.
+    fn run<T>(
+        &mut self,
+        op: &'static str,
+        file: &str,
+        mut f: impl FnMut(&mut S) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        match self.state {
+            BreakerState::Open => {
+                self.rejections += 1;
+                if self.rejections >= self.policy.probe_after {
+                    self.set_state(BreakerState::HalfOpen);
+                } else {
+                    return Err(StoreError::new(
+                        op,
+                        file,
+                        "circuit breaker open; persistence suspended",
+                    ));
+                }
+            }
+            BreakerState::Closed | BreakerState::HalfOpen => {}
+        }
+        // While half-open, exactly one probe attempt goes through — no
+        // retries, so a still-dead disk costs one I/O, not a backoff
+        // storm.
+        let budgeted_retries = match self.state {
+            BreakerState::HalfOpen => 0,
+            _ => self.policy.max_retries,
+        };
+        let mut retry = 0u32;
+        loop {
+            match f(&mut self.inner) {
+                Ok(v) => {
+                    if self.state != BreakerState::Closed {
+                        self.set_state(BreakerState::Closed);
+                    }
+                    self.consecutive_failures = 0;
+                    return Ok(v);
+                }
+                Err(e) if e.is_transient() && retry < budgeted_retries => {
+                    self.obs.metrics.counter("serve.retry").inc();
+                    (self.sleeper)(self.policy.backoff(retry));
+                    retry += 1;
+                }
+                Err(e) => {
+                    if retry > 0 {
+                        self.obs.metrics.counter("store.retry.exhausted").inc();
+                    }
+                    self.note_failure();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One operation ultimately failed; advance the breaker.
+    fn note_failure(&mut self) {
+        match self.state {
+            BreakerState::HalfOpen => self.set_state(BreakerState::Open),
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.policy.breaker_threshold {
+                    self.set_state(BreakerState::Open);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn set_state(&mut self, state: BreakerState) {
+        if state == BreakerState::Open && self.state != BreakerState::Open {
+            self.obs.metrics.counter("serve.breaker_open").inc();
+        }
+        self.state = state;
+        if state == BreakerState::Open {
+            self.rejections = 0;
+        }
+        self.obs
+            .metrics
+            .gauge("store.breaker.open")
+            .set(u64::from(state != BreakerState::Closed));
+    }
+}
+
+impl<S: Storage> Storage for RetryingStorage<S> {
+    fn read(&mut self, file: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        self.run("read", file, |s| s.read(file))
+    }
+
+    fn write(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
+        self.run("write", file, |s| s.write(file, data))
+    }
+
+    fn append(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
+        self.run("append", file, |s| s.append(file, data))
+    }
+
+    fn truncate(&mut self, file: &str, len: u64) -> Result<(), StoreError> {
+        self.run("truncate", file, |s| s.truncate(file, len))
+    }
+
+    fn sync(&mut self, file: &str) -> Result<(), StoreError> {
+        self.run("sync", file, |s| s.sync(file))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
+        self.run("rename", from, |s| s.rename(from, to))
+    }
+
+    fn remove(&mut self, file: &str) -> Result<(), StoreError> {
+        self.run("remove", file, |s| s.remove(file))
+    }
+
+    fn breaker_open(&self) -> bool {
+        self.state != BreakerState::Closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{ChaosStorage, Fault};
+    use crate::storage::MemStorage;
+    use std::sync::Mutex;
+
+    /// A sleeper that records instead of sleeping.
+    fn recording_sleeper() -> (Sleeper, Arc<Mutex<Vec<Duration>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        let sleeper: Sleeper = Arc::new(move |d| log2.lock().unwrap().push(d));
+        (sleeper, log)
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            breaker_threshold: 2,
+            probe_after: 3,
+        }
+    }
+
+    #[test]
+    fn transient_burst_is_absorbed_with_deterministic_backoff() {
+        let mem = MemStorage::new();
+        let chaos = ChaosStorage::intermittent(mem.clone(), 1, 2, Fault::Fail);
+        let (sleeper, log) = recording_sleeper();
+        let mut retry = RetryingStorage::with_sleeper(chaos, policy(), sleeper);
+        retry.append("f", b"abc").unwrap();
+        assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"abc");
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![Duration::from_millis(1), Duration::from_millis(2)]
+        );
+        assert_eq!(retry.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn backoff_caps_at_max() {
+        let p = policy();
+        assert_eq!(p.backoff(0), Duration::from_millis(1));
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(4)); // capped
+        assert_eq!(p.backoff(40), Duration::from_millis(4)); // shl overflow capped
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let mem = MemStorage::new();
+        let (sleeper, log) = recording_sleeper();
+        let mut retry = RetryingStorage::with_sleeper(mem, policy(), sleeper);
+        // MemStorage truncate of a missing file is a permanent error.
+        assert!(retry.truncate("missing", 0).is_err());
+        assert!(log.lock().unwrap().is_empty(), "no backoff on permanent");
+    }
+
+    #[test]
+    fn exhausted_retries_fail_and_open_breaker_after_threshold() {
+        let mem = MemStorage::new();
+        // Fault burst far longer than any retry budget.
+        let chaos = ChaosStorage::intermittent(mem, 1, 1_000, Fault::Fail);
+        let (sleeper, _) = recording_sleeper();
+        let mut retry = RetryingStorage::with_sleeper(chaos, policy(), sleeper);
+        assert!(retry.append("f", b"a").is_err()); // failure 1 (4 attempts)
+        assert_eq!(retry.breaker_state(), BreakerState::Closed);
+        assert!(retry.append("f", b"a").is_err()); // failure 2 → open
+        assert_eq!(retry.breaker_state(), BreakerState::Open);
+        assert!(retry.breaker_open());
+        // Fail-fast: no attempts reach the inner storage.
+        let ops_before = retry.inner().ops();
+        assert!(retry.append("f", b"a").is_err());
+        assert_eq!(retry.inner().ops(), ops_before);
+    }
+
+    #[test]
+    fn breaker_probes_half_open_and_closes_on_success() {
+        let mem = MemStorage::new();
+        // 9 faulted ops: 4 (first op incl. retries) + 4 (second) + 1
+        // (the half-open probe), then healed.
+        let chaos = ChaosStorage::intermittent(mem.clone(), 1, 9, Fault::Fail);
+        let (sleeper, _) = recording_sleeper();
+        let mut retry = RetryingStorage::with_sleeper(chaos, policy(), sleeper);
+        assert!(retry.append("f", b"a").is_err());
+        assert!(retry.append("f", b"a").is_err());
+        assert_eq!(retry.breaker_state(), BreakerState::Open);
+        // Two fail-fast rejections, then the third becomes the probe —
+        // which strikes the last fault and re-opens the breaker.
+        assert!(retry.append("f", b"a").is_err());
+        assert!(retry.append("f", b"a").is_err());
+        assert!(retry.append("f", b"a").is_err()); // probe, fails
+        assert_eq!(retry.breaker_state(), BreakerState::Open);
+        // Next probe hits the healed storage and closes the breaker.
+        assert!(retry.append("f", b"a").is_err()); // rejection 1
+        assert!(retry.append("f", b"a").is_err()); // rejection 2
+        retry.append("f", b"a").unwrap(); // probe, succeeds
+        assert_eq!(retry.breaker_state(), BreakerState::Closed);
+        assert!(!retry.breaker_open());
+        assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"a");
+    }
+
+    #[test]
+    fn metrics_count_retries_and_breaker_opens() {
+        let obs = Obs::new();
+        let chaos = ChaosStorage::intermittent(MemStorage::new(), 1, 1_000, Fault::Fail);
+        let (sleeper, _) = recording_sleeper();
+        let mut retry =
+            RetryingStorage::with_sleeper(chaos, policy(), sleeper).with_obs(obs.clone());
+        assert!(retry.append("f", b"a").is_err());
+        assert!(retry.append("f", b"a").is_err());
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("serve.retry"), Some(6)); // 3 per op
+        assert_eq!(snap.counter("store.retry.exhausted"), Some(2));
+        assert_eq!(snap.counter("serve.breaker_open"), Some(1));
+        assert_eq!(snap.gauge("store.breaker.open"), Some(1));
+    }
+}

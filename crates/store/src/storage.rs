@@ -23,16 +23,54 @@ pub struct StoreError {
     pub file: String,
     /// The underlying failure, rendered.
     pub message: String,
+    /// Whether retrying the same operation could plausibly succeed (a
+    /// disk hiccup, an interrupted syscall) as opposed to a structural
+    /// failure that will recur (missing file, permission denied). Drives
+    /// [`RetryingStorage`](crate::retry::RetryingStorage)'s retry/give-up
+    /// decision.
+    pub transient: bool,
 }
 
 impl StoreError {
-    /// Builds an error for a failed `op` on `file`.
+    /// Builds a **permanent** error for a failed `op` on `file`.
     pub fn new(op: &'static str, file: &str, message: impl ToString) -> StoreError {
         StoreError {
             op,
             file: file.to_string(),
             message: message.to_string(),
+            transient: false,
         }
+    }
+
+    /// Builds a **transient** error for a failed `op` on `file` — one a
+    /// bounded retry is allowed to absorb.
+    pub fn transient(op: &'static str, file: &str, message: impl ToString) -> StoreError {
+        StoreError {
+            transient: true,
+            ..StoreError::new(op, file, message)
+        }
+    }
+
+    /// Builds an error from an [`std::io::Error`], classifying the kind:
+    /// interruptions, timeouts, and would-block conditions are transient;
+    /// everything else (not found, permissions, disk full) is permanent.
+    pub fn from_io(op: &'static str, file: &str, e: &std::io::Error) -> StoreError {
+        use std::io::ErrorKind;
+        let transient = matches!(
+            e.kind(),
+            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock
+        );
+        StoreError {
+            op,
+            file: file.to_string(),
+            message: e.to_string(),
+            transient,
+        }
+    }
+
+    /// Whether retrying the operation could plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        self.transient
     }
 }
 
@@ -51,7 +89,12 @@ impl std::error::Error for StoreError {}
 /// `rename` must be atomic with respect to crashes (the destination is
 /// either the old or the new file, never a mix) — this is what makes
 /// snapshot compaction safe.
-pub trait Storage: Send {
+///
+/// The `Send + Sync` bound is what lets a persistent `Session` sit
+/// behind a reader/writer lock and be driven from a thread pool (the
+/// `clogic-serve` crate); every method takes `&mut self`, so `Sync` costs
+/// implementations nothing.
+pub trait Storage: Send + Sync {
     /// The full content of `file`, or `None` if it does not exist.
     fn read(&mut self, file: &str) -> Result<Option<Vec<u8>>, StoreError>;
     /// Creates or replaces `file` with `data`.
@@ -66,6 +109,16 @@ pub trait Storage: Send {
     fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError>;
     /// Removes `file`; succeeds if it does not exist.
     fn remove(&mut self, file: &str) -> Result<(), StoreError>;
+    /// Whether a circuit breaker wrapped around this storage is currently
+    /// open (persistence suspended; operations fail fast). Plain storages
+    /// have no breaker and report `false`; the
+    /// [`RetryingStorage`](crate::retry::RetryingStorage) wrapper
+    /// overrides this so health surfaces through `Box<dyn Storage>` seams
+    /// ([`RecoveryReport`](crate::report::RecoveryReport), serve-layer
+    /// status) without downcasting.
+    fn breaker_open(&self) -> bool {
+        false
+    }
 }
 
 /// Real files under a root directory.
@@ -102,12 +155,12 @@ impl Storage for FileStorage {
         match fs::read(self.path(file)) {
             Ok(bytes) => Ok(Some(bytes)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(StoreError::new("read", file, e)),
+            Err(e) => Err(StoreError::from_io("read", file, &e)),
         }
     }
 
     fn write(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
-        fs::write(self.path(file), data).map_err(|e| StoreError::new("write", file, e))
+        fs::write(self.path(file), data).map_err(|e| StoreError::from_io("write", file, &e))
     }
 
     fn append(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
@@ -115,28 +168,30 @@ impl Storage for FileStorage {
             .append(true)
             .create(true)
             .open(self.path(file))
-            .map_err(|e| StoreError::new("append", file, e))?;
+            .map_err(|e| StoreError::from_io("append", file, &e))?;
         f.write_all(data)
-            .map_err(|e| StoreError::new("append", file, e))
+            .map_err(|e| StoreError::from_io("append", file, &e))
     }
 
     fn truncate(&mut self, file: &str, len: u64) -> Result<(), StoreError> {
         let f = OpenOptions::new()
             .write(true)
             .open(self.path(file))
-            .map_err(|e| StoreError::new("truncate", file, e))?;
+            .map_err(|e| StoreError::from_io("truncate", file, &e))?;
         f.set_len(len)
-            .map_err(|e| StoreError::new("truncate", file, e))
+            .map_err(|e| StoreError::from_io("truncate", file, &e))
     }
 
     fn sync(&mut self, file: &str) -> Result<(), StoreError> {
-        let f = fs::File::open(self.path(file)).map_err(|e| StoreError::new("sync", file, e))?;
-        f.sync_all().map_err(|e| StoreError::new("sync", file, e))
+        let f =
+            fs::File::open(self.path(file)).map_err(|e| StoreError::from_io("sync", file, &e))?;
+        f.sync_all()
+            .map_err(|e| StoreError::from_io("sync", file, &e))
     }
 
     fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
         fs::rename(self.path(from), self.path(to))
-            .map_err(|e| StoreError::new("rename", from, e))?;
+            .map_err(|e| StoreError::from_io("rename", from, &e))?;
         self.sync_dir();
         Ok(())
     }
@@ -145,7 +200,7 @@ impl Storage for FileStorage {
         match fs::remove_file(self.path(file)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(StoreError::new("remove", file, e)),
+            Err(e) => Err(StoreError::from_io("remove", file, &e)),
         }
     }
 }

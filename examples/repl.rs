@@ -109,6 +109,7 @@ fn main() {
                          :save <path>   persist the session to a directory (then keep logging)\n\
                          :open <path>   recover a session from a directory\n\
                          :snapshot      compact the write-ahead log now\n\
+                         :store         show persistence health (circuit breaker)\n\
                          :explain <q>   profile query <q> under the current strategy\n\
                          :metrics       dump the session's metrics registry\n\
                          :quit"
@@ -154,6 +155,16 @@ fn main() {
                 Some("snapshot") => {
                     if guarded(|| session.snapshot()).is_some() {
                         println!("log compacted into snapshot");
+                    }
+                }
+                Some("store") => {
+                    if session.persistence_breaker_open() {
+                        println!(
+                            "% circuit breaker OPEN: persistence suspended; \
+                             queries keep working, loads stay in memory"
+                        );
+                    } else {
+                        println!("% persistence healthy (circuit breaker closed)");
                     }
                 }
                 Some("explain") => {
@@ -223,4 +234,7 @@ fn run_query(session: &mut Session, query: &str, strategy: Strategy) {
         stats.misses,
         if stats.misses == 1 { "" } else { "es" },
     );
+    if session.persistence_breaker_open() {
+        println!("% warning: persistence circuit breaker open — answers served read-only");
+    }
 }

