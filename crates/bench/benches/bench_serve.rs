@@ -60,9 +60,22 @@ fn run_serial(s: &Session, jobs: &[(String, Strategy)]) -> (usize, Duration) {
     (rows, start.elapsed())
 }
 
+/// One pooled run's readout: answers, wall time, and where the time
+/// went per job — waiting in the admission queue vs evaluating — read
+/// from the `serve.queue_wait_us` / `serve.eval_us` histograms the
+/// worker pool records.
+struct PoolRun {
+    rows: usize,
+    wall: Duration,
+    /// Mean microseconds a job sat queued before a worker picked it up.
+    queue_wait_us: f64,
+    /// Mean microseconds a worker spent evaluating a job.
+    eval_us: f64,
+}
+
 /// The same jobs through a server with `workers` threads; all submitted
 /// before any ticket is redeemed, so evaluations overlap fully.
-fn run_pool(s: Session, workers: usize, jobs: &[(String, Strategy)]) -> (usize, Duration) {
+fn run_pool(s: Session, workers: usize, jobs: &[(String, Strategy)]) -> PoolRun {
     let server = Server::start(
         s,
         ServeOptions {
@@ -86,8 +99,19 @@ fn run_pool(s: Session, workers: usize, jobs: &[(String, Strategy)]) -> (usize, 
     assert_eq!(snap.counter("serve.shed").unwrap_or(0), 0, "zero-fault sheds");
     assert_eq!(snap.counter("serve.retry").unwrap_or(0), 0, "zero-fault retries");
     assert_eq!(snap.counter("serve.worker_panics").unwrap_or(0), 0);
+    let mean = |name: &str| match snap.histogram(name) {
+        Some((count, sum)) if count > 0 => sum as f64 / count as f64,
+        _ => 0.0,
+    };
+    let queue_wait_us = mean("serve.queue_wait_us");
+    let eval_us = mean("serve.eval_us");
     server.shutdown();
-    (rows, wall)
+    PoolRun {
+        rows,
+        wall,
+        queue_wait_us,
+        eval_us,
+    }
 }
 
 fn main() {
@@ -97,38 +121,48 @@ fn main() {
     let jobs = jobs(chains, reps);
 
     let (serial_rows, serial) = run_serial(&session(chains, len), &jobs);
-    let (one_rows, one) = run_pool(session(chains, len), 1, &jobs);
-    let (pool_rows, pooled) = run_pool(session(chains, len), pool, &jobs);
-    assert_eq!(serial_rows, one_rows, "1-worker pool changed answers");
-    assert_eq!(serial_rows, pool_rows, "{pool}-worker pool changed answers");
+    let one = run_pool(session(chains, len), 1, &jobs);
+    let pooled = run_pool(session(chains, len), pool, &jobs);
+    assert_eq!(serial_rows, one.rows, "1-worker pool changed answers");
+    assert_eq!(serial_rows, pooled.rows, "{pool}-worker pool changed answers");
 
-    let speedup = serial.as_secs_f64() / pooled.as_secs_f64().max(1e-9);
+    let speedup = serial.as_secs_f64() / pooled.wall.as_secs_f64().max(1e-9);
     let qps = |wall: Duration| jobs.len() as f64 / wall.as_secs_f64().max(1e-9);
     print_table(
         "e9_serve (shared-path throughput, zero faults)",
-        &["config", "rows", "wall (us)", "queries/s"],
+        &["config", "rows", "wall (us)", "queries/s", "q-wait (us)", "eval (us)"],
         &[
             vec![
                 "serial (&self path)".into(),
                 serial_rows.to_string(),
                 us(serial),
                 format!("{:.0}", qps(serial)),
+                "-".into(),
+                "-".into(),
             ],
             vec![
                 "pool x1".into(),
-                one_rows.to_string(),
-                us(one),
-                format!("{:.0}", qps(one)),
+                one.rows.to_string(),
+                us(one.wall),
+                format!("{:.0}", qps(one.wall)),
+                format!("{:.0}", one.queue_wait_us),
+                format!("{:.0}", one.eval_us),
             ],
             vec![
                 format!("pool x{pool}"),
-                pool_rows.to_string(),
-                us(pooled),
-                format!("{:.0}", qps(pooled)),
+                pooled.rows.to_string(),
+                us(pooled.wall),
+                format!("{:.0}", qps(pooled.wall)),
+                format!("{:.0}", pooled.queue_wait_us),
+                format!("{:.0}", pooled.eval_us),
             ],
         ],
     );
     println!("\npool x{pool} speedup over serial: {speedup:.2}x");
+    println!(
+        "pool x{pool} mean per-job split: {:.0}us queued, {:.0}us evaluating",
+        pooled.queue_wait_us, pooled.eval_us
+    );
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     dump_json(
@@ -140,9 +174,13 @@ fn main() {
             ("rows", serial_rows.to_string()),
             ("workers", pool.to_string()),
             ("serial_us", us(serial)),
-            ("pool1_us", us(one)),
-            ("pool_us", us(pooled)),
+            ("pool1_us", us(one.wall)),
+            ("pool_us", us(pooled.wall)),
             ("speedup", format!("{speedup:.3}")),
+            ("pool1_queue_wait_us", format!("{:.1}", one.queue_wait_us)),
+            ("pool1_eval_us", format!("{:.1}", one.eval_us)),
+            ("pool_queue_wait_us", format!("{:.1}", pooled.queue_wait_us)),
+            ("pool_eval_us", format!("{:.1}", pooled.eval_us)),
         ],
     )
     .expect("dump BENCH_serve.json");

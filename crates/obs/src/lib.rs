@@ -74,4 +74,16 @@ impl Obs {
             metrics: Registry::new(),
         }
     }
+
+    /// A handle sharing this one's tracer and metrics map, but recording
+    /// every metric under `prefix` (see [`Registry::namespaced`]). The
+    /// multi-tenant serving layer hands each tenant's session an
+    /// `obs.namespaced("tenant.<name>.")` handle, so one snapshot of the
+    /// root registry shows every tenant's counters side by side.
+    pub fn namespaced(&self, prefix: &str) -> Obs {
+        Obs {
+            tracer: self.tracer.clone(),
+            metrics: self.metrics.namespaced(prefix),
+        }
+    }
 }

@@ -153,15 +153,31 @@ enum Instrument {
 
 /// The registry: name → instrument. Cloning shares the underlying map, so
 /// every layer holding a clone records into the same instruments.
+///
+/// A registry handle can carry a **namespace prefix**
+/// ([`Registry::namespaced`]): every instrument it registers has the
+/// prefix prepended to its name, while still landing in the shared map.
+/// This is how a multi-tenant layer gives each tenant its own
+/// `tenant.<name>.…` metric family without threading tenant names through
+/// every engine — the engines keep using their fixed names, the handle
+/// does the qualification.
 #[derive(Clone, Default)]
 pub struct Registry {
     names: Arc<Mutex<BTreeMap<String, Instrument>>>,
+    /// Prepended to every instrument name this handle registers. Empty on
+    /// a root handle; composes across nested [`Registry::namespaced`]
+    /// calls.
+    prefix: String,
 }
 
 impl fmt::Debug for Registry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let n = self.names.lock().map(|m| m.len()).unwrap_or(0);
-        write!(f, "Registry({n} instruments)")
+        if self.prefix.is_empty() {
+            write!(f, "Registry({n} instruments)")
+        } else {
+            write!(f, "Registry({n} instruments, prefix `{}`)", self.prefix)
+        }
     }
 }
 
@@ -171,13 +187,34 @@ impl Registry {
         Registry::default()
     }
 
+    /// A handle onto the **same** underlying map whose instrument names
+    /// are all prefixed with `prefix` (pass it with its trailing
+    /// separator, e.g. `"tenant.alice."`). Prefixes compose: namespacing
+    /// an already-namespaced handle appends.
+    pub fn namespaced(&self, prefix: &str) -> Registry {
+        Registry {
+            names: Arc::clone(&self.names),
+            prefix: format!("{}{prefix}", self.prefix),
+        }
+    }
+
+    /// The namespace prefix of this handle (empty for a root handle).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The instrument name `name` resolves to under this handle's prefix.
+    fn qualify(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
+    }
+
     /// The counter named `name`, creating it on first use. Panics if the
     /// name is already registered as a different instrument kind — a
     /// naming bug worth failing loudly on.
     pub fn counter(&self, name: &str) -> Counter {
         let mut names = self.names.lock().expect("metrics registry poisoned");
         match names
-            .entry(name.to_string())
+            .entry(self.qualify(name))
             .or_insert_with(|| Instrument::Counter(Counter::default()))
         {
             Instrument::Counter(c) => c.clone(),
@@ -189,7 +226,7 @@ impl Registry {
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut names = self.names.lock().expect("metrics registry poisoned");
         match names
-            .entry(name.to_string())
+            .entry(self.qualify(name))
             .or_insert_with(|| Instrument::Gauge(Gauge::default()))
         {
             Instrument::Gauge(g) => g.clone(),
@@ -201,7 +238,7 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut names = self.names.lock().expect("metrics registry poisoned");
         match names
-            .entry(name.to_string())
+            .entry(self.qualify(name))
             .or_insert_with(|| Instrument::Histogram(Histogram::default()))
         {
             Instrument::Histogram(h) => h.clone(),

@@ -12,7 +12,7 @@
 //! * **Admission control.** Submissions land in a bounded queue
 //!   ([`ServeOptions::queue_depth`]). When the queue is full the request
 //!   is *shed* immediately with a structured [`Degradation`] report
-//!   (trip kind [`TripKind::Shed`]) instead of queueing unboundedly —
+//!   (trip kind [`TripKind::Shed`](folog::TripKind::Shed)) instead of queueing unboundedly —
 //!   the same vocabulary the engines use for budget trips, so callers
 //!   handle overload and slow queries uniformly. Every shed bumps the
 //!   `serve.shed` counter; queue occupancy is the `serve.queue_depth`
@@ -40,14 +40,22 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod manager;
+pub mod net;
+pub mod protocol;
+
+pub use admission::{AdmissionQueue, AdmitError};
+pub use manager::{ManagerOptions, SessionManager, StorageFactory, TenantState, TenantStatus};
+pub use net::{Client, TcpFront, TcpFrontOptions};
+pub use protocol::{Request, RequestOp, Response};
+
 use clogic::{Answers, Session, SessionError, Strategy};
 use clogic_obs::Obs;
 use clogic_store::{FileStorage, RecoveryReport, RetryPolicy, RetryingStorage, StoreError};
-use folog::{Budget, CancelToken, Degradation, TripKind};
-use std::collections::VecDeque;
+use folog::{Budget, CancelToken, Degradation};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{mpsc, Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -79,7 +87,7 @@ impl Default for ServeOptions {
 pub enum ServeError {
     /// Admission control refused the request: the queue was full (or the
     /// server was shutting down with the job still queued). The
-    /// [`Degradation`] carries trip kind [`TripKind::Shed`] and the queue
+    /// [`Degradation`] carries trip kind [`TripKind::Shed`](folog::TripKind::Shed) and the queue
     /// occupancy observed at refusal.
     Shed(Degradation),
     /// The server has shut down; no more submissions are accepted.
@@ -162,12 +170,9 @@ struct Job {
 
 struct Shared {
     session: RwLock<Session>,
-    queue: Mutex<VecDeque<Job>>,
-    available: Condvar,
-    open: AtomicBool,
+    admission: AdmissionQueue<Job>,
     cancel_all: CancelToken,
     obs: Obs,
-    queue_depth: usize,
     default_deadline: Option<Duration>,
 }
 
@@ -181,17 +186,6 @@ impl Shared {
 
     fn write_session(&self) -> RwLockWriteGuard<'_, Session> {
         self.session.write().unwrap_or_else(|e| e.into_inner())
-    }
-
-    fn shed(&self, occupancy: usize, detail: String) -> ServeError {
-        self.obs.metrics.counter("serve.shed").inc();
-        ServeError::Shed(Degradation {
-            trip: TripKind::Shed,
-            strategy: "serve",
-            elapsed: Duration::ZERO,
-            work: occupancy as u64,
-            detail,
-        })
     }
 }
 
@@ -210,12 +204,9 @@ impl Server {
         let obs = session.obs().clone();
         let shared = Arc::new(Shared {
             session: RwLock::new(session),
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-            open: AtomicBool::new(true),
+            admission: AdmissionQueue::new(opts.queue_depth, obs.clone()),
             cancel_all: CancelToken::new(),
             obs,
-            queue_depth: opts.queue_depth.max(1),
             default_deadline: opts.default_deadline,
         });
         let workers = (0..opts.workers.max(1))
@@ -264,33 +255,19 @@ impl Server {
         deadline: Option<Duration>,
     ) -> Result<Pending, ServeError> {
         let shared = &self.shared;
-        if !shared.open.load(Ordering::Acquire) {
-            return Err(ServeError::Closed);
-        }
-        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-        if queue.len() >= shared.queue_depth {
-            return Err(shared.shed(
-                queue.len(),
-                format!(
-                    "admission queue full: {} waiting, capacity {}",
-                    queue.len(),
-                    shared.queue_depth
-                ),
-            ));
-        }
         let (reply, rx) = mpsc::channel();
-        queue.push_back(Job {
+        let job = Job {
             src: src.to_string(),
             strategy,
             deadline,
             enqueued: Instant::now(),
             reply,
-        });
-        shared.obs.metrics.counter("serve.submitted").inc();
-        shared.obs.metrics.gauge("serve.queue_depth").inc();
-        drop(queue);
-        shared.available.notify_one();
-        Ok(Pending { rx })
+        };
+        match shared.admission.push(job) {
+            Ok(()) => Ok(Pending { rx }),
+            Err(AdmitError::Closed) => Err(ServeError::Closed),
+            Err(AdmitError::Full(d)) => Err(ServeError::Shed(d)),
+        }
     }
 
     /// Convenience: submit and wait.
@@ -356,17 +333,15 @@ impl Server {
 
     fn shutdown_inner(&mut self) {
         let shared = &self.shared;
-        shared.open.store(false, Ordering::Release);
         shared.cancel_all.cancel();
-        {
-            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            while let Some(job) = queue.pop_front() {
-                shared.obs.metrics.gauge("serve.queue_depth").dec();
-                let err = shared.shed(queue.len(), "server shutting down".to_string());
-                let _ = job.reply.send(Err(err));
-            }
+        for job in shared.admission.close() {
+            let err = ServeError::Shed(
+                shared
+                    .admission
+                    .shed(0, "server shutting down".to_string()),
+            );
+            let _ = job.reply.send(Err(err));
         }
-        shared.available.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -380,23 +355,18 @@ impl Drop for Server {
 }
 
 fn worker_loop(shared: &Shared) {
-    loop {
-        let job = {
-            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            loop {
-                if let Some(job) = queue.pop_front() {
-                    shared.obs.metrics.gauge("serve.queue_depth").dec();
-                    break job;
-                }
-                if !shared.open.load(Ordering::Acquire) {
-                    return;
-                }
-                queue = shared
-                    .available
-                    .wait(queue)
-                    .unwrap_or_else(|e| e.into_inner());
-            }
-        };
+    while let Some(job) = shared.admission.pop() {
+        // Time-in-queue vs time-evaluating, recorded separately so a
+        // disappointing pool speedup is diagnosable from the metrics
+        // alone: queue wait dominating means admission/worker-count
+        // pressure, evaluation dominating means the shared read path
+        // itself is the bottleneck.
+        let waited = job.enqueued.elapsed();
+        shared
+            .obs
+            .metrics
+            .histogram("serve.queue_wait_us")
+            .observe(waited.as_micros() as u64);
 
         // Per-request budget: the remaining deadline (queue wait already
         // spent) plus the server-wide cancel token. A deadline that
@@ -406,9 +376,10 @@ fn worker_loop(shared: &Shared) {
         let mut extra = Budget::unlimited();
         extra.cancel = Some(shared.cancel_all.clone());
         if let Some(d) = job.deadline {
-            extra.deadline = Some(d.saturating_sub(job.enqueued.elapsed()));
+            extra.deadline = Some(d.saturating_sub(waited));
         }
 
+        let eval_start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job, &extra)))
             .unwrap_or_else(|payload| {
                 shared.obs.metrics.counter("serve.worker_panics").inc();
@@ -419,6 +390,11 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(|| "unknown panic".to_string());
                 Err(ServeError::Panicked(msg))
             });
+        shared
+            .obs
+            .metrics
+            .histogram("serve.eval_us")
+            .observe(eval_start.elapsed().as_micros() as u64);
         if outcome.is_ok() {
             shared.obs.metrics.counter("serve.answered").inc();
         }
@@ -460,6 +436,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use folog::TripKind;
 
     fn server() -> Server {
         let mut s = Session::new();
@@ -549,6 +526,6 @@ mod tests {
         let srv = server();
         let shared = Arc::clone(&srv.shared);
         srv.shutdown();
-        assert!(!shared.open.load(Ordering::Acquire));
+        assert!(!shared.admission.is_open());
     }
 }

@@ -1,0 +1,350 @@
+//! Length-prefixed JSONL-over-TCP front-end for a [`SessionManager`].
+//!
+//! A [`TcpFront`] binds a listener and runs one **non-blocking accept
+//! loop** thread: it accepts connections, accumulates bytes per
+//! connection, splits complete frames (see [`protocol`]
+//! for the framing), and pushes each request into the same bounded
+//! [`AdmissionQueue`] the in-process server uses — so network traffic is
+//! subject to exactly the overload policy as local submissions: when the
+//! queue is full the request is shed *immediately* with a structured
+//! error response instead of buffering unboundedly. A worker pool drains
+//! the queue, dispatches to the manager, and writes each response back
+//! under a per-connection write lock (workers finish out of order;
+//! responses interleave but never tear).
+//!
+//! The accept loop uses readiness-free polling (non-blocking reads plus
+//! a 1 ms idle sleep) rather than an OS selector: the dependency-free
+//! choice, costing at most one wake-up per millisecond when idle — fine
+//! for the test/bench scale this repo targets and trivially replaceable
+//! behind the same structure.
+
+use crate::admission::{AdmissionQueue, AdmitError};
+use crate::manager::SessionManager;
+use crate::protocol::{self, Request, RequestOp, Response};
+use clogic_obs::Json;
+use folog::Budget;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning for a [`TcpFront`].
+#[derive(Clone, Debug)]
+pub struct TcpFrontOptions {
+    /// Worker threads dispatching requests to the manager (default 4).
+    pub workers: usize,
+    /// Admission-queue capacity shared by every connection (default 64).
+    pub queue_depth: usize,
+}
+
+impl Default for TcpFrontOptions {
+    fn default() -> Self {
+        TcpFrontOptions {
+            workers: 4,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// The write half of a connection, shared by the workers answering its
+/// requests.
+struct Conn {
+    writer: Mutex<TcpStream>,
+}
+
+impl Conn {
+    /// Frames and writes one response; write errors mean the peer went
+    /// away, which is its right. The socket is non-blocking (the write
+    /// half shares the read half's file description, so it cannot be
+    /// anything else — see [`register`]), so a full send buffer surfaces
+    /// as `WouldBlock` and is retried after a short nap rather than
+    /// spinning.
+    fn send(&self, resp: &Response) {
+        let frame = protocol::encode_frame(&resp.render_json());
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let mut sent = 0;
+        while sent < frame.len() {
+            match writer.write(&frame[sent..]) {
+                Ok(0) => return,
+                Ok(n) => sent += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+struct NetJob {
+    conn: Arc<Conn>,
+    payload: Vec<u8>,
+}
+
+/// A running TCP front-end over a [`SessionManager`]. Shuts down on
+/// drop; see the [module docs](self) for the serving model.
+pub struct TcpFront {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    admission: Arc<AdmissionQueue<NetJob>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TcpFront {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `manager`.
+    pub fn start(
+        manager: Arc<SessionManager>,
+        addr: &str,
+        opts: TcpFrontOptions,
+    ) -> std::io::Result<TcpFront> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let admission = Arc::new(AdmissionQueue::new(
+            opts.queue_depth,
+            manager.obs().clone(),
+        ));
+        let workers = (0..opts.workers.max(1))
+            .map(|i| {
+                let admission = Arc::clone(&admission);
+                let manager = Arc::clone(&manager);
+                std::thread::Builder::new()
+                    .name(format!("clogic-net-{i}"))
+                    .spawn(move || worker_loop(&admission, &manager))
+                    .expect("spawn net worker")
+            })
+            .collect();
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let admission = Arc::clone(&admission);
+            std::thread::Builder::new()
+                .name("clogic-net-accept".to_string())
+                .spawn(move || accept_loop(&listener, &stop, &admission))
+                .expect("spawn accept loop")
+        };
+        Ok(TcpFront {
+            addr,
+            stop,
+            admission,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, sheds queued requests, and joins the threads.
+    /// Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for job in self.admission.close() {
+            job.conn.send(&Response::Error {
+                message: "server shutting down".to_string(),
+            });
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpFront {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One open connection in the accept loop.
+struct Reading {
+    stream: TcpStream,
+    conn: Arc<Conn>,
+    buf: Vec<u8>,
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    admission: &Arc<AdmissionQueue<NetJob>>,
+) {
+    let mut conns: Vec<Reading> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        let mut active = false;
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Ok(conn) = register(&stream) {
+                    conns.push(Reading {
+                        stream,
+                        conn,
+                        buf: Vec::new(),
+                    });
+                    active = true;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+            Err(_) => {}
+        }
+        conns.retain_mut(|c| pump(c, admission, &mut active));
+        if !active {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// Puts the connection in non-blocking mode and clones a write half for
+/// the workers. The clone duplicates the fd onto the *same* open file
+/// description, so `O_NONBLOCK` is shared: the write half is necessarily
+/// non-blocking too, which [`Conn::send`] handles with a retry loop.
+/// (Setting the clone back to blocking would silently make the read half
+/// blocking as well and wedge the accept loop on the first idle
+/// connection.)
+fn register(stream: &TcpStream) -> std::io::Result<Arc<Conn>> {
+    stream.set_nonblocking(true)?;
+    let writer = stream.try_clone()?;
+    Ok(Arc::new(Conn {
+        writer: Mutex::new(writer),
+    }))
+}
+
+/// Reads whatever is available and admits every complete frame; false
+/// drops the connection.
+fn pump(c: &mut Reading, admission: &Arc<AdmissionQueue<NetJob>>, active: &mut bool) -> bool {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match c.stream.read(&mut chunk) {
+            Ok(0) => return false,
+            Ok(n) => {
+                c.buf.extend_from_slice(&chunk[..n]);
+                *active = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    loop {
+        match protocol::decode_frame(&mut c.buf) {
+            Ok(Some(payload)) => {
+                *active = true;
+                match admission.push(NetJob {
+                    conn: Arc::clone(&c.conn),
+                    payload,
+                }) {
+                    Ok(()) => {}
+                    Err(AdmitError::Full(d)) => c.conn.send(&Response::Error {
+                        message: format!("request shed: {d}"),
+                    }),
+                    Err(AdmitError::Closed) => return false,
+                }
+            }
+            Ok(None) => return true,
+            Err(message) => {
+                c.conn.send(&Response::Error { message });
+                return false;
+            }
+        }
+    }
+}
+
+fn worker_loop(admission: &AdmissionQueue<NetJob>, manager: &SessionManager) {
+    while let Some(job) = admission.pop() {
+        let resp = handle(manager, &job.payload);
+        job.conn.send(&resp);
+    }
+}
+
+fn handle(manager: &SessionManager, payload: &[u8]) -> Response {
+    let req = match Request::parse(payload) {
+        Ok(req) => req,
+        Err(message) => return Response::Error { message },
+    };
+    match req.op {
+        RequestOp::Load { src } => match manager.load(&req.tenant, &src) {
+            Ok(report) => Response::Loaded {
+                epoch: report.epoch,
+                persisted: report.persisted(),
+                breaker_open: report.breaker_open,
+            },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        RequestOp::Query {
+            src,
+            strategy,
+            deadline_ms,
+        } => {
+            let mut extra = Budget::unlimited();
+            if let Some(ms) = deadline_ms {
+                extra.deadline = Some(Duration::from_millis(ms));
+            }
+            match manager.query_with_budget(&req.tenant, &src, strategy, &extra) {
+                Ok(answers) => Response::from_answers(&answers),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        RequestOp::Status => Response::Status {
+            tenants: manager.tenants(),
+        },
+    }
+}
+
+/// A minimal blocking client for the wire protocol — what the tests,
+/// benches and README examples speak through.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a [`TcpFront`].
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request and blocks for its response. Note responses on
+    /// a connection pipelining multiple outstanding requests may arrive
+    /// out of order; this simple client sends one at a time.
+    pub fn request(&mut self, req: &Request) -> Result<Json, String> {
+        let frame = protocol::encode_frame(&req.render_json());
+        self.stream
+            .write_all(&frame)
+            .map_err(|e| format!("write: {e}"))?;
+        loop {
+            if let Some(payload) =
+                protocol::decode_frame(&mut self.buf).map_err(|e| format!("frame: {e}"))?
+            {
+                let text =
+                    std::str::from_utf8(&payload).map_err(|e| format!("invalid UTF-8: {e}"))?;
+                return protocol::parse_json(text);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err("connection closed".to_string()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        }
+    }
+}

@@ -72,19 +72,23 @@ pub struct ChaosStorage<S> {
 
 impl<S: Storage> ChaosStorage<S> {
     /// Wraps `inner`, injecting `fault` exactly once, at operation number
-    /// `trigger`.
+    /// `trigger`. A trigger of 0 never fires (pure operation counter) —
+    /// the probe configuration clean-run sweeps measure with.
     pub fn new(inner: S, trigger: u64, fault: Fault) -> ChaosStorage<S> {
-        ChaosStorage::intermittent(inner, trigger, 1, fault)
+        ChaosStorage::intermittent(inner, trigger, u64::from(trigger != 0), fault)
     }
 
     /// Wraps `inner`, injecting `fault` on `burst` consecutive operations
     /// starting at operation number `trigger`, after which the storage
-    /// heals. `burst == 0` behaves like a trigger of 0 (never fires).
+    /// heals. A trigger of 0 means **from the very first operation** (an
+    /// outage already in progress when the store is opened): exactly
+    /// `burst` operations fault, then the storage heals, same as any
+    /// other trigger. `burst == 0` never fires (pure counter).
     pub fn intermittent(inner: S, trigger: u64, burst: u64, fault: Fault) -> ChaosStorage<S> {
         ChaosStorage {
             inner,
             ops: Arc::new(AtomicU64::new(0)),
-            trigger,
+            trigger: trigger.max(1),
             burst,
             fired: Arc::new(AtomicU64::new(0)),
             fault,
@@ -121,9 +125,18 @@ impl<S: Storage> ChaosStorage<S> {
 
     /// Counts one operation; true when the fault fires on it.
     fn strike(&mut self) -> bool {
+        self.strike_if(true)
+    }
+
+    /// Counts one operation; true when the fault fires on it. Pass
+    /// `can_fault = false` for operations the configured fault cannot
+    /// express (duplicating a sync is a no-op): the operation is still
+    /// counted, but no burst slot is consumed — the fault lands on the
+    /// next operation it *can* express itself on.
+    fn strike_if(&mut self, can_fault: bool) -> bool {
         let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
         let fired = self.fired.load(Ordering::Relaxed);
-        if self.trigger != 0 && n >= self.trigger && fired < self.burst {
+        if can_fault && n >= self.trigger && fired < self.burst {
             self.fired.store(fired + 1, Ordering::Relaxed);
             true
         } else {
@@ -203,31 +216,46 @@ impl<S: Storage> Storage for ChaosStorage<S> {
     }
 
     fn truncate(&mut self, file: &str, len: u64) -> Result<(), StoreError> {
-        if self.strike() && self.fault != Fault::DuplicateAppend {
+        if self.strike_if(self.fault != Fault::DuplicateAppend) {
             return Err(self.injected("truncate", file));
         }
         self.inner.truncate(file, len)
     }
 
     fn sync(&mut self, file: &str) -> Result<(), StoreError> {
-        if self.strike() && self.fault != Fault::DuplicateAppend {
+        if self.strike_if(self.fault != Fault::DuplicateAppend) {
             return Err(self.injected("sync", file));
         }
         self.inner.sync(file)
     }
 
     fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
-        if self.strike() && self.fault != Fault::DuplicateAppend {
+        if self.strike_if(self.fault != Fault::DuplicateAppend) {
             return Err(self.injected("rename", from));
         }
         self.inner.rename(from, to)
     }
 
     fn remove(&mut self, file: &str) -> Result<(), StoreError> {
-        if self.strike() && self.fault != Fault::DuplicateAppend {
+        if self.strike_if(self.fault != Fault::DuplicateAppend) {
             return Err(self.injected("remove", file));
         }
         self.inner.remove(file)
+    }
+
+    fn len(&mut self, file: &str) -> Result<Option<u64>, StoreError> {
+        // A metadata probe, like `breaker_open`: not counted as an
+        // operation and never faulted, so clean-run op-count sweeps stay
+        // stable and the retry layer's torn-append detection can see the
+        // file's true length even mid-outage.
+        self.inner.len(file)
+    }
+
+    fn breaker_open(&self) -> bool {
+        // Chaos injects faults but holds no breaker of its own; report
+        // the wrapped storage's state so a `RetryingStorage` stacked
+        // *inside* the chaos layer stays observable through it.
+        self.inner.breaker_open()
     }
 }
 
@@ -289,6 +317,85 @@ mod tests {
         assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"ae");
         assert_eq!(chaos.ops(), 5);
         assert_eq!(chaos.fault_counter().load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn intermittent_trigger_zero_fires_from_first_op_then_heals() {
+        // An outage already in progress when the store is opened: the
+        // very first operation faults, exactly `burst` ops fault in
+        // total, then the storage heals.
+        let mem = MemStorage::new();
+        let mut chaos = ChaosStorage::intermittent(mem.clone(), 0, 2, Fault::Fail);
+        assert!(chaos.append("f", b"a").is_err()); // op 1: fault 1
+        assert!(chaos.append("f", b"b").is_err()); // op 2: fault 2
+        assert!(chaos.healed());
+        chaos.append("f", b"c").unwrap(); // op 3: healed
+        assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"c");
+        assert_eq!(chaos.fault_counter().load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn duplicate_append_burst_spends_no_slots_on_syncs() {
+        // A burst of 2 DuplicateAppend faults over an append/sync/append
+        // sequence: the sync cannot express a duplicate, so both faults
+        // land on the appends and each one doubles.
+        let mem = MemStorage::new();
+        let mut chaos = ChaosStorage::intermittent(mem.clone(), 0, 2, Fault::DuplicateAppend);
+        chaos.append("f", b"a").unwrap(); // fault 1: doubled
+        chaos.sync("f").unwrap(); // counted, no slot spent
+        chaos.append("f", b"b").unwrap(); // fault 2: doubled
+        assert!(chaos.healed());
+        chaos.append("f", b"c").unwrap(); // healed
+        assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"aabbc");
+        assert_eq!(chaos.ops(), 4);
+    }
+
+    #[test]
+    fn breaker_state_is_visible_through_the_chaos_wrapper() {
+        use crate::retry::{RetryPolicy, RetryingStorage, Sleeper};
+        use std::time::Duration;
+
+        // Retry inside, chaos outside: the chaos wrapper forwards the
+        // inner breaker's state instead of masking it.
+        let policy = RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            breaker_threshold: 1,
+            probe_after: u32::MAX,
+        };
+        let sleeper: Sleeper = Arc::new(|_| {});
+        let retry = RetryingStorage::with_sleeper(MemStorage::new(), policy, sleeper);
+        let mut chaos = ChaosStorage::new(retry, 0, Fault::Fail);
+        assert!(!chaos.breaker_open());
+        // MemStorage truncate of a missing file is a permanent error;
+        // with threshold 1 it opens the inner breaker immediately.
+        assert!(chaos.truncate("missing", 0).is_err());
+        assert!(chaos.breaker_open());
+    }
+
+    #[test]
+    fn retrying_storage_reports_breaker_over_trigger_zero_chaos() {
+        use crate::retry::{RetryPolicy, RetryingStorage, Sleeper};
+        use std::time::Duration;
+
+        // Chaos inside, retry outside — the tenant-storage stacking: a
+        // disk that is down from the very first operation exhausts the
+        // retry budget, opens the breaker, and `breaker_open()` says so.
+        let policy = RetryPolicy {
+            max_retries: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            breaker_threshold: 2,
+            probe_after: u32::MAX,
+        };
+        let sleeper: Sleeper = Arc::new(|_| {});
+        let chaos = ChaosStorage::intermittent(MemStorage::new(), 0, u64::MAX, Fault::Fail);
+        let mut retry = RetryingStorage::with_sleeper(chaos, policy, sleeper);
+        assert!(retry.append("f", b"a").is_err()); // failure 1
+        assert!(!retry.breaker_open());
+        assert!(retry.append("f", b"a").is_err()); // failure 2 → open
+        assert!(retry.breaker_open());
     }
 
     #[test]

@@ -21,17 +21,29 @@
 //!   **half-open**: the next operation is attempted for real; success
 //!   closes the breaker, failure re-opens it.
 //!
-//! Retrying an `append` whose first attempt actually landed produces a
-//! duplicate WAL record — exactly the case [`Fault::DuplicateAppend`]
-//! (see [`ChaosStorage`](crate::chaos::ChaosStorage)) injects, and one
-//! recovery already tolerates: duplicate epochs are skipped during
-//! replay. That pre-existing tolerance is what makes blind retry safe at
-//! this seam.
+//! Retrying an `append` is **not** blind. A failed attempt may have
+//! landed a torn prefix (see [`Fault::ShortWrite`]), and appending the
+//! retry after it would bury the tear *mid*-log — where a framing scan
+//! stops and silently drops every acked record behind it. So `append`
+//! captures the file's length first (via [`Storage::len`]), rolls the
+//! file back to it whenever a failed attempt left the length changed
+//! (including after the *final* failure, so torn bytes never outlive the
+//! call as anything but a clean pre-attempt tail), and if even that
+//! cleanup fails — the disk is still down — remembers the known-good
+//! length and repairs the file on the first append after the storage
+//! heals. The same rollback also removes the landed copy when an append
+//! succeeded but its ack was lost, so retries do not duplicate records.
+//! Only when the length itself cannot be read does the retry fall back
+//! to blind re-append, whose duplicate-record outcome
+//! ([`Fault::DuplicateAppend`]) recovery already tolerates: duplicate
+//! epochs are skipped during replay.
 //!
+//! [`Fault::ShortWrite`]: crate::chaos::Fault::ShortWrite
 //! [`Fault::DuplicateAppend`]: crate::chaos::Fault::DuplicateAppend
 
 use crate::storage::{Storage, StoreError};
 use clogic_obs::Obs;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -114,6 +126,21 @@ pub struct RetryingStorage<S> {
     consecutive_failures: u32,
     /// Fail-fast rejections since the breaker opened.
     rejections: u32,
+    /// Pre-attempt lengths of files whose last failed `append` may have
+    /// left a torn tail that could not be rolled back (the cleanup
+    /// failed too — the disk was still down). The next append to such a
+    /// file rolls it back to this length before writing, so a torn tail
+    /// never ends up *mid*-log. `None` means the file did not exist.
+    torn: HashMap<String, Option<u64>>,
+}
+
+/// Restores `file` to its pre-append state: `Some(n)` → truncate back to
+/// `n` bytes; `None` → the file did not exist, so remove it.
+fn rollback<S: Storage>(inner: &mut S, file: &str, base: Option<u64>) -> Result<(), StoreError> {
+    match base {
+        Some(n) => inner.truncate(file, n),
+        None => inner.remove(file),
+    }
 }
 
 impl<S: Storage> RetryingStorage<S> {
@@ -138,6 +165,7 @@ impl<S: Storage> RetryingStorage<S> {
             state: BreakerState::Closed,
             consecutive_failures: 0,
             rejections: 0,
+            torn: HashMap::new(),
         }
     }
 
@@ -254,7 +282,49 @@ impl<S: Storage> Storage for RetryingStorage<S> {
     }
 
     fn append(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
-        self.run("append", file, |s| s.append(file, data))
+        // See the module docs: capture the pre-attempt length, roll the
+        // file back to it before any retry (and after a final failure),
+        // so a torn attempt never ends up buried mid-log under records
+        // appended later. `base` is the *known* pre-attempt state —
+        // either remembered from a previous failed append whose cleanup
+        // also failed, or probed now; `None` (outer) means the length
+        // could not be determined and retry falls back to blind
+        // re-append.
+        let base: Option<Option<u64>> = match self.torn.get(file).copied() {
+            Some(b) => Some(b),
+            None => self.inner.len(file).ok(),
+        };
+        let mut attempted = false;
+        let result = self.run("append", file, |s| {
+            attempted = true;
+            if let Some(base) = base {
+                if s.len(file)? != base {
+                    rollback(s, file, base)?;
+                }
+            }
+            s.append(file, data)
+        });
+        match (&result, base) {
+            (Ok(()), _) => {
+                self.torn.remove(file);
+            }
+            (Err(_), Some(base)) if attempted => {
+                // Leave the file clean-tailed if at all possible; when
+                // even the cleanup fails, remember the known-good length
+                // so the next append repairs the file before writing.
+                let clean = match self.inner.len(file) {
+                    Ok(len) if len == base => true,
+                    _ => rollback(&mut self.inner, file, base).is_ok(),
+                };
+                if clean {
+                    self.torn.remove(file);
+                } else {
+                    self.torn.insert(file.to_string(), base);
+                }
+            }
+            _ => {}
+        }
+        result
     }
 
     fn truncate(&mut self, file: &str, len: u64) -> Result<(), StoreError> {
@@ -271,6 +341,10 @@ impl<S: Storage> Storage for RetryingStorage<S> {
 
     fn remove(&mut self, file: &str) -> Result<(), StoreError> {
         self.run("remove", file, |s| s.remove(file))
+    }
+
+    fn len(&mut self, file: &str) -> Result<Option<u64>, StoreError> {
+        self.run("len", file, |s| s.len(file))
     }
 
     fn breaker_open(&self) -> bool {
@@ -380,6 +454,82 @@ mod tests {
         assert_eq!(retry.breaker_state(), BreakerState::Closed);
         assert!(!retry.breaker_open());
         assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"a");
+    }
+
+    #[test]
+    fn short_write_append_is_rolled_back_not_buried() {
+        let mem = MemStorage::new();
+        mem.clone().append("f", b"BASE").unwrap();
+        let chaos = ChaosStorage::new(mem.clone(), 1, Fault::ShortWrite);
+        let (sleeper, _) = recording_sleeper();
+        let mut retry = RetryingStorage::with_sleeper(chaos, policy(), sleeper);
+        retry.append("f", b"record").unwrap();
+        // The torn prefix from the first attempt was truncated away
+        // before the retry — no fragment buried mid-file.
+        assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"BASErecord");
+    }
+
+    #[test]
+    fn exhausted_short_writes_leave_no_torn_tail_after_healing() {
+        let mem = MemStorage::new();
+        mem.clone().append("f", b"BASE").unwrap();
+        // A burst long enough to exhaust the retry budget *and* the
+        // final cleanup truncate.
+        let chaos = ChaosStorage::intermittent(mem.clone(), 1, 5, Fault::ShortWrite);
+        let (sleeper, _) = recording_sleeper();
+        let mut retry = RetryingStorage::with_sleeper(chaos, policy(), sleeper);
+        assert!(retry.append("f", b"record").is_err());
+        // The failed append left a torn tail the cleanup could not
+        // remove while the disk was down...
+        assert_ne!(mem.len("f"), Some(4));
+        // ...but the first append after healing repairs it first.
+        retry.append("f", b"tail!!").unwrap();
+        assert_eq!(mem.clone().read("f").unwrap().unwrap(), b"BASEtail!!");
+    }
+
+    #[test]
+    fn acked_wal_records_survive_retried_faults_at_every_boundary() {
+        use crate::log::DurableLog;
+        use clogic_core::skolem::SkolemState;
+
+        // End-to-end: a WAL over retrying storage over a flaky disk.
+        // Every append the log *acked* must replay after reopen — a
+        // torn or duplicated first attempt must never take acked
+        // records down with it. Clean run: 5 ops to open + 2 per
+        // append; sweep a one-shot fault across all of them.
+        let record = |epoch: u64| crate::wal::LoadRecord {
+            epoch,
+            skolem: SkolemState::default(),
+            source: format!("t{epoch}: c{epoch}."),
+        };
+        for fault in Fault::ALL {
+            for trigger in 1..=9u64 {
+                let mem = MemStorage::new();
+                let chaos = ChaosStorage::new(mem.clone(), trigger, fault);
+                let (sleeper, _) = recording_sleeper();
+                let retry = RetryingStorage::with_sleeper(chaos, policy(), sleeper);
+                let mut log = DurableLog::open(Box::new(retry) as Box<dyn Storage>)
+                    .unwrap_or_else(|e| panic!("open under {fault:?}@{trigger}: {e}"))
+                    .log;
+                log.append(&record(1)).unwrap();
+                log.append(&record(2)).unwrap();
+
+                let reopened = DurableLog::open(Box::new(mem)).unwrap();
+                assert!(
+                    reopened.report.corruption.is_empty(),
+                    "{fault:?}@{trigger}: acked WAL should scan clean, got {:?}",
+                    reopened.report.corruption
+                );
+                let epochs: Vec<u64> =
+                    reopened.records.iter().map(|r| r.record.epoch).collect();
+                for epoch in [1, 2] {
+                    assert!(
+                        epochs.contains(&epoch),
+                        "{fault:?}@{trigger}: acked epoch {epoch} lost; replayed {epochs:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

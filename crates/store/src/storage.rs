@@ -109,6 +109,15 @@ pub trait Storage: Send + Sync {
     fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError>;
     /// Removes `file`; succeeds if it does not exist.
     fn remove(&mut self, file: &str) -> Result<(), StoreError>;
+    /// The current size of `file` in bytes, or `None` if it does not
+    /// exist — a metadata probe, not a data operation. The default reads
+    /// the whole file; implementations override it with something
+    /// cheaper. [`RetryingStorage`](crate::retry::RetryingStorage) uses
+    /// this to detect (and roll back) torn `append` attempts before
+    /// retrying them.
+    fn len(&mut self, file: &str) -> Result<Option<u64>, StoreError> {
+        Ok(self.read(file)?.map(|b| b.len() as u64))
+    }
     /// Whether a circuit breaker wrapped around this storage is currently
     /// open (persistence suspended; operations fail fast). Plain storages
     /// have no breaker and report `false`; the
@@ -118,6 +127,49 @@ pub trait Storage: Send + Sync {
     /// status) without downcasting.
     fn breaker_open(&self) -> bool {
         false
+    }
+}
+
+/// Forwarding impl so a `Box<dyn Storage>` is itself a [`Storage`]:
+/// the multi-tenant serving layer builds per-tenant storage through a
+/// factory returning boxed trait objects and then stacks
+/// [`RetryingStorage`](crate::retry::RetryingStorage) (which is generic
+/// over `S: Storage`) on top of them.
+impl Storage for Box<dyn Storage> {
+    fn read(&mut self, file: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        (**self).read(file)
+    }
+
+    fn write(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
+        (**self).write(file, data)
+    }
+
+    fn append(&mut self, file: &str, data: &[u8]) -> Result<(), StoreError> {
+        (**self).append(file, data)
+    }
+
+    fn truncate(&mut self, file: &str, len: u64) -> Result<(), StoreError> {
+        (**self).truncate(file, len)
+    }
+
+    fn sync(&mut self, file: &str) -> Result<(), StoreError> {
+        (**self).sync(file)
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
+        (**self).rename(from, to)
+    }
+
+    fn remove(&mut self, file: &str) -> Result<(), StoreError> {
+        (**self).remove(file)
+    }
+
+    fn len(&mut self, file: &str) -> Result<Option<u64>, StoreError> {
+        (**self).len(file)
+    }
+
+    fn breaker_open(&self) -> bool {
+        (**self).breaker_open()
     }
 }
 
@@ -201,6 +253,14 @@ impl Storage for FileStorage {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(StoreError::from_io("remove", file, &e)),
+        }
+    }
+
+    fn len(&mut self, file: &str) -> Result<Option<u64>, StoreError> {
+        match fs::metadata(self.path(file)) {
+            Ok(meta) => Ok(Some(meta.len())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StoreError::from_io("len", file, &e)),
         }
     }
 }
@@ -298,6 +358,10 @@ impl Storage for MemStorage {
     fn remove(&mut self, file: &str) -> Result<(), StoreError> {
         self.files.lock().expect("mem storage lock").remove(file);
         Ok(())
+    }
+
+    fn len(&mut self, file: &str) -> Result<Option<u64>, StoreError> {
+        Ok(MemStorage::len(self, file))
     }
 }
 

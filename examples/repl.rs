@@ -12,6 +12,10 @@
 //! ?- :open db                       % recover a session from ./db
 //! ?- :explain person: X[age => A]   % profile the query (EXPLAIN mode)
 //! ?- :metrics                       % dump the metrics registry
+//! ?- :serve tenants 8               % serve many tenants from ./tenants
+//! ?- :tenant alice                  % switch the current tenant
+//! ?- :tenants                       % list tenants (state/epoch/breaker)
+//! ?- :local                         % detach, back to the local session
 //! ?- :quit
 //! ```
 //!
@@ -27,9 +31,12 @@
 
 use clogic::obs::Render;
 use clogic::session::{Session, SessionError, Strategy};
+use clogic::store::{FileStorage, Storage};
+use clogic_serve::{ManagerOptions, SessionManager, StorageFactory};
 use std::fmt::Display;
 use std::io::{self, BufRead, Write};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
 
 fn parse_strategy(name: &str) -> Option<Strategy> {
     match name.trim().to_ascii_lowercase().as_str() {
@@ -77,6 +84,9 @@ fn guarded<T>(action: impl FnOnce() -> Result<T, SessionError>) -> Option<T> {
 fn main() {
     let mut session = Session::new();
     let mut strategy = Strategy::Direct;
+    // `:serve` attaches a multi-tenant manager; while attached, loads
+    // and queries route to the current tenant instead of `session`.
+    let mut serve: Option<(SessionManager, String)> = None;
     let stdin = io::stdin();
     let mut out = io::stdout();
 
@@ -112,6 +122,10 @@ fn main() {
                          :store         show persistence health (circuit breaker)\n\
                          :explain <q>   profile query <q> under the current strategy\n\
                          :metrics       dump the session's metrics registry\n\
+                         :serve <dir> [cap]  serve many tenants from <dir> (LRU capacity cap)\n\
+                         :tenant <name> switch the current tenant (serve mode)\n\
+                         :tenants       list tenants: state, epoch, breaker\n\
+                         :local         detach the manager, back to the local session\n\
                          :quit"
                     );
                 }
@@ -122,7 +136,16 @@ fn main() {
                     }
                     None => println!("unknown strategy"),
                 },
-                Some("program") => print!("{}", session.program()),
+                Some("program") => match &serve {
+                    Some((mgr, tenant)) => match mgr.open(tenant) {
+                        Ok(pin) => {
+                            let s = pin.read().unwrap_or_else(|e| e.into_inner());
+                            print!("{}", s.program());
+                        }
+                        Err(e) => report_error(&e),
+                    },
+                    None => print!("{}", session.program()),
+                },
                 Some("translated") => {
                     let shown = guarded(|| {
                         let text = session.translated().to_string();
@@ -133,6 +156,9 @@ fn main() {
                         println!("! translation failed; program unchanged");
                     }
                 }
+                Some("save") if serve.is_some() => {
+                    println!("! :save targets the local session; :local to detach first");
+                }
                 Some("save") => match words.next() {
                     Some(path) => {
                         if guarded(|| session.save(path)).is_some() {
@@ -141,6 +167,9 @@ fn main() {
                     }
                     None => println!("usage: :save <path>"),
                 },
+                Some("open") if serve.is_some() => {
+                    println!("! :open targets the local session; :local to detach first");
+                }
                 Some("open") => match words.next() {
                     Some(path) => {
                         if let Some((recovered, report)) = guarded(|| Session::persistent(path)) {
@@ -152,11 +181,15 @@ fn main() {
                     }
                     None => println!("usage: :open <path>"),
                 },
+                Some("snapshot") if serve.is_some() => {
+                    println!("! :snapshot targets the local session; :local to detach first");
+                }
                 Some("snapshot") => {
                     if guarded(|| session.snapshot()).is_some() {
                         println!("log compacted into snapshot");
                     }
                 }
+                Some("store") if serve.is_some() => print_tenants(&serve),
                 Some("store") => {
                     if session.persistence_breaker_open() {
                         println!(
@@ -166,6 +199,9 @@ fn main() {
                     } else {
                         println!("% persistence healthy (circuit breaker closed)");
                     }
+                }
+                Some("explain") if serve.is_some() => {
+                    println!("! :explain targets the local session; :local to detach first");
                 }
                 Some("explain") => {
                     let query = cmd["explain".len()..].trim();
@@ -178,30 +214,161 @@ fn main() {
                     }
                 }
                 Some("metrics") => {
-                    let text = session.metrics().render_text();
+                    let text = match &serve {
+                        Some((mgr, _)) => mgr.obs().metrics.snapshot().render_text(),
+                        None => session.metrics().render_text(),
+                    };
                     if text.is_empty() {
                         println!("% no metrics recorded yet");
                     } else {
                         println!("{text}");
                     }
                 }
+                Some("serve") => match words.next() {
+                    Some(dir) => {
+                        let capacity = words.next().and_then(|w| w.parse().ok()).unwrap_or(8);
+                        match attach_manager(dir, capacity) {
+                            Ok(mgr) => {
+                                serve = Some((mgr, "default".to_string()));
+                                println!(
+                                    "serving tenants from `{dir}` (LRU capacity {capacity}); \
+                                     current tenant `default` — :tenant <name> to switch, \
+                                     :local to detach"
+                                );
+                            }
+                            Err(e) => report_error(&e),
+                        }
+                    }
+                    None => println!("usage: :serve <dir> [capacity]"),
+                },
+                Some("tenant") => match (&mut serve, words.next()) {
+                    (Some((_, tenant)), Some(name)) => {
+                        *tenant = name.to_string();
+                        println!("tenant: {name}");
+                    }
+                    (None, _) => println!("no manager attached; :serve <dir> first"),
+                    (_, None) => println!("usage: :tenant <name>"),
+                },
+                Some("tenants") => print_tenants(&serve),
+                Some("local") => {
+                    if serve.take().is_some() {
+                        println!("detached; back to the local in-memory session");
+                    } else {
+                        println!("already local");
+                    }
+                }
                 Some("-") => {
                     // ":- query." typed at the prompt
                     let query = cmd.trim_start_matches('-');
-                    run_query(&mut session, query, strategy);
+                    match &serve {
+                        Some((mgr, tenant)) => run_query_multi(mgr, tenant, query, strategy),
+                        None => run_query(&mut session, query, strategy),
+                    }
                 }
                 _ => println!("unknown command; :help"),
             }
             continue;
         }
         if let Some(query) = line.strip_prefix("?-") {
-            run_query(&mut session, query, strategy);
+            match &serve {
+                Some((mgr, tenant)) => run_query_multi(mgr, tenant, query, strategy),
+                None => run_query(&mut session, query, strategy),
+            }
             continue;
         }
         // Otherwise: program text.
-        if guarded(|| session.load(line)).is_some() {
-            println!("ok");
+        match &serve {
+            Some((mgr, tenant)) => match mgr.load(tenant, line) {
+                Ok(report) => {
+                    println!(
+                        "ok (tenant `{tenant}`, epoch {}, {})",
+                        report.epoch,
+                        if report.persisted() { "persisted" } else { "NOT persisted" }
+                    );
+                    if report.breaker_open {
+                        println!(
+                            "% warning: tenant breaker open — loads stay in memory \
+                             until the store heals"
+                        );
+                    }
+                }
+                Err(e) => report_error(&e),
+            },
+            None => {
+                if guarded(|| session.load(line)).is_some() {
+                    println!("ok");
+                }
+            }
         }
+    }
+}
+
+/// Builds a [`SessionManager`] whose tenants each persist to their own
+/// subdirectory of `dir`.
+fn attach_manager(dir: &str, capacity: usize) -> Result<SessionManager, clogic::store::StoreError> {
+    let root = std::path::PathBuf::from(dir);
+    FileStorage::create(&root)?;
+    let factory: StorageFactory = Arc::new(move |name| {
+        Ok(Box::new(FileStorage::create(root.join(name))?) as Box<dyn Storage>)
+    });
+    Ok(SessionManager::new(
+        factory,
+        ManagerOptions {
+            capacity,
+            ..ManagerOptions::default()
+        },
+    ))
+}
+
+/// The `:tenants` listing — one line per tenant with lifecycle state,
+/// epoch, and persistence-breaker health.
+fn print_tenants(serve: &Option<(SessionManager, String)>) {
+    let Some((mgr, current)) = serve else {
+        println!("no manager attached; :serve <dir> first");
+        return;
+    };
+    let tenants = mgr.tenants();
+    if tenants.is_empty() {
+        println!("% no tenants yet");
+        return;
+    }
+    println!("% {} resident of {} known", mgr.resident(), tenants.len());
+    for t in tenants {
+        println!(
+            "% {}{} — {}, epoch {}, breaker {}",
+            t.name,
+            if t.name == *current { " (current)" } else { "" },
+            t.state,
+            t.epoch.map_or_else(|| "?".to_string(), |e| e.to_string()),
+            match t.breaker_open {
+                Some(true) => "OPEN",
+                Some(false) => "closed",
+                None => "-",
+            },
+        );
+    }
+}
+
+/// Routes a query to the current tenant through the manager (which
+/// transparently recovers the tenant if it was evicted).
+fn run_query_multi(mgr: &SessionManager, tenant: &str, query: &str, strategy: Strategy) {
+    match mgr.query(tenant, query, strategy) {
+        Ok(answers) => {
+            if answers.rows.is_empty() {
+                println!("no");
+            } else {
+                for row in &answers.rows {
+                    println!("{row}");
+                }
+            }
+            if !answers.complete {
+                match &answers.degradation {
+                    Some(d) => println!("% incomplete: {d}"),
+                    None => println!("% warning: search truncated by resource limits"),
+                }
+            }
+        }
+        Err(e) => report_error(&e),
     }
 }
 

@@ -715,6 +715,11 @@ pub struct Session {
     durable: Option<DurableLog>,
     /// Loads appended to the WAL since the last compaction.
     loads_since_snapshot: u64,
+    /// The highest epoch known to be safely in the durable store. Trails
+    /// [`Session::epoch`] exactly when a persistence failure left the
+    /// in-memory state ahead of the log — the condition that makes
+    /// evicting the session unsafe (see [`Session::fully_persisted`]).
+    durable_epoch: u64,
 }
 
 impl Session {
@@ -842,6 +847,8 @@ impl Session {
         report.recovered_epoch = session.epoch;
         session.durable = Some(log);
         session.loads_since_snapshot = kept;
+        // Everything the session now holds came *from* the store.
+        session.durable_epoch = session.epoch;
         let m = &obs.metrics;
         m.counter("session.recovery.runs").inc();
         m.counter("session.recovery.records_replayed")
@@ -866,6 +873,7 @@ impl Session {
         log.compact(&self.snapshot_record())?;
         self.durable = Some(log);
         self.loads_since_snapshot = 0;
+        self.durable_epoch = self.epoch;
         Ok(())
     }
 
@@ -883,12 +891,31 @@ impl Session {
         };
         log.compact(&snap)?;
         self.loads_since_snapshot = 0;
+        self.durable_epoch = self.epoch;
         Ok(())
     }
 
     /// Whether loads are being logged durably.
     pub fn is_persistent(&self) -> bool {
         self.durable.is_some()
+    }
+
+    /// The highest epoch known to be safely in the durable store: 0 until
+    /// something is persisted, equal to [`Session::epoch`] while every
+    /// load has reached the log, and trailing it after a persistence
+    /// failure (the session is ahead of its own history).
+    pub fn durable_epoch(&self) -> u64 {
+        self.durable_epoch
+    }
+
+    /// True when this session can be dropped from memory and later
+    /// rebuilt from its store with nothing lost: it is persistent and the
+    /// durable log covers the current epoch. This is the eviction-safety
+    /// predicate the multi-tenant `SessionManager` checks — a session
+    /// whose in-memory state is ahead of its log (mid-outage, breaker
+    /// open) must be kept resident or its unlogged loads would vanish.
+    pub fn fully_persisted(&self) -> bool {
+        self.durable.is_some() && self.durable_epoch == self.epoch
     }
 
     /// The skolem-minting state after the loads so far: the next `skN`
@@ -975,10 +1002,21 @@ impl Session {
             skolem: self.skolem_state(),
             source: src.to_string(),
         };
-        let Some(log) = self.durable.as_mut() else {
+        if self.durable.is_none() {
             return Ok(());
-        };
+        }
+        if self.durable_epoch + 1 != self.epoch {
+            // A previous load never reached the log (persistence failed
+            // mid-outage), so appending this record alone would leave a
+            // gap replay cannot bridge — recovery would silently skip
+            // the missing loads. Heal by full compaction instead: the
+            // snapshot carries the complete current program, gap
+            // included.
+            return self.snapshot();
+        }
+        let log = self.durable.as_mut().expect("checked above");
         log.append(&rec)?;
+        self.durable_epoch = self.epoch;
         self.loads_since_snapshot += 1;
         if let Some(every) = self.options.snapshot_every {
             if every > 0 && self.loads_since_snapshot >= every {
