@@ -12,9 +12,11 @@ use crate::budget::{Budget, BudgetMeter, Degradation, TripKind};
 use crate::builtins::{solve_pattern, BuiltinError};
 use crate::facts::{bound_positions, instantiate, match_term, trail_undo, Env, FactStore};
 use crate::ground::{TermId, TermStore};
-use crate::program::{CompiledProgram, Rule};
+#[cfg(test)]
+use crate::program::CompiledProgram;
+use crate::program::{ClauseView, Rule};
 use crate::rterm::{RAtom, RTerm};
-use clogic_core::fol::{FoAtom, FoTerm};
+use clogic_core::fol::{FoAtom, FoClause, FoTerm};
 use clogic_core::symbol::Symbol;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
@@ -296,11 +298,7 @@ impl Evaluation {
                     return Err(EvalError::Floundered(n.to_string()));
                 }
                 let holds = if crate::builtins::is_builtin(g.pred) {
-                    let mut alloc = crate::rterm::VarAlloc::new();
-                    let mut map = HashMap::new();
-                    let ra = crate::rterm::ratom_of_fo(&g, &mut map, &mut alloc);
-                    let mut bind = crate::unify::Bindings::new();
-                    crate::builtins::solve(&ra, &mut bind, crate::unify::UnifyOptions::default())?
+                    holds_ground_builtin(&g)?
                 } else {
                     self.holds(std::slice::from_ref(&g))
                 };
@@ -312,6 +310,177 @@ impl Evaluation {
         }
         Ok(out)
     }
+
+    /// Like [`Evaluation::query_with_negation`], but negated goals whose
+    /// predicate heads a clause in `aux` are checked *lazily* against the
+    /// saturated base model instead of requiring the aux predicates to
+    /// have been materialized into it.
+    ///
+    /// This is exact for the auxiliary clauses the C-logic translation
+    /// generates for negated molecules (`__nauxN(V̄) :- conj`): the head
+    /// collects every variable of the negated goal, so once the goal is
+    /// ground the head binding determines the body up to existential
+    /// variables, and `__nauxN(ḡ)` holds in the saturated model of
+    /// base ∪ aux iff the bound body conjunction is satisfiable in the
+    /// base model alone (aux predicates occur only under negation, so
+    /// they derive nothing the base rules consume). Checking lazily
+    /// replaces cloning and re-saturating the whole model per query.
+    ///
+    /// Multiple clauses per aux predicate act as a disjunction. Built-in
+    /// conjuncts are checked once the relational conjuncts have bound
+    /// their arguments; a built-in left non-ground flounders.
+    pub fn query_with_negation_aux(
+        &self,
+        goals: &[FoAtom],
+        neg_goals: &[FoAtom],
+        aux: &[FoClause],
+    ) -> Result<Vec<BTreeMap<Symbol, FoTerm>>, EvalError> {
+        if aux.is_empty() {
+            return self.query_with_negation(goals, neg_goals);
+        }
+        let mut by_pred: HashMap<(Symbol, usize), Vec<&FoClause>> = HashMap::new();
+        for c in aux {
+            by_pred
+                .entry((c.head.pred, c.head.args.len()))
+                .or_default()
+                .push(c);
+        }
+        let answers = self.query(goals);
+        let mut out = Vec::with_capacity(answers.len());
+        'answers: for a in answers {
+            for n in neg_goals {
+                let g = subst_fo_atom(n, &a);
+                if !g.is_ground() {
+                    return Err(EvalError::Floundered(n.to_string()));
+                }
+                let holds = if let Some(clauses) = by_pred.get(&(g.pred, g.args.len())) {
+                    let mut any = false;
+                    for c in clauses {
+                        if self.aux_clause_holds(c, &g)? {
+                            any = true;
+                            break;
+                        }
+                    }
+                    any
+                } else if crate::builtins::is_builtin(g.pred) {
+                    holds_ground_builtin(&g)?
+                } else {
+                    self.holds(std::slice::from_ref(&g))
+                };
+                if holds {
+                    continue 'answers;
+                }
+            }
+            out.push(a);
+        }
+        Ok(out)
+    }
+
+    /// Whether `goal` (ground) is derivable from `clause` over the base
+    /// model: head-match the goal, then check the bound body conjunction
+    /// (existential variables range over base-model answers).
+    fn aux_clause_holds(&self, clause: &FoClause, goal: &FoAtom) -> Result<bool, EvalError> {
+        let mut bind: BTreeMap<Symbol, FoTerm> = BTreeMap::new();
+        if clause.head.args.len() != goal.args.len() {
+            return Ok(false);
+        }
+        for (p, g) in clause.head.args.iter().zip(&goal.args) {
+            if !match_fo_term(p, g, &mut bind) {
+                return Ok(false);
+            }
+        }
+        // Split the bound body: relational conjuncts are joined against
+        // the model; ground built-ins filter up front; built-ins still
+        // open wait for the relational answers to bind them.
+        let mut relational = Vec::new();
+        let mut open_builtins = Vec::new();
+        for b in &clause.body {
+            let s = subst_fo_atom(b, &bind);
+            if crate::builtins::is_builtin(s.pred) {
+                if s.is_ground() {
+                    if !holds_ground_builtin(&s)? {
+                        return Ok(false);
+                    }
+                } else {
+                    open_builtins.push(s);
+                }
+            } else {
+                relational.push(s);
+            }
+        }
+        let neg: Vec<FoAtom> = clause
+            .negative_body
+            .iter()
+            .map(|n| subst_fo_atom(n, &bind))
+            .collect();
+        let solutions = if relational.is_empty() {
+            vec![BTreeMap::new()]
+        } else {
+            self.query(&relational)
+        };
+        'solutions: for s in solutions {
+            for b in &open_builtins {
+                let g = subst_fo_atom(b, &s);
+                if !g.is_ground() {
+                    return Err(EvalError::Floundered(b.to_string()));
+                }
+                if !holds_ground_builtin(&g)? {
+                    continue 'solutions;
+                }
+            }
+            for n in &neg {
+                let g = subst_fo_atom(n, &s);
+                if !g.is_ground() {
+                    return Err(EvalError::Floundered(n.to_string()));
+                }
+                let holds = if crate::builtins::is_builtin(g.pred) {
+                    holds_ground_builtin(&g)?
+                } else {
+                    self.holds(std::slice::from_ref(&g))
+                };
+                if holds {
+                    continue 'solutions;
+                }
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+}
+
+/// Structural match of a clause-head pattern against a ground term,
+/// accumulating (and checking the consistency of) variable bindings.
+fn match_fo_term(pattern: &FoTerm, ground: &FoTerm, bind: &mut BTreeMap<Symbol, FoTerm>) -> bool {
+    match pattern {
+        FoTerm::Var(v) => match bind.get(v) {
+            Some(prev) => prev == ground,
+            None => {
+                bind.insert(*v, ground.clone());
+                true
+            }
+        },
+        FoTerm::Const(_) => pattern == ground,
+        FoTerm::App(f, args) => match ground {
+            FoTerm::App(gf, gargs) if gf == f && gargs.len() == args.len() => args
+                .iter()
+                .zip(gargs)
+                .all(|(p, g)| match_fo_term(p, g, bind)),
+            _ => false,
+        },
+    }
+}
+
+/// Evaluates a ground built-in atom.
+fn holds_ground_builtin(g: &FoAtom) -> Result<bool, EvalError> {
+    let mut alloc = crate::rterm::VarAlloc::new();
+    let mut map = HashMap::new();
+    let ra = crate::rterm::ratom_of_fo(g, &mut map, &mut alloc);
+    let mut bind = crate::unify::Bindings::new();
+    Ok(crate::builtins::solve(
+        &ra,
+        &mut bind,
+        crate::unify::UnifyOptions::default(),
+    )?)
 }
 
 /// Greedy selectivity-based join order for conjunctive query goals:
@@ -401,7 +570,7 @@ struct Frontier {
 /// let model = evaluate(&compiled, FixpointOptions::default()).unwrap();
 /// assert!(model.holds(&[FoAtom::new("path", vec![FoTerm::constant("a"), FoTerm::constant("b")])]));
 /// ```
-pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Evaluation, EvalError> {
+pub fn evaluate<P: ClauseView>(program: &P, opts: FixpointOptions) -> Result<Evaluation, EvalError> {
     let mut ev = Evaluation::default();
     let mut meter = BudgetMeter::new(&opts.budget);
     let derivable: Vec<(Symbol, usize)> = program.head_predicates();
@@ -409,16 +578,14 @@ pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Eval
         "folog.evaluate",
         vec![
             ("strategy", strategy_name(opts.strategy).into()),
-            ("rules", program.rules.len().into()),
+            ("rules", program.len().into()),
         ],
     );
 
     // Round 0: insert facts.
     insert_fact_rules(
-        program
-            .rules
-            .iter()
-            .enumerate()
+        (0..program.len())
+            .map(|i| (i, program.rule(i)))
             .filter(|(_, r)| r.is_fact()),
         &mut ev,
         &mut meter,
@@ -427,10 +594,8 @@ pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Eval
     // Stratify: rules whose head depends on a predicate through negation
     // must evaluate after that predicate's stratum is complete. Programs
     // without negation form a single stratum.
-    let all_rules: Vec<(usize, &Rule)> = program
-        .rules
-        .iter()
-        .enumerate()
+    let all_rules: Vec<(usize, &Rule)> = (0..program.len())
+        .map(|i| (i, program.rule(i)))
         .filter(|(_, r)| !r.is_fact())
         .collect();
     let strata = stratify(&all_rules, program)?;
@@ -485,8 +650,8 @@ pub fn evaluate(program: &CompiledProgram, opts: FixpointOptions) -> Result<Eval
 /// the seeded semi-naive rounds (every rule joined against rows appended
 /// since the seed snapshot), the standard semi-naive invariant holds and
 /// the result equals `evaluate` on the full program.
-pub fn evaluate_delta(
-    program: &CompiledProgram,
+pub fn evaluate_delta<P: ClauseView>(
+    program: &P,
     prev: Evaluation,
     prev_rules: usize,
     opts: FixpointOptions,
@@ -499,13 +664,13 @@ pub fn evaluate_delta(
     let stats_before = ev.stats.clone();
     let mut meter = BudgetMeter::new(&opts.budget);
     let derivable: Vec<(Symbol, usize)> = program.head_predicates();
-    let offset = prev_rules.min(program.rules.len());
+    let offset = prev_rules.min(program.len());
     let mut span = opts.obs.tracer.span_with(
         "folog.evaluate_delta",
         vec![
             ("strategy", strategy_name(opts.strategy).into()),
-            ("rules", program.rules.len().into()),
-            ("delta_rules", (program.rules.len() - offset).into()),
+            ("rules", program.len().into()),
+            ("delta_rules", (program.len() - offset).into()),
         ],
     );
 
@@ -515,12 +680,9 @@ pub fn evaluate_delta(
     let base = ev.facts.lens();
 
     // Round 0 of the delta: insert its facts.
-    let delta_rules = &program.rules[offset..];
     insert_fact_rules(
-        delta_rules
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (offset + i, r))
+        (offset..program.len())
+            .map(|i| (i, program.rule(i)))
             .filter(|(_, r)| r.is_fact()),
         &mut ev,
         &mut meter,
@@ -529,10 +691,8 @@ pub fn evaluate_delta(
     // Catch-up pass: a rule the old run never saw must join against the
     // *whole* existing model once (the seeded rounds below only cover
     // combinations that involve at least one appended row).
-    let new_rules: Vec<(usize, &Rule)> = delta_rules
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (offset + i, r))
+    let new_rules: Vec<(usize, &Rule)> = (offset..program.len())
+        .map(|i| (i, program.rule(i)))
         .filter(|(_, r)| !r.is_fact())
         .collect();
     if !new_rules.is_empty() && meter.tripped().is_none() {
@@ -562,10 +722,8 @@ pub fn evaluate_delta(
     }
 
     // Seeded semi-naive continuation over all rules.
-    let all_rules: Vec<(usize, &Rule)> = program
-        .rules
-        .iter()
-        .enumerate()
+    let all_rules: Vec<(usize, &Rule)> = (0..program.len())
+        .map(|i| (i, program.rule(i)))
         .filter(|(_, r)| !r.is_fact())
         .collect();
     if meter.tripped().is_none() {
@@ -705,9 +863,9 @@ fn strategy_name(s: Strategy) -> &'static str {
 /// mentioned under negation into a spurious negative cycle — the axioms
 /// are replicated into every stratum and `object` stays in sync with each
 /// stratum's fixpoint. Negating `object` itself remains unstratifiable.
-fn stratify<'r>(
+fn stratify<'r, P: ClauseView>(
     rules: &[(usize, &'r Rule)],
-    program: &CompiledProgram,
+    program: &P,
 ) -> Result<Vec<Vec<(usize, &'r Rule)>>, EvalError> {
     use std::collections::HashMap as Map;
     if rules.iter().all(|(_, r)| !r.has_negation()) {
@@ -801,10 +959,10 @@ fn stratify<'r>(
 /// builtin-only rules don't refire and an empty delta terminates
 /// immediately.
 #[allow(clippy::too_many_arguments)]
-fn run_stratum(
+fn run_stratum<P: ClauseView>(
     rules: &[(usize, &Rule)],
     derivable: &[(Symbol, usize)],
-    program: &CompiledProgram,
+    program: &P,
     opts: &FixpointOptions,
     ev: &mut Evaluation,
     meter: &mut BudgetMeter,
@@ -941,14 +1099,14 @@ fn run_stratum(
 /// rows, and atoms after `i` over everything known at round start
 /// (semi-naive); with `None`, every atom ranges over all known rows.
 #[allow(clippy::too_many_arguments)]
-fn eval_rule(
+fn eval_rule<P: ClauseView>(
     rule: &Rule,
     frontiers: &HashMap<(Symbol, usize), Frontier>,
     delta_pos: Option<usize>,
     facts: &FactStore,
     store: &mut TermStore,
     stats: &mut FixpointStats,
-    program: &CompiledProgram,
+    program: &P,
     out: &mut Vec<(Symbol, Vec<TermId>)>,
     meter: &mut BudgetMeter,
 ) -> Result<(), EvalError> {
@@ -971,7 +1129,7 @@ fn eval_rule(
 /// order. This turns translated bodies like `node(X), object(Z),
 /// linkto(X, Z), …` into `node(X), linkto(X, Z), object(Z), …`: filters
 /// before generators.
-fn plan_order(rule: &Rule, delta_pos: Option<usize>, program: &CompiledProgram) -> Vec<usize> {
+fn plan_order<P: ClauseView>(rule: &Rule, delta_pos: Option<usize>, program: &P) -> Vec<usize> {
     use crate::rterm::{RTerm, VarId};
     use std::collections::HashSet;
     let n = rule.body.len();
@@ -1046,7 +1204,7 @@ fn plan_order(rule: &Rule, delta_pos: Option<usize>, program: &CompiledProgram) 
 }
 
 #[allow(clippy::too_many_arguments)]
-fn eval_body(
+fn eval_body<P: ClauseView>(
     rule: &Rule,
     order: &[usize],
     i: usize,
@@ -1055,7 +1213,7 @@ fn eval_body(
     facts: &FactStore,
     store: &mut TermStore,
     stats: &mut FixpointStats,
-    program: &CompiledProgram,
+    program: &P,
     env: &mut Env,
     trail: &mut Vec<crate::rterm::VarId>,
     out: &mut Vec<(Symbol, Vec<TermId>)>,

@@ -35,7 +35,7 @@ pub mod unify;
 pub use bottom_up::{evaluate, evaluate_delta, Evaluation, FixpointOptions, FixpointStats, Strategy};
 pub use budget::{Budget, BudgetMeter, CancelToken, Degradation, TripKind};
 pub use ground::{GroundAtom, GroundTerm, TermId, TermStore};
-pub use program::{CompiledProgram, Rule};
+pub use program::{ClauseOverlay, ClauseView, CompiledProgram, Rule};
 pub use rterm::{RAtom, RTerm};
 pub use sld::{SldEngine, SldOptions, SldResult, SldStats};
 pub use unify::{mgu, unify, Bindings, UnifyOptions};

@@ -241,6 +241,153 @@ impl CompiledProgram {
     }
 }
 
+/// Read-only access to an indexed clause collection.
+///
+/// Both a whole [`CompiledProgram`] and a [`ClauseOverlay`] (a shared
+/// base extended by a small private tail) implement this, so the
+/// evaluation engines can run over either without cloning: a query that
+/// needs a handful of auxiliary clauses layers them over the shared
+/// program instead of copying it.
+pub trait ClauseView {
+    /// The rule at position `idx` (`0..len()`).
+    fn rule(&self, idx: usize) -> &Rule;
+    /// Number of clauses.
+    fn len(&self) -> usize;
+    /// True iff there are no clauses.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Whether `pred` is an evaluable built-in.
+    fn is_builtin(&self, pred: Symbol) -> bool;
+    /// Candidate clauses for a goal (see [`CompiledProgram::candidates`]).
+    fn candidates(&self, pred: Symbol, arity: usize, first_arg: Option<&RTerm>) -> Vec<usize>;
+    /// All rules for a predicate.
+    fn rules_for(&self, pred: Symbol, arity: usize) -> Vec<usize>;
+    /// The set of derivable predicates (head predicates with arities).
+    fn head_predicates(&self) -> Vec<(Symbol, usize)>;
+    /// True iff any rule uses negation.
+    fn has_negation(&self) -> bool;
+}
+
+impl ClauseView for CompiledProgram {
+    fn rule(&self, idx: usize) -> &Rule {
+        &self.rules[idx]
+    }
+    fn len(&self) -> usize {
+        CompiledProgram::len(self)
+    }
+    fn is_builtin(&self, pred: Symbol) -> bool {
+        CompiledProgram::is_builtin(self, pred)
+    }
+    fn candidates(&self, pred: Symbol, arity: usize, first_arg: Option<&RTerm>) -> Vec<usize> {
+        CompiledProgram::candidates(self, pred, arity, first_arg)
+    }
+    fn rules_for(&self, pred: Symbol, arity: usize) -> Vec<usize> {
+        CompiledProgram::rules_for(self, pred, arity)
+    }
+    fn head_predicates(&self) -> Vec<(Symbol, usize)> {
+        CompiledProgram::head_predicates(self)
+    }
+    fn has_negation(&self) -> bool {
+        CompiledProgram::has_negation(self)
+    }
+}
+
+/// A copy-on-write clause overlay: a borrowed, immutable base program plus
+/// a small private tail of appended clauses.
+///
+/// Tail clauses are numbered `base.len()..`, exactly as if they had been
+/// pushed onto the base — per-rule statistics indexed by clause position
+/// are unaffected by whether a clause lives in the base or the tail. This
+/// replaces the clone-push-solve and push-solve-truncate patterns for
+/// query-local auxiliary clauses: the base stays shared (and can sit
+/// behind an `Arc` used by many threads), and a query allocates only its
+/// own aux clauses.
+pub struct ClauseOverlay<'a, P: ClauseView = CompiledProgram> {
+    base: &'a P,
+    base_len: usize,
+    tail: CompiledProgram,
+}
+
+impl<'a, P: ClauseView> ClauseOverlay<'a, P> {
+    /// Creates an empty overlay over `base`.
+    pub fn new(base: &'a P) -> ClauseOverlay<'a, P> {
+        ClauseOverlay {
+            base,
+            base_len: base.len(),
+            tail: CompiledProgram::default(),
+        }
+    }
+
+    /// Compiles and appends one clause to the private tail.
+    pub fn push_clause(&mut self, c: &FoClause) {
+        self.tail.push_clause(c);
+    }
+
+    /// Appends a compiled rule to the private tail.
+    pub fn push_rule(&mut self, rule: Rule) {
+        self.tail.push_rule(rule);
+    }
+
+    /// The shared base program.
+    pub fn base(&self) -> &P {
+        self.base
+    }
+
+    /// Number of clauses in the private tail.
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+}
+
+impl<P: ClauseView> ClauseView for ClauseOverlay<'_, P> {
+    fn rule(&self, idx: usize) -> &Rule {
+        if idx < self.base_len {
+            self.base.rule(idx)
+        } else {
+            &self.tail.rules[idx - self.base_len]
+        }
+    }
+    fn len(&self) -> usize {
+        self.base_len + self.tail.len()
+    }
+    fn is_builtin(&self, pred: Symbol) -> bool {
+        self.base.is_builtin(pred) || self.tail.is_builtin(pred)
+    }
+    fn candidates(&self, pred: Symbol, arity: usize, first_arg: Option<&RTerm>) -> Vec<usize> {
+        let mut out = self.base.candidates(pred, arity, first_arg);
+        // Tail indices are all >= base_len, so appending keeps the
+        // combined list in ascending source order.
+        out.extend(
+            self.tail
+                .candidates(pred, arity, first_arg)
+                .into_iter()
+                .map(|i| i + self.base_len),
+        );
+        out
+    }
+    fn rules_for(&self, pred: Symbol, arity: usize) -> Vec<usize> {
+        let mut out = self.base.rules_for(pred, arity);
+        out.extend(
+            self.tail
+                .rules_for(pred, arity)
+                .into_iter()
+                .map(|i| i + self.base_len),
+        );
+        out
+    }
+    fn head_predicates(&self) -> Vec<(Symbol, usize)> {
+        let mut out = self.base.head_predicates();
+        out.extend(self.tail.head_predicates());
+        out.sort();
+        out.dedup();
+        out
+    }
+    fn has_negation(&self) -> bool {
+        self.base.has_negation() || self.tail.has_negation()
+    }
+}
+
 /// Shifts all variables in an atom by `offset` — instantiating a fresh
 /// activation of a rule whose variables are `0..n_vars`.
 pub fn shift_atom(a: &RAtom, offset: VarId) -> RAtom {
@@ -396,6 +543,60 @@ mod tests {
         assert_eq!(
             cp.head_predicates(),
             vec![(sym("edge"), 2), (sym("path"), 2)]
+        );
+    }
+
+    #[test]
+    fn overlay_extends_base_without_mutating_it() {
+        let cp = CompiledProgram::compile(&program(), []);
+        let base_len = cp.len();
+        let base_edges = cp.candidates(sym("edge"), 2, None);
+        let mut ov = ClauseOverlay::new(&cp);
+        ov.push_clause(&FoClause::fact(FoAtom::new(
+            "edge",
+            vec![FoTerm::constant("c"), FoTerm::constant("d")],
+        )));
+        ov.push_clause(&FoClause::fact(FoAtom::new(
+            "aux",
+            vec![FoTerm::constant("z")],
+        )));
+        // Overlay sees base + tail with tail indices one past the base.
+        assert_eq!(ClauseView::len(&ov), base_len + 2);
+        assert_eq!(ov.tail_len(), 2);
+        assert_eq!(
+            ClauseView::candidates(&ov, sym("edge"), 2, None),
+            vec![0, 1, base_len]
+        );
+        assert_eq!(
+            ClauseView::rules_for(&ov, sym("aux"), 1),
+            vec![base_len + 1]
+        );
+        assert_eq!(
+            ClauseView::rule(&ov, base_len + 1).head.pred,
+            sym("aux")
+        );
+        assert_eq!(
+            ClauseView::head_predicates(&ov),
+            vec![(sym("aux"), 1), (sym("edge"), 2), (sym("path"), 2)]
+        );
+        // The base is untouched.
+        assert_eq!(cp.len(), base_len);
+        assert_eq!(cp.candidates(sym("edge"), 2, None), base_edges);
+    }
+
+    #[test]
+    fn overlay_first_arg_indexing_covers_tail() {
+        let cp = CompiledProgram::compile(&program(), []);
+        let base_len = cp.len();
+        let mut ov = ClauseOverlay::new(&cp);
+        ov.push_clause(&FoClause::fact(FoAtom::new(
+            "edge",
+            vec![FoTerm::constant("a"), FoTerm::constant("z")],
+        )));
+        let a = RTerm::Const(Const::Sym(sym("a")));
+        assert_eq!(
+            ClauseView::candidates(&ov, sym("edge"), 2, Some(&a)),
+            vec![0, base_len]
         );
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::budget::{Budget, BudgetMeter, Degradation, TripKind};
 use crate::builtins::BuiltinError;
-use crate::program::{shift_atom, CompiledProgram};
+use crate::program::{shift_atom, ClauseView, CompiledProgram};
 use crate::rterm::{RAtom, RTerm, VarAlloc, VarId};
 use crate::unify::{unify_atoms, Bindings, UnifyOptions};
 use clogic_core::fol::{FoAtom, FoTerm};
@@ -92,14 +92,16 @@ pub enum SldGoal {
     Neg(RAtom),
 }
 
-/// A query solver over a compiled program.
-pub struct SldEngine<'p> {
-    program: &'p CompiledProgram,
+/// A query solver over a compiled program (or any [`ClauseView`], e.g. a
+/// [`crate::program::ClauseOverlay`] layering query-local aux clauses
+/// over a shared base).
+pub struct SldEngine<'p, P: ClauseView = CompiledProgram> {
+    program: &'p P,
     opts: SldOptions,
 }
 
-struct Search<'p> {
-    program: &'p CompiledProgram,
+struct Search<'p, P: ClauseView> {
+    program: &'p P,
     opts: SldOptions,
     bind: Bindings,
     next_var: VarId,
@@ -113,9 +115,9 @@ struct Search<'p> {
     per_rule: Vec<u64>,
 }
 
-impl<'p> SldEngine<'p> {
+impl<'p, P: ClauseView + Sync> SldEngine<'p, P> {
     /// Creates an engine.
-    pub fn new(program: &'p CompiledProgram, opts: SldOptions) -> SldEngine<'p> {
+    pub fn new(program: &'p P, opts: SldOptions) -> SldEngine<'p, P> {
         SldEngine { program, opts }
     }
 
@@ -233,7 +235,7 @@ impl<'p> SldEngine<'p> {
     }
 }
 
-impl Search<'_> {
+impl<P: ClauseView> Search<'_, P> {
     /// Record an engine-local cutoff: the search space was truncated.
     fn cut(&mut self, kind: TripKind) {
         self.truncated = true;
@@ -318,7 +320,7 @@ impl Search<'_> {
                 self.truncated = true;
                 return Ok(true);
             }
-            let rule = &self.program.rules[ci];
+            let rule = self.program.rule(ci);
             let offset = self.next_var;
             let head = shift_atom(&rule.head, offset);
             let cp = self.bind.checkpoint();

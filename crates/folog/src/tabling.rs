@@ -13,7 +13,7 @@
 
 use crate::budget::{Budget, BudgetMeter, Degradation, TripKind};
 use crate::builtins::BuiltinError;
-use crate::program::{shift_atom, CompiledProgram};
+use crate::program::{shift_atom, ClauseOverlay, ClauseView, CompiledProgram};
 use crate::rterm::{RAtom, RTerm, VarId};
 use crate::sld::fo_of_rterm;
 use crate::unify::{unify_atoms, Bindings, UnifyOptions};
@@ -140,9 +140,9 @@ struct Table {
     seen: HashSet<RAtom>,
 }
 
-/// The tabled engine.
-pub struct TabledEngine<'p> {
-    program: &'p CompiledProgram,
+/// The tabled engine, over a compiled program or any [`ClauseView`].
+pub struct TabledEngine<'p, P: ClauseView = CompiledProgram> {
+    program: &'p P,
     opts: TablingOptions,
 }
 
@@ -194,9 +194,9 @@ impl TableSpace {
     }
 }
 
-impl<'p> TabledEngine<'p> {
+impl<'p, P: ClauseView> TabledEngine<'p, P> {
     /// Creates an engine.
-    pub fn new(program: &'p CompiledProgram, opts: TablingOptions) -> TabledEngine<'p> {
+    pub fn new(program: &'p P, opts: TablingOptions) -> TabledEngine<'p, P> {
         TabledEngine { program, opts }
     }
 
@@ -213,7 +213,7 @@ impl<'p> TabledEngine<'p> {
         }
         while let Some((pred, arity)) = queue.pop_front() {
             for ri in self.program.rules_for(pred, arity) {
-                let rule = &self.program.rules[ri];
+                let rule = self.program.rule(ri);
                 if rule.has_negation() {
                     return true;
                 }
@@ -245,7 +245,10 @@ impl<'p> TabledEngine<'p> {
         }
         let vars: Vec<Symbol> = var_set.into_iter().collect();
         let query_pred = Symbol::new("__query");
-        let mut program = self.program.clone();
+        // The synthetic `__query` wrapper lives in a private overlay tail
+        // (index one past the program's last clause, as before) — the
+        // shared program itself is never cloned or mutated.
+        let mut program = ClauseOverlay::new(self.program);
         let head = FoAtom::new(query_pred, vars.iter().map(|&v| FoTerm::Var(v)).collect());
         program.push_clause(&clogic_core::fol::FoClause::rule(head, goals.to_vec()));
 
@@ -367,9 +370,9 @@ impl<'p> TabledEngine<'p> {
     /// One production pass for a table: resolve the canonical goal against
     /// every matching clause, consuming subgoal answers from tables.
     /// Returns whether any new answer (or table) appeared.
-    fn produce(
+    fn produce<Q: ClauseView>(
         &self,
-        program: &CompiledProgram,
+        program: &Q,
         key: &RAtom,
         space: &mut TableSpace,
     ) -> Result<bool, TablingError> {
@@ -389,7 +392,7 @@ impl<'p> TabledEngine<'p> {
             if !space.meter.tick() {
                 return Ok(changed);
             }
-            let rule = &program.rules[ci];
+            let rule = program.rule(ci);
             space.stats.clause_activations += 1;
             let mut bind = Bindings::new();
             let head = shift_atom(&rule.head, max_var);
@@ -405,9 +408,9 @@ impl<'p> TabledEngine<'p> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn solve_body(
+    fn solve_body<Q: ClauseView>(
         &self,
-        program: &CompiledProgram,
+        program: &Q,
         key: &RAtom,
         ci: usize,
         body: &[RAtom],

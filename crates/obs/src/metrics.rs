@@ -145,6 +145,32 @@ pub struct HistogramSnapshot {
     pub sum: u64,
 }
 
+impl HistogramSnapshot {
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`): the exclusive
+    /// upper edge of the log₂ bucket the quantile sample falls in, so
+    /// the true value is strictly below the returned number (within a
+    /// factor of 2, the bucket resolution). Returns `None` for an empty
+    /// histogram. `percentile(0.5)` is the p50 bound, `percentile(0.99)`
+    /// the p99 bound.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        // Rank of the quantile sample, 1-based, clamped into range.
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i covers [2^i, 2^(i+1)); its exclusive upper
+                // edge saturates at u64::MAX for the last bucket.
+                return Some(1u64.checked_shl(i as u32 + 1).map_or(u64::MAX, |v| v - 1));
+            }
+        }
+        None
+    }
+}
+
 enum Instrument {
     Counter(Counter),
     Gauge(Gauge),
@@ -425,6 +451,33 @@ mod tests {
         let r = Registry::new();
         r.gauge("x");
         r.counter("x");
+    }
+
+    #[test]
+    fn percentiles_walk_log2_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat.us");
+        assert_eq!(h.read().percentile(0.5), None, "empty histogram");
+        // 90 samples at 3µs (bucket 1: [2,4)), 10 at 1000µs (bucket 9:
+        // [512,1024)).
+        for _ in 0..90 {
+            h.observe(3);
+        }
+        for _ in 0..10 {
+            h.observe(1000);
+        }
+        let snap = h.read();
+        // p50 and p90 land in the 3µs bucket: upper edge 4 (exclusive,
+        // reported as 3).
+        assert_eq!(snap.percentile(0.5), Some(3));
+        assert_eq!(snap.percentile(0.9), Some(3));
+        // p95 and p99 land in the 1000µs bucket: upper edge 1024
+        // (exclusive, reported as 1023).
+        assert_eq!(snap.percentile(0.95), Some(1023));
+        assert_eq!(snap.percentile(0.99), Some(1023));
+        // Quantile 0 is the minimum's bucket; 1.0 the maximum's.
+        assert_eq!(snap.percentile(0.0), Some(3));
+        assert_eq!(snap.percentile(1.0), Some(1023));
     }
 
     #[test]

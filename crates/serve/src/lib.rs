@@ -1,11 +1,16 @@
 //! # clogic-serve — concurrent serving front-end for C-logic sessions
 //!
-//! A [`Server`] owns one [`Session`] behind a **writer/reader
+//! A [`Server`] owns one [`Session`] behind a **lock-free snapshot
 //! discipline**: loads (and artifact preparation) serialize behind a
-//! write lock, while queries fan out across a thread pool over the
-//! session's epoch-stamped artifacts through the `&self` shared path
-//! ([`Session::query_shared`]). The session type is `Sync` — checked at
-//! compile time — so readers never copy the program, only borrow it.
+//! mutex, and every successful [`Session::prepare`] publishes an
+//! immutable, epoch-stamped [`SessionSnapshot`] into a shared
+//! [`SnapshotCell`] with a single pointer swap. Queries fan out across
+//! a thread pool and answer **entirely from the snapshot they pinned**
+//! ([`SessionSnapshot::query_cached`]) — the read path takes no session
+//! lock, clones no artifact, and keeps serving the previous snapshot
+//! while a load builds the next one off to the side. The snapshot also
+//! carries a cross-strategy answer cache (all six strategies agree on
+//! complete answers), counted in `serve.snapshot.cache.{hit,miss}`.
 //!
 //! Three robustness mechanisms stack on top:
 //!
@@ -50,12 +55,12 @@ pub use manager::{ManagerOptions, SessionManager, StorageFactory, TenantState, T
 pub use net::{Client, TcpFront, TcpFrontOptions};
 pub use protocol::{Request, RequestOp, Response};
 
-use clogic::{Answers, Session, SessionError, Strategy};
+use clogic::{Answers, Session, SessionError, SessionSnapshot, SnapshotCell, Strategy};
 use clogic_obs::Obs;
 use clogic_store::{FileStorage, RecoveryReport, RetryPolicy, RetryingStorage, StoreError};
 use folog::{Budget, CancelToken, Degradation};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -169,7 +174,13 @@ struct Job {
 }
 
 struct Shared {
-    session: RwLock<Session>,
+    /// The session, taken only by **writers** (loads, maintenance,
+    /// prepare escalation). The query path never touches it.
+    session: Mutex<Session>,
+    /// The session's snapshot publication cell: workers read the latest
+    /// published [`SessionSnapshot`] from here, lock-free with respect
+    /// to the session mutex.
+    snapshots: Arc<SnapshotCell>,
     admission: AdmissionQueue<Job>,
     cancel_all: CancelToken,
     obs: Obs,
@@ -177,15 +188,11 @@ struct Shared {
 }
 
 impl Shared {
-    // A worker panic while holding a lock poisons it; the session itself
-    // is never left half-mutated by the read path, and the write path
-    // only prepares artifacts (idempotent), so recover the guard.
-    fn read_session(&self) -> RwLockReadGuard<'_, Session> {
-        self.session.read().unwrap_or_else(|e| e.into_inner())
-    }
-
-    fn write_session(&self) -> RwLockWriteGuard<'_, Session> {
-        self.session.write().unwrap_or_else(|e| e.into_inner())
+    // A panic while holding the lock poisons it; the write path only
+    // loads programs and prepares artifacts (idempotent), so recover
+    // the guard.
+    fn lock_session(&self) -> MutexGuard<'_, Session> {
+        self.session.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -202,8 +209,10 @@ impl Server {
     pub fn start(mut session: Session, opts: ServeOptions) -> Result<Server, SessionError> {
         session.prepare()?;
         let obs = session.obs().clone();
+        let snapshots = session.snapshot_cell();
         let shared = Arc::new(Shared {
-            session: RwLock::new(session),
+            session: Mutex::new(session),
+            snapshots,
             admission: AdmissionQueue::new(opts.queue_depth, obs.clone()),
             cancel_all: CancelToken::new(),
             obs,
@@ -275,9 +284,11 @@ impl Server {
         self.submit(src, strategy)?.wait()
     }
 
-    /// Loads program text into the session (exclusive access: waits for
-    /// in-flight queries to drain from the lock) and re-prepares the
-    /// artifacts for the new epoch.
+    /// Loads program text into the session and re-prepares the artifacts
+    /// for the new epoch, publishing a fresh [`SessionSnapshot`] when
+    /// the prepare succeeds. Loads serialize with each other on the
+    /// session mutex, but **queries never wait**: workers keep answering
+    /// from the previously published snapshot until the swap.
     ///
     /// A **persistence** failure does not fail the load: the in-memory
     /// session has already advanced, so the server stays up — read-only
@@ -287,7 +298,7 @@ impl Server {
     /// as errors.
     pub fn load(&self, src: &str) -> Result<LoadReport, ServeError> {
         let shared = &self.shared;
-        let mut session = shared.write_session();
+        let mut session = shared.lock_session();
         let epoch_before = session.epoch();
         let store_error = match session.load(src) {
             Ok(()) => None,
@@ -306,17 +317,25 @@ impl Server {
     }
 
     /// Runs `f` with exclusive access to the session — for maintenance
-    /// (snapshots, metric snapshots, option changes). Queries queued
-    /// behind the write lock resume afterwards; if `f` changed the
-    /// program, call [`Session::prepare`] inside `f`.
+    /// (snapshots, metric snapshots, option changes). Queries are **not**
+    /// blocked: they keep answering from the last published
+    /// [`SessionSnapshot`] the whole time, so if `f` changed the
+    /// program, call [`Session::prepare`] inside `f` — queries see
+    /// nothing of the change until a prepare publishes it.
     pub fn with_session<R>(&self, f: impl FnOnce(&mut Session) -> R) -> R {
-        f(&mut self.shared.write_session())
+        f(&mut self.shared.lock_session())
     }
 
     /// Whether the session's persistence circuit breaker is currently
-    /// open (see [`RetryingStorage`]).
+    /// open (see [`RetryingStorage`]), as captured by the last published
+    /// snapshot — answering does not touch the session lock, so status
+    /// endpoints stay responsive mid-load. Falls back to asking the
+    /// session when nothing has been published yet.
     pub fn breaker_open(&self) -> bool {
-        self.shared.read_session().persistence_breaker_open()
+        match self.shared.snapshots.load() {
+            Some(snap) => snap.breaker_open(),
+            None => self.shared.lock_session().persistence_breaker_open(),
+        }
     }
 
     /// The server's observability handle (shared with the session).
@@ -404,22 +423,45 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn run_job(shared: &Shared, job: &Job, extra: &Budget) -> Result<Answers, ServeError> {
-    {
-        let session = shared.read_session();
-        match session.query_shared(&job.src, job.strategy, extra) {
-            // Artifacts stale for this epoch (e.g. the session was
-            // mutated through `with_session` without a `prepare`):
-            // escalate to the writer path below instead of failing.
-            Err(SessionError::NotPrepared(_)) => {}
-            r => return r.map_err(ServeError::Session),
+    // Lock-free fast path: pin the latest published snapshot and answer
+    // entirely from it. A load in progress keeps the previous snapshot
+    // serving — queries never wait on the writer, and the snapshot's
+    // cross-strategy answer cache absorbs repeats.
+    let snap = match shared.snapshots.load() {
+        Some(snap) => snap,
+        None => {
+            // Nothing published yet (e.g. the session was mutated
+            // through `with_session` without a `prepare`): escalate once
+            // to the writer, then pin what it published.
+            shared.obs.metrics.counter("serve.prepare_escalations").inc();
+            shared.lock_session().prepare()?;
+            shared
+                .snapshots
+                .load()
+                .ok_or(ServeError::Session(SessionError::NotPrepared(
+                    "session snapshot",
+                )))?
         }
-    }
-    shared.obs.metrics.counter("serve.prepare_escalations").inc();
-    shared.write_session().prepare()?;
-    let session = shared.read_session();
-    session
-        .query_shared(&job.src, job.strategy, extra)
-        .map_err(ServeError::Session)
+    };
+    answer_from(shared, &snap, job, extra)
+}
+
+fn answer_from(
+    shared: &Shared,
+    snap: &SessionSnapshot,
+    job: &Job,
+    extra: &Budget,
+) -> Result<Answers, ServeError> {
+    let (answers, hit) = snap
+        .query_cached(&job.src, job.strategy, extra)
+        .map_err(ServeError::Session)?;
+    let name = if hit {
+        "serve.snapshot.cache.hit"
+    } else {
+        "serve.snapshot.cache.miss"
+    };
+    shared.obs.metrics.counter(name).inc();
+    Ok(answers)
 }
 
 // The whole point of the crate: the server (and its error type) must be

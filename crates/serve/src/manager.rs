@@ -13,8 +13,12 @@
 //!                          └───────────── first use after ────────────┘
 //! ```
 //!
-//! * **Live** sessions are resident: an `Arc<RwLock<Session>>` queries
-//!   fan out over, exactly as in [`Server`](crate::Server).
+//! * **Live** sessions are resident: writers serialize on an
+//!   `Arc<Mutex<Session>>` while queries answer lock-free from the
+//!   tenant's published [`SessionSnapshot`](clogic::SessionSnapshot),
+//!   exactly as in [`Server`](crate::Server). Status listings read the
+//!   snapshots too, so `:tenants` stays responsive while a tenant is
+//!   mid-load.
 //! * When the number of live sessions exceeds [`ManagerOptions::capacity`],
 //!   the least-recently-used *idle* tenants (no outstanding handles) are
 //!   **evicted**: compacted into their snapshot (best effort) and dropped
@@ -36,12 +40,12 @@
 //! while neighbors on healthy storage see zero retries and zero sheds.
 
 use crate::{LoadReport, ServeError};
-use clogic::{Answers, Session, SessionError, SessionOptions, Strategy};
+use clogic::{Answers, Session, SessionError, SessionOptions, SnapshotCell, Strategy};
 use clogic_obs::Obs;
 use clogic_store::{RetryPolicy, RetryingStorage, Sleeper, Storage, StoreError};
 use folog::Budget;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Produces the [`Storage`] backing a named tenant. Must be
 /// deterministic per name: re-invoking it after an eviction has to reach
@@ -109,15 +113,22 @@ pub struct TenantStatus {
     pub name: String,
     /// Lifecycle state.
     pub state: TenantState,
-    /// Load epoch, when live and momentarily inspectable.
+    /// Load epoch of the tenant's last published snapshot, when live.
     pub epoch: Option<u64>,
-    /// Whether the tenant's persistence breaker is open, when live and
-    /// momentarily inspectable.
+    /// Whether the tenant's persistence breaker was open as of its last
+    /// published snapshot, when live.
     pub breaker_open: Option<bool>,
 }
 
 enum TenantSlot {
-    Live(Arc<RwLock<Session>>),
+    Live {
+        /// Writer handle: loads and maintenance serialize here.
+        session: Arc<Mutex<Session>>,
+        /// The session's snapshot cell: queries and status listings read
+        /// the latest published snapshot from here without touching the
+        /// session lock.
+        snapshots: Arc<SnapshotCell>,
+    },
     Evicted,
     Recovering,
 }
@@ -137,7 +148,7 @@ impl ManagerState {
     fn live(&self) -> usize {
         self.tenants
             .values()
-            .filter(|t| matches!(t.slot, TenantSlot::Live(_)))
+            .filter(|t| matches!(t.slot, TenantSlot::Live { .. }))
             .count()
     }
 
@@ -197,13 +208,17 @@ impl SessionManager {
             .iter()
             .map(|(name, t)| {
                 let (state, epoch, breaker_open) = match &t.slot {
-                    TenantSlot::Live(arc) => match arc.try_read() {
-                        Ok(s) => (
+                    // Read the published snapshot, never the session
+                    // lock: a tenant mid-load still reports its last
+                    // published epoch instead of blanking out (or
+                    // blocking the listing).
+                    TenantSlot::Live { snapshots, .. } => match snapshots.load() {
+                        Some(snap) => (
                             TenantState::Live,
-                            Some(s.epoch()),
-                            Some(s.persistence_breaker_open()),
+                            Some(snap.epoch()),
+                            Some(snap.breaker_open()),
                         ),
-                        Err(_) => (TenantState::Live, None, None),
+                        None => (TenantState::Live, None, None),
                     },
                     TenantSlot::Evicted => (TenantState::Evicted, None, None),
                     TenantSlot::Recovering => (TenantState::Recovering, None, None),
@@ -221,10 +236,19 @@ impl SessionManager {
     }
 
     /// Opens (creating or recovering as needed) the named tenant and
-    /// returns its session handle. Holding the handle pins the tenant
-    /// live — drop it promptly, or use the [`load`](Self::load) /
+    /// returns its session (writer) handle. Holding the handle pins the
+    /// tenant live — drop it promptly, or use the [`load`](Self::load) /
     /// [`query`](Self::query) conveniences which do.
-    pub fn open(&self, name: &str) -> Result<Arc<RwLock<Session>>, ServeError> {
+    pub fn open(&self, name: &str) -> Result<Arc<Mutex<Session>>, ServeError> {
+        self.open_slot(name).map(|(session, _)| session)
+    }
+
+    /// [`open`](Self::open), also returning the tenant's snapshot cell
+    /// for the lock-free read path.
+    fn open_slot(
+        &self,
+        name: &str,
+    ) -> Result<(Arc<Mutex<Session>>, Arc<SnapshotCell>), ServeError> {
         validate_name(name).map_err(ServeError::Session)?;
         let mut st = self.lock();
         loop {
@@ -232,10 +256,10 @@ impl SessionManager {
             let now = st.clock;
             match st.tenants.get_mut(name) {
                 Some(tenant) => match &tenant.slot {
-                    TenantSlot::Live(arc) => {
-                        let arc = Arc::clone(arc);
+                    TenantSlot::Live { session, snapshots } => {
+                        let handles = (Arc::clone(session), Arc::clone(snapshots));
                         tenant.last_used = now;
-                        return Ok(arc);
+                        return Ok(handles);
                     }
                     TenantSlot::Recovering => {
                         st = self.changed.wait(st).unwrap_or_else(|e| e.into_inner());
@@ -270,10 +294,14 @@ impl SessionManager {
         let tenant = st.tenants.get_mut(name).expect("recovering slot present");
         let result = match built {
             Ok(session) => {
-                let arc = Arc::new(RwLock::new(session));
-                tenant.slot = TenantSlot::Live(Arc::clone(&arc));
+                let snapshots = session.snapshot_cell();
+                let arc = Arc::new(Mutex::new(session));
+                tenant.slot = TenantSlot::Live {
+                    session: Arc::clone(&arc),
+                    snapshots: Arc::clone(&snapshots),
+                };
                 tenant.last_used = now;
-                Ok(arc)
+                Ok((arc, snapshots))
             }
             Err(e) => {
                 // The durable state (if any) is untouched; the next open
@@ -298,7 +326,7 @@ impl SessionManager {
     /// failure (plus breaker state) is reported in the [`LoadReport`].
     pub fn load(&self, name: &str, src: &str) -> Result<LoadReport, ServeError> {
         let arc = self.open(name)?;
-        let mut session = arc.write().unwrap_or_else(|e| e.into_inner());
+        let mut session = arc.lock().unwrap_or_else(|e| e.into_inner());
         let epoch_before = session.epoch();
         let store_error = match session.load(src) {
             Ok(()) => None,
@@ -322,9 +350,11 @@ impl SessionManager {
     }
 
     /// Queries the named tenant, merging `extra` (per-request deadline,
-    /// cancel token) into the session budget — the shared read path of
-    /// [`Session::query_shared`], with the same prepare-escalation as
-    /// the single-session server.
+    /// cancel token) into the session budget. Answers come lock-free
+    /// from the tenant's published [`SessionSnapshot`](clogic::SessionSnapshot)
+    /// (through its cross-strategy answer cache), with the same
+    /// prepare-escalation as the single-session server when nothing has
+    /// been published yet.
     pub fn query_with_budget(
         &self,
         name: &str,
@@ -332,22 +362,29 @@ impl SessionManager {
         strategy: Strategy,
         extra: &Budget,
     ) -> Result<Answers, ServeError> {
-        let arc = self.open(name)?;
-        {
-            let session = arc.read().unwrap_or_else(|e| e.into_inner());
-            match session.query_shared(src, strategy, extra) {
-                Err(SessionError::NotPrepared(_)) => {}
-                r => return r.map_err(ServeError::Session),
+        let (arc, snapshots) = self.open_slot(name)?;
+        let snap = match snapshots.load() {
+            Some(snap) => snap,
+            None => {
+                self.obs.metrics.counter("serve.prepare_escalations").inc();
+                arc.lock().unwrap_or_else(|e| e.into_inner()).prepare()?;
+                snapshots
+                    .load()
+                    .ok_or(ServeError::Session(SessionError::NotPrepared(
+                        "session snapshot",
+                    )))?
             }
-        }
-        self.obs.metrics.counter("serve.prepare_escalations").inc();
-        arc.write()
-            .unwrap_or_else(|e| e.into_inner())
-            .prepare()?;
-        let session = arc.read().unwrap_or_else(|e| e.into_inner());
-        session
-            .query_shared(src, strategy, extra)
-            .map_err(ServeError::Session)
+        };
+        let (answers, hit) = snap
+            .query_cached(src, strategy, extra)
+            .map_err(ServeError::Session)?;
+        let ctr = if hit {
+            "serve.snapshot.cache.hit"
+        } else {
+            "serve.snapshot.cache.miss"
+        };
+        self.obs.metrics.counter(ctr).inc();
+        Ok(answers)
     }
 
     /// Explicitly evicts the named tenant if it is live, idle and safe
@@ -373,7 +410,7 @@ impl SessionManager {
             let mut live: Vec<(&String, &Tenant)> = st
                 .tenants
                 .iter()
-                .filter(|(_, t)| matches!(t.slot, TenantSlot::Live(_)))
+                .filter(|(_, t)| matches!(t.slot, TenantSlot::Live { .. }))
                 .collect();
             live.sort_by_key(|(_, t)| t.last_used);
             live.iter().map(|(name, _)| (*name).clone()).collect()
@@ -398,7 +435,7 @@ impl SessionManager {
             let Some(tenant) = st.tenants.get_mut(name) else {
                 return false;
             };
-            let TenantSlot::Live(arc) = &tenant.slot else {
+            let TenantSlot::Live { session: arc, .. } = &tenant.slot else {
                 return false;
             };
             // Idle = the map holds the only handle; anything else means
@@ -417,7 +454,7 @@ impl SessionManager {
         // compaction keeps recovery replay short; its failure does not
         // block eviction as long as the WAL still covers the state.
         let safe = {
-            let mut session = arc.write().unwrap_or_else(|e| e.into_inner());
+            let mut session = arc.lock().unwrap_or_else(|e| e.into_inner());
             if session.fully_persisted() && !session.persistence_breaker_open() {
                 let _ = session.snapshot();
                 session.fully_persisted() && !session.persistence_breaker_open()
@@ -436,7 +473,11 @@ impl SessionManager {
             self.obs.metrics.counter("manager.evictions").inc();
             true
         } else {
-            tenant.slot = TenantSlot::Live(arc);
+            let snapshots = arc.lock().unwrap_or_else(|e| e.into_inner()).snapshot_cell();
+            tenant.slot = TenantSlot::Live {
+                session: arc,
+                snapshots,
+            };
             // Freshen the LRU stamp so the next pass tries a different
             // candidate instead of re-deferring this one forever.
             tenant.last_used = now;

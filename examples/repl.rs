@@ -139,7 +139,7 @@ fn main() {
                 Some("program") => match &serve {
                     Some((mgr, tenant)) => match mgr.open(tenant) {
                         Ok(pin) => {
-                            let s = pin.read().unwrap_or_else(|e| e.into_inner());
+                            let s = pin.lock().unwrap_or_else(|e| e.into_inner());
                             print!("{}", s.program());
                         }
                         Err(e) => report_error(&e),

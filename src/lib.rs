@@ -32,5 +32,5 @@ pub mod session;
 pub use obs::Render;
 pub use session::{
     Answers, ArtifactProvenance, CacheStats, ModelProvenance, QueryProfile, Session, SessionError,
-    SessionOptions, Strategy,
+    SessionOptions, SessionSnapshot, SnapshotCell, Strategy,
 };

@@ -46,11 +46,12 @@ use folog::builtins::builtin_symbols;
 use folog::magic::{solve_magic, solve_magic_labeled};
 use folog::tabling::{TabledEngine, TablingOptions};
 use folog::{
-    Budget, CompiledProgram, Degradation, Evaluation, FixpointOptions, FixpointStats, SldEngine,
-    SldOptions, Strategy as FixpointStrategy,
+    Budget, ClauseOverlay, ClauseView, CompiledProgram, Degradation, Evaluation, FixpointOptions,
+    FixpointStats, SldEngine, SldOptions, Strategy as FixpointStrategy,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// An evaluation strategy.
@@ -192,16 +193,19 @@ impl std::error::Error for SessionError {
     }
 }
 
-// Compile-time thread-safety contracts: `clogic-serve` parks a Session
-// behind an `Arc<RwLock<_>>` and fans queries out across a thread pool,
-// so `Session: Send + Sync` (and the same for everything a worker can
-// return) must hold by construction, not by test.
+// Compile-time thread-safety contracts: `clogic-serve` serializes writes
+// behind a `Mutex<Session>` while readers fan out over published
+// `Arc<SessionSnapshot>`s, so `Session: Send + Sync`, the snapshot types,
+// and everything a worker can return must hold by construction, not by
+// test.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Session>();
     assert_send_sync::<SessionError>();
     assert_send_sync::<Answers>();
     assert_send_sync::<QueryProfile>();
+    assert_send_sync::<SessionSnapshot>();
+    assert_send_sync::<SnapshotCell>();
 };
 
 impl From<ParseError> for SessionError {
@@ -648,7 +652,10 @@ struct TranslatedArtifact {
     /// flushing reports only the delta since this snapshot, so counters
     /// measure marginal work per load rather than re-reporting totals.
     stats_flushed: TranslationStats,
-    fo: FoProgram,
+    /// `Arc`d so a published [`SessionSnapshot`] shares it for free; the
+    /// writer extends it copy-on-write ([`Arc::make_mut`]), paying one
+    /// clone per load only while a snapshot still pins the old value.
+    fo: Arc<FoProgram>,
 }
 
 /// The indexed runtime form of the translated program.
@@ -657,7 +664,8 @@ struct CompiledArtifact {
     generation: u64,
     /// Number of translated clauses already compiled in.
     fo_len: usize,
-    cp: CompiledProgram,
+    /// `Arc`d for snapshot sharing; extended copy-on-write.
+    cp: Arc<CompiledProgram>,
 }
 
 /// The direct engine's compiled program. Never rebuilt: deltas merge
@@ -666,7 +674,8 @@ struct DirectArtifact {
     epoch: u64,
     /// C-logic clauses already compiled in.
     clauses: usize,
-    dp: DirectProgram,
+    /// `Arc`d for snapshot sharing; extended copy-on-write.
+    dp: Arc<DirectProgram>,
 }
 
 /// A saturated (or budget-cut) bottom-up model, kept for resumption.
@@ -676,7 +685,354 @@ struct ModelArtifact {
     generation: u64,
     /// Compiled rules already reflected in the model.
     rules: usize,
-    ev: Evaluation,
+    /// `Arc`d for snapshot sharing; resumption unwraps (or clones, when a
+    /// snapshot still pins it) the saturated store to seed the fixpoint.
+    ev: Arc<Evaluation>,
+}
+
+/// An immutable, epoch-stamped bundle of every artifact the shared query
+/// path needs — the unit of publication of the lock-free serving design.
+///
+/// [`Session::prepare`] builds one from the session's (Arc-shared)
+/// artifacts and publishes it into the session's [`SnapshotCell`] with a
+/// single pointer swap. Readers that hold an `Arc<SessionSnapshot>` keep
+/// answering against exactly the epoch they pinned, no matter how many
+/// loads the writer runs concurrently: a later publish swaps the cell's
+/// pointer but never mutates (or frees) a pinned snapshot. Queries
+/// through a snapshot never block on the session and never clone an
+/// artifact — per-query clause additions ride a [`ClauseOverlay`] and
+/// conjunction-shaped negation is checked lazily against the saturated
+/// model.
+///
+/// The snapshot also carries a **cross-strategy answer cache** for
+/// serving layers ([`SessionSnapshot::query_cached`]): all six strategies
+/// return identical complete answer sets (Theorem 1; enforced by
+/// `tests/equivalence.rs`), so complete answers are keyed by the
+/// canonical query text alone and a hit under any strategy serves every
+/// other. Incomplete (budget-cut) answers are never cached, and
+/// strategy-specific rejections (negation under tabling/magic) are
+/// checked before the cache so a hit can never mask them.
+pub struct SessionSnapshot {
+    /// Load epoch this snapshot is current for.
+    epoch: u64,
+    /// Translation generation backing the artifacts.
+    generation: u64,
+    /// Cached termination-guard verdict for the translated program.
+    may_diverge: bool,
+    /// Breaker state of the durable storage at publish time — lets
+    /// status listings report persistence health without touching the
+    /// session lock.
+    breaker_open: bool,
+    /// Skolem-minting state after the loads this snapshot reflects.
+    skolem: SkolemState,
+    /// Session options frozen at publish (budget governor, engine
+    /// options, observability handle).
+    options: SessionOptions,
+    fo: Arc<FoProgram>,
+    cp: Arc<CompiledProgram>,
+    dp: Arc<DirectProgram>,
+    /// Saturated (or budget-cut) model for the naive fixpoint.
+    naive: Arc<Evaluation>,
+    /// Saturated (or budget-cut) model for the semi-naive fixpoint.
+    semi: Arc<Evaluation>,
+    /// Complete answers memoized by canonical query text (strategy-
+    /// agnostic — see the type docs). Interior mutability keeps the
+    /// snapshot shareable as a plain `Arc`.
+    answers: Mutex<HashMap<String, Answers>>,
+}
+
+impl SessionSnapshot {
+    /// The load epoch this snapshot was published for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The translation generation backing this snapshot's artifacts.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the session's persistence circuit breaker was open when
+    /// this snapshot was published.
+    pub fn breaker_open(&self) -> bool {
+        self.breaker_open
+    }
+
+    /// The skolem-minting state after the loads this snapshot reflects.
+    pub fn skolem(&self) -> &SkolemState {
+        &self.skolem
+    }
+
+    /// Number of answers currently memoized in the snapshot's cache.
+    pub fn cached_answers(&self) -> usize {
+        self.lock_answers().len()
+    }
+
+    fn lock_answers(&self) -> std::sync::MutexGuard<'_, HashMap<String, Answers>> {
+        // The lock only guards map operations (no user code runs under
+        // it), so a poisoned guard is still structurally sound.
+        self.answers.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The effective budget for one engine invocation: the engine budget
+    /// tightened by the frozen session budget and the caller's `extra`,
+    /// then bounded by the termination guard.
+    fn effective(&self, engine_budget: &Budget, extra: &Budget) -> Budget {
+        let mut b = engine_budget.merged(&self.options.budget).merged(extra);
+        if self.options.termination_guard && self.may_diverge {
+            if b.deadline.is_none() {
+                b.deadline = Some(GUARD_DEADLINE);
+            }
+            if b.max_facts.is_none() {
+                b.max_facts = Some(GUARD_MAX_FACTS);
+            }
+        }
+        b
+    }
+
+    /// Parses and answers a query against this snapshot's pinned epoch.
+    /// See [`SessionSnapshot::query_ast`].
+    pub fn query(
+        &self,
+        src: &str,
+        strategy: Strategy,
+        extra: &Budget,
+    ) -> Result<Answers, SessionError> {
+        let q = parse_query(src)?;
+        self.query_ast(&q, strategy, extra)
+    }
+
+    /// Answers an already-parsed query against the snapshot's artifacts.
+    ///
+    /// Never blocks on the session, never mutates or clones an artifact:
+    /// per-query auxiliary clauses (conjunction-shaped negated goals)
+    /// extend the compiled program through a [`ClauseOverlay`] view, and
+    /// against a *complete* saturated model they are checked lazily
+    /// instead of resuming the fixpoint. `extra` is merged (tighter
+    /// ceiling wins) into the effective budget — the seam for
+    /// per-request deadlines and cancellation.
+    pub fn query_ast(
+        &self,
+        q: &Query,
+        strategy: Strategy,
+        extra: &Budget,
+    ) -> Result<Answers, SessionError> {
+        match strategy {
+            Strategy::Direct => {
+                let mut opts = self.options.direct.clone();
+                opts.budget = self.effective(&opts.budget, extra);
+                opts.obs = self.options.obs.clone();
+                let r = DirectEngine::new(&self.dp, opts).solve(q)?;
+                Ok(Answers {
+                    rows: r
+                        .answers
+                        .into_iter()
+                        .map(|bindings| AnswerRow { bindings })
+                        .collect(),
+                    complete: r.complete,
+                    degradation: r.degradation,
+                })
+            }
+            Strategy::Sld => {
+                let tr = Transformer::new();
+                let mut aux = Vec::new();
+                let mut counter = 0;
+                let (goals, neg_goals) = tr.query_parts(q, &mut aux, &mut counter);
+                let mut opts = self.options.sld.clone();
+                opts.budget = self.effective(&opts.budget, extra);
+                opts.obs = self.options.obs.clone();
+                let r = if aux.is_empty() {
+                    SldEngine::new(&*self.cp, opts).solve_with_negation(&goals, &neg_goals)?
+                } else {
+                    // Conjunction-shaped negated goals need their
+                    // auxiliary clauses in the program: a COW overlay
+                    // extends the shared artifact without cloning it.
+                    let mut view = ClauseOverlay::new(&*self.cp);
+                    for c in &aux {
+                        view.push_clause(c);
+                    }
+                    SldEngine::new(&view, opts).solve_with_negation(&goals, &neg_goals)?
+                };
+                Ok(Answers {
+                    rows: r
+                        .answers
+                        .into_iter()
+                        .map(|bindings| AnswerRow { bindings })
+                        .collect(),
+                    complete: r.complete,
+                    degradation: r.degradation,
+                })
+            }
+            Strategy::BottomUpNaive | Strategy::BottomUpSemiNaive => {
+                let tr = Transformer::new();
+                let mut aux = Vec::new();
+                let mut counter = 0;
+                let (goals, neg_goals) = tr.query_parts(q, &mut aux, &mut counter);
+                let (fs, m) = if strategy == Strategy::BottomUpNaive {
+                    (FixpointStrategy::Naive, &self.naive)
+                } else {
+                    (FixpointStrategy::SemiNaive, &self.semi)
+                };
+                if aux.is_empty() {
+                    Ok(Answers {
+                        rows: m
+                            .query_with_negation(&goals, &neg_goals)?
+                            .into_iter()
+                            .map(|bindings| AnswerRow {
+                                bindings: bindings.into_iter().collect(),
+                            })
+                            .collect(),
+                        complete: m.complete,
+                        degradation: m.degradation.clone(),
+                    })
+                } else if m.complete {
+                    // Against a complete model the query-local `__naux…`
+                    // clauses are checked lazily per candidate answer —
+                    // exact for the translation's aux clauses, and no
+                    // model clone or fixpoint resumption.
+                    Ok(Answers {
+                        rows: m
+                            .query_with_negation_aux(&goals, &neg_goals, &aux)?
+                            .into_iter()
+                            .map(|bindings| AnswerRow {
+                                bindings: bindings.into_iter().collect(),
+                            })
+                            .collect(),
+                        complete: m.complete,
+                        degradation: m.degradation.clone(),
+                    })
+                } else {
+                    // A budget-cut model cannot be resumed; re-evaluate
+                    // over an overlay carrying the aux clauses.
+                    let mut opts = FixpointOptions {
+                        strategy: fs,
+                        ..self.options.fixpoint.clone()
+                    };
+                    opts.budget = self.effective(&opts.budget, extra);
+                    opts.obs = self.options.obs.clone();
+                    let mut view = ClauseOverlay::new(&*self.cp);
+                    for c in &aux {
+                        view.push_clause(c);
+                    }
+                    let ev = folog::evaluate(&view, opts)?;
+                    Ok(Answers {
+                        rows: ev
+                            .query_with_negation(&goals, &neg_goals)?
+                            .into_iter()
+                            .map(|bindings| AnswerRow {
+                                bindings: bindings.into_iter().collect(),
+                            })
+                            .collect(),
+                        complete: ev.complete,
+                        degradation: ev.degradation,
+                    })
+                }
+            }
+            Strategy::Tabled => {
+                if q.has_negation() {
+                    return Err(SessionError::Unsupported(
+                        "tabled evaluation does not support negation".into(),
+                    ));
+                }
+                let goals = Transformer::new().query(q);
+                let mut opts = self.options.tabling.clone();
+                opts.budget = self.effective(&opts.budget, extra);
+                opts.obs = self.options.obs.clone();
+                let r = TabledEngine::new(&*self.cp, opts).solve(&goals)?;
+                Ok(Answers {
+                    rows: r
+                        .answers
+                        .into_iter()
+                        .map(|bindings| AnswerRow { bindings })
+                        .collect(),
+                    complete: r.complete,
+                    degradation: r.degradation,
+                })
+            }
+            Strategy::Magic => {
+                if q.has_negation() {
+                    return Err(SessionError::Unsupported(
+                        "magic sets do not support negation".into(),
+                    ));
+                }
+                let goals = Transformer::new().query(q);
+                let mut opts = self.options.fixpoint.clone();
+                opts.budget = self.effective(&opts.budget, extra);
+                opts.obs = self.options.obs.clone();
+                let builtins = builtin_symbols().collect();
+                let (answers, ev) = solve_magic(&self.fo, &goals, &builtins, opts)?;
+                Ok(Answers {
+                    rows: answers
+                        .into_iter()
+                        .map(|bindings| AnswerRow {
+                            bindings: bindings.into_iter().collect(),
+                        })
+                        .collect(),
+                    complete: ev.complete,
+                    degradation: ev.degradation,
+                })
+            }
+        }
+    }
+
+    /// [`SessionSnapshot::query`] through the snapshot's cross-strategy
+    /// answer cache; the returned flag is `true` on a cache hit.
+    ///
+    /// Only **complete** answer sets are cached (all six strategies
+    /// return identical complete answers, so the key is the canonical
+    /// query text alone). Strategy-specific rejections run before the
+    /// lookup, and incomplete (budget-cut) answers are recomputed on
+    /// every ask.
+    pub fn query_cached(
+        &self,
+        src: &str,
+        strategy: Strategy,
+        extra: &Budget,
+    ) -> Result<(Answers, bool), SessionError> {
+        let q = parse_query(src)?;
+        if matches!(strategy, Strategy::Tabled | Strategy::Magic) && q.has_negation() {
+            // Fall through to the honest rejection; a cached answer from
+            // another strategy must not mask it.
+            return self.query_ast(&q, strategy, extra).map(|a| (a, false));
+        }
+        let key = q.to_string();
+        if let Some(hit) = self.lock_answers().get(&key) {
+            return Ok((hit.clone(), true));
+        }
+        let a = self.query_ast(&q, strategy, extra)?;
+        if a.complete {
+            self.lock_answers().insert(key, a.clone());
+        }
+        Ok((a, false))
+    }
+}
+
+/// The publication point of [`SessionSnapshot`]s: one slot, swapped
+/// atomically (a mutex held only for the pointer swap — never across
+/// evaluation), shared by the owning [`Session`] and any number of
+/// serving threads.
+///
+/// Readers [`load`](SnapshotCell::load) the current snapshot and then
+/// work entirely against their pinned `Arc` — the read path never blocks
+/// on loads, and a snapshot outlives both later publishes and the
+/// session itself (eviction of a session does not invalidate answers
+/// in flight).
+#[derive(Default)]
+pub struct SnapshotCell {
+    latest: Mutex<Option<Arc<SessionSnapshot>>>,
+}
+
+impl SnapshotCell {
+    /// The most recently published snapshot, if any.
+    pub fn load(&self) -> Option<Arc<SessionSnapshot>> {
+        self.latest.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Swaps in a new snapshot; readers pin whichever pointer they
+    /// already loaded.
+    fn publish(&self, snap: Arc<SessionSnapshot>) {
+        *self.latest.lock().unwrap_or_else(|e| e.into_inner()) = Some(snap);
+    }
 }
 
 /// A loaded C-logic program plus every compiled artefact needed by the
@@ -720,6 +1076,10 @@ pub struct Session {
     /// in-memory state ahead of the log — the condition that makes
     /// evicting the session unsafe (see [`Session::fully_persisted`]).
     durable_epoch: u64,
+    /// Publication point for immutable [`SessionSnapshot`]s. Shared
+    /// (via [`Session::snapshot_cell`]) with serving layers, which read
+    /// it without ever taking the session lock.
+    snapshots: Arc<SnapshotCell>,
 }
 
 impl Session {
@@ -1169,15 +1529,18 @@ impl Session {
             ArtifactProvenance::Current => return plan,
             ArtifactProvenance::Extended => {
                 let t = self.translated.as_mut().expect("extend plan");
+                // COW: clones the program only while a published
+                // snapshot still pins the previous value.
+                let fo = Arc::make_mut(&mut t.fo);
                 if self.options.optimize_translation {
                     Optimizer::new(&self.program).extend_optimized(
                         &tr,
                         &self.program,
-                        &mut t.fo,
+                        fo,
                         &mut t.state,
                     );
                 } else {
-                    tr.extend_program(&self.program, &mut t.fo, &mut t.state);
+                    tr.extend_program(&self.program, fo, &mut t.state);
                 }
                 t.epoch = self.epoch;
                 t.subtypes = self.program.subtype_decls.len();
@@ -1197,7 +1560,7 @@ impl Session {
                     state,
                     may_diverge: clogic_core::termination::may_diverge(&fo),
                     stats_flushed: TranslationStats::default(),
-                    fo,
+                    fo: Arc::new(fo),
                 });
             }
         }
@@ -1291,8 +1654,13 @@ impl Session {
             Some(c) if c.generation == t.generation => {
                 let from = c.fo_len.min(t.fo.clauses.len());
                 let pushed = t.fo.clauses.len() - from;
-                for clause in &t.fo.clauses[from..] {
-                    c.cp.push_clause(clause);
+                if pushed > 0 {
+                    // COW: clones the indexes only while a snapshot
+                    // still pins the previous compiled program.
+                    let cp = Arc::make_mut(&mut c.cp);
+                    for clause in &t.fo.clauses[from..] {
+                        cp.push_clause(clause);
+                    }
                 }
                 c.fo_len = t.fo.clauses.len();
                 if pushed == 0 {
@@ -1306,7 +1674,7 @@ impl Session {
                 self.compiled_fo = Some(CompiledArtifact {
                     generation: t.generation,
                     fo_len: t.fo.clauses.len(),
-                    cp: CompiledProgram::compile(&t.fo, builtin_symbols()),
+                    cp: Arc::new(CompiledProgram::compile(&t.fo, builtin_symbols())),
                 });
                 m.counter("folog.index.builds").inc();
                 ArtifactProvenance::Rebuilt
@@ -1323,9 +1691,12 @@ impl Session {
         match &mut self.direct {
             Some(d) if d.epoch == self.epoch => ArtifactProvenance::Current,
             Some(d) => {
-                d.dp.objects.set_epoch(self.epoch);
-                d.dp.preds.set_epoch(self.epoch);
-                d.dp.extend(&self.program, d.clauses);
+                // COW: clones the clustered store only while a snapshot
+                // still pins the previous direct program.
+                let dp = Arc::make_mut(&mut d.dp);
+                dp.objects.set_epoch(self.epoch);
+                dp.preds.set_epoch(self.epoch);
+                dp.extend(&self.program, d.clauses);
                 d.epoch = self.epoch;
                 d.clauses = self.program.clauses.len();
                 m.counter("engine.index.extends").inc();
@@ -1338,7 +1709,7 @@ impl Session {
                 self.direct = Some(DirectArtifact {
                     epoch: self.epoch,
                     clauses: self.program.clauses.len(),
-                    dp,
+                    dp: Arc::new(dp),
                 });
                 m.counter("engine.index.builds").inc();
                 ArtifactProvenance::Rebuilt
@@ -1371,11 +1742,20 @@ impl Session {
         let prev = self.models.remove(&fs);
         let cp = &self.compiled_fo.as_ref().expect("ensured").cp;
         let (ev, provenance) = match prev {
-            Some(m) if m.generation == gen && m.rules <= rules && m.ev.complete => (
-                folog::evaluate_delta(cp, m.ev, m.rules, opts)?,
-                ModelProvenance::Resumed,
+            Some(m) if m.generation == gen && m.rules <= rules && m.ev.complete => {
+                // COW resumption: reclaim the store when this session
+                // holds the only reference; clone only while a published
+                // snapshot still pins the old model.
+                let seed = Arc::try_unwrap(m.ev).unwrap_or_else(|a| (*a).clone());
+                (
+                    folog::evaluate_delta(cp.as_ref(), seed, m.rules, opts)?,
+                    ModelProvenance::Resumed,
+                )
+            }
+            _ => (
+                folog::evaluate(cp.as_ref(), opts)?,
+                ModelProvenance::Computed,
             ),
-            _ => (folog::evaluate(cp, opts)?, ModelProvenance::Computed),
         };
         self.models.insert(
             fs,
@@ -1383,7 +1763,7 @@ impl Session {
                 epoch: self.epoch,
                 generation: gen,
                 rules,
-                ev,
+                ev: Arc::new(ev),
             },
         );
         Ok(provenance)
@@ -1475,21 +1855,19 @@ impl Session {
                 opts.budget = self.effective_budget(&opts.budget);
                 opts.obs = self.options.obs.clone();
                 self.ensure_compiled();
-                let art = self.compiled_fo.as_mut().expect("ensured");
+                let art = self.compiled_fo.as_ref().expect("ensured");
                 let r = if aux.is_empty() {
-                    SldEngine::new(&art.cp, opts).solve_with_negation(&goals, &neg_goals)?
+                    SldEngine::new(art.cp.as_ref(), opts).solve_with_negation(&goals, &neg_goals)?
                 } else {
                     // Conjunction-shaped negated goals need their
-                    // auxiliary clauses in the program: push them as a
-                    // scratch overlay and unwind afterwards instead of
-                    // cloning the whole compiled program per query.
-                    let base = art.cp.rules.len();
+                    // auxiliary clauses in the program: a COW overlay
+                    // view extends the shared artifact without cloning
+                    // or mutating it.
+                    let mut view = ClauseOverlay::new(art.cp.as_ref());
                     for c in &aux {
-                        art.cp.push_clause(c);
+                        view.push_clause(c);
                     }
-                    let r = SldEngine::new(&art.cp, opts).solve_with_negation(&goals, &neg_goals);
-                    art.cp.truncate(base);
-                    r?
+                    SldEngine::new(&view, opts).solve_with_negation(&goals, &neg_goals)?
                 };
                 Ok(Answers {
                     rows: r
@@ -1531,25 +1909,35 @@ impl Session {
                         complete: ev.complete,
                         degradation: ev.degradation.clone(),
                     })
-                } else {
+                } else if self.models.get(&fs).expect("ensured").ev.complete {
                     // The auxiliary clauses for conjunction-shaped
                     // negated goals derive query-local `__naux…` facts
-                    // that must not persist in the cached model: overlay
-                    // the clauses, resume a *clone* of the saturated
-                    // model over them, and unwind the overlay.
-                    let prev = self.models.get(&fs).expect("ensured");
-                    let art = self.compiled_fo.as_mut().expect("ensured");
-                    let base = art.cp.rules.len();
+                    // that must not persist in the cached model. Against
+                    // a *complete* model they are checked lazily per
+                    // candidate answer — no model clone, no fixpoint
+                    // resumption.
+                    let ev = &self.models.get(&fs).expect("ensured").ev;
+                    Ok(Answers {
+                        rows: ev
+                            .query_with_negation_aux(&goals, &neg_goals, &aux)?
+                            .into_iter()
+                            .map(|bindings| AnswerRow {
+                                bindings: bindings.into_iter().collect(),
+                            })
+                            .collect(),
+                        complete: ev.complete,
+                        degradation: ev.degradation.clone(),
+                    })
+                } else {
+                    // A budget-cut model cannot be resumed; re-evaluate
+                    // over a COW overlay carrying the aux clauses — the
+                    // shared compiled program stays untouched.
+                    let art = self.compiled_fo.as_ref().expect("ensured");
+                    let mut view = ClauseOverlay::new(art.cp.as_ref());
                     for c in &aux {
-                        art.cp.push_clause(c);
+                        view.push_clause(c);
                     }
-                    let result = if prev.ev.complete {
-                        folog::evaluate_delta(&art.cp, prev.ev.clone(), base, opts)
-                    } else {
-                        folog::evaluate(&art.cp, opts)
-                    };
-                    art.cp.truncate(base);
-                    let ev = result?;
+                    let ev = folog::evaluate(&view, opts)?;
                     Ok(Answers {
                         rows: ev
                             .query_with_negation(&goals, &neg_goals)?
@@ -1575,7 +1963,7 @@ impl Session {
                 opts.obs = self.options.obs.clone();
                 self.ensure_compiled();
                 let cp = &self.compiled_fo.as_ref().expect("ensured").cp;
-                let r = TabledEngine::new(cp, opts).solve(&goals)?;
+                let r = TabledEngine::new(cp.as_ref(), opts).solve(&goals)?;
                 Ok(Answers {
                     rows: r
                         .answers
@@ -1652,44 +2040,60 @@ impl Session {
             opts.obs = self.options.obs.clone();
             self.ensure_model(fs, opts)?;
         }
+        self.publish_snapshot();
         Ok(())
     }
 
-    /// The translated artifact, required current for this epoch.
-    fn shared_translated(&self) -> Result<&TranslatedArtifact, SessionError> {
-        self.translated
-            .as_ref()
-            .filter(|t| t.epoch == self.epoch)
-            .ok_or(SessionError::NotPrepared("translation"))
+    /// Bundles the (just-prepared) artifacts into an immutable
+    /// [`SessionSnapshot`] and publishes it — one pointer swap — into
+    /// the session's [`SnapshotCell`]. Readers that loaded an earlier
+    /// snapshot keep it pinned; nothing they hold is mutated or freed.
+    /// Only called on *successful* [`Session::prepare`]: a failed
+    /// prepare leaves the previous snapshot serving.
+    fn publish_snapshot(&mut self) {
+        let t = self.translated.as_ref().expect("prepared");
+        let c = self.compiled_fo.as_ref().expect("prepared");
+        let d = self.direct.as_ref().expect("prepared");
+        let naive = &self.models.get(&FixpointStrategy::Naive).expect("prepared").ev;
+        let semi = &self
+            .models
+            .get(&FixpointStrategy::SemiNaive)
+            .expect("prepared")
+            .ev;
+        let snap = Arc::new(SessionSnapshot {
+            epoch: self.epoch,
+            generation: t.generation,
+            may_diverge: t.may_diverge,
+            breaker_open: self.persistence_breaker_open(),
+            skolem: self.skolem_state(),
+            options: self.options.clone(),
+            fo: Arc::clone(&t.fo),
+            cp: Arc::clone(&c.cp),
+            dp: Arc::clone(&d.dp),
+            naive: Arc::clone(naive),
+            semi: Arc::clone(semi),
+            answers: Mutex::new(HashMap::new()),
+        });
+        self.options
+            .obs
+            .metrics
+            .gauge("sessions.snapshot_epoch")
+            .set(self.epoch);
+        self.snapshots.publish(snap);
     }
 
-    /// The compiled first-order program, required fully caught up with
-    /// the current translation.
-    fn shared_compiled(&self) -> Result<&CompiledArtifact, SessionError> {
-        let t = self.shared_translated()?;
-        self.compiled_fo
-            .as_ref()
-            .filter(|c| c.generation == t.generation && c.fo_len == t.fo.clauses.len())
-            .ok_or(SessionError::NotPrepared("compiled program"))
+    /// The session's snapshot publication cell. A serving layer clones
+    /// this `Arc` once at startup and thereafter reads the current
+    /// snapshot per query **without taking any session lock** — the
+    /// heart of the lock-free read path.
+    pub fn snapshot_cell(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.snapshots)
     }
 
-    /// The effective budget for one shared-path engine invocation: the
-    /// engine's budget tightened by the session budget and the caller's
-    /// per-request `extra` (deadline, cancel token), then bounded by the
-    /// termination guard. Mirrors [`Session::effective_budget`] but reads
-    /// the cached divergence verdict instead of (re-)ensuring artifacts.
-    fn shared_budget(&self, engine_budget: &Budget, extra: &Budget) -> Result<Budget, SessionError> {
-        let t = self.shared_translated()?;
-        let mut b = engine_budget.merged(&self.options.budget).merged(extra);
-        if self.options.termination_guard && t.may_diverge {
-            if b.deadline.is_none() {
-                b.deadline = Some(GUARD_DEADLINE);
-            }
-            if b.max_facts.is_none() {
-                b.max_facts = Some(GUARD_MAX_FACTS);
-            }
-        }
-        Ok(b)
+    /// The most recently published snapshot, if [`Session::prepare`] has
+    /// succeeded at least once.
+    pub fn current_snapshot(&self) -> Option<Arc<SessionSnapshot>> {
+        self.snapshots.load()
     }
 
     /// Parses and answers a query through the **shared-access** (`&self`)
@@ -1705,194 +2109,34 @@ impl Session {
     }
 
     /// Answers an already-parsed query **without mutating the session**,
-    /// reading only the epoch-stamped artifacts that [`Session::prepare`]
-    /// built. Many threads may call this concurrently on `&Session`
-    /// references (the type is `Sync`); answers are identical to
-    /// [`Session::query_ast`] modulo the answer cache, which the shared
-    /// path neither consults nor fills (a serving layer caches at its own
-    /// tier).
+    /// by delegating to the [`SessionSnapshot`] published by the last
+    /// [`Session::prepare`]. Many threads may call this concurrently on
+    /// `&Session` references (the type is `Sync`); answers are identical
+    /// to [`Session::query_ast`] modulo the answer cache, which this
+    /// path neither consults nor fills (a serving layer caches at its
+    /// own tier — see [`SessionSnapshot::query_cached`]).
     ///
-    /// `extra` is merged (tighter ceiling wins) into the effective budget
-    /// — the seam through which a server threads per-request deadlines
-    /// and cancellation into the engines.
+    /// `extra` is merged (tighter ceiling wins) into the effective
+    /// budget — the seam through which a server threads per-request
+    /// deadlines and cancellation into the engines.
     ///
-    /// Returns [`SessionError::NotPrepared`] when an artifact the
-    /// strategy needs is stale for the current epoch; queries whose
-    /// negated goals are conjunction-shaped evaluate against a private
-    /// clause overlay (a clone of the compiled program), never the cached
-    /// artifacts.
+    /// Returns [`SessionError::NotPrepared`] when no snapshot has been
+    /// published **for the current epoch** — i.e. a load happened after
+    /// the last `prepare`. A serving layer that would rather keep
+    /// answering from the previous epoch while a load is in flight reads
+    /// the [`SnapshotCell`] directly instead of going through here.
     pub fn query_shared_ast(
         &self,
         q: &Query,
         strategy: Strategy,
         extra: &Budget,
     ) -> Result<Answers, SessionError> {
-        match strategy {
-            Strategy::Direct => {
-                let mut opts = self.options.direct.clone();
-                opts.budget = self.shared_budget(&opts.budget, extra)?;
-                opts.obs = self.options.obs.clone();
-                let d = self
-                    .direct
-                    .as_ref()
-                    .filter(|d| d.epoch == self.epoch)
-                    .ok_or(SessionError::NotPrepared("direct program"))?;
-                let r = DirectEngine::new(&d.dp, opts).solve(q)?;
-                Ok(Answers {
-                    rows: r
-                        .answers
-                        .into_iter()
-                        .map(|bindings| AnswerRow { bindings })
-                        .collect(),
-                    complete: r.complete,
-                    degradation: r.degradation,
-                })
-            }
-            Strategy::Sld => {
-                let tr = Transformer::new();
-                let mut aux = Vec::new();
-                let mut counter = 0;
-                let (goals, neg_goals) = tr.query_parts(q, &mut aux, &mut counter);
-                let mut opts = self.options.sld.clone();
-                opts.budget = self.shared_budget(&opts.budget, extra)?;
-                opts.obs = self.options.obs.clone();
-                let art = self.shared_compiled()?;
-                let r = if aux.is_empty() {
-                    SldEngine::new(&art.cp, opts).solve_with_negation(&goals, &neg_goals)?
-                } else {
-                    // The exclusive path overlays aux clauses onto the
-                    // cached program and unwinds; here the artifact is
-                    // shared, so the overlay goes onto a private clone.
-                    let mut cp = art.cp.clone();
-                    for c in &aux {
-                        cp.push_clause(c);
-                    }
-                    SldEngine::new(&cp, opts).solve_with_negation(&goals, &neg_goals)?
-                };
-                Ok(Answers {
-                    rows: r
-                        .answers
-                        .into_iter()
-                        .map(|bindings| AnswerRow { bindings })
-                        .collect(),
-                    complete: r.complete,
-                    degradation: r.degradation,
-                })
-            }
-            Strategy::BottomUpNaive | Strategy::BottomUpSemiNaive => {
-                let tr = Transformer::new();
-                let mut aux = Vec::new();
-                let mut counter = 0;
-                let (goals, neg_goals) = tr.query_parts(q, &mut aux, &mut counter);
-                let fs = if strategy == Strategy::BottomUpNaive {
-                    FixpointStrategy::Naive
-                } else {
-                    FixpointStrategy::SemiNaive
-                };
-                let art = self.shared_compiled()?;
-                let t = self.shared_translated()?;
-                let m = self
-                    .models
-                    .get(&fs)
-                    .filter(|m| {
-                        m.epoch == self.epoch
-                            && m.generation == t.generation
-                            && m.rules == art.cp.rules.len()
-                    })
-                    .ok_or(SessionError::NotPrepared("saturated model"))?;
-                if aux.is_empty() {
-                    Ok(Answers {
-                        rows: m
-                            .ev
-                            .query_with_negation(&goals, &neg_goals)?
-                            .into_iter()
-                            .map(|bindings| AnswerRow {
-                                bindings: bindings.into_iter().collect(),
-                            })
-                            .collect(),
-                        complete: m.ev.complete,
-                        degradation: m.ev.degradation.clone(),
-                    })
-                } else {
-                    // Conjunction-shaped negated goals derive query-local
-                    // `__naux…` facts; resume a clone of the saturated
-                    // model over a private program overlay.
-                    let mut opts = FixpointOptions {
-                        strategy: fs,
-                        ..self.options.fixpoint.clone()
-                    };
-                    opts.budget = self.shared_budget(&opts.budget, extra)?;
-                    opts.obs = self.options.obs.clone();
-                    let base = art.cp.rules.len();
-                    let mut cp = art.cp.clone();
-                    for c in &aux {
-                        cp.push_clause(c);
-                    }
-                    let ev = if m.ev.complete {
-                        folog::evaluate_delta(&cp, m.ev.clone(), base, opts)?
-                    } else {
-                        folog::evaluate(&cp, opts)?
-                    };
-                    Ok(Answers {
-                        rows: ev
-                            .query_with_negation(&goals, &neg_goals)?
-                            .into_iter()
-                            .map(|bindings| AnswerRow {
-                                bindings: bindings.into_iter().collect(),
-                            })
-                            .collect(),
-                        complete: ev.complete,
-                        degradation: ev.degradation,
-                    })
-                }
-            }
-            Strategy::Tabled => {
-                if q.has_negation() {
-                    return Err(SessionError::Unsupported(
-                        "tabled evaluation does not support negation".into(),
-                    ));
-                }
-                let goals = self.translate_query(q);
-                let mut opts = self.options.tabling.clone();
-                opts.budget = self.shared_budget(&opts.budget, extra)?;
-                opts.obs = self.options.obs.clone();
-                let art = self.shared_compiled()?;
-                let r = TabledEngine::new(&art.cp, opts).solve(&goals)?;
-                Ok(Answers {
-                    rows: r
-                        .answers
-                        .into_iter()
-                        .map(|bindings| AnswerRow { bindings })
-                        .collect(),
-                    complete: r.complete,
-                    degradation: r.degradation,
-                })
-            }
-            Strategy::Magic => {
-                if q.has_negation() {
-                    return Err(SessionError::Unsupported(
-                        "magic sets do not support negation".into(),
-                    ));
-                }
-                let goals = self.translate_query(q);
-                let mut opts = self.options.fixpoint.clone();
-                opts.budget = self.shared_budget(&opts.budget, extra)?;
-                opts.obs = self.options.obs.clone();
-                let t = self.shared_translated()?;
-                let builtins = builtin_symbols().collect();
-                let (answers, ev) = solve_magic(&t.fo, &goals, &builtins, opts)?;
-                Ok(Answers {
-                    rows: answers
-                        .into_iter()
-                        .map(|bindings| AnswerRow {
-                            bindings: bindings.into_iter().collect(),
-                        })
-                        .collect(),
-                    complete: ev.complete,
-                    degradation: ev.degradation,
-                })
-            }
-        }
+        let snap = self
+            .snapshots
+            .load()
+            .filter(|s| s.epoch == self.epoch)
+            .ok_or(SessionError::NotPrepared("session snapshot"))?;
+        snap.query_ast(q, strategy, extra)
     }
 
     /// Profiles one query under one strategy: per-phase wall time,
@@ -2014,15 +2258,14 @@ impl Session {
                     provenance: prov.to_string(),
                 });
                 let t = Instant::now();
-                let art = self.compiled_fo.as_mut().expect("ensured");
-                let base_rules = art.cp.rules.len();
+                let art = self.compiled_fo.as_ref().expect("ensured");
+                let mut view = ClauseOverlay::new(art.cp.as_ref());
                 for c in &aux {
-                    art.cp.push_clause(c);
+                    view.push_clause(c);
                 }
-                let r = SldEngine::new(&art.cp, opts).solve_with_negation(&goals, &neg_goals);
-                let labels: Vec<String> = art.cp.rules.iter().map(|r| r.to_string()).collect();
-                art.cp.truncate(base_rules);
-                let r = r?;
+                let labels: Vec<String> =
+                    (0..view.len()).map(|i| view.rule(i).to_string()).collect();
+                let r = SldEngine::new(&view, opts).solve_with_negation(&goals, &neg_goals)?;
                 eval_us = t.elapsed().as_micros() as u64;
                 rules = rule_tuples(&r.per_rule, |i| {
                     labels
@@ -2089,24 +2332,26 @@ impl Session {
                     complete = ev.complete;
                     degradation = ev.degradation.clone();
                 } else {
-                    // Same overlay dance as the plain query path: aux
-                    // clauses for conjunction-shaped negated goals must
-                    // not contaminate the cached model.
+                    // Aux clauses for conjunction-shaped negated goals
+                    // must not contaminate the cached model, so they ride
+                    // a COW overlay. Unlike the plain query path (which
+                    // checks them lazily), the profile wants honest
+                    // per-rule counts, so the saturated model is cloned
+                    // and resumed over the overlay for real.
                     let prev = self.models.get(&fs).expect("ensured");
-                    let art = self.compiled_fo.as_mut().expect("ensured");
+                    let art = self.compiled_fo.as_ref().expect("ensured");
                     let base_rules = art.cp.rules.len();
+                    let mut view = ClauseOverlay::new(art.cp.as_ref());
                     for c in &aux {
-                        art.cp.push_clause(c);
+                        view.push_clause(c);
                     }
-                    let result = if prev.ev.complete {
-                        folog::evaluate_delta(&art.cp, prev.ev.clone(), base_rules, opts)
-                    } else {
-                        folog::evaluate(&art.cp, opts)
-                    };
                     let labels: Vec<String> =
-                        art.cp.rules.iter().map(|r| r.to_string()).collect();
-                    art.cp.truncate(base_rules);
-                    let ev = result?;
+                        (0..view.len()).map(|i| view.rule(i).to_string()).collect();
+                    let ev = if prev.ev.complete {
+                        folog::evaluate_delta(&view, (*prev.ev).clone(), base_rules, opts)?
+                    } else {
+                        folog::evaluate(&view, opts)?
+                    };
                     let rows = ev.query_with_negation(&goals, &neg_goals)?;
                     eval_us = t.elapsed().as_micros() as u64;
                     rules = rule_tuples(&ev.stats.per_rule, |i| {
@@ -2146,7 +2391,7 @@ impl Session {
                 });
                 let t = Instant::now();
                 let cp = &self.compiled_fo.as_ref().expect("ensured").cp;
-                let r = TabledEngine::new(cp, opts).solve(&goals)?;
+                let r = TabledEngine::new(cp.as_ref(), opts).solve(&goals)?;
                 eval_us = t.elapsed().as_micros() as u64;
                 let program_rules = cp.rules.len();
                 let labels: Vec<String> = cp.rules.iter().map(|r| r.to_string()).collect();

@@ -5,8 +5,9 @@
 //!
 //! Three layers are exercised together:
 //!
-//! * the writer/reader discipline (loads serialize, queries fan out over
-//!   epoch-stamped artifacts through `Session::query_shared`);
+//! * the writer/reader discipline (loads serialize and publish immutable
+//!   `SessionSnapshot`s; queries fan out over pinned snapshots without
+//!   ever taking the session lock);
 //! * admission control (a full queue sheds with a structured
 //!   `Degradation`, visible in `serve.shed`);
 //! * circuit-broken persistence (`RetryingStorage` absorbs transient
@@ -18,12 +19,14 @@
 //! with an intermittent fault burst at that operation — while a second
 //! thread hammers queries the whole time.
 
+use clogic::folog::Budget;
 use clogic::session::{Session, SessionOptions, Strategy};
 use clogic::store::{ChaosStorage, Fault, MemStorage, RetryPolicy, RetryingStorage, Sleeper};
 use clogic_serve::{ServeError, ServeOptions, Server};
 use proptest::prelude::*;
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const QUERIES: &[&str] = &["t2: X", "t3: O[l2 => V]", "p(X)", "t1: X[l1 => Y]"];
@@ -151,6 +154,117 @@ fn parallel_equals_serial_on_all_strategies_with_zero_faults() {
     assert_eq!(snap.counter("serve.retry").unwrap_or(0), 0, "no retries");
     assert_eq!(snap.counter("serve.worker_panics").unwrap_or(0), 0);
     assert_eq!(snap.gauge("serve.queue_depth").unwrap_or(0), 0, "queue drained");
+    server.shutdown();
+}
+
+/// Loads concurrent with queries, without chaos: while a writer thread
+/// publishes new snapshots in a loop, ≥4 reader threads each pin one
+/// snapshot `Arc` and answer two queries from it. Both answers must be
+/// consistent with exactly the pinned snapshot's epoch — never a mix of
+/// two epochs (a torn read), never an epoch that was never published.
+#[test]
+fn pinned_snapshot_readers_never_see_torn_epochs() {
+    let chunks = chunks();
+    // The writer's script: the remaining chunks, then a stream of
+    // heartbeat facts so snapshots keep publishing while readers run.
+    // Because `t1 < t2`, every heartbeat changes the answer to `t2: X`,
+    // so that answer pins its epoch uniquely.
+    let mut script: Vec<String> = chunks[1..].to_vec();
+    for i in 0..8 {
+        script.push(format!("t1: h{i}."));
+    }
+
+    // Expected answers per epoch, from a serial replay of the same
+    // script. `Q_EPOCH` changes on every load; `Q_STABLE` settles early —
+    // a torn pair (each answer from a different epoch) matches no entry.
+    const Q_EPOCH: &str = "t2: X";
+    const Q_STABLE: &str = "t3: O[l2 => V]";
+    let expect = |b: &mut Session| {
+        (
+            b.query(Q_EPOCH, Strategy::Sld).unwrap().rendered(),
+            b.query(Q_STABLE, Strategy::BottomUpSemiNaive)
+                .unwrap()
+                .rendered(),
+        )
+    };
+    let mut base = Session::with_options(opts());
+    base.load(&chunks[0]).expect("seed load");
+    let mut expected = HashMap::new();
+    expected.insert(base.epoch(), expect(&mut base));
+    for src in &script {
+        base.load(src).expect("baseline load");
+        expected.insert(base.epoch(), expect(&mut base));
+    }
+
+    let mut seed = Session::with_options(opts());
+    seed.load(&chunks[0]).expect("seed load");
+    seed.prepare().expect("publish the first snapshot");
+    let server = Server::start(
+        seed,
+        ServeOptions {
+            workers: workers(),
+            queue_depth: 1024,
+            default_deadline: None,
+        },
+    )
+    .unwrap();
+    let cell = server.with_session(|s| s.snapshot_cell());
+    let done = AtomicBool::new(false);
+    let observed = Mutex::new(HashSet::new());
+    let unlimited = Budget::unlimited();
+    // Answers the pool reader accepts: any single published epoch's.
+    let pool_answers: HashSet<Vec<String>> = expected.values().map(|(a, _)| a.clone()).collect();
+
+    std::thread::scope(|scope| {
+        // Pinned readers: grab one snapshot, answer both queries from
+        // it. The pin must stay internally consistent even though the
+        // writer publishes newer epochs underneath.
+        for _ in 0..workers() {
+            scope.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    let Some(pin) = cell.load() else { continue };
+                    let epoch = pin.epoch();
+                    let got = (
+                        pin.query(Q_EPOCH, Strategy::Sld, &unlimited)
+                            .unwrap()
+                            .rendered(),
+                        pin.query(Q_STABLE, Strategy::BottomUpSemiNaive, &unlimited)
+                            .unwrap()
+                            .rendered(),
+                    );
+                    let want = expected
+                        .get(&epoch)
+                        .unwrap_or_else(|| panic!("reader pinned unpublished epoch {epoch}"));
+                    assert_eq!(&got, want, "torn read at epoch {epoch}");
+                    observed.lock().unwrap().insert(epoch);
+                }
+            });
+        }
+        // One reader goes through the worker pool instead of pinning:
+        // the serving layer may answer from any published epoch, but
+        // always from exactly one of them.
+        scope.spawn(|| {
+            while !done.load(Ordering::Acquire) {
+                let a = server
+                    .query(Q_EPOCH, Strategy::Sld)
+                    .expect("pool query mid-load");
+                assert!(
+                    pool_answers.contains(&a.rendered()),
+                    "pool answer matches no published epoch: {:?}",
+                    a.rendered()
+                );
+            }
+        });
+        // Writer: replay the script; every load publishes a snapshot.
+        for src in &script {
+            server.load(src).expect("load mid-stress");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    let observed = observed.into_inner().unwrap();
+    assert!(!observed.is_empty(), "readers never pinned a snapshot");
     server.shutdown();
 }
 
@@ -428,5 +542,40 @@ proptest! {
             prop_assert_eq!(&got, want);
         }
         server.shutdown();
+    }
+
+    /// Direct snapshot reads equal the exclusive `&mut self` path for
+    /// every strategy over the entity-creating program — including the
+    /// `skN` identities — and the snapshot's cross-strategy answer
+    /// cache hands back exactly the answers it was filled with, even
+    /// when the hit comes from a different strategy than the fill.
+    #[test]
+    fn snapshot_equals_exclusive_across_strategies(
+        ops in workload(),
+        prefix in 1usize..5,
+    ) {
+        let loaded: Vec<String> = chunks().into_iter().take(prefix).collect();
+        let mut exclusive = baseline(&loaded);
+        let mut shared = baseline(&loaded);
+        shared.prepare().unwrap();
+        let snap = shared.current_snapshot().expect("prepare publishes a snapshot");
+        let unlimited = Budget::unlimited();
+        for &(q, s) in &ops {
+            let (query, strategy) = (QUERIES[q], Strategy::ALL[s]);
+            let want = exclusive.query(query, strategy).unwrap();
+            let (got, _) = snap.query_cached(query, strategy, &unlimited).unwrap();
+            prop_assert_eq!(
+                got.rendered(),
+                want.rendered(),
+                "{:?} on {}",
+                strategy,
+                query
+            );
+            if got.complete {
+                let (again, hit) = snap.query_cached(query, strategy, &unlimited).unwrap();
+                prop_assert!(hit, "complete answers must cache ({:?} on {})", strategy, query);
+                prop_assert_eq!(again.rendered(), want.rendered());
+            }
+        }
     }
 }

@@ -126,7 +126,7 @@ fn assert_tenant_equals_serial(
         let pin = mgr
             .open(name)
             .unwrap_or_else(|e| panic!("open {name} ({context}): {e}"));
-        let s = pin.read().unwrap_or_else(|e| e.into_inner());
+        let s = pin.lock().unwrap_or_else(|e| e.into_inner());
         assert_eq!(s.epoch(), base.epoch(), "epoch ({context})");
         assert_eq!(
             s.program().to_string(),
