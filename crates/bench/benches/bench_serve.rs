@@ -11,7 +11,7 @@
 //! Hand-written harness (`harness = false`): `--test` runs a small smoke
 //! configuration for CI; either mode dumps `BENCH_serve.json` at the
 //! workspace root, including per-job latency percentiles (p50/p95/p99,
-//! log₂-bucket upper bounds) for queue wait and evaluation, and the
+//! interpolated within log₂ buckets) for queue wait and evaluation, and the
 //! snapshot cache hit/miss counts. Answer counts are cross-checked
 //! between every configuration, so a speedup can never come from
 //! dropped work. Setting `BENCH_SERVE_MIN_SPEEDUP` (e.g. in CI) fails
@@ -68,7 +68,7 @@ fn run_serial(s: &Session, jobs: &[(String, Strategy)]) -> (usize, Duration) {
     (rows, start.elapsed())
 }
 
-/// Per-job latency percentiles (log₂-bucket upper bounds, in µs).
+/// Per-job latency percentiles (interpolated within log₂ buckets, µs).
 #[derive(Clone, Copy, Default)]
 struct Percentiles {
     p50: u64,
