@@ -1,0 +1,402 @@
+//! Fault injection at the wire seam.
+//!
+//! [`ChaosStream`] wraps a [`TcpStream`] and counts every read and write
+//! call. When the count reaches a configured trigger it injects one
+//! [`WireFault`] (or a burst of them) and then passes everything through
+//! untouched — the same one-hiccup-then-heal model as
+//! `clogic_store::ChaosStorage`, applied to the network instead of the
+//! disk. Sweeping the trigger across the I/O-call count of a clean
+//! exchange visits every read/write boundary of the protocol, which is
+//! how `tests/net_chaos.rs` proves the front-end and the client survive
+//! faults at all of them.
+//!
+//! [`ChaosListener`] wraps a [`TcpListener`] and hands every accepted
+//! connection a [`ChaosStream`] sharing one fault schedule, for
+//! server-side sweeps.
+//!
+//! Faults are **direction-aware**: a fault that the current call cannot
+//! express (a short *write* during a *read*, say) is skipped without
+//! consuming a burst slot — it lands on the next call that can express
+//! it, exactly like `ChaosStorage::strike_if`.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The kind of wire fault to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireFault {
+    /// A read delivers at most one byte even when more is buffered —
+    /// the fragmentation an unlucky network hands a frame reassembler.
+    PartialRead,
+    /// A write takes only a prefix of the buffer and reports the short
+    /// count — legal per [`Write::write`], but code that assumes one
+    /// call moves one frame tears its framing here.
+    ShortWrite,
+    /// The call stalls for the configured delay, then proceeds — a
+    /// congested or rate-limited path.
+    Delay,
+    /// The connection is shut down both ways and the call errors with
+    /// [`io::ErrorKind::ConnectionReset`] — a peer that vanished.
+    Reset,
+    /// The first byte of the written buffer has its top bit flipped —
+    /// on a frame boundary that inflates the length prefix past the
+    /// frame cap, so the receiver must refuse it as unframeable.
+    Corrupt,
+}
+
+impl WireFault {
+    /// All injectable faults, for sweep loops.
+    pub const ALL: [WireFault; 5] = [
+        WireFault::PartialRead,
+        WireFault::ShortWrite,
+        WireFault::Delay,
+        WireFault::Reset,
+        WireFault::Corrupt,
+    ];
+
+    /// Whether a read call can express this fault.
+    fn on_read(self) -> bool {
+        matches!(self, WireFault::PartialRead | WireFault::Delay | WireFault::Reset)
+    }
+
+    /// Whether a write call can express this fault.
+    fn on_write(self) -> bool {
+        !matches!(self, WireFault::PartialRead)
+    }
+}
+
+/// The shared fault schedule: one counter and one burst budget, shared
+/// by every stream cloned from the same origin (or accepted from the
+/// same [`ChaosListener`]) so a sweep can account for faults after the
+/// streams have moved into the system under test.
+#[derive(Clone)]
+struct Schedule {
+    ops: Arc<AtomicU64>,
+    fired: Arc<AtomicU64>,
+    trigger: u64,
+    burst: u64,
+    fault: WireFault,
+    delay: Duration,
+}
+
+impl Schedule {
+    fn new(trigger: u64, burst: u64, fault: WireFault) -> Schedule {
+        Schedule {
+            ops: Arc::new(AtomicU64::new(0)),
+            fired: Arc::new(AtomicU64::new(0)),
+            trigger: trigger.max(1),
+            burst,
+            fault,
+            delay: Duration::from_millis(50),
+        }
+    }
+
+    /// Counts one I/O call; true when the fault fires on it. Calls that
+    /// cannot express the fault are counted but spend no burst slot.
+    fn strike_if(&self, can_fault: bool) -> bool {
+        let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        let fired = self.fired.load(Ordering::Relaxed);
+        if can_fault && n >= self.trigger && fired < self.burst {
+            self.fired.store(fired + 1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A [`TcpStream`] wrapper that injects a [`WireFault`] starting at the
+/// `trigger`-th I/O call (1-based). A trigger of 0 never fires, which
+/// turns the wrapper into a pure call counter for measuring clean
+/// exchanges — the probe configuration sweeps start from.
+pub struct ChaosStream {
+    inner: TcpStream,
+    sched: Schedule,
+}
+
+impl ChaosStream {
+    /// Wraps `inner`, injecting `fault` exactly once, at I/O call number
+    /// `trigger`. A trigger of 0 never fires (pure call counter).
+    pub fn new(inner: TcpStream, trigger: u64, fault: WireFault) -> ChaosStream {
+        ChaosStream::intermittent(inner, trigger, u64::from(trigger != 0), fault)
+    }
+
+    /// Wraps `inner`, injecting `fault` on `burst` consecutive
+    /// expressible calls starting at call number `trigger`, after which
+    /// the wire heals. A trigger of 0 means from the very first call;
+    /// `burst == 0` never fires.
+    pub fn intermittent(
+        inner: TcpStream,
+        trigger: u64,
+        burst: u64,
+        fault: WireFault,
+    ) -> ChaosStream {
+        ChaosStream {
+            inner,
+            sched: Schedule::new(trigger, burst, fault),
+        }
+    }
+
+    /// Connects to `addr` and wraps the stream one-shot, a convenience
+    /// for client-side sweeps.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        trigger: u64,
+        fault: WireFault,
+    ) -> io::Result<ChaosStream> {
+        Ok(ChaosStream::new(TcpStream::connect(addr)?, trigger, fault))
+    }
+
+    /// How long a [`WireFault::Delay`] stalls (default 50 ms).
+    pub fn with_delay(mut self, delay: Duration) -> ChaosStream {
+        self.sched.delay = delay;
+        self
+    }
+
+    /// I/O calls performed so far (including the faulted ones).
+    pub fn ops(&self) -> u64 {
+        self.sched.ops.load(Ordering::Relaxed)
+    }
+
+    /// A handle on the call counter that stays readable after the
+    /// stream moves into the system under test.
+    pub fn op_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.sched.ops)
+    }
+
+    /// Whether the fault has fired at least once.
+    pub fn tripped(&self) -> bool {
+        self.sched.fired.load(Ordering::Relaxed) > 0
+    }
+
+    /// Faults injected so far (≤ `burst`); stays readable after the
+    /// stream moves away.
+    pub fn fault_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.sched.fired)
+    }
+
+    /// True once the whole burst has been delivered and the wire is
+    /// passing bytes through again.
+    pub fn healed(&self) -> bool {
+        self.sched.fired.load(Ordering::Relaxed) >= self.sched.burst
+    }
+
+    /// The wrapped stream, for socket options the wrapper does not
+    /// mirror (timeouts, nonblocking mode).
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.inner
+    }
+
+    fn reset(&mut self) -> io::Error {
+        let _ = self.inner.shutdown(Shutdown::Both);
+        io::Error::new(io::ErrorKind::ConnectionReset, "injected wire reset")
+    }
+}
+
+impl Read for ChaosStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let can = self.sched.fault.on_read() && !buf.is_empty();
+        if self.sched.strike_if(can) {
+            match self.sched.fault {
+                WireFault::PartialRead => return self.inner.read(&mut buf[..1]),
+                WireFault::Delay => std::thread::sleep(self.sched.delay),
+                WireFault::Reset => return Err(self.reset()),
+                WireFault::ShortWrite | WireFault::Corrupt => unreachable!(),
+            }
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl Write for ChaosStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let can = self.sched.fault.on_write() && !buf.is_empty();
+        if self.sched.strike_if(can) {
+            match self.sched.fault {
+                WireFault::ShortWrite => {
+                    let n = (buf.len() / 2).max(1);
+                    return self.inner.write(&buf[..n]);
+                }
+                WireFault::Corrupt => {
+                    let mut copy = buf.to_vec();
+                    copy[0] ^= 0x80;
+                    return self.inner.write(&copy);
+                }
+                WireFault::Delay => std::thread::sleep(self.sched.delay),
+                WireFault::Reset => return Err(self.reset()),
+                WireFault::PartialRead => unreachable!(),
+            }
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A [`TcpListener`] wrapper whose accepted connections all share one
+/// fault schedule: the `trigger`-th I/O call *across every accepted
+/// stream* faults, then `burst - 1` more, then the wire heals. The
+/// shared counter is what lets a server-side sweep say "the third I/O
+/// call the server performs, whichever connection it lands on, fails".
+pub struct ChaosListener {
+    inner: TcpListener,
+    sched: Schedule,
+}
+
+impl ChaosListener {
+    /// Binds `addr` and installs the shared schedule (see
+    /// [`ChaosStream::intermittent`] for trigger/burst semantics).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        trigger: u64,
+        burst: u64,
+        fault: WireFault,
+    ) -> io::Result<ChaosListener> {
+        Ok(ChaosListener {
+            inner: TcpListener::bind(addr)?,
+            sched: Schedule::new(trigger, burst, fault),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Accepts one connection, wrapped in the shared schedule.
+    pub fn accept(&self) -> io::Result<(ChaosStream, SocketAddr)> {
+        let (stream, peer) = self.inner.accept()?;
+        Ok((
+            ChaosStream {
+                inner: stream,
+                sched: self.sched.clone(),
+            },
+            peer,
+        ))
+    }
+
+    /// I/O calls performed so far across every accepted stream.
+    pub fn ops(&self) -> u64 {
+        self.sched.ops.load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far across every accepted stream.
+    pub fn fault_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.sched.fired)
+    }
+
+    /// True once the whole burst has been delivered.
+    pub fn healed(&self) -> bool {
+        self.sched.fired.load(Ordering::Relaxed) >= self.sched.burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A connected loopback pair: (chaos-wrapped side, plain peer).
+    fn pair(trigger: u64, burst: u64, fault: WireFault) -> (ChaosStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (side, _) = listener.accept().unwrap();
+        (ChaosStream::intermittent(side, trigger, burst, fault), peer)
+    }
+
+    #[test]
+    fn trigger_zero_only_counts() {
+        let (mut chaos, mut peer) = pair(0, 0, WireFault::Reset);
+        chaos.write_all(b"abc").unwrap();
+        let mut buf = [0u8; 3];
+        peer.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+        assert_eq!(chaos.ops(), 1);
+        assert!(!chaos.tripped());
+    }
+
+    #[test]
+    fn partial_read_delivers_one_byte_then_heals() {
+        let (mut chaos, mut peer) = pair(1, 1, WireFault::PartialRead);
+        peer.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(chaos.read(&mut buf).unwrap(), 1); // fault: 1 byte
+        assert_eq!(buf[0], b'h');
+        assert!(chaos.healed());
+        assert_eq!(chaos.read(&mut buf).unwrap(), 4); // healed: the rest
+        assert_eq!(&buf[..4], b"ello");
+    }
+
+    #[test]
+    fn short_write_moves_a_prefix_and_reports_it() {
+        let (mut chaos, mut peer) = pair(1, 1, WireFault::ShortWrite);
+        let n = chaos.write(b"abcdef").unwrap();
+        assert_eq!(n, 3, "half the buffer");
+        chaos.write_all(b"xyz").unwrap(); // healed
+        let mut buf = [0u8; 6];
+        peer.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abcxyz");
+    }
+
+    #[test]
+    fn corrupt_flips_the_top_bit_of_the_first_byte() {
+        let (mut chaos, mut peer) = pair(1, 1, WireFault::Corrupt);
+        assert_eq!(chaos.write(b"\x00\x01").unwrap(), 2);
+        let mut buf = [0u8; 2];
+        peer.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"\x80\x01");
+    }
+
+    #[test]
+    fn reset_shuts_the_wire_down() {
+        let (mut chaos, mut peer) = pair(1, 1, WireFault::Reset);
+        let err = chaos.write(b"abc").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // The peer sees EOF (or a reset) — the wire is really gone.
+        let mut buf = [0u8; 4];
+        assert!(matches!(peer.read(&mut buf), Ok(0) | Err(_)));
+    }
+
+    #[test]
+    fn read_cannot_express_a_short_write_so_the_fault_waits() {
+        let (mut chaos, mut peer) = pair(1, 1, WireFault::ShortWrite);
+        peer.write_all(b"ab").unwrap();
+        let mut buf = [0u8; 2];
+        chaos.read_exact(&mut buf).unwrap(); // counted, no slot spent
+        assert!(!chaos.tripped());
+        assert_eq!(chaos.write(b"abcd").unwrap(), 2); // fault lands here
+        assert!(chaos.tripped());
+    }
+
+    #[test]
+    fn listener_shares_one_schedule_across_connections() {
+        let listener = ChaosListener::bind("127.0.0.1:0", 2, 1, WireFault::Reset).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _c1 = TcpStream::connect(addr).unwrap();
+        let _c2 = TcpStream::connect(addr).unwrap();
+        let (mut s1, _) = listener.accept().unwrap();
+        let (mut s2, _) = listener.accept().unwrap();
+        s1.write_all(b"a").unwrap(); // op 1: clean
+        let err = s2.write(b"b").unwrap_err(); // op 2: fault, on the *other* stream
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert!(listener.healed());
+        assert_eq!(listener.ops(), 2);
+        s1.write_all(b"c").unwrap(); // healed
+    }
+
+    #[test]
+    fn delay_stalls_then_delivers() {
+        let (chaos, mut peer) = pair(1, 1, WireFault::Delay);
+        let mut chaos = chaos.with_delay(Duration::from_millis(5));
+        let start = std::time::Instant::now();
+        chaos.write_all(b"abc").unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        let mut buf = [0u8; 3];
+        peer.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+    }
+}

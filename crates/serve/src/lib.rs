@@ -46,11 +46,13 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod chaos;
 pub mod manager;
 pub mod net;
 pub mod protocol;
 
 pub use admission::{AdmissionQueue, AdmitError};
+pub use chaos::{ChaosListener, ChaosStream, WireFault};
 pub use manager::{ManagerOptions, SessionManager, StorageFactory, TenantState, TenantStatus};
 pub use net::{Client, TcpFront, TcpFrontOptions};
 pub use protocol::{Request, RequestOp, Response};

@@ -1,9 +1,10 @@
-//! Length-prefixed JSONL-over-TCP front-end for a [`SessionManager`].
+//! Length-prefixed JSONL-over-TCP front-end for a [`SessionManager`],
+//! hardened against hostile and merely unlucky peers.
 //!
 //! A [`TcpFront`] binds a listener and runs one **non-blocking accept
 //! loop** thread: it accepts connections, accumulates bytes per
-//! connection, splits complete frames (see [`protocol`]
-//! for the framing), and pushes each request into the same bounded
+//! connection, splits complete frames (see [`protocol`] for the
+//! framing), and pushes each request into the same bounded
 //! [`AdmissionQueue`] the in-process server uses — so network traffic is
 //! subject to exactly the overload policy as local submissions: when the
 //! queue is full the request is shed *immediately* with a structured
@@ -11,6 +12,51 @@
 //! the queue, dispatches to the manager, and writes each response back
 //! under a per-connection write lock (workers finish out of order;
 //! responses interleave but never tear).
+//!
+//! # Connection governance
+//!
+//! The wire is the only boundary an adversary reaches without
+//! authenticating, so every resource a connection can pin is bounded and
+//! every stall is reaped (policy in [`TcpFrontOptions`], accounting in
+//! the `net.*` metrics namespace):
+//!
+//! * **Accept-time shedding** — at most
+//!   [`max_connections`](TcpFrontOptions::max_connections) connections
+//!   are registered; a connect beyond the cap receives one best-effort
+//!   error frame and is dropped (`net.reaped.overflow`), so a
+//!   connection flood cannot grow the conn table or its buffers.
+//! * **Slow-read (slowloris) reaping** — a peer that starts a frame
+//!   must finish it within
+//!   [`frame_timeout`](TcpFrontOptions::frame_timeout); trickling bytes
+//!   does not reset the clock (`net.reaped.slow_read`).
+//! * **Idle reaping** — a connection with no partial frame, no response
+//!   in flight, and no bytes for
+//!   [`idle_timeout`](TcpFrontOptions::idle_timeout) is closed
+//!   (`net.reaped.idle`).
+//! * **Read-buffer caps** — a connection's accumulation buffer never
+//!   exceeds [`read_buf_cap`](TcpFrontOptions::read_buf_cap)
+//!   (`net.reaped.buffer`); oversized frame prefixes are refused before
+//!   any allocation, as before (`net.reaped.frame_error`).
+//! * **Write budgets** — a worker writing a response spends at most
+//!   [`write_budget`](TcpFrontOptions::write_budget) blocked on a slow
+//!   consumer; on exhaustion (`net.reaped.write_stall`) or any
+//!   mid-frame write failure the connection is marked **dead**: no
+//!   later response is ever written into the torn stream (which would
+//!   desynchronize framing for everything after it), and the accept
+//!   loop reaps the carcass.
+//!
+//! Deadlines propagate end to end: a request's `deadline_ms` covers
+//! **queue wait plus evaluation**, exactly as
+//! [`Server::submit_with_deadline`](crate::Server::submit_with_deadline)
+//! — time spent in the admission queue is subtracted before the rest is
+//! handed to the engine budget, so a request that waited out its
+//! deadline trips immediately (still answering, with its degradation
+//! report) instead of burning a full budget the client has stopped
+//! waiting for. Shutdown **drains with a deadline**: the front stops
+//! accepting and reading, lets workers finish what was admitted for up
+//! to [`drain_deadline`](TcpFrontOptions::drain_deadline), then sheds
+//! the remainder with structured errors. A `health` wire op reports the
+//! front's vitals without touching any session lock.
 //!
 //! The accept loop uses readiness-free polling (non-blocking reads plus
 //! a 1 ms idle sleep) rather than an OS selector: the dependency-free
@@ -21,22 +67,45 @@
 use crate::admission::{AdmissionQueue, AdmitError};
 use crate::manager::SessionManager;
 use crate::protocol::{self, Request, RequestOp, Response};
-use clogic_obs::Json;
+use clogic_obs::{Counter, Gauge, Json, Obs};
 use folog::Budget;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Tuning for a [`TcpFront`].
+/// Tuning for a [`TcpFront`]: pool sizing plus the connection-governance
+/// policy (see the [module docs](self) for what each bound defends
+/// against).
 #[derive(Clone, Debug)]
 pub struct TcpFrontOptions {
     /// Worker threads dispatching requests to the manager (default 4).
     pub workers: usize,
     /// Admission-queue capacity shared by every connection (default 64).
     pub queue_depth: usize,
+    /// Maximum registered connections; a connect beyond this is shed at
+    /// accept time with one best-effort error frame (default 256,
+    /// minimum 1).
+    pub max_connections: usize,
+    /// Per-connection read-buffer cap in bytes; exceeding it reaps the
+    /// connection (default `MAX_FRAME + 4`, i.e. one maximal frame —
+    /// the framing already refuses larger declared lengths).
+    pub read_buf_cap: usize,
+    /// A connection with no partial frame, no response in flight and no
+    /// bytes read for this long is reaped (default 60 s).
+    pub idle_timeout: Duration,
+    /// A peer that begins a frame must complete it within this long —
+    /// the slowloris bound; trickling bytes does not reset it (default
+    /// 10 s).
+    pub frame_timeout: Duration,
+    /// Longest a worker may spend blocked writing one response to a
+    /// slow consumer before the connection is marked dead (default 2 s).
+    pub write_budget: Duration,
+    /// On shutdown, how long to let workers finish already-admitted
+    /// requests before shedding the remainder (default 1 s).
+    pub drain_deadline: Duration,
 }
 
 impl Default for TcpFrontOptions {
@@ -44,6 +113,61 @@ impl Default for TcpFrontOptions {
         TcpFrontOptions {
             workers: 4,
             queue_depth: 64,
+            max_connections: 256,
+            read_buf_cap: protocol::MAX_FRAME as usize + 4,
+            idle_timeout: Duration::from_secs(60),
+            frame_timeout: Duration::from_secs(10),
+            write_budget: Duration::from_secs(2),
+            drain_deadline: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The `net.*` instrument handles, registered once at start-up so every
+/// counter is visible (at zero) in the very first metrics snapshot.
+struct NetMetrics {
+    /// `net.connections.open` — registered connections right now.
+    conns_open: Gauge,
+    /// `net.connections.accepted` — connections ever registered.
+    accepted: Counter,
+    /// `net.connections.closed` — peer-initiated closes and read errors.
+    closed: Counter,
+    /// `net.frames.in` — complete request frames decoded.
+    frames_in: Counter,
+    /// `net.frames.out` — complete response frames written.
+    frames_out: Counter,
+    /// `net.reaped.overflow` — connects shed at the connection cap.
+    reaped_overflow: Counter,
+    /// `net.reaped.idle` — idle-timeout reaps.
+    reaped_idle: Counter,
+    /// `net.reaped.slow_read` — slowloris (frame-timeout) reaps.
+    reaped_slow_read: Counter,
+    /// `net.reaped.buffer` — read-buffer-cap reaps.
+    reaped_buffer: Counter,
+    /// `net.reaped.frame_error` — unframeable streams dropped.
+    reaped_frame_error: Counter,
+    /// `net.reaped.write_stall` — write-budget kills of slow consumers.
+    reaped_write_stall: Counter,
+    /// `net.write_errors` — mid-frame write failures marking conns dead.
+    write_errors: Counter,
+}
+
+impl NetMetrics {
+    fn new(obs: &Obs) -> NetMetrics {
+        let m = &obs.metrics;
+        NetMetrics {
+            conns_open: m.gauge("net.connections.open"),
+            accepted: m.counter("net.connections.accepted"),
+            closed: m.counter("net.connections.closed"),
+            frames_in: m.counter("net.frames.in"),
+            frames_out: m.counter("net.frames.out"),
+            reaped_overflow: m.counter("net.reaped.overflow"),
+            reaped_idle: m.counter("net.reaped.idle"),
+            reaped_slow_read: m.counter("net.reaped.slow_read"),
+            reaped_buffer: m.counter("net.reaped.buffer"),
+            reaped_frame_error: m.counter("net.reaped.frame_error"),
+            reaped_write_stall: m.counter("net.reaped.write_stall"),
+            write_errors: m.counter("net.write_errors"),
         }
     }
 }
@@ -52,44 +176,103 @@ impl Default for TcpFrontOptions {
 /// requests.
 struct Conn {
     writer: Mutex<TcpStream>,
+    /// Set on any mid-frame write failure or write-budget exhaustion:
+    /// the stream may hold a torn partial frame, so nothing must ever
+    /// be written to it again (a later response would be parsed against
+    /// the torn frame's leftover length prefix). The accept loop reaps
+    /// dead connections.
+    dead: AtomicBool,
+    /// Requests admitted but not yet answered — an idle-looking socket
+    /// waiting on a slow query is *not* idle.
+    in_flight: AtomicU64,
+    /// Longest one response write may spend blocked on the peer.
+    write_budget: Duration,
+    /// `net.reaped.write_stall` handle.
+    stall_kills: Counter,
+    /// `net.write_errors` handle.
+    write_errors: Counter,
 }
 
 impl Conn {
-    /// Frames and writes one response; write errors mean the peer went
-    /// away, which is its right. The socket is non-blocking (the write
-    /// half shares the read half's file description, so it cannot be
-    /// anything else — see [`register`]), so a full send buffer surfaces
-    /// as `WouldBlock` and is retried after a short nap rather than
-    /// spinning.
-    fn send(&self, resp: &Response) {
+    /// Frames and writes one response; returns `false` when the
+    /// connection is (or just became) dead. The socket is non-blocking
+    /// (the write half shares the read half's file description, so it
+    /// cannot be anything else — see [`register`]), so a full send
+    /// buffer surfaces as `WouldBlock`; the budgeted retry loop naps
+    /// briefly between attempts and **kills the connection** when the
+    /// budget runs out — a worker is never parked indefinitely behind a
+    /// consumer that stopped reading. Any failure mid-frame (including
+    /// `Ok(0)` and hard errors) also marks the connection dead instead
+    /// of silently leaving a torn frame on the stream.
+    fn send(&self, resp: &Response) -> bool {
+        if self.dead.load(Ordering::Acquire) {
+            return false;
+        }
         let frame = protocol::encode_frame(&resp.render_json());
         let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // Re-check under the lock: another worker may have torn the
+        // stream while we waited for it.
+        if self.dead.load(Ordering::Acquire) {
+            return false;
+        }
+        let start = Instant::now();
         let mut sent = 0;
         while sent < frame.len() {
             match writer.write(&frame[sent..]) {
-                Ok(0) => return,
+                Ok(0) => {
+                    self.write_errors.inc();
+                    self.dead.store(true, Ordering::Release);
+                    return false;
+                }
                 Ok(n) => sent += n,
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if start.elapsed() >= self.write_budget {
+                        self.stall_kills.inc();
+                        self.dead.store(true, Ordering::Release);
+                        return false;
+                    }
                     std::thread::sleep(Duration::from_micros(100));
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return,
+                Err(_) => {
+                    self.write_errors.inc();
+                    self.dead.store(true, Ordering::Release);
+                    return false;
+                }
             }
         }
+        true
     }
 }
 
 struct NetJob {
     conn: Arc<Conn>,
     payload: Vec<u8>,
+    /// When the frame was admitted — queue wait is subtracted from the
+    /// request's deadline, mirroring the in-process server.
+    enqueued: Instant,
+}
+
+/// Everything the accept loop, the workers and the front handle share.
+struct FrontShared {
+    manager: Arc<SessionManager>,
+    admission: AdmissionQueue<NetJob>,
+    stats: NetMetrics,
+    /// Hard stop: accept loop exits, queue closes.
+    stop: AtomicBool,
+    /// Graceful phase: stop accepting and reading, keep answering.
+    draining: AtomicBool,
+    /// Jobs a worker has popped but not yet answered (drain barrier).
+    in_flight: AtomicU64,
 }
 
 /// A running TCP front-end over a [`SessionManager`]. Shuts down on
-/// drop; see the [module docs](self) for the serving model.
+/// drop; see the [module docs](self) for the serving and governance
+/// model.
 pub struct TcpFront {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    admission: Arc<AdmissionQueue<NetJob>>,
+    shared: Arc<FrontShared>,
+    drain_deadline: Duration,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -105,33 +288,35 @@ impl TcpFront {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let admission = Arc::new(AdmissionQueue::new(
-            opts.queue_depth,
-            manager.obs().clone(),
-        ));
+        let shared = Arc::new(FrontShared {
+            admission: AdmissionQueue::new(opts.queue_depth, manager.obs().clone()),
+            stats: NetMetrics::new(manager.obs()),
+            manager,
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+        });
         let workers = (0..opts.workers.max(1))
             .map(|i| {
-                let admission = Arc::clone(&admission);
-                let manager = Arc::clone(&manager);
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("clogic-net-{i}"))
-                    .spawn(move || worker_loop(&admission, &manager))
+                    .spawn(move || worker_loop(&shared))
                     .expect("spawn net worker")
             })
             .collect();
         let accept = {
-            let stop = Arc::clone(&stop);
-            let admission = Arc::clone(&admission);
+            let shared = Arc::clone(&shared);
+            let opts = opts.clone();
             std::thread::Builder::new()
                 .name("clogic-net-accept".to_string())
-                .spawn(move || accept_loop(&listener, &stop, &admission))
+                .spawn(move || accept_loop(&listener, &shared, &opts))
                 .expect("spawn accept loop")
         };
         Ok(TcpFront {
             addr,
-            stop,
-            admission,
+            shared,
+            drain_deadline: opts.drain_deadline,
             accept: Some(accept),
             workers,
         })
@@ -142,15 +327,37 @@ impl TcpFront {
         self.addr
     }
 
-    /// Stops accepting, sheds queued requests, and joins the threads.
-    /// Also runs on drop.
+    /// Drains (see [`TcpFrontOptions::drain_deadline`]), sheds whatever
+    /// did not finish in time, and joins the threads. Also runs on drop.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        for job in self.admission.close() {
+        let shared = &self.shared;
+        // Phase 1 — drain: no new connections or frames, but workers
+        // keep answering what was already admitted, up to the deadline.
+        shared.draining.store(true, Ordering::Release);
+        let deadline = Instant::now() + self.drain_deadline;
+        let mut settled = 0u32;
+        while Instant::now() < deadline {
+            if shared.admission.is_empty() && shared.in_flight.load(Ordering::Acquire) == 0 {
+                // Require the quiescent state to hold for two
+                // consecutive polls: a worker between `pop` and its
+                // in-flight increment is invisible for one instant.
+                settled += 1;
+                if settled >= 2 {
+                    break;
+                }
+            } else {
+                settled = 0;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Phase 2 — stop: close the queue, shed the remainder with
+        // structured errors, join every thread.
+        shared.stop.store(true, Ordering::Release);
+        for job in shared.admission.close() {
             job.conn.send(&Response::Error {
                 message: "server shutting down".to_string(),
             });
@@ -170,105 +377,231 @@ impl Drop for TcpFront {
     }
 }
 
-/// One open connection in the accept loop.
+/// One open connection in the accept loop, with its governance clocks.
 struct Reading {
     stream: TcpStream,
     conn: Arc<Conn>,
     buf: Vec<u8>,
+    /// Last instant any byte arrived (or the accept instant).
+    last_byte: Instant,
+    /// When the currently-buffered partial frame began — the slowloris
+    /// clock. `None` while the buffer is empty.
+    frame_start: Option<Instant>,
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    stop: &AtomicBool,
-    admission: &Arc<AdmissionQueue<NetJob>>,
-) {
+/// What `pump` concluded about a connection this tick.
+enum Pump {
+    Keep,
+    /// Peer closed (or the read errored) — its right; not a reap.
+    Closed,
+    /// The stream is unframeable; drop it.
+    FrameError,
+}
+
+fn accept_loop(listener: &TcpListener, shared: &FrontShared, opts: &TcpFrontOptions) {
+    let max_conns = opts.max_connections.max(1);
     let mut conns: Vec<Reading> = Vec::new();
-    while !stop.load(Ordering::Acquire) {
-        let mut active = false;
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if let Ok(conn) = register(&stream) {
-                    conns.push(Reading {
-                        stream,
-                        conn,
-                        buf: Vec::new(),
-                    });
-                    active = true;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {}
-            Err(_) => {}
+    while !shared.stop.load(Ordering::Acquire) {
+        if shared.draining.load(Ordering::Acquire) {
+            // Drain phase: responses still flow (workers write directly
+            // to the sockets), but nothing new is accepted or read.
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
         }
-        conns.retain_mut(|c| pump(c, admission, &mut active));
+        let mut active = false;
+        // Accept everything pending this tick (bounded per tick so a
+        // connect storm cannot starve the pumps below).
+        for _ in 0..64 {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    active = true;
+                    if conns.len() >= max_conns {
+                        shared.stats.reaped_overflow.inc();
+                        refuse(stream, conns.len(), max_conns);
+                        continue;
+                    }
+                    if let Ok(conn) = register(&stream, shared, opts) {
+                        shared.stats.accepted.inc();
+                        shared.stats.conns_open.inc();
+                        conns.push(Reading {
+                            stream,
+                            conn,
+                            buf: Vec::new(),
+                            last_byte: Instant::now(),
+                            frame_start: None,
+                        });
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        let now = Instant::now();
+        conns.retain_mut(|c| {
+            let keep = match pump(c, shared, &mut active) {
+                Pump::Keep => govern(c, now, shared, opts),
+                Pump::Closed => {
+                    shared.stats.closed.inc();
+                    false
+                }
+                Pump::FrameError => {
+                    shared.stats.reaped_frame_error.inc();
+                    false
+                }
+            };
+            if !keep {
+                shared.stats.conns_open.dec();
+            }
+            keep
+        });
         if !active {
             std::thread::sleep(Duration::from_millis(1));
         }
     }
+    for _ in &conns {
+        shared.stats.conns_open.dec();
+    }
+}
+
+/// Best-effort structured refusal of a connect beyond the cap: one
+/// non-blocking write into the empty socket buffer, then drop.
+fn refuse(stream: TcpStream, open: usize, cap: usize) {
+    let _ = stream.set_nonblocking(true);
+    let frame = protocol::encode_frame(
+        &Response::Error {
+            message: format!("connection shed: {open} open, capacity {cap}"),
+        }
+        .render_json(),
+    );
+    let mut stream = stream;
+    let _ = stream.write(&frame);
 }
 
 /// Puts the connection in non-blocking mode and clones a write half for
 /// the workers. The clone duplicates the fd onto the *same* open file
 /// description, so `O_NONBLOCK` is shared: the write half is necessarily
-/// non-blocking too, which [`Conn::send`] handles with a retry loop.
-/// (Setting the clone back to blocking would silently make the read half
-/// blocking as well and wedge the accept loop on the first idle
-/// connection.)
-fn register(stream: &TcpStream) -> std::io::Result<Arc<Conn>> {
+/// non-blocking too, which [`Conn::send`] handles with a budgeted retry
+/// loop. (Setting the clone back to blocking would silently make the
+/// read half blocking as well and wedge the accept loop on the first
+/// idle connection.)
+fn register(
+    stream: &TcpStream,
+    shared: &FrontShared,
+    opts: &TcpFrontOptions,
+) -> std::io::Result<Arc<Conn>> {
     stream.set_nonblocking(true)?;
     let writer = stream.try_clone()?;
     Ok(Arc::new(Conn {
         writer: Mutex::new(writer),
+        dead: AtomicBool::new(false),
+        in_flight: AtomicU64::new(0),
+        write_budget: opts.write_budget,
+        stall_kills: shared.stats.reaped_write_stall.clone(),
+        write_errors: shared.stats.write_errors.clone(),
     }))
 }
 
-/// Reads whatever is available and admits every complete frame; false
-/// drops the connection.
-fn pump(c: &mut Reading, admission: &Arc<AdmissionQueue<NetJob>>, active: &mut bool) -> bool {
+/// Applies the governance policy to one connection; `false` reaps it.
+fn govern(c: &mut Reading, now: Instant, shared: &FrontShared, opts: &TcpFrontOptions) -> bool {
+    // A worker already declared the stream torn; the write path counted
+    // the kill (`net.reaped.write_stall` / `net.write_errors`).
+    if c.conn.dead.load(Ordering::Acquire) {
+        return false;
+    }
+    if c.buf.len() > opts.read_buf_cap {
+        shared.stats.reaped_buffer.inc();
+        return false;
+    }
+    if let Some(started) = c.frame_start {
+        if now.duration_since(started) > opts.frame_timeout {
+            shared.stats.reaped_slow_read.inc();
+            return false;
+        }
+    } else if c.conn.in_flight.load(Ordering::Acquire) == 0
+        && now.duration_since(c.last_byte) > opts.idle_timeout
+    {
+        shared.stats.reaped_idle.inc();
+        return false;
+    }
+    true
+}
+
+/// Reads whatever is available and admits every complete frame.
+fn pump(c: &mut Reading, shared: &FrontShared, active: &mut bool) -> Pump {
     let mut chunk = [0u8; 4096];
     loop {
         match c.stream.read(&mut chunk) {
-            Ok(0) => return false,
+            Ok(0) => return Pump::Closed,
             Ok(n) => {
                 c.buf.extend_from_slice(&chunk[..n]);
+                c.last_byte = Instant::now();
+                if c.frame_start.is_none() {
+                    c.frame_start = Some(c.last_byte);
+                }
                 *active = true;
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return false,
+            Err(_) => return Pump::Closed,
         }
     }
     loop {
         match protocol::decode_frame(&mut c.buf) {
             Ok(Some(payload)) => {
                 *active = true;
-                match admission.push(NetJob {
+                shared.stats.frames_in.inc();
+                // Whatever bytes remain start the *next* frame: restart
+                // its completion clock at the decode instant.
+                c.frame_start = (!c.buf.is_empty()).then(Instant::now);
+                c.conn.in_flight.fetch_add(1, Ordering::AcqRel);
+                match shared.admission.push(NetJob {
                     conn: Arc::clone(&c.conn),
                     payload,
+                    enqueued: Instant::now(),
                 }) {
                     Ok(()) => {}
-                    Err(AdmitError::Full(d)) => c.conn.send(&Response::Error {
-                        message: format!("request shed: {d}"),
-                    }),
-                    Err(AdmitError::Closed) => return false,
+                    Err(AdmitError::Full(d)) => {
+                        c.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
+                        c.conn.send(&Response::Error {
+                            message: format!("request shed: {d}"),
+                        });
+                    }
+                    Err(AdmitError::Closed) => {
+                        c.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
+                        return Pump::Closed;
+                    }
                 }
             }
-            Ok(None) => return true,
+            Ok(None) => return Pump::Keep,
             Err(message) => {
                 c.conn.send(&Response::Error { message });
-                return false;
+                return Pump::FrameError;
             }
         }
     }
 }
 
-fn worker_loop(admission: &AdmissionQueue<NetJob>, manager: &SessionManager) {
-    while let Some(job) = admission.pop() {
-        let resp = handle(manager, &job.payload);
-        job.conn.send(&resp);
+fn worker_loop(shared: &FrontShared) {
+    while let Some(job) = shared.admission.pop() {
+        shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        let waited = job.enqueued.elapsed();
+        shared
+            .manager
+            .obs()
+            .metrics
+            .histogram("net.queue_wait_us")
+            .observe(waited.as_micros() as u64);
+        let resp = handle(shared, &job.payload, waited);
+        if job.conn.send(&resp) {
+            shared.stats.frames_out.inc();
+        }
+        job.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
-fn handle(manager: &SessionManager, payload: &[u8]) -> Response {
+fn handle(shared: &FrontShared, payload: &[u8], waited: Duration) -> Response {
+    let manager = &shared.manager;
     let req = match Request::parse(payload) {
         Ok(req) => req,
         Err(message) => return Response::Error { message },
@@ -289,9 +622,15 @@ fn handle(manager: &SessionManager, payload: &[u8]) -> Response {
             strategy,
             deadline_ms,
         } => {
+            // The deadline covers queue wait plus evaluation, exactly as
+            // `Server::submit_with_deadline`: subtract what the job
+            // already spent queued. An expired deadline still evaluates
+            // (zero remaining budget), so every admitted query gets an
+            // answer — at worst a partial one with its degradation
+            // report.
             let mut extra = Budget::unlimited();
             if let Some(ms) = deadline_ms {
-                extra.deadline = Some(Duration::from_millis(ms));
+                extra.deadline = Some(Duration::from_millis(ms).saturating_sub(waited));
             }
             match manager.query_with_budget(&req.tenant, &src, strategy, &extra) {
                 Ok(answers) => Response::from_answers(&answers),
@@ -302,6 +641,12 @@ fn handle(manager: &SessionManager, payload: &[u8]) -> Response {
         }
         RequestOp::Status => Response::Status {
             tenants: manager.tenants(),
+        },
+        RequestOp::Health => Response::Health {
+            open_connections: shared.stats.conns_open.get(),
+            queued: shared.admission.len() as u64,
+            resident: manager.resident() as u64,
+            draining: shared.draining.load(Ordering::Acquire),
         },
     }
 }
@@ -314,7 +659,9 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a [`TcpFront`].
+    /// Connects to a [`TcpFront`]. The client blocks indefinitely for
+    /// responses; use [`Client::connect_timeout`] to bound waits against
+    /// a server that might stall.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
         Ok(Client {
             stream: TcpStream::connect(addr)?,
@@ -322,9 +669,28 @@ impl Client {
         })
     }
 
+    /// [`Client::connect`] with per-operation read/write timeouts: a
+    /// stalled or misbehaving server makes [`Client::request`] return a
+    /// structured timeout error instead of hanging forever.
+    pub fn connect_timeout(addr: SocketAddr, io_timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
     /// Sends one request and blocks for its response. Note responses on
     /// a connection pipelining multiple outstanding requests may arrive
     /// out of order; this simple client sends one at a time.
+    ///
+    /// Every failure mode of a misbehaving server comes back as a
+    /// structured `Err` — a response torn mid-frame is `connection
+    /// closed`, a reset surfaces the I/O error, an oversized frame is a
+    /// framing error, and (with [`Client::connect_timeout`]) a stalled
+    /// server is a timeout. The client never panics on wire data.
     pub fn request(&mut self, req: &Request) -> Result<Json, String> {
         let frame = protocol::encode_frame(&req.render_json());
         self.stream
@@ -343,8 +709,85 @@ impl Client {
                 Ok(0) => return Err("connection closed".to_string()),
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Err("timed out waiting for the response".to_string())
+                }
                 Err(e) => return Err(format!("read: {e}")),
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A socketpair over loopback: (governed write half, peer).
+    fn pair(budget: Duration) -> (Arc<Conn>, TcpStream, Obs) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        let obs = Obs::new();
+        let conn = Arc::new(Conn {
+            writer: Mutex::new(server_side),
+            dead: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            write_budget: budget,
+            stall_kills: obs.metrics.counter("net.reaped.write_stall"),
+            write_errors: obs.metrics.counter("net.write_errors"),
+        });
+        (conn, peer, obs)
+    }
+
+    #[test]
+    fn send_kills_the_connection_when_the_write_budget_runs_out() {
+        // The peer never reads, so loopback buffers eventually fill and
+        // the non-blocking writes report WouldBlock until the budget is
+        // spent. A response big enough to overwhelm any default socket
+        // buffer pair forces that within one send.
+        let (conn, peer, obs) = pair(Duration::from_millis(50));
+        let huge = Response::Error {
+            message: "x".repeat(8 * 1024 * 1024),
+        };
+        let start = Instant::now();
+        assert!(!conn.send(&huge), "send into a stalled peer must fail");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "budget must bound the stall"
+        );
+        assert!(conn.dead.load(Ordering::Acquire));
+        assert_eq!(
+            obs.metrics.snapshot().counter("net.reaped.write_stall"),
+            Some(1)
+        );
+        // Dead means dead: no further bytes are ever written.
+        assert!(!conn.send(&Response::Error {
+            message: "after".into()
+        }));
+        drop(peer);
+    }
+
+    #[test]
+    fn send_marks_the_connection_dead_on_write_error() {
+        let (conn, peer, obs) = pair(Duration::from_secs(5));
+        drop(peer); // peer resets the connection
+        let big = Response::Error {
+            message: "y".repeat(4 * 1024 * 1024),
+        };
+        // The first send may need a second attempt before the kernel
+        // notices the reset; both must end with a dead connection and
+        // no torn-frame retries.
+        let _ = conn.send(&big);
+        let _ = conn.send(&big);
+        assert!(conn.dead.load(Ordering::Acquire));
+        assert!(
+            obs.metrics
+                .snapshot()
+                .counter("net.write_errors")
+                .unwrap_or(0)
+                >= 1
+        );
+        assert!(!conn.send(&Response::Error { message: "z".into() }));
     }
 }

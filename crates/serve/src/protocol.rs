@@ -88,6 +88,10 @@ pub enum RequestOp {
     },
     /// Report the tenant's status (and the whole tenant listing).
     Status,
+    /// Probe the serving process itself: open connections, queue depth,
+    /// resident sessions, drain state. Server-scoped — the `tenant`
+    /// field is optional and ignored.
+    Health,
 }
 
 /// One parsed request frame.
@@ -104,8 +108,18 @@ impl Request {
     pub fn parse(payload: &[u8]) -> Result<Request, String> {
         let text = std::str::from_utf8(payload).map_err(|e| format!("invalid UTF-8: {e}"))?;
         let json = parse_json(text)?;
-        let tenant = get_str(&json, "tenant")?.to_string();
-        let op = match get_str(&json, "op")? {
+        let op_name = get_str(&json, "op")?;
+        // `health` is server-scoped: the tenant field is optional (and
+        // ignored). Every other op addresses a tenant.
+        let tenant = match (get(&json, "tenant"), op_name) {
+            (Some(Json::Str(s)), _) => s.clone(),
+            (Some(other), _) => {
+                return Err(format!("field \"tenant\" must be a string, got {other}"))
+            }
+            (None, "health") => String::new(),
+            (None, _) => return Err("missing field \"tenant\"".to_string()),
+        };
+        let op = match op_name {
             "load" => RequestOp::Load {
                 src: get_str(&json, "src")?.to_string(),
             },
@@ -126,6 +140,7 @@ impl Request {
                 },
             },
             "status" => RequestOp::Status,
+            "health" => RequestOp::Health,
             other => return Err(format!("unknown op {other:?}")),
         };
         Ok(Request { tenant, op })
@@ -133,7 +148,10 @@ impl Request {
 
     /// Renders the request as a frame payload (client side).
     pub fn render_json(&self) -> Json {
-        let mut fields = vec![("tenant".to_string(), Json::Str(self.tenant.clone()))];
+        let mut fields = Vec::new();
+        if !self.tenant.is_empty() || !matches!(self.op, RequestOp::Health) {
+            fields.push(("tenant".to_string(), Json::Str(self.tenant.clone())));
+        }
         match &self.op {
             RequestOp::Load { src } => {
                 fields.push(("op".into(), Json::Str("load".into())));
@@ -155,6 +173,7 @@ impl Request {
                 }
             }
             RequestOp::Status => fields.push(("op".into(), Json::Str("status".into()))),
+            RequestOp::Health => fields.push(("op".into(), Json::Str("health".into()))),
         }
         Json::Object(fields)
     }
@@ -185,6 +204,17 @@ pub enum Response {
     Status {
         /// One row per known tenant.
         tenants: Vec<TenantStatus>,
+    },
+    /// The serving process's own vitals (the `health` op).
+    Health {
+        /// Connections currently registered with the accept loop.
+        open_connections: u64,
+        /// Requests waiting in the admission queue.
+        queued: u64,
+        /// Sessions resident in memory.
+        resident: u64,
+        /// Whether the front is draining toward shutdown.
+        draining: bool,
     },
     /// The request failed; the connection survives.
     Error {
@@ -278,6 +308,18 @@ impl Response {
                             .collect(),
                     ),
                 ),
+            ]),
+            Response::Health {
+                open_connections,
+                queued,
+                resident,
+                draining,
+            } => Json::Object(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("open_connections".into(), Json::U64(*open_connections)),
+                ("queued".into(), Json::U64(*queued)),
+                ("resident".into(), Json::U64(*resident)),
+                ("draining".into(), Json::Bool(*draining)),
             ]),
             Response::Error { message } => Json::Object(vec![
                 ("ok".into(), Json::Bool(false)),
@@ -609,6 +651,10 @@ mod tests {
                 tenant: "c".into(),
                 op: RequestOp::Status,
             },
+            Request {
+                tenant: String::new(),
+                op: RequestOp::Health,
+            },
         ] {
             let rendered = req.render_json().to_string();
             assert_eq!(Request::parse(rendered.as_bytes()).unwrap(), req);
@@ -629,6 +675,29 @@ mod tests {
             let err = Request::parse(payload.as_bytes()).unwrap_err();
             assert!(err.contains(needle), "{err:?} should mention {needle:?}");
         }
+    }
+
+    #[test]
+    fn health_is_server_scoped_but_tolerates_a_tenant() {
+        // Tenant-less health parses; a tenant-bearing one does too.
+        let req = Request::parse(br#"{"op": "health"}"#).unwrap();
+        assert_eq!(req.op, RequestOp::Health);
+        assert_eq!(req.tenant, "");
+        let req = Request::parse(br#"{"tenant": "a", "op": "health"}"#).unwrap();
+        assert_eq!(req.op, RequestOp::Health);
+        // Other ops still require the tenant field.
+        let err = Request::parse(br#"{"op": "status"}"#).unwrap_err();
+        assert!(err.contains("tenant"), "{err}");
+        let rendered = Response::Health {
+            open_connections: 3,
+            queued: 1,
+            resident: 2,
+            draining: false,
+        }
+        .render_json();
+        assert_eq!(get(&rendered, "ok"), Some(&Json::Bool(true)));
+        assert_eq!(get(&rendered, "open_connections"), Some(&Json::U64(3)));
+        assert_eq!(get(&rendered, "draining"), Some(&Json::Bool(false)));
     }
 
     #[test]
