@@ -81,18 +81,33 @@ pub fn run_bottom_up(
     optimized: bool,
     strategy: Fixpoint,
 ) -> (Run, usize) {
-    let fo = translate(p, optimized);
-    let compiled = CompiledProgram::compile(&fo, builtin_symbols());
-    let goals = Transformer::new().query(&parse_query(query).expect("query parses"));
-    let start = Instant::now();
-    let ev = evaluate(
-        &compiled,
+    let (run, total, _) = run_bottom_up_with(
+        p,
+        query,
+        optimized,
         FixpointOptions {
             strategy,
             ..Default::default()
         },
-    )
-    .expect("fixpoint succeeds");
+    );
+    (run, total)
+}
+
+/// Like [`run_bottom_up`], but takes full [`FixpointOptions`] (index
+/// mode, budgets, …) and additionally returns the fact-index counters
+/// accumulated during the run — the probe-level work measure behind
+/// `folog.index.*`.
+pub fn run_bottom_up_with(
+    p: &Program,
+    query: &str,
+    optimized: bool,
+    opts: FixpointOptions,
+) -> (Run, usize, folog::IndexStats) {
+    let fo = translate(p, optimized);
+    let compiled = CompiledProgram::compile(&fo, builtin_symbols());
+    let goals = Transformer::new().query(&parse_query(query).expect("query parses"));
+    let start = Instant::now();
+    let ev = evaluate(&compiled, opts).expect("fixpoint succeeds");
     let answers = ev.query(&goals);
     (
         Run {
@@ -102,6 +117,7 @@ pub fn run_bottom_up(
             complete: true,
         },
         ev.facts.total,
+        ev.facts.index_stats(),
     )
 }
 

@@ -229,6 +229,7 @@ impl<'p> DirectEngine<'p> {
             in_progress: Vec::new(),
             per_rule: Vec::new(),
         };
+        let idx_before = self.program.preds.index_stats();
         let mut answers = Vec::new();
         let mut span = self.opts.obs.tracer.span_with(
             "engine.direct.solve",
@@ -301,6 +302,12 @@ impl<'p> DirectEngine<'p> {
             .add(search.stats.residuals);
         m.counter("engine.direct.loop_prunes")
             .add(search.stats.loop_prunes);
+        let idx = self.program.preds.index_stats();
+        m.counter("folog.index.builds").add(idx.builds - idx_before.builds);
+        m.counter("folog.index.extends")
+            .add(idx.extends - idx_before.extends);
+        m.counter("folog.index.hits").add(idx.hits - idx_before.hits);
+        m.counter("folog.index.misses").add(idx.misses - idx_before.misses);
         Ok(DirectResult {
             answers,
             stats: search.stats,
@@ -457,24 +464,50 @@ impl Search<'_> {
             self.bind.rollback(cp);
             return Ok(cont);
         }
-        // Extensional tuples.
+        // Extensional tuples, selected through the relation's pattern
+        // index: every argument ground under the current bindings pins
+        // its position. A ground argument that was never interned cannot
+        // equal any stored value, so the whole branch is skipped.
         if let Some(rel) = self.p.preds.relation(pred, args.len()) {
-            for tuple in rel.tuples() {
-                let cp = self.bind.checkpoint();
-                self.stats.piece_matches += 1;
-                let ok = args.iter().zip(tuple).all(|(a, &id)| {
-                    unify(
-                        a,
-                        &rterm_of_ground(&self.p.terms, id),
-                        &mut self.bind,
-                        self.opts.unify,
-                    )
-                });
-                if ok && !self.solve(rest, depth + 1, emit)? {
-                    self.bind.rollback(cp);
-                    return Ok(false);
+            let mut keys: Vec<folog::IndexKey> = Vec::new();
+            let mut unmatchable = false;
+            for (i, a) in args.iter().enumerate() {
+                let r = self.bind.resolve(a);
+                if r.is_ground() {
+                    match ground_lookup(&self.p.terms, &r) {
+                        Some(id) => keys.push(folog::IndexKey::Exact(i as u32, id)),
+                        None => {
+                            unmatchable = true;
+                            break;
+                        }
+                    }
                 }
-                self.bind.rollback(cp);
+            }
+            if !unmatchable {
+                let rows = rel.candidate_rows(
+                    &keys,
+                    0..rel.len() as u32,
+                    &self.p.terms,
+                    self.p.preds.index_mode(),
+                );
+                for row in rows {
+                    let tuple = rel.tuple(row);
+                    let cp = self.bind.checkpoint();
+                    self.stats.piece_matches += 1;
+                    let ok = args.iter().zip(tuple).all(|(a, &id)| {
+                        unify(
+                            a,
+                            &rterm_of_ground(&self.p.terms, id),
+                            &mut self.bind,
+                            self.opts.unify,
+                        )
+                    });
+                    if ok && !self.solve(rest, depth + 1, emit)? {
+                        self.bind.rollback(cp);
+                        return Ok(false);
+                    }
+                    self.bind.rollback(cp);
+                }
             }
         }
         // Intensional clauses with predicate heads.
@@ -543,6 +576,35 @@ impl Search<'_> {
             return ground_lookup(&self.p.terms, &id).into_iter().collect();
         }
         if g.ty != object_type() {
+            // Composite selection: when the goal also fixes a label to a
+            // ground value, the (label, value) posting list intersected
+            // with the type check is usually far smaller than the type
+            // extent. Only provably answer-preserving cases qualify: the
+            // type must not be rule-derivable (so membership in the
+            // stored extent is mandatory) and the label must not be
+            // intensional (so a store match is mandatory — the piece can
+            // never residuate towards the rules).
+            if !self.p.type_derivable(g.ty) {
+                for (l, v) in &g.specs {
+                    if self.p.intensional_labels.contains(l) {
+                        continue;
+                    }
+                    let rv = self.bind.resolve(v);
+                    if rv.is_ground() {
+                        return match ground_lookup(&self.p.terms, &rv) {
+                            Some(vid) => self
+                                .p
+                                .objects
+                                .with_label_value(*l, vid)
+                                .iter()
+                                .copied()
+                                .filter(|&o| self.p.objects.has_type(o, g.ty, &self.p.hierarchy))
+                                .collect(),
+                            None => Vec::new(), // value unknown to the store
+                        };
+                    }
+                }
+            }
             return self.p.objects.with_type(g.ty, &self.p.hierarchy);
         }
         // Ground label value?

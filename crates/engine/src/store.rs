@@ -18,28 +18,84 @@ use folog::{TermId, TermStore};
 use std::collections::{BTreeSet, HashMap};
 
 /// The per-object record: asserted types plus multi-valued labels.
+///
+/// Labels are stored columnar-style (CSR layout): one flat interned
+/// value arena grouped by label, with `starts` marking each label's run.
+/// Records are small (a handful of labels), so the occasional mid-arena
+/// insert is cheap, while `values` stays a contiguous slice per label —
+/// no per-label allocation, no hash map per object.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ObjectRecord {
     /// Types this object has been asserted (or derived) to have.
     pub types: BTreeSet<Symbol>,
-    /// Label → values (insertion-ordered, deduplicated).
-    pub labels: HashMap<Symbol, Vec<TermId>>,
+    /// Distinct labels, sorted; parallel to `starts`.
+    label_keys: Vec<Symbol>,
+    /// CSR offsets: `label_keys[i]`'s values occupy
+    /// `values[starts[i] as usize..starts[i + 1] as usize]`.
+    starts: Vec<u32>,
+    /// All label values, grouped by label, insertion-ordered within.
+    values: Vec<TermId>,
 }
 
 impl ObjectRecord {
     /// Whether the record has a value `v` under `label`.
     pub fn has_label_value(&self, label: Symbol, v: TermId) -> bool {
-        self.labels.get(&label).is_some_and(|vs| vs.contains(&v))
+        self.values(label).contains(&v)
     }
 
-    /// The values under a label.
+    /// The values under a label (insertion-ordered, deduplicated).
     pub fn values(&self, label: Symbol) -> &[TermId] {
-        self.labels.get(&label).map(Vec::as_slice).unwrap_or(&[])
+        match self.label_keys.binary_search(&label) {
+            Ok(i) => &self.values[self.starts[i] as usize..self.starts[i + 1] as usize],
+            Err(_) => &[],
+        }
     }
 
     /// Total number of label pairs.
     pub fn pair_count(&self) -> usize {
-        self.labels.values().map(Vec::len).sum()
+        self.values.len()
+    }
+
+    /// Labels with their value runs, in sorted label order.
+    pub fn labels(&self) -> impl Iterator<Item = (Symbol, &[TermId])> {
+        self.label_keys.iter().enumerate().map(|(i, &l)| {
+            (
+                l,
+                &self.values[self.starts[i] as usize..self.starts[i + 1] as usize],
+            )
+        })
+    }
+
+    /// Adds a `(label, value)` pair. Returns `(new, first_for_label)`:
+    /// whether the pair was new, and whether it is the first pair stored
+    /// under `label` for this record.
+    fn add_pair(&mut self, label: Symbol, value: TermId) -> (bool, bool) {
+        if self.starts.is_empty() {
+            self.starts.push(0);
+        }
+        match self.label_keys.binary_search(&label) {
+            Ok(i) => {
+                let (lo, hi) = (self.starts[i] as usize, self.starts[i + 1] as usize);
+                if self.values[lo..hi].contains(&value) {
+                    return (false, false);
+                }
+                self.values.insert(hi, value);
+                for s in &mut self.starts[i + 1..] {
+                    *s += 1;
+                }
+                (true, false)
+            }
+            Err(j) => {
+                let off = self.starts[j];
+                self.label_keys.insert(j, label);
+                self.values.insert(off as usize, value);
+                self.starts.insert(j + 1, off + 1);
+                for s in &mut self.starts[j + 2..] {
+                    *s += 1;
+                }
+                (true, true)
+            }
+        }
     }
 }
 
@@ -129,20 +185,18 @@ impl ObjectStore {
     /// Asserts `id[label ⇒ value]`. Returns true if new.
     pub fn add_label(&mut self, id: TermId, label: Symbol, value: TermId) -> bool {
         let rec = self.entry(id);
-        let vs = rec.labels.entry(label).or_default();
-        if vs.contains(&value) {
+        let (new, first_for_label) = rec.add_pair(label, value);
+        if !new {
             return false;
         }
-        vs.push(value);
         self.pair_count += 1;
         self.last_growth = self.epoch;
         self.by_label_value
             .entry((label, value))
             .or_default()
             .push(id);
-        let idx = self.by_label.entry(label).or_default();
-        if idx.last() != Some(&id) && !idx.contains(&id) {
-            idx.push(id);
+        if first_for_label {
+            self.by_label.entry(label).or_default().push(id);
         }
         true
     }
@@ -197,8 +251,7 @@ impl ObjectStore {
                 let rec = &self.records[&id];
                 let tys: Vec<&str> = rec.types.iter().map(|t| t.as_str()).collect();
                 let mut labels: Vec<(String, Vec<String>)> = rec
-                    .labels
-                    .iter()
+                    .labels()
                     .map(|(l, vs)| {
                         let mut shown: Vec<String> = vs.iter().map(|&v| terms.display(v)).collect();
                         shown.sort();
@@ -303,6 +356,29 @@ mod tests {
         assert_eq!(os.with_label(sym("children")), &[john, sue]);
         assert!(os.with_label_value(sym("children"), john).is_empty());
         assert!(os.with_label(sym("spouse")).is_empty());
+    }
+
+    #[test]
+    fn interleaved_labels_keep_contiguous_runs() {
+        // CSR layout: values for a label stay a contiguous slice even when
+        // pairs for different labels arrive interleaved.
+        let (mut ts, mut os) = setup();
+        let p = ts.intern_const(Const::Sym(sym("p")));
+        let ids: Vec<TermId> = (0..6)
+            .map(|i| ts.intern_const(Const::Sym(sym(&format!("v{i}")))))
+            .collect();
+        for (i, &v) in ids.iter().enumerate() {
+            let label = if i % 2 == 0 { sym("even") } else { sym("odd") };
+            assert!(os.add_label(p, label, v));
+        }
+        let rec = os.record(p).unwrap();
+        assert_eq!(rec.values(sym("even")), &[ids[0], ids[2], ids[4]]);
+        assert_eq!(rec.values(sym("odd")), &[ids[1], ids[3], ids[5]]);
+        assert_eq!(rec.pair_count(), 6);
+        assert_eq!(rec.labels().count(), 2);
+        // by_label records the object once per label, not once per pair.
+        assert_eq!(os.with_label(sym("even")), &[p]);
+        assert_eq!(os.with_label(sym("odd")), &[p]);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use crate::budget::{Budget, BudgetMeter, Degradation, TripKind};
 use crate::builtins::{solve_pattern, BuiltinError};
-use crate::facts::{bound_positions, instantiate, match_term, trail_undo, Env, FactStore};
+use crate::facts::{
+    bound_positions, instantiate, match_term, trail_undo, Env, FactStore, IndexMode, IndexStats,
+};
 use crate::ground::{TermId, TermStore};
 #[cfg(test)]
 use crate::program::CompiledProgram;
@@ -58,6 +60,10 @@ pub struct FixpointOptions {
     /// a handful of relaxed atomic adds per evaluation. Counter deltas are
     /// flushed once at the end of each run — never from the join loops.
     pub obs: clogic_obs::Obs,
+    /// Whether joins probe lazy pattern indices ([`IndexMode::Indexed`],
+    /// the default) or scan whole row ranges ([`IndexMode::Scan`] — the
+    /// baseline for benchmarks and equivalence tests).
+    pub index_mode: IndexMode,
 }
 
 impl Default for FixpointOptions {
@@ -68,6 +74,7 @@ impl Default for FixpointOptions {
             max_iterations: None,
             budget: Budget::unlimited(),
             obs: clogic_obs::Obs::default(),
+            index_mode: IndexMode::default(),
         }
     }
 }
@@ -243,7 +250,12 @@ impl Evaluation {
             return;
         };
         let bound = bound_positions(&g.args, env, &self.store);
-        let rows = rel.candidate_rows(&bound, 0..rel.len() as u32);
+        let rows = rel.candidate_rows(
+            &bound,
+            0..rel.len() as u32,
+            &self.store,
+            self.facts.index_mode(),
+        );
         for row in rows {
             let mark = trail.len();
             let tuple = rel.tuple(row).to_vec();
@@ -485,12 +497,12 @@ fn holds_ground_builtin(g: &FoAtom) -> Result<bool, EvalError> {
 
 /// Greedy selectivity-based join order for conjunctive query goals:
 /// repeatedly pick the goal with the fewest still-unbound variables
-/// (ties broken towards the smaller relation), then treat its variables
-/// as bound. A goal with constant arguments thus runs before an open
-/// scan of a large relation, turning the scan into an indexed lookup —
-/// the difference between O(model) and O(answers) on point-ish queries
-/// against a saturated store. Answers are unaffected: the caller sorts
-/// and deduplicates them.
+/// (ties broken towards index availability, then the smaller relation),
+/// then treat its variables as bound. A goal with constant arguments
+/// thus runs before an open scan of a large relation, turning the scan
+/// into an indexed lookup — the difference between O(model) and
+/// O(answers) on point-ish queries against a saturated store. Answers
+/// are unaffected: the caller sorts and deduplicates them.
 fn order_query_goals(goals: &mut [RAtom], facts: &FactStore) {
     fn collect_vars(t: &RTerm, out: &mut Vec<crate::rterm::VarId>) {
         match t {
@@ -500,6 +512,22 @@ fn order_query_goals(goals: &mut [RAtom], facts: &FactStore) {
                 for a in args {
                     collect_vars(a, out);
                 }
+            }
+        }
+    }
+    fn term_bound(t: &RTerm, bound: &HashSet<crate::rterm::VarId>) -> bool {
+        let mut vs = Vec::new();
+        collect_vars(t, &mut vs);
+        vs.iter().all(|v| bound.contains(v))
+    }
+    // Mirrors the index families `candidate_rows` probes: a fully bound
+    // position (exact) or a compound with bound first argument (sub).
+    fn arg_indexable(t: &RTerm, bound: &HashSet<crate::rterm::VarId>) -> bool {
+        match t {
+            RTerm::Const(_) => true,
+            RTerm::Var(v) => bound.contains(v),
+            RTerm::App(_, args) => {
+                term_bound(t, bound) || args.first().is_some_and(|a| term_bound(a, bound))
             }
         }
     }
@@ -516,10 +544,11 @@ fn order_query_goals(goals: &mut [RAtom], facts: &FactStore) {
                 vars.sort_unstable();
                 vars.dedup();
                 let unbound = vars.iter().filter(|v| !bound.contains(v)).count();
+                let indexable = g.args.iter().any(|a| arg_indexable(a, &bound));
                 let size = facts
                     .relation(g.pred, g.args.len())
                     .map_or(0, |r| r.len());
-                (unbound, size)
+                (unbound, usize::from(!indexable), size)
             })
             .map(|(j, _)| i + j)
             .expect("non-empty tail");
@@ -572,6 +601,7 @@ struct Frontier {
 /// ```
 pub fn evaluate<P: ClauseView>(program: &P, opts: FixpointOptions) -> Result<Evaluation, EvalError> {
     let mut ev = Evaluation::default();
+    ev.facts.set_index_mode(opts.index_mode);
     let mut meter = BudgetMeter::new(&opts.budget);
     let derivable: Vec<(Symbol, usize)> = program.head_predicates();
     let mut span = opts.obs.tracer.span_with(
@@ -627,7 +657,13 @@ pub fn evaluate<P: ClauseView>(program: &P, opts: FixpointOptions) -> Result<Eva
     span.record("iterations", ev.stats.iterations);
     span.record("facts", ev.facts.total);
     span.record("complete", u64::from(ev.complete));
-    flush_metrics(&opts.obs, &FixpointStats::default(), &ev.stats);
+    flush_metrics(
+        &opts.obs,
+        &FixpointStats::default(),
+        &ev.stats,
+        &IndexStats::default(),
+        &ev.facts.index_stats(),
+    );
     Ok(ev)
 }
 
@@ -661,7 +697,9 @@ pub fn evaluate_delta<P: ClauseView>(
     }
     let mut ev = prev;
     ev.degradation = None;
+    ev.facts.set_index_mode(opts.index_mode);
     let stats_before = ev.stats.clone();
+    let idx_before = ev.facts.index_stats();
     let mut meter = BudgetMeter::new(&opts.budget);
     let derivable: Vec<(Symbol, usize)> = program.head_predicates();
     let offset = prev_rules.min(program.len());
@@ -741,7 +779,13 @@ pub fn evaluate_delta<P: ClauseView>(
     span.record("iterations", ev.stats.iterations - stats_before.iterations);
     span.record("facts", ev.stats.facts_derived - stats_before.facts_derived);
     span.record("complete", u64::from(ev.complete));
-    flush_metrics(&opts.obs, &stats_before, &ev.stats);
+    flush_metrics(
+        &opts.obs,
+        &stats_before,
+        &ev.stats,
+        &idx_before,
+        &ev.facts.index_stats(),
+    );
     Ok(ev)
 }
 
@@ -778,9 +822,23 @@ fn insert_fact_rules<'r>(
 /// loops) keeps the hot path free of atomics and makes resumed runs —
 /// whose [`FixpointStats`] accumulate across calls — report only their
 /// marginal work.
-fn flush_metrics(obs: &clogic_obs::Obs, before: &FixpointStats, after: &FixpointStats) {
+fn flush_metrics(
+    obs: &clogic_obs::Obs,
+    before: &FixpointStats,
+    after: &FixpointStats,
+    idx_before: &IndexStats,
+    idx_after: &IndexStats,
+) {
     let m = &obs.metrics;
     m.counter("folog.fixpoint.evaluations").inc();
+    m.counter("folog.index.builds")
+        .add(idx_after.builds - idx_before.builds);
+    m.counter("folog.index.extends")
+        .add(idx_after.extends - idx_before.extends);
+    m.counter("folog.index.hits")
+        .add(idx_after.hits - idx_before.hits);
+    m.counter("folog.index.misses")
+        .add(idx_after.misses - idx_before.misses);
     m.counter("folog.fixpoint.iterations")
         .add((after.iterations - before.iterations) as u64);
     m.counter("folog.fixpoint.rule_activations")
@@ -1112,7 +1170,7 @@ fn eval_rule<P: ClauseView>(
 ) -> Result<(), EvalError> {
     let mut env: Env = vec![None; rule.n_vars as usize];
     let mut trail: Vec<crate::rterm::VarId> = Vec::new();
-    let order = plan_order(rule, delta_pos, program);
+    let order = plan_order(rule, delta_pos, program, facts);
     eval_body(
         rule, &order, 0, delta_pos, frontiers, facts, store, stats, program, &mut env, &mut trail,
         out, meter,
@@ -1125,11 +1183,17 @@ fn eval_rule<P: ClauseView>(
 /// possible (cheap filter), otherwise the relational atom with the best
 /// *index availability* is chosen — some argument position fully bound
 /// (exact index) or a compound argument with bound first sub-argument
-/// (sub index) — breaking ties by fewest unbound variables, then source
-/// order. This turns translated bodies like `node(X), object(Z),
-/// linkto(X, Z), …` into `node(X), linkto(X, Z), object(Z), …`: filters
-/// before generators.
-fn plan_order<P: ClauseView>(rule: &Rule, delta_pos: Option<usize>, program: &P) -> Vec<usize> {
+/// (sub index) — breaking ties by fewest unbound variables, then the
+/// smaller relation, then source order. This turns translated bodies
+/// like `node(X), object(Z), linkto(X, Z), …` into `node(X),
+/// linkto(X, Z), object(Z), …`: filters before generators, and among
+/// equally-bound generators the cheaper scan goes first.
+fn plan_order<P: ClauseView>(
+    rule: &Rule,
+    delta_pos: Option<usize>,
+    program: &P,
+    facts: &FactStore,
+) -> Vec<usize> {
     use crate::rterm::{RTerm, VarId};
     use std::collections::HashSet;
     let n = rule.body.len();
@@ -1190,9 +1254,13 @@ fn plan_order<P: ClauseView>(rule: &Rule, delta_pos: Option<usize>, program: &P)
             .enumerate()
             .filter(|(_, &j)| !program.is_builtin(rule.body[j].pred))
             .min_by_key(|(_, &j)| {
-                let indexable = rule.body[j].args.iter().any(|a| arg_indexable(a, &bound));
+                let atom = &rule.body[j];
+                let indexable = atom.args.iter().any(|a| arg_indexable(a, &bound));
                 let unbound = atom_vars(j).iter().filter(|v| !bound.contains(v)).count();
-                (usize::from(!indexable), unbound, j)
+                let size = facts
+                    .relation(atom.pred, atom.args.len())
+                    .map_or(0, |r| r.len());
+                (usize::from(!indexable), unbound, size, j)
             })
             .map(|(pos, _)| pos);
         let pos = best.unwrap_or(0); // only unready built-ins left: source order
@@ -1299,7 +1367,7 @@ fn eval_body<P: ClauseView>(
         return Ok(());
     }
     let bound = bound_positions(&atom.args, env, store);
-    let rows = rel.candidate_rows(&bound, range);
+    let rows = rel.candidate_rows(&bound, range, store, facts.index_mode());
     for row in rows {
         if !meter.tick() {
             return Ok(());

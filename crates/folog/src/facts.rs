@@ -1,16 +1,41 @@
-//! The extensional store of derived ground facts, with per-position
-//! indexing, and matching of rule patterns against stored tuples.
+//! The extensional store of derived ground facts — interned columnar
+//! tuple storage plus lazy argument-pattern indices — and matching of
+//! rule patterns against stored tuples.
 //!
 //! Bottom-up evaluation is join processing: a rule body is evaluated
-//! left-to-right, each atom matched against the relation of its predicate
-//! under the bindings accumulated so far. Relations keep insertion order
-//! (so semi-naive deltas are contiguous ranges) plus hash indexes per
-//! argument position.
+//! left-to-right, each atom matched against the relation of its
+//! predicate under the bindings accumulated so far. Relations keep
+//! insertion order (so semi-naive deltas are contiguous ranges) in a
+//! flat row-major arena of interned [`TermId`]s, and build hash indices
+//! *lazily*, keyed on the bound-position projection a body literal
+//! actually asks for:
+//!
+//! - an **exact** index per bitmask of bound positions, mapping the
+//!   projected value vector to its (sorted) row list;
+//! - a **sub** index per `(position, functor)` pair, mapping a
+//!   compound's first argument to rows — the shape of skolem identities
+//!   like `id(Z, Y)` with `Z` bound, ubiquitous in translated C-logic.
+//!
+//! Laziness means an evaluation pays only for the access patterns its
+//! rules exercise, and the cost is paid once: each pattern index
+//! carries a `covered` row watermark, and because relations are
+//! append-only the index is *extended* in place — never rebuilt — when
+//! later delta iterations (or a new epoch's facts) append rows. The
+//! same property makes a published snapshot's indices shareable:
+//! indices live behind [`RwLock`]s inside the relation, so concurrent
+//! readers of an `Arc`-shared store reuse whatever the first probe
+//! built, and cloning a store (the copy-on-write path) carries the
+//! built indices along.
 
 use crate::ground::{GroundTerm, TermId, TermStore};
 use crate::rterm::{RTerm, VarId};
 use clogic_core::symbol::Symbol;
-use std::collections::{HashMap, HashSet};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock};
 
 /// An index key derived from a partially bound pattern position.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -23,27 +48,147 @@ pub enum IndexKey {
     Sub(u32, Symbol, TermId),
 }
 
-/// A relation: the tuple set of one predicate.
+/// Whether stores answer `candidate_rows` from pattern indices or by
+/// scanning. `Scan` exists for baseline benchmarking and for the
+/// indexed-≡-scan equivalence tests; it is never faster.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Build and probe lazy pattern indices (the default).
+    #[default]
+    Indexed,
+    /// Ignore indices; every probe enumerates its whole row range.
+    Scan,
+}
+
+/// A point-in-time reading of the index counters, for metrics deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Pattern indices constructed for the first time.
+    pub builds: u64,
+    /// Existing pattern indices caught up with rows appended since
+    /// their last probe (the delta-iteration reuse path).
+    pub extends: u64,
+    /// Probes answered from an index.
+    pub hits: u64,
+    /// Probes with no derivable key that fell back to a range scan.
+    pub misses: u64,
+}
+
+/// Shared index counters: atomics so concurrent snapshot readers can
+/// account probes through `&self`.
+#[derive(Debug, Default)]
+struct IndexCounters {
+    builds: AtomicU64,
+    extends: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl IndexCounters {
+    fn snapshot(&self) -> IndexStats {
+        IndexStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            extends: self.extends.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for IndexCounters {
+    fn clone(&self) -> IndexCounters {
+        let s = self.snapshot();
+        IndexCounters {
+            builds: AtomicU64::new(s.builds),
+            extends: AtomicU64::new(s.extends),
+            hits: AtomicU64::new(s.hits),
+            misses: AtomicU64::new(s.misses),
+        }
+    }
+}
+
+/// One lazily built exact index: rows grouped by their projection onto
+/// a fixed set of bound positions. `covered` is the exclusive row
+/// watermark the map reflects; rows at or past it are folded in on the
+/// next probe.
 #[derive(Clone, Debug, Default)]
+struct PatternIndex {
+    covered: u32,
+    map: HashMap<Vec<TermId>, Vec<u32>>,
+}
+
+/// One lazily built sub-term index for a `(position, functor)` pair:
+/// rows whose value at the position is `functor(first, …)`, grouped by
+/// `first`.
+#[derive(Clone, Debug, Default)]
+struct SubPatternIndex {
+    covered: u32,
+    map: HashMap<TermId, Vec<u32>>,
+}
+
+fn hash_tuple(tuple: &[TermId]) -> u64 {
+    let mut h = DefaultHasher::new();
+    tuple.hash(&mut h);
+    h.finish()
+}
+
+/// Restricts a sorted row list to `range` (binary search on both ends).
+fn slice_rows(rows: &[u32], range: &Range<u32>) -> Vec<u32> {
+    let lo = rows.partition_point(|&r| r < range.start);
+    let hi = rows.partition_point(|&r| r < range.end);
+    rows[lo..hi].to_vec()
+}
+
+/// A relation: the tuple set of one predicate, stored columnar-style as
+/// one flat row-major arena of interned term handles.
+#[derive(Debug, Default)]
 pub struct Relation {
-    /// Tuples in insertion order.
-    tuples: Vec<Vec<TermId>>,
-    /// Dedup set.
-    seen: HashSet<Vec<TermId>>,
-    /// `(position, value) → rows`.
-    index: HashMap<(u32, TermId), Vec<u32>>,
-    /// `(position, functor, first argument) → rows`, for compound values.
-    sub_index: HashMap<(u32, Symbol, TermId), Vec<u32>>,
+    /// Tuple width; fixed by the first insert (relations are keyed by
+    /// `(predicate, arity)` in the store, so it never varies).
+    arity: usize,
+    /// Number of tuples. Kept explicitly so zero-arity relations (the
+    /// magic-set seed `m__q__()` is one) still count rows.
+    len: u32,
+    /// Row-major tuple arena: row `r` is `flat[r·arity .. (r+1)·arity]`.
+    flat: Vec<TermId>,
+    /// Dedup buckets: tuple hash → rows with that hash.
+    dedup: HashMap<u64, Vec<u32>>,
+    /// Lazy exact indices, keyed by the bitmask of projected positions.
+    exact: RwLock<HashMap<u64, PatternIndex>>,
+    /// Lazy sub-term indices, keyed by `(position, functor)`.
+    sub: RwLock<HashMap<(u32, Symbol), SubPatternIndex>>,
+    /// Probe accounting, surfaced as `folog.index.*` metrics.
+    counters: IndexCounters,
     /// Epoch (set by the owning [`FactStore`]) at which this relation
-    /// last grew. Inserts extend the tuple vector and hash indexes in
-    /// place — a delta load never rebuilds an index.
+    /// last grew. Inserts extend the arena in place and leave index
+    /// watermarks behind — a delta load never rebuilds an index.
     stamp: u64,
+}
+
+impl Clone for Relation {
+    /// Cloning (the snapshot copy-on-write path) carries built indices
+    /// along, so a new writer — and every reader of the published
+    /// artifact — starts warm instead of rebuilding per reader.
+    fn clone(&self) -> Relation {
+        let exact = self.exact.read().unwrap_or_else(PoisonError::into_inner);
+        let sub = self.sub.read().unwrap_or_else(PoisonError::into_inner);
+        Relation {
+            arity: self.arity,
+            len: self.len,
+            flat: self.flat.clone(),
+            dedup: self.dedup.clone(),
+            exact: RwLock::new(exact.clone()),
+            sub: RwLock::new(sub.clone()),
+            counters: self.counters.clone(),
+            stamp: self.stamp,
+        }
+    }
 }
 
 impl Relation {
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len as usize
     }
 
     /// The epoch at which this relation last grew (0 until touched
@@ -54,76 +199,191 @@ impl Relation {
 
     /// True iff empty.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
     }
 
-    /// Inserts a tuple; returns true when it was new. The store is
-    /// consulted to maintain the compound sub-index.
-    pub fn insert(&mut self, tuple: Vec<TermId>, store: &TermStore) -> bool {
-        if self.seen.contains(&tuple) {
+    /// Inserts a tuple; returns true when it was new. Insertion is
+    /// index-free: pattern indices are built on first probe and caught
+    /// up lazily, so bulk loads pay only the arena append and a hash
+    /// bucket check. The store parameter is kept for call-site
+    /// stability; dedup no longer consults it.
+    pub fn insert(&mut self, tuple: Vec<TermId>, _store: &TermStore) -> bool {
+        if self.len == 0 {
+            self.arity = tuple.len();
+        }
+        debug_assert_eq!(tuple.len(), self.arity, "arity fixed per relation");
+        let row = self.len;
+        let (arity, flat) = (self.arity, &self.flat);
+        let bucket = self.dedup.entry(hash_tuple(&tuple)).or_default();
+        if bucket.iter().any(|&r| {
+            let start = r as usize * arity;
+            flat[start..start + arity] == tuple[..]
+        }) {
             return false;
         }
-        let row = self.tuples.len() as u32;
-        for (pos, &v) in tuple.iter().enumerate() {
-            self.index.entry((pos as u32, v)).or_default().push(row);
-            if let GroundTerm::App(f, args) = store.get(v) {
-                if let Some(&first) = args.first() {
-                    self.sub_index
-                        .entry((pos as u32, *f, first))
-                        .or_default()
-                        .push(row);
-                }
-            }
-        }
-        self.seen.insert(tuple.clone());
-        self.tuples.push(tuple);
+        bucket.push(row);
+        self.flat.extend_from_slice(&tuple);
+        self.len += 1;
         true
     }
 
     /// Membership test.
     pub fn contains(&self, tuple: &[TermId]) -> bool {
-        self.seen.contains(tuple)
+        if self.len > 0 && tuple.len() != self.arity {
+            return false;
+        }
+        self.dedup.get(&hash_tuple(tuple)).is_some_and(|bucket| {
+            bucket.iter().any(|&r| {
+                let start = r as usize * self.arity;
+                self.flat[start..start + self.arity] == *tuple
+            })
+        })
     }
 
     /// The tuple at `row`.
     pub fn tuple(&self, row: u32) -> &[TermId] {
-        &self.tuples[row as usize]
+        let start = row as usize * self.arity;
+        &self.flat[start..start + self.arity]
     }
 
-    /// All tuples.
+    /// All tuples, in insertion order.
     pub fn tuples(&self) -> impl Iterator<Item = &[TermId]> {
-        self.tuples.iter().map(Vec::as_slice)
+        (0..self.len).map(|r| self.tuple(r))
     }
 
-    /// Rows whose `pos`-th component equals `v`.
-    pub fn rows_with(&self, pos: u32, v: TermId) -> &[u32] {
-        self.index.get(&(pos, v)).map(Vec::as_slice).unwrap_or(&[])
+    /// A point-in-time reading of this relation's index counters.
+    pub fn index_stats(&self) -> IndexStats {
+        self.counters.snapshot()
     }
 
-    /// Rows matching an index key.
-    pub fn rows_for(&self, key: IndexKey) -> &[u32] {
-        match key {
-            IndexKey::Exact(pos, v) => self.rows_with(pos, v),
-            IndexKey::Sub(pos, f, first) => self
-                .sub_index
-                .get(&(pos, f, first))
-                .map(Vec::as_slice)
-                .unwrap_or(&[]),
+    /// Rows whose `pos`-th component equals `v` (index-probing; builds
+    /// the single-position index on first use).
+    pub fn rows_with(&self, pos: u32, v: TermId, store: &TermStore) -> Vec<u32> {
+        self.candidate_rows(&[IndexKey::Exact(pos, v)], 0..self.len, store, IndexMode::Indexed)
+    }
+
+    /// Rows matching an index key (index-probing).
+    pub fn rows_for(&self, key: IndexKey, store: &TermStore) -> Vec<u32> {
+        self.candidate_rows(&[key], 0..self.len, store, IndexMode::Indexed)
+    }
+
+    /// Candidate rows within `range` for a partially bound pattern.
+    ///
+    /// All `Exact` keys are combined into one multi-position projection
+    /// probe (maximal selectivity among the hash indices); with no
+    /// exact key the first `Sub` key is probed; with no keys at all —
+    /// or in [`IndexMode::Scan`] — the whole range is enumerated.
+    /// Candidates are a superset filter: callers still unify the
+    /// pattern against each returned row, so sub-key probes (which
+    /// pin only functor and first argument) stay sound.
+    pub fn candidate_rows(
+        &self,
+        keys: &[IndexKey],
+        range: Range<u32>,
+        store: &TermStore,
+        mode: IndexMode,
+    ) -> Vec<u32> {
+        if mode == IndexMode::Scan {
+            return range.collect();
         }
-    }
-
-    /// Candidate rows within `range` for a partially bound pattern:
-    /// picks the most selective index among the derived keys, falling
-    /// back to a scan of the range.
-    pub fn candidate_rows(&self, keys: &[IndexKey], range: std::ops::Range<u32>) -> Vec<u32> {
-        let best = keys
+        // Positions past 63 don't fit the bitmask; such arities don't
+        // occur in practice, and dropping the key is merely less
+        // selective, never wrong.
+        let mut exact: Vec<(u32, TermId)> = keys
             .iter()
-            .map(|&k| self.rows_for(k))
-            .min_by_key(|rows| rows.len());
-        match best {
-            Some(rows) => rows.iter().copied().filter(|r| range.contains(r)).collect(),
-            None => range.collect(),
+            .filter_map(|k| match *k {
+                IndexKey::Exact(pos, v) if pos < 64 => Some((pos, v)),
+                _ => None,
+            })
+            .collect();
+        if !exact.is_empty() {
+            exact.sort_unstable_by_key(|&(pos, _)| pos);
+            let mask = exact.iter().fold(0u64, |m, &(pos, _)| m | (1 << pos));
+            let positions: Vec<u32> = exact.iter().map(|&(pos, _)| pos).collect();
+            let proj: Vec<TermId> = exact.iter().map(|&(_, v)| v).collect();
+            let rows = self.probe_exact(mask, &positions, &proj);
+            return slice_rows(&rows, &range);
         }
+        if let Some(&IndexKey::Sub(pos, f, first)) = keys
+            .iter()
+            .find(|k| matches!(k, IndexKey::Sub(..)))
+        {
+            let rows = self.probe_sub(pos, f, first, store);
+            return slice_rows(&rows, &range);
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        range.collect()
+    }
+
+    /// Probes (building or extending as needed) the exact index for
+    /// `mask`, returning the sorted rows whose projection onto
+    /// `positions` equals `proj`.
+    fn probe_exact(&self, mask: u64, positions: &[u32], proj: &[TermId]) -> Vec<u32> {
+        {
+            let guard = self.exact.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(idx) = guard.get(&mask) {
+                if idx.covered == self.len {
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return idx.map.get(proj).cloned().unwrap_or_default();
+                }
+            }
+        }
+        let mut guard = self.exact.write().unwrap_or_else(PoisonError::into_inner);
+        let idx = guard.entry(mask).or_insert_with(|| {
+            self.counters.builds.fetch_add(1, Ordering::Relaxed);
+            PatternIndex::default()
+        });
+        if idx.covered < self.len {
+            if idx.covered > 0 {
+                self.counters.extends.fetch_add(1, Ordering::Relaxed);
+            }
+            for row in idx.covered..self.len {
+                let t = self.tuple(row);
+                let key: Vec<TermId> = positions.iter().map(|&p| t[p as usize]).collect();
+                idx.map.entry(key).or_default().push(row);
+            }
+            idx.covered = self.len;
+        }
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        idx.map.get(proj).cloned().unwrap_or_default()
+    }
+
+    /// Probes (building or extending as needed) the sub-term index for
+    /// `(pos, f)`, returning the sorted rows whose value there is
+    /// `f(first, …)`.
+    fn probe_sub(&self, pos: u32, f: Symbol, first: TermId, store: &TermStore) -> Vec<u32> {
+        {
+            let guard = self.sub.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(idx) = guard.get(&(pos, f)) {
+                if idx.covered == self.len {
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return idx.map.get(&first).cloned().unwrap_or_default();
+                }
+            }
+        }
+        let mut guard = self.sub.write().unwrap_or_else(PoisonError::into_inner);
+        let idx = guard.entry((pos, f)).or_insert_with(|| {
+            self.counters.builds.fetch_add(1, Ordering::Relaxed);
+            SubPatternIndex::default()
+        });
+        if idx.covered < self.len {
+            if idx.covered > 0 {
+                self.counters.extends.fetch_add(1, Ordering::Relaxed);
+            }
+            for row in idx.covered..self.len {
+                let v = self.tuple(row)[pos as usize];
+                if let GroundTerm::App(g, args) = store.get(v) {
+                    if *g == f {
+                        if let Some(&head) = args.first() {
+                            idx.map.entry(head).or_default().push(row);
+                        }
+                    }
+                }
+            }
+            idx.covered = self.len;
+        }
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        idx.map.get(&first).cloned().unwrap_or_default()
     }
 }
 
@@ -135,6 +395,8 @@ pub struct FactStore {
     pub total: usize,
     /// Current epoch; every insert stamps its relation with this value.
     epoch: u64,
+    /// How `candidate_rows` answers: indexed (default) or scanning.
+    index_mode: IndexMode,
 }
 
 impl FactStore {
@@ -149,10 +411,34 @@ impl FactStore {
     }
 
     /// Advances the store to `epoch`. Relations grown from now on carry
-    /// this stamp; existing tuples and indexes are untouched, so a
-    /// resumed fixpoint extends them in place instead of rebuilding.
+    /// this stamp; existing tuples and index watermarks are untouched,
+    /// so a resumed fixpoint extends them in place instead of
+    /// rebuilding.
     pub fn set_epoch(&mut self, epoch: u64) {
         self.epoch = epoch;
+    }
+
+    /// The active [`IndexMode`].
+    pub fn index_mode(&self) -> IndexMode {
+        self.index_mode
+    }
+
+    /// Switches between indexed probing and the scan baseline.
+    pub fn set_index_mode(&mut self, mode: IndexMode) {
+        self.index_mode = mode;
+    }
+
+    /// Index counters summed over every relation.
+    pub fn index_stats(&self) -> IndexStats {
+        let mut out = IndexStats::default();
+        for rel in self.relations.values() {
+            let s = rel.index_stats();
+            out.builds += s.builds;
+            out.extends += s.extends;
+            out.hits += s.hits;
+            out.misses += s.misses;
+        }
+        out
     }
 
     /// A snapshot of every relation's current length, used to seed a
@@ -342,25 +628,90 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert!(r.contains(&[a, b]));
         assert!(!r.contains(&[b, a]));
-        assert_eq!(r.rows_with(0, a), &[0, 1]);
-        assert_eq!(r.rows_with(1, c), &[1]);
-        assert_eq!(r.rows_with(1, a), &[] as &[u32]);
+        assert_eq!(r.rows_with(0, a, &st), vec![0, 1]);
+        assert_eq!(r.rows_with(1, c, &st), vec![1]);
+        assert_eq!(r.rows_with(1, a, &st), Vec::<u32>::new());
     }
 
     #[test]
-    fn candidate_rows_pick_selective_index() {
+    fn zero_arity_relation_counts_rows() {
+        let (st, _, _, _) = setup();
+        let mut r = Relation::default();
+        assert!(r.insert(vec![], &st));
+        assert!(!r.insert(vec![], &st));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[]));
+        assert_eq!(r.tuples().count(), 1);
+        assert_eq!(r.candidate_rows(&[], 0..1, &st, IndexMode::Indexed), vec![0]);
+    }
+
+    #[test]
+    fn candidate_rows_combine_exact_keys() {
         let (st, a, b, c) = setup();
         let mut r = Relation::default();
         r.insert(vec![a, b], &st);
         r.insert(vec![a, c], &st);
         r.insert(vec![b, c], &st);
-        // bound: pos0=a (2 rows), pos1=c (2 rows) → either, filtered by range
-        let rows = r.candidate_rows(&[IndexKey::Exact(0, a), IndexKey::Exact(1, c)], 0..3);
-        assert!(rows == vec![0, 1] || rows == vec![1, 2]);
+        // both bound: the multi-position projection pins the exact row
+        let both = r.candidate_rows(
+            &[IndexKey::Exact(0, a), IndexKey::Exact(1, c)],
+            0..3,
+            &st,
+            IndexMode::Indexed,
+        );
+        assert_eq!(both, vec![1]);
         // no bound positions: whole range
-        assert_eq!(r.candidate_rows(&[], 1..3), vec![1, 2]);
+        assert_eq!(r.candidate_rows(&[], 1..3, &st, IndexMode::Indexed), vec![1, 2]);
         // range filters delta scans
-        assert_eq!(r.candidate_rows(&[IndexKey::Exact(0, a)], 1..3), vec![1]);
+        assert_eq!(
+            r.candidate_rows(&[IndexKey::Exact(0, a)], 1..3, &st, IndexMode::Indexed),
+            vec![1]
+        );
+        // scan mode ignores keys entirely
+        assert_eq!(
+            r.candidate_rows(&[IndexKey::Exact(0, a)], 0..3, &st, IndexMode::Scan),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn lazy_index_builds_once_then_extends() {
+        let (st, a, b, c) = setup();
+        let mut r = Relation::default();
+        r.insert(vec![a, b], &st);
+        r.insert(vec![a, c], &st);
+        assert_eq!(r.index_stats(), IndexStats::default());
+        // first probe builds
+        assert_eq!(r.rows_with(0, a, &st), vec![0, 1]);
+        let s1 = r.index_stats();
+        assert_eq!((s1.builds, s1.extends, s1.hits), (1, 0, 1));
+        // second probe with the same shape is a pure hit
+        assert_eq!(r.rows_with(0, b, &st), Vec::<u32>::new());
+        assert_eq!(r.index_stats().builds, 1);
+        assert_eq!(r.index_stats().hits, 2);
+        // appending rows leaves the index behind; the next probe
+        // extends it in place rather than rebuilding
+        r.insert(vec![b, c], &st);
+        assert_eq!(r.rows_with(0, b, &st), vec![2]);
+        let s2 = r.index_stats();
+        assert_eq!((s2.builds, s2.extends), (1, 1));
+        // keyless probes count as misses
+        r.candidate_rows(&[], 0..3, &st, IndexMode::Indexed);
+        assert_eq!(r.index_stats().misses, 1);
+    }
+
+    #[test]
+    fn clone_preserves_built_indices() {
+        let (st, a, b, c) = setup();
+        let mut r = Relation::default();
+        r.insert(vec![a, b], &st);
+        r.insert(vec![a, c], &st);
+        r.rows_with(0, a, &st);
+        let clone = r.clone();
+        assert_eq!(clone.rows_with(0, a, &st), vec![0, 1]);
+        // the clone served from the carried-over index: no new build
+        assert_eq!(clone.index_stats().builds, 1);
+        assert_eq!(clone.index_stats().hits, 2);
     }
 
     #[test]
@@ -373,9 +724,9 @@ mod tests {
         let mut r = Relation::default();
         r.insert(vec![id_ab], &st);
         r.insert(vec![id_ba], &st);
-        assert_eq!(r.rows_for(IndexKey::Sub(0, sym("id"), a)), &[0]);
-        assert_eq!(r.rows_for(IndexKey::Sub(0, sym("id"), b)), &[1]);
-        assert!(r.rows_for(IndexKey::Sub(0, sym("mk"), a)).is_empty());
+        assert_eq!(r.rows_for(IndexKey::Sub(0, sym("id"), a), &st), vec![0]);
+        assert_eq!(r.rows_for(IndexKey::Sub(0, sym("id"), b), &st), vec![1]);
+        assert!(r.rows_for(IndexKey::Sub(0, sym("mk"), a), &st).is_empty());
         // bound_positions derives the sub key from a partial pattern
         let env: Env = vec![Some(a)];
         let pat = vec![RTerm::App(sym("id"), vec![RTerm::Var(0), RTerm::Var(1)])];
@@ -394,6 +745,21 @@ mod tests {
         assert!(fs.contains(sym("edge"), &[a, b]));
         assert_eq!(fs.predicates(), vec![(sym("edge"), 2), (sym("node"), 1)]);
         assert_eq!(fs.display(&st), vec!["edge(a, b)", "node(a)"]);
+    }
+
+    #[test]
+    fn fact_store_aggregates_index_stats() {
+        let (st, a, b, _) = setup();
+        let mut fs = FactStore::new();
+        fs.insert(sym("edge"), vec![a, b], &st);
+        fs.insert(sym("node"), vec![a], &st);
+        assert_eq!(fs.index_mode(), IndexMode::Indexed);
+        let e = fs.relation(sym("edge"), 2).unwrap();
+        e.candidate_rows(&[IndexKey::Exact(0, a)], 0..1, &st, fs.index_mode());
+        let n = fs.relation(sym("node"), 1).unwrap();
+        n.candidate_rows(&[IndexKey::Exact(0, a)], 0..1, &st, fs.index_mode());
+        let s = fs.index_stats();
+        assert_eq!((s.builds, s.hits), (2, 2));
     }
 
     #[test]

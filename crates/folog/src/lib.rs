@@ -9,7 +9,10 @@
 //! * hash-consed ground terms ([`ground`]) and dense-variable runtime
 //!   terms ([`rterm`]);
 //! * unification with a trailed binding store ([`mod@unify`]);
-//! * compiled programs with first-argument clause indexing ([`program`]);
+//! * interned columnar fact storage with lazy argument-pattern indices
+//!   ([`facts`]);
+//! * compiled programs with per-position argument clause indexing
+//!   ([`program`]);
 //! * naive and semi-naive bottom-up fixpoints ([`bottom_up`]);
 //! * depth-first SLD resolution with resource limits ([`sld`]);
 //! * tabled evaluation that terminates on recursive programs over cyclic
@@ -34,6 +37,7 @@ pub mod unify;
 
 pub use bottom_up::{evaluate, evaluate_delta, Evaluation, FixpointOptions, FixpointStats, Strategy};
 pub use budget::{Budget, BudgetMeter, CancelToken, Degradation, TripKind};
+pub use facts::{FactStore, IndexKey, IndexMode, IndexStats};
 pub use ground::{GroundAtom, GroundTerm, TermId, TermStore};
 pub use program::{ClauseOverlay, ClauseView, CompiledProgram, Rule};
 pub use rterm::{RAtom, RTerm};

@@ -3,10 +3,12 @@
 //!
 //! Compilation renames each clause's variables to `0..n_vars` so that an
 //! activation at runtime is a constant-offset shift ("standardize apart"
-//! without hashing). The clause index maps a predicate (and, when the
-//! goal's first argument is bound, its principal functor) to the matching
-//! clauses — standard first-argument indexing.
+//! without hashing). The clause index generalizes first-argument
+//! indexing to *every* head argument position: a goal with any bound
+//! argument selects clauses through the most selective position, and
+//! clauses whose head holds a variable there are always candidates.
 
+use crate::facts::IndexMode;
 use crate::rterm::{ratom_of_fo, RAtom, RTerm, VarAlloc, VarId};
 use clogic_core::fol::{FoClause, FoProgram};
 use clogic_core::symbol::Symbol;
@@ -87,13 +89,16 @@ pub struct CompiledProgram {
     /// Predicate symbols treated as evaluable built-ins.
     pub builtins: std::collections::BTreeSet<Symbol>,
     by_pred: HashMap<(Symbol, usize), Vec<usize>>,
-    /// For clauses whose head's first argument is not a variable:
-    /// (pred, arity, key) → clause indices. Clauses with a variable first
-    /// argument appear in `by_pred` only and must always be tried.
-    by_first_arg: HashMap<(Symbol, usize, ArgKey), Vec<usize>>,
-    /// Clauses per predicate whose head's first argument *is* a variable
-    /// (always candidates).
-    var_headed: HashMap<(Symbol, usize), Vec<usize>>,
+    /// For each head argument position holding a non-variable:
+    /// (pred, arity, position, key) → clause indices.
+    by_arg: HashMap<(Symbol, usize, u32, ArgKey), Vec<usize>>,
+    /// Clauses whose head holds a variable at a position (always
+    /// candidates when selecting through that position).
+    var_at: HashMap<(Symbol, usize, u32), Vec<usize>>,
+    /// Whether `candidates`/`candidates_bound` consult the argument
+    /// index or return every clause of the predicate (the scan
+    /// baseline, kept in lockstep with [`crate::facts::FactStore`]'s).
+    index_mode: IndexMode,
 }
 
 impl CompiledProgram {
@@ -134,21 +139,23 @@ impl CompiledProgram {
         self.push_rule(rule);
     }
 
-    /// Adds a compiled rule, indexing it.
+    /// Adds a compiled rule, indexing every head argument position.
     pub fn push_rule(&mut self, rule: Rule) {
         let idx = self.rules.len();
         let key = (rule.head.pred, rule.head.args.len());
         self.by_pred.entry(key).or_default().push(idx);
-        match rule.head.args.first().and_then(arg_key) {
-            Some(k) => {
-                self.by_first_arg
-                    .entry((key.0, key.1, k))
+        for (pos, a) in rule.head.args.iter().enumerate() {
+            match arg_key(a) {
+                Some(k) => self
+                    .by_arg
+                    .entry((key.0, key.1, pos as u32, k))
                     .or_default()
-                    .push(idx);
-            }
-            None => {
-                // Variable first argument, or zero arity.
-                self.var_headed.entry(key).or_default().push(idx);
+                    .push(idx),
+                None => self
+                    .var_at
+                    .entry((key.0, key.1, pos as u32))
+                    .or_default()
+                    .push(idx),
             }
         }
         self.rules.push(rule);
@@ -175,11 +182,24 @@ impl CompiledProgram {
             let idx = self.rules.len();
             let key = (rule.head.pred, rule.head.args.len());
             prune(&mut self.by_pred, key, idx);
-            match rule.head.args.first().and_then(arg_key) {
-                Some(k) => prune(&mut self.by_first_arg, (key.0, key.1, k), idx),
-                None => prune(&mut self.var_headed, key, idx),
+            for (pos, a) in rule.head.args.iter().enumerate() {
+                match arg_key(a) {
+                    Some(k) => prune(&mut self.by_arg, (key.0, key.1, pos as u32, k), idx),
+                    None => prune(&mut self.var_at, (key.0, key.1, pos as u32), idx),
+                }
             }
         }
+    }
+
+    /// The active [`IndexMode`].
+    pub fn index_mode(&self) -> IndexMode {
+        self.index_mode
+    }
+
+    /// Switches clause selection between argument indexing and the scan
+    /// baseline (every clause of the predicate is a candidate).
+    pub fn set_index_mode(&mut self, mode: IndexMode) {
+        self.index_mode = mode;
     }
 
     /// Whether `pred` is an evaluable built-in.
@@ -188,26 +208,58 @@ impl CompiledProgram {
     }
 
     /// Candidate clauses for a goal, using first-argument indexing when
-    /// the goal's first argument is bound to a non-variable under no
-    /// particular bindings (callers should pass the *walked* first
-    /// argument). Returned in source order.
+    /// the goal's first argument is bound to a non-variable (callers
+    /// should pass the *walked* first argument). Returned in source
+    /// order. This is the single-position special case of
+    /// [`CompiledProgram::candidates_bound`].
     pub fn candidates(&self, pred: Symbol, arity: usize, first_arg: Option<&RTerm>) -> Vec<usize> {
-        let key = (pred, arity);
         match first_arg.and_then(arg_key) {
-            None => self.by_pred.get(&key).cloned().unwrap_or_default(),
-            Some(k) => {
-                let mut out: Vec<usize> = self
-                    .by_first_arg
-                    .get(&(pred, arity, k))
-                    .cloned()
-                    .unwrap_or_default();
-                if let Some(vs) = self.var_headed.get(&key) {
-                    out.extend(vs.iter().copied());
-                    out.sort_unstable();
-                }
-                out
+            None => self.rules_for(pred, arity),
+            Some(k) => self.candidates_bound(pred, arity, &[(0, k)]),
+        }
+    }
+
+    /// Candidate clauses for a goal with any set of bound argument
+    /// positions: selects through the position whose candidate list —
+    /// key-matched clauses plus variable-headed clauses — is smallest,
+    /// and merges the two (sorted, disjoint) lists back into source
+    /// order. With no keys, or in [`IndexMode::Scan`], every clause of
+    /// the predicate is a candidate.
+    pub fn candidates_bound(
+        &self,
+        pred: Symbol,
+        arity: usize,
+        keys: &[(u32, ArgKey)],
+    ) -> Vec<usize> {
+        if self.index_mode == IndexMode::Scan || keys.is_empty() {
+            return self.rules_for(pred, arity);
+        }
+        static EMPTY: Vec<usize> = Vec::new();
+        let lists = |&(pos, k): &(u32, ArgKey)| {
+            let keyed = self.by_arg.get(&(pred, arity, pos, k)).unwrap_or(&EMPTY);
+            let open = self.var_at.get(&(pred, arity, pos)).unwrap_or(&EMPTY);
+            (keyed, open)
+        };
+        let (keyed, open) = keys
+            .iter()
+            .map(lists)
+            .min_by_key(|(keyed, open)| keyed.len() + open.len())
+            .expect("non-empty keys");
+        // Merge two ascending, disjoint index lists.
+        let mut out = Vec::with_capacity(keyed.len() + open.len());
+        let (mut i, mut j) = (0, 0);
+        while i < keyed.len() || j < open.len() {
+            let next_keyed = keyed.get(i).copied().unwrap_or(usize::MAX);
+            let next_open = open.get(j).copied().unwrap_or(usize::MAX);
+            if next_keyed < next_open {
+                out.push(next_keyed);
+                i += 1;
+            } else {
+                out.push(next_open);
+                j += 1;
             }
         }
+        out
     }
 
     /// All rules for a predicate.
@@ -261,6 +313,13 @@ pub trait ClauseView {
     fn is_builtin(&self, pred: Symbol) -> bool;
     /// Candidate clauses for a goal (see [`CompiledProgram::candidates`]).
     fn candidates(&self, pred: Symbol, arity: usize, first_arg: Option<&RTerm>) -> Vec<usize>;
+    /// Candidate clauses for a goal with bound argument positions (see
+    /// [`CompiledProgram::candidates_bound`]). The default is the
+    /// unindexed sound fallback: every clause of the predicate.
+    fn candidates_bound(&self, pred: Symbol, arity: usize, keys: &[(u32, ArgKey)]) -> Vec<usize> {
+        let _ = keys;
+        self.rules_for(pred, arity)
+    }
     /// All rules for a predicate.
     fn rules_for(&self, pred: Symbol, arity: usize) -> Vec<usize>;
     /// The set of derivable predicates (head predicates with arities).
@@ -281,6 +340,9 @@ impl ClauseView for CompiledProgram {
     }
     fn candidates(&self, pred: Symbol, arity: usize, first_arg: Option<&RTerm>) -> Vec<usize> {
         CompiledProgram::candidates(self, pred, arity, first_arg)
+    }
+    fn candidates_bound(&self, pred: Symbol, arity: usize, keys: &[(u32, ArgKey)]) -> Vec<usize> {
+        CompiledProgram::candidates_bound(self, pred, arity, keys)
     }
     fn rules_for(&self, pred: Symbol, arity: usize) -> Vec<usize> {
         CompiledProgram::rules_for(self, pred, arity)
@@ -361,6 +423,16 @@ impl<P: ClauseView> ClauseView for ClauseOverlay<'_, P> {
         out.extend(
             self.tail
                 .candidates(pred, arity, first_arg)
+                .into_iter()
+                .map(|i| i + self.base_len),
+        );
+        out
+    }
+    fn candidates_bound(&self, pred: Symbol, arity: usize, keys: &[(u32, ArgKey)]) -> Vec<usize> {
+        let mut out = self.base.candidates_bound(pred, arity, keys);
+        out.extend(
+            self.tail
+                .candidates_bound(pred, arity, keys)
                 .into_iter()
                 .map(|i| i + self.base_len),
         );
@@ -463,6 +535,38 @@ mod tests {
         assert_eq!(cp.candidates(sym("edge"), 2, None), vec![0, 1]);
         // path heads have variable first args: always candidates
         assert_eq!(cp.candidates(sym("path"), 2, Some(&a)), vec![2, 3]);
+    }
+
+    #[test]
+    fn candidates_bound_selects_through_best_position() {
+        let cp = CompiledProgram::compile(&program(), []);
+        let a = ArgKey::Const(Const::Sym(sym("a")));
+        let b = ArgKey::Const(Const::Sym(sym("b")));
+        // position 0 = a pins the first edge fact
+        assert_eq!(cp.candidates_bound(sym("edge"), 2, &[(0, a)]), vec![0]);
+        // position 1 = b likewise — second-argument indexing now works
+        assert_eq!(cp.candidates_bound(sym("edge"), 2, &[(1, b)]), vec![0]);
+        // with both bound the smaller candidate list wins (both are
+        // singletons here; the answer must stay exact either way)
+        assert_eq!(
+            cp.candidates_bound(sym("edge"), 2, &[(0, a), (1, b)]),
+            vec![0]
+        );
+        // variable-headed clauses are always candidates
+        assert_eq!(cp.candidates_bound(sym("path"), 2, &[(0, a)]), vec![2, 3]);
+        // no keys: every clause of the predicate
+        assert_eq!(cp.candidates_bound(sym("edge"), 2, &[]), vec![0, 1]);
+    }
+
+    #[test]
+    fn scan_mode_disables_clause_indexing() {
+        let mut cp = CompiledProgram::compile(&program(), []);
+        let a = ArgKey::Const(Const::Sym(sym("a")));
+        assert_eq!(cp.index_mode(), IndexMode::Indexed);
+        cp.set_index_mode(IndexMode::Scan);
+        assert_eq!(cp.candidates_bound(sym("edge"), 2, &[(0, a)]), vec![0, 1]);
+        let first = RTerm::Const(Const::Sym(sym("a")));
+        assert_eq!(cp.candidates(sym("edge"), 2, Some(&first)), vec![0, 1]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Top-down evaluation: SLD resolution over definite clauses.
 //!
-//! Depth-first, left-to-right, with trailed backtracking, first-argument
-//! clause indexing, and resource limits (depth, resolution steps, number
+//! Depth-first, left-to-right, with trailed backtracking, per-position
+//! argument clause indexing, and resource limits (depth, resolution steps, number
 //! of solutions). The result records whether the search space was
 //! exhausted — an SLD run cut off by a limit reports `complete = false`,
 //! which the experiments use to demonstrate that plain SLD diverges on
@@ -9,7 +9,7 @@
 
 use crate::budget::{Budget, BudgetMeter, Degradation, TripKind};
 use crate::builtins::BuiltinError;
-use crate::program::{shift_atom, ClauseView, CompiledProgram};
+use crate::program::{arg_key, shift_atom, ArgKey, ClauseView, CompiledProgram};
 use crate::rterm::{RAtom, RTerm, VarAlloc, VarId};
 use crate::unify::{unify_atoms, Bindings, UnifyOptions};
 use clogic_core::fol::{FoAtom, FoTerm};
@@ -305,11 +305,18 @@ impl<P: ClauseView> Search<'_, P> {
             self.bind.rollback(cp);
             return Ok(cont);
         }
-        // Resolve against program clauses.
-        let first_arg = goal.args.first().map(|a| self.bind.walk(a).clone());
+        // Resolve against program clauses, selecting through every
+        // argument position bound (after walking) to a non-variable —
+        // the most selective one wins inside `candidates_bound`.
+        let keys: Vec<(u32, ArgKey)> = goal
+            .args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| arg_key(self.bind.walk(a)).map(|k| (i as u32, k)))
+            .collect();
         let candidates = self
             .program
-            .candidates(goal.pred, goal.args.len(), first_arg.as_ref());
+            .candidates_bound(goal.pred, goal.args.len(), &keys);
         for ci in candidates {
             self.stats.steps += 1;
             if self.opts.max_steps.is_some_and(|m| self.stats.steps > m) {

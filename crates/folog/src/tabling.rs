@@ -387,7 +387,16 @@ impl<'p, P: ClauseView> TabledEngine<'p, P> {
         for v in vs {
             max_var = max_var.max(v + 1);
         }
-        let candidates = program.candidates(key.pred, key.args.len(), key.args.first());
+        // Canonical goals are already resolved, so argument keys read
+        // straight off the args; every bound position is offered and
+        // `candidates_bound` selects through the most selective one.
+        let keys: Vec<(u32, crate::program::ArgKey)> = key
+            .args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| crate::program::arg_key(a).map(|k| (i as u32, k)))
+            .collect();
+        let candidates = program.candidates_bound(key.pred, key.args.len(), &keys);
         for ci in candidates {
             if !space.meter.tick() {
                 return Ok(changed);

@@ -1666,17 +1666,19 @@ impl Session {
                 if pushed == 0 {
                     ArtifactProvenance::Current
                 } else {
-                    m.counter("folog.index.clauses_pushed").add(pushed as u64);
+                    m.counter("folog.compile.clauses_pushed").add(pushed as u64);
                     ArtifactProvenance::Extended
                 }
             }
             _ => {
+                let mut cp = CompiledProgram::compile(&t.fo, builtin_symbols());
+                cp.set_index_mode(self.options.fixpoint.index_mode);
                 self.compiled_fo = Some(CompiledArtifact {
                     generation: t.generation,
                     fo_len: t.fo.clauses.len(),
-                    cp: Arc::new(CompiledProgram::compile(&t.fo, builtin_symbols())),
+                    cp: Arc::new(cp),
                 });
-                m.counter("folog.index.builds").inc();
+                m.counter("folog.compile.builds").inc();
                 ArtifactProvenance::Rebuilt
             }
         }
@@ -1704,6 +1706,7 @@ impl Session {
             }
             None => {
                 let mut dp = DirectProgram::compile(&self.program, builtin_symbols());
+                dp.preds.set_index_mode(self.options.fixpoint.index_mode);
                 dp.objects.set_epoch(self.epoch);
                 dp.preds.set_epoch(self.epoch);
                 self.direct = Some(DirectArtifact {

@@ -1,0 +1,366 @@
+//! Property and regression tests for the argument-pattern fact indices.
+//!
+//! Indexing is a pure evaluation-plan change: for any program and query,
+//! every strategy must produce exactly the same answers with
+//! [`IndexMode::Indexed`] (lazy hash indices on bound-position
+//! projections) as with [`IndexMode::Scan`] (the exhaustive baseline).
+//! The properties here drive that equivalence over random databases —
+//! including entity-creating (skolemized) rules and stratified negation —
+//! and the unit tests pin the laziness/invalidation contract: indices
+//! built during one evaluation are *extended*, never rebuilt and never
+//! stale, when the fixpoint is resumed with a load delta at a later
+//! epoch.
+
+use clogic::core::program::Program;
+use clogic::core::{Atomic, DefiniteClause, LabelSpec, Term};
+use clogic::folog::IndexMode;
+use clogic::obs::Obs;
+use clogic::{Session, SessionOptions, Strategy};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as ProptestStrategy;
+
+// ---------- harness ----------
+
+fn session_with(mode: IndexMode, p: &Program) -> Session {
+    let mut opts = SessionOptions::default();
+    opts.fixpoint.index_mode = mode;
+    let mut s = Session::with_options(opts);
+    s.load_program(p.clone());
+    s
+}
+
+fn answers(p: &Program, query: &str, strategy: Strategy, mode: IndexMode) -> Vec<String> {
+    session_with(mode, p)
+        .query(query, strategy)
+        .unwrap()
+        .rendered()
+}
+
+// ---------- generators (the equivalence.rs vocabulary, plus an
+// entity-creating rule in the pool) ----------
+
+fn const_name() -> impl ProptestStrategy<Value = String> {
+    prop::sample::select(vec!["c1", "c2", "c3", "c4"]).prop_map(str::to_string)
+}
+
+fn type_name() -> impl ProptestStrategy<Value = String> {
+    prop::sample::select(vec!["t1", "t2", "t3", "object"]).prop_map(str::to_string)
+}
+
+fn label_name() -> impl ProptestStrategy<Value = String> {
+    prop::sample::select(vec!["l1", "l2", "l3"]).prop_map(str::to_string)
+}
+
+fn value() -> impl ProptestStrategy<Value = Term> {
+    prop_oneof![
+        const_name().prop_map(|c| Term::constant(c.as_str())),
+        (0i64..4).prop_map(Term::int),
+    ]
+}
+
+/// A ground molecule fact: `ty: id[label ⇒ value, …]`.
+fn fact() -> impl ProptestStrategy<Value = DefiniteClause> {
+    (
+        type_name(),
+        const_name(),
+        prop::collection::vec((label_name(), value()), 0..3),
+    )
+        .prop_map(|(ty, id, pairs)| {
+            let specs: Vec<LabelSpec> = pairs
+                .into_iter()
+                .map(|(l, v)| LabelSpec::one(l.as_str(), v))
+                .collect();
+            let head = if specs.is_empty() {
+                Term::typed_constant(ty.as_str(), id.as_str())
+            } else {
+                Term::molecule(Term::typed_constant(ty.as_str(), id.as_str()), specs).unwrap()
+            };
+            DefiniteClause::fact(Atomic::term(head))
+        })
+}
+
+/// Rule pool: plain label-projection rules (head labels disjoint from
+/// body labels, so the untabled direct engine terminates) plus an
+/// entity-creating rule whose head-only variable `C` is auto-skolemized
+/// on load.
+fn rule() -> impl ProptestStrategy<Value = DefiniteClause> {
+    let pool = vec![
+        // r1: X[m1 => V] :- t1: X[l1 => V].
+        DefiniteClause::rule(
+            Atomic::term(
+                Term::molecule(
+                    Term::typed_var("r1", "X"),
+                    vec![LabelSpec::one("m1", Term::var("V"))],
+                )
+                .unwrap(),
+            ),
+            vec![Atomic::term(
+                Term::molecule(
+                    Term::typed_var("t1", "X"),
+                    vec![LabelSpec::one("l1", Term::var("V"))],
+                )
+                .unwrap(),
+            )],
+        ),
+        // r2: X[m2 => V] :- t2: X[l2 => V].
+        DefiniteClause::rule(
+            Atomic::term(
+                Term::molecule(
+                    Term::typed_var("r2", "X"),
+                    vec![LabelSpec::one("m2", Term::var("V"))],
+                )
+                .unwrap(),
+            ),
+            vec![Atomic::term(
+                Term::molecule(
+                    Term::typed_var("t2", "X"),
+                    vec![LabelSpec::one("l2", Term::var("V"))],
+                )
+                .unwrap(),
+            )],
+        ),
+        // r1: C[m2 => X] :- t1: X.  (C is head-only: skolemized on load)
+        DefiniteClause::rule(
+            Atomic::term(
+                Term::molecule(
+                    Term::typed_var("r1", "C"),
+                    vec![LabelSpec::one("m2", Term::var("X"))],
+                )
+                .unwrap(),
+            ),
+            vec![Atomic::term(Term::typed_var("t1", "X"))],
+        ),
+    ];
+    prop::sample::select(pool)
+}
+
+fn program() -> impl ProptestStrategy<Value = Program> {
+    (
+        prop::collection::vec(fact(), 1..8),
+        prop::collection::vec(rule(), 0..3),
+        prop::bool::ANY,
+    )
+        .prop_map(|(facts, rules, declare)| {
+            let mut p = Program::new();
+            if declare {
+                p.declare_subtype("t1", "t2");
+            }
+            for c in facts.into_iter().chain(rules) {
+                p.push(c);
+            }
+            p
+        })
+}
+
+fn query_src() -> impl ProptestStrategy<Value = String> {
+    (
+        prop::sample::select(vec!["t1", "t2", "t3", "r1", "r2", "object"]).prop_map(str::to_string),
+        prop_oneof![Just("X".to_string()), const_name()],
+        prop::collection::vec(
+            (
+                prop::sample::select(vec!["l1", "l2", "l3", "m1", "m2"]).prop_map(str::to_string),
+                prop_oneof![Just("V".to_string()), Just("W".to_string()), const_name()],
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(ty, id, pairs)| {
+            let mut s = format!("{ty}: {id}");
+            if !pairs.is_empty() {
+                let specs: Vec<String> = pairs.iter().map(|(l, v)| format!("{l} => {v}")).collect();
+                s.push_str(&format!("[{}]", specs.join(", ")));
+            }
+            s
+        })
+}
+
+// ---------- properties ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Indexed and scan evaluation agree, answer for answer, under every
+    /// strategy — over programs with rules, including entity creation.
+    #[test]
+    fn indexed_equals_scan_across_strategies(
+        p in program(),
+        q in query_src(),
+    ) {
+        for strategy in Strategy::ALL {
+            prop_assert_eq!(
+                answers(&p, &q, strategy, IndexMode::Indexed),
+                answers(&p, &q, strategy, IndexMode::Scan),
+                "strategy {:?} diverges between index modes on query {} over\n{}",
+                strategy, q, p
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same equivalence on a stratified program with one negated rule,
+    /// for the strategies that support negation.
+    #[test]
+    fn indexed_equals_scan_under_negation(
+        p in program(),
+        neg_label in label_name(),
+        neg_value in const_name(),
+    ) {
+        let mut program = p;
+        // flag: X :- t1: X, \+ X[neg_label => neg_value].
+        program.push(DefiniteClause::rule_with_negation(
+            Atomic::term(Term::typed_var("flag", "X")),
+            vec![Atomic::term(Term::typed_var("t1", "X"))],
+            vec![Atomic::term(
+                Term::molecule(
+                    Term::var("X"),
+                    vec![LabelSpec::one(
+                        neg_label.as_str(),
+                        Term::constant(neg_value.as_str()),
+                    )],
+                )
+                .unwrap(),
+            )],
+        ));
+        for strategy in [
+            Strategy::BottomUpSemiNaive,
+            Strategy::BottomUpNaive,
+            Strategy::Direct,
+            Strategy::Sld,
+        ] {
+            prop_assert_eq!(
+                answers(&program, "flag: X", strategy, IndexMode::Indexed),
+                answers(&program, "flag: X", strategy, IndexMode::Scan),
+                "strategy {:?} diverges between index modes under negation on\n{}",
+                strategy, program
+            );
+        }
+    }
+}
+
+// ---------- the laziness/invalidation contract ----------
+
+/// A chain program over `link` facts with the §2.1 endpoint rules.
+fn chain_program(from: usize, to: usize) -> Program {
+    use clogic::parser::parse_program;
+    let mut text = String::new();
+    for i in from..to {
+        text.push_str(&format!("node: n{i}[linkto => n{}].\n", i + 1));
+    }
+    text.push_str(
+        "path: id(X, Y)[src => X, dest => Y] :- node: X[linkto => Y].\n\
+         path: id(X, Z)[src => X, dest => Z] :- node: X[linkto => Y], \
+         path: id(Y, Z)[src => Y, dest => Z].\n",
+    );
+    parse_program(&text).unwrap()
+}
+
+/// Resuming a semi-naive fixpoint with a load delta must *extend* the
+/// indices built during the first evaluation — and the extended indices
+/// must serve the new tuples, never a stale snapshot of the relation.
+#[test]
+fn delta_reuse_extends_indices_and_serves_fresh_tuples() {
+    let obs = Obs::default();
+    let mut opts = SessionOptions {
+        obs: obs.clone(),
+        ..SessionOptions::default()
+    };
+    opts.fixpoint.obs = obs.clone();
+    let mut s = Session::with_options(opts);
+
+    // Epoch 1: half the chain. The query builds pattern indices while
+    // saturating the model.
+    s.load_program(chain_program(0, 6));
+    let first = s
+        .query("path: P[src => n0, dest => D]", Strategy::BottomUpSemiNaive)
+        .unwrap();
+    assert!(first.complete);
+    assert_eq!(first.rows.len(), 6);
+    let mid = obs.metrics.snapshot();
+    assert!(
+        mid.counter("folog.index.builds").unwrap_or(0) > 0,
+        "first evaluation builds indices"
+    );
+
+    // Epoch 2: the second half arrives. The fixpoint resumes from the
+    // saturated model; the same query must see every new reachability
+    // fact (a stale index would truncate the answer set at the old
+    // relation length).
+    s.load_program(chain_program(6, 12));
+    let second = s
+        .query("path: P[src => n0, dest => D]", Strategy::BottomUpSemiNaive)
+        .unwrap();
+    assert!(second.complete);
+    assert_eq!(second.rows.len(), 12, "resumed run serves the new tuples");
+    let end = obs.metrics.snapshot();
+    assert!(
+        end.counter("folog.index.extends").unwrap_or(0)
+            > mid.counter("folog.index.extends").unwrap_or(0),
+        "resumed evaluation extends the existing indices in place"
+    );
+}
+
+/// Repeating a query against an unchanged epoch reuses the saturated
+/// model *and* its indices: no new index builds on the second run.
+#[test]
+fn repeated_queries_reuse_built_indices() {
+    let obs = Obs::default();
+    let mut opts = SessionOptions {
+        obs: obs.clone(),
+        ..SessionOptions::default()
+    };
+    opts.fixpoint.obs = obs.clone();
+    let mut s = Session::with_options(opts);
+    s.load_program(chain_program(0, 8));
+
+    let a = s
+        .query("path: P[src => n0, dest => D]", Strategy::BottomUpSemiNaive)
+        .unwrap();
+    let builds_after_first = obs
+        .metrics
+        .snapshot()
+        .counter("folog.index.builds")
+        .unwrap_or(0);
+    let b = s
+        .query("path: P[src => n2, dest => D]", Strategy::BottomUpSemiNaive)
+        .unwrap();
+    assert_eq!(a.rows.len(), 8);
+    assert_eq!(b.rows.len(), 6);
+    let builds_after_second = obs
+        .metrics
+        .snapshot()
+        .counter("folog.index.builds")
+        .unwrap_or(0);
+    assert_eq!(
+        builds_after_first, builds_after_second,
+        "second query answers from the already-indexed model"
+    );
+}
+
+/// Scan mode really is scan mode: no index counters move.
+#[test]
+fn scan_mode_builds_nothing() {
+    let obs = Obs::default();
+    let mut opts = SessionOptions {
+        obs: obs.clone(),
+        ..SessionOptions::default()
+    };
+    opts.fixpoint.obs = obs.clone();
+    opts.fixpoint.index_mode = IndexMode::Scan;
+    let mut s = Session::with_options(opts);
+    s.load_program(chain_program(0, 8));
+    let r = s
+        .query("path: P[src => n0, dest => D]", Strategy::BottomUpSemiNaive)
+        .unwrap();
+    assert_eq!(r.rows.len(), 8);
+    let snap = obs.metrics.snapshot();
+    for c in ["builds", "extends", "hits"] {
+        assert_eq!(
+            snap.counter(&format!("folog.index.{c}")).unwrap_or(0),
+            0,
+            "scan mode must not touch folog.index.{c}"
+        );
+    }
+}

@@ -772,7 +772,14 @@ fn health_answers_and_shutdown_drains_admitted_work() {
             ..TcpFrontOptions::default()
         },
     );
-    mgr.load("d", DIVERGENT).expect("load");
+    // The divergent generator filtered to zero answers: a blocker query
+    // burns its whole engine budget but responds with a tiny frame.
+    // This client deliberately reads nothing until after shutdown, so a
+    // big partial answer set would overflow the socket buffer and get
+    // the connection — correctly — reaped for the write stall,
+    // destroying the very answers this test drains.
+    let filtered = format!("{DIVERGENT}\nblocked(X) :- t: X, missing: X.");
+    mgr.load("d", &filtered).expect("load");
 
     let stream = TcpStream::connect(front.addr()).unwrap();
     stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
@@ -792,11 +799,11 @@ fn health_answers_and_shutdown_drains_admitted_work() {
     }
     assert!(matches!(get(&resp, "queued"), Some(Json::U64(_))), "{resp}");
 
-    // Two ~100 ms blockers on the single worker, then shutdown: the
-    // drain deadline covers both, so both answers arrive before the
-    // socket closes, and shutdown returns promptly.
+    // Two CPU-blockers on the single worker, then shutdown: the drain
+    // deadline covers both, so both answers arrive before the socket
+    // closes, and shutdown returns promptly.
     for _ in 0..2 {
-        c.send(&query_req("d", "t: X", Strategy::Sld, Some(100)))
+        c.send(&query_req("d", "blocked(X)", Strategy::Sld, Some(100)))
             .expect("send");
     }
     // Wait until the pump has actually admitted both queries (the
