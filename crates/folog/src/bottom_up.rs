@@ -575,12 +575,12 @@ pub fn subst_fo_atom(a: &FoAtom, bind: &BTreeMap<Symbol, FoTerm>) -> FoAtom {
 
 /// Per-relation row boundaries for one semi-naive round.
 #[derive(Clone, Copy, Debug, Default)]
-struct Frontier {
+pub(crate) struct Frontier {
     /// Rows `< old` existed before the previous round.
-    old: u32,
+    pub(crate) old: u32,
     /// Rows `old..cur` are the previous round's delta; `cur` is the
     /// relation length at the start of this round.
-    cur: u32,
+    pub(crate) cur: u32,
 }
 
 /// Runs the fixpoint for a compiled program.
@@ -790,7 +790,7 @@ pub fn evaluate_delta<P: ClauseView>(
 }
 
 /// Interns and stores the head tuples of ground fact rules.
-fn insert_fact_rules<'r>(
+pub(crate) fn insert_fact_rules<'r>(
     rules: impl Iterator<Item = (usize, &'r Rule)>,
     ev: &mut Evaluation,
     meter: &mut BudgetMeter,
@@ -822,7 +822,7 @@ fn insert_fact_rules<'r>(
 /// loops) keeps the hot path free of atomics and makes resumed runs —
 /// whose [`FixpointStats`] accumulate across calls — report only their
 /// marginal work.
-fn flush_metrics(
+pub(crate) fn flush_metrics(
     obs: &clogic_obs::Obs,
     before: &FixpointStats,
     after: &FixpointStats,
@@ -831,14 +831,19 @@ fn flush_metrics(
 ) {
     let m = &obs.metrics;
     m.counter("folog.fixpoint.evaluations").inc();
+    // Saturating: a retraction that empties a relation drops its index
+    // counters from the store-wide sum, so `after` can dip below
+    // `before` — report zero marginal work rather than underflowing.
     m.counter("folog.index.builds")
-        .add(idx_after.builds - idx_before.builds);
+        .add(idx_after.builds.saturating_sub(idx_before.builds));
     m.counter("folog.index.extends")
-        .add(idx_after.extends - idx_before.extends);
+        .add(idx_after.extends.saturating_sub(idx_before.extends));
     m.counter("folog.index.hits")
-        .add(idx_after.hits - idx_before.hits);
+        .add(idx_after.hits.saturating_sub(idx_before.hits));
     m.counter("folog.index.misses")
-        .add(idx_after.misses - idx_before.misses);
+        .add(idx_after.misses.saturating_sub(idx_before.misses));
+    m.counter("folog.index.invalidations")
+        .add(idx_after.invalidations.saturating_sub(idx_before.invalidations));
     m.counter("folog.fixpoint.iterations")
         .add((after.iterations - before.iterations) as u64);
     m.counter("folog.fixpoint.rule_activations")
@@ -857,7 +862,7 @@ fn flush_metrics(
 
 /// Stores a batch of derived tuples, enforcing the fact ceiling; returns
 /// how many were new.
-fn insert_derived(
+pub(crate) fn insert_derived(
     new_facts: Vec<(Symbol, Vec<TermId>)>,
     ev: &mut Evaluation,
     opts: &FixpointOptions,
@@ -889,7 +894,7 @@ fn insert_derived(
 }
 
 /// Stamps completeness and the degradation report from the meter state.
-fn finish(ev: &mut Evaluation, meter: &BudgetMeter, opts: &FixpointOptions) {
+pub(crate) fn finish(ev: &mut Evaluation, meter: &BudgetMeter, opts: &FixpointOptions) {
     if let Some(trip) = meter.tripped() {
         ev.complete = false;
         ev.degradation = Some(meter.degradation_for(
@@ -905,7 +910,7 @@ fn finish(ev: &mut Evaluation, meter: &BudgetMeter, opts: &FixpointOptions) {
 }
 
 /// Stable strategy label used in [`Degradation`] reports.
-fn strategy_name(s: Strategy) -> &'static str {
+pub(crate) fn strategy_name(s: Strategy) -> &'static str {
     match s {
         Strategy::Naive => "bottom-up-naive",
         Strategy::SemiNaive => "bottom-up-semi-naive",
@@ -1017,7 +1022,7 @@ fn stratify<'r, P: ClauseView>(
 /// builtin-only rules don't refire and an empty delta terminates
 /// immediately.
 #[allow(clippy::too_many_arguments)]
-fn run_stratum<P: ClauseView>(
+pub(crate) fn run_stratum<P: ClauseView>(
     rules: &[(usize, &Rule)],
     derivable: &[(Symbol, usize)],
     program: &P,
@@ -1157,7 +1162,7 @@ fn run_stratum<P: ClauseView>(
 /// rows, and atoms after `i` over everything known at round start
 /// (semi-naive); with `None`, every atom ranges over all known rows.
 #[allow(clippy::too_many_arguments)]
-fn eval_rule<P: ClauseView>(
+pub(crate) fn eval_rule<P: ClauseView>(
     rule: &Rule,
     frontiers: &HashMap<(Symbol, usize), Frontier>,
     delta_pos: Option<usize>,
@@ -1188,7 +1193,7 @@ fn eval_rule<P: ClauseView>(
 /// like `node(X), object(Z), linkto(X, Z), …` into `node(X),
 /// linkto(X, Z), object(Z), …`: filters before generators, and among
 /// equally-bound generators the cheaper scan goes first.
-fn plan_order<P: ClauseView>(
+pub(crate) fn plan_order<P: ClauseView>(
     rule: &Rule,
     delta_pos: Option<usize>,
     program: &P,
@@ -1272,7 +1277,7 @@ fn plan_order<P: ClauseView>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn eval_body<P: ClauseView>(
+pub(crate) fn eval_body<P: ClauseView>(
     rule: &Rule,
     order: &[usize],
     i: usize,
@@ -1287,7 +1292,9 @@ fn eval_body<P: ClauseView>(
     out: &mut Vec<(Symbol, Vec<TermId>)>,
     meter: &mut BudgetMeter,
 ) -> Result<(), EvalError> {
-    if i == rule.body.len() {
+    if i == order.len() {
+        // (`order` is normally the whole body, but the retraction pass
+        // evaluates partial orders with the pinned atom pre-bound.)
         // Negation as failure: every negated atom must be absent. The
         // stratification guarantees the negated relations are complete
         // by the time this stratum runs.

@@ -18,14 +18,24 @@
 //!
 //! Laziness means an evaluation pays only for the access patterns its
 //! rules exercise, and the cost is paid once: each pattern index
-//! carries a `covered` row watermark, and because relations are
-//! append-only the index is *extended* in place — never rebuilt — when
-//! later delta iterations (or a new epoch's facts) append rows. The
-//! same property makes a published snapshot's indices shareable:
+//! carries a `covered` row watermark, and as long as a relation only
+//! ever *appends* the index is *extended* in place — never rebuilt —
+//! when later delta iterations (or a new epoch's facts) append rows.
+//! The same property makes a published snapshot's indices shareable:
 //! indices live behind [`RwLock`]s inside the relation, so concurrent
 //! readers of an `Arc`-shared store reuse whatever the first probe
 //! built, and cloning a store (the copy-on-write path) carries the
 //! built indices along.
+//!
+//! Retraction breaks the append-only premise, so the watermark
+//! contract is **versioned** rather than unconditional: every
+//! non-append mutation ([`Relation::remove_rows`], reached through
+//! [`FactStore::remove`] / [`FactStore::remove_all`]) bumps the
+//! relation's `version`, and a probe whose index was built under an
+//! older version discards and rebuilds it (counted in
+//! [`IndexStats::invalidations`]) instead of trusting row ids that may
+//! have been compacted away. A debug assertion on every probe return
+//! path catches a stale index serving rows past the current length.
 
 use crate::ground::{GroundTerm, TermId, TermStore};
 use crate::rterm::{RTerm, VarId};
@@ -72,6 +82,9 @@ pub struct IndexStats {
     pub hits: u64,
     /// Probes with no derivable key that fell back to a range scan.
     pub misses: u64,
+    /// Pattern indices discarded and rebuilt because their relation was
+    /// mutated non-append-only (a retraction) since they were built.
+    pub invalidations: u64,
 }
 
 /// Shared index counters: atomics so concurrent snapshot readers can
@@ -82,6 +95,7 @@ struct IndexCounters {
     extends: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl IndexCounters {
@@ -91,6 +105,7 @@ impl IndexCounters {
             extends: self.extends.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -103,6 +118,7 @@ impl Clone for IndexCounters {
             extends: AtomicU64::new(s.extends),
             hits: AtomicU64::new(s.hits),
             misses: AtomicU64::new(s.misses),
+            invalidations: AtomicU64::new(s.invalidations),
         }
     }
 }
@@ -110,19 +126,24 @@ impl Clone for IndexCounters {
 /// One lazily built exact index: rows grouped by their projection onto
 /// a fixed set of bound positions. `covered` is the exclusive row
 /// watermark the map reflects; rows at or past it are folded in on the
-/// next probe.
+/// next probe. `version` is the relation version the map was built
+/// under — a mismatch at probe time means rows were removed (ids
+/// compacted) and the whole map is rebuilt.
 #[derive(Clone, Debug, Default)]
 struct PatternIndex {
     covered: u32,
+    version: u64,
     map: HashMap<Vec<TermId>, Vec<u32>>,
 }
 
 /// One lazily built sub-term index for a `(position, functor)` pair:
 /// rows whose value at the position is `functor(first, …)`, grouped by
-/// `first`.
+/// `first`. Carries the same `covered`/`version` contract as
+/// [`PatternIndex`].
 #[derive(Clone, Debug, Default)]
 struct SubPatternIndex {
     covered: u32,
+    version: u64,
     map: HashMap<TermId, Vec<u32>>,
 }
 
@@ -163,6 +184,11 @@ pub struct Relation {
     /// last grew. Inserts extend the arena in place and leave index
     /// watermarks behind — a delta load never rebuilds an index.
     stamp: u64,
+    /// Mutation version: bumped by every non-append mutation
+    /// ([`Relation::remove_rows`]). Pattern indices record the version
+    /// they were built under; a mismatch at probe time forces a full
+    /// rebuild instead of trusting compacted-away row ids.
+    version: u64,
 }
 
 impl Clone for Relation {
@@ -181,6 +207,7 @@ impl Clone for Relation {
             sub: RwLock::new(sub.clone()),
             counters: self.counters.clone(),
             stamp: self.stamp,
+            version: self.version,
         }
     }
 }
@@ -195,6 +222,12 @@ impl Relation {
     /// inside an epoch-stamped store).
     pub fn stamp(&self) -> u64 {
         self.stamp
+    }
+
+    /// The mutation version: 0 while the relation has only ever been
+    /// appended to, bumped by every [`Relation::remove_rows`].
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// True iff empty.
@@ -229,15 +262,62 @@ impl Relation {
 
     /// Membership test.
     pub fn contains(&self, tuple: &[TermId]) -> bool {
+        self.row_of(tuple).is_some()
+    }
+
+    /// The row id of `tuple`, if stored.
+    pub fn row_of(&self, tuple: &[TermId]) -> Option<u32> {
         if self.len > 0 && tuple.len() != self.arity {
-            return false;
+            return None;
         }
-        self.dedup.get(&hash_tuple(tuple)).is_some_and(|bucket| {
-            bucket.iter().any(|&r| {
-                let start = r as usize * self.arity;
-                self.flat[start..start + self.arity] == *tuple
-            })
+        self.dedup.get(&hash_tuple(tuple)).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|&&r| {
+                    let start = r as usize * self.arity;
+                    self.flat[start..start + self.arity] == *tuple
+                })
+                .copied()
         })
+    }
+
+    /// Removes the given rows (any order, duplicates and out-of-range
+    /// ids ignored), compacting the arena in insertion order and
+    /// rebuilding the dedup buckets (row ids shift). Bumps the mutation
+    /// version so every pattern index built before this call is
+    /// discarded on its next probe. Returns how many rows were removed.
+    pub fn remove_rows(&mut self, rows: &[u32]) -> usize {
+        let mut doomed: Vec<u32> = rows.iter().copied().filter(|&r| r < self.len).collect();
+        doomed.sort_unstable();
+        doomed.dedup();
+        if doomed.is_empty() {
+            return 0;
+        }
+        let mut next = doomed.iter().copied().peekable();
+        let mut keep = 0u32;
+        for row in 0..self.len {
+            if next.peek() == Some(&row) {
+                next.next();
+                continue;
+            }
+            if keep != row {
+                let src = row as usize * self.arity;
+                let dst = keep as usize * self.arity;
+                for i in 0..self.arity {
+                    self.flat[dst + i] = self.flat[src + i];
+                }
+            }
+            keep += 1;
+        }
+        self.flat.truncate(keep as usize * self.arity);
+        self.len = keep;
+        self.dedup.clear();
+        for row in 0..self.len {
+            let h = hash_tuple(self.tuple(row));
+            self.dedup.entry(h).or_default().push(row);
+        }
+        self.version += 1;
+        doomed.len()
     }
 
     /// The tuple at `row`.
@@ -322,17 +402,30 @@ impl Relation {
         {
             let guard = self.exact.read().unwrap_or_else(PoisonError::into_inner);
             if let Some(idx) = guard.get(&mask) {
-                if idx.covered == self.len {
+                if idx.covered == self.len && idx.version == self.version {
                     self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                    return idx.map.get(proj).cloned().unwrap_or_default();
+                    let rows = idx.map.get(proj).cloned().unwrap_or_default();
+                    self.assert_rows_live(&rows);
+                    return rows;
                 }
             }
         }
         let mut guard = self.exact.write().unwrap_or_else(PoisonError::into_inner);
         let idx = guard.entry(mask).or_insert_with(|| {
             self.counters.builds.fetch_add(1, Ordering::Relaxed);
-            PatternIndex::default()
+            PatternIndex {
+                version: self.version,
+                ..PatternIndex::default()
+            }
         });
+        if idx.version != self.version {
+            // Rows were removed since this index was built: its row ids
+            // are meaningless after compaction. Rebuild from scratch.
+            self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+            idx.map.clear();
+            idx.covered = 0;
+            idx.version = self.version;
+        }
         if idx.covered < self.len {
             if idx.covered > 0 {
                 self.counters.extends.fetch_add(1, Ordering::Relaxed);
@@ -345,7 +438,9 @@ impl Relation {
             idx.covered = self.len;
         }
         self.counters.hits.fetch_add(1, Ordering::Relaxed);
-        idx.map.get(proj).cloned().unwrap_or_default()
+        let rows = idx.map.get(proj).cloned().unwrap_or_default();
+        self.assert_rows_live(&rows);
+        rows
     }
 
     /// Probes (building or extending as needed) the sub-term index for
@@ -355,17 +450,28 @@ impl Relation {
         {
             let guard = self.sub.read().unwrap_or_else(PoisonError::into_inner);
             if let Some(idx) = guard.get(&(pos, f)) {
-                if idx.covered == self.len {
+                if idx.covered == self.len && idx.version == self.version {
                     self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                    return idx.map.get(&first).cloned().unwrap_or_default();
+                    let rows = idx.map.get(&first).cloned().unwrap_or_default();
+                    self.assert_rows_live(&rows);
+                    return rows;
                 }
             }
         }
         let mut guard = self.sub.write().unwrap_or_else(PoisonError::into_inner);
         let idx = guard.entry((pos, f)).or_insert_with(|| {
             self.counters.builds.fetch_add(1, Ordering::Relaxed);
-            SubPatternIndex::default()
+            SubPatternIndex {
+                version: self.version,
+                ..SubPatternIndex::default()
+            }
         });
+        if idx.version != self.version {
+            self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+            idx.map.clear();
+            idx.covered = 0;
+            idx.version = self.version;
+        }
         if idx.covered < self.len {
             if idx.covered > 0 {
                 self.counters.extends.fetch_add(1, Ordering::Relaxed);
@@ -383,7 +489,22 @@ impl Relation {
             idx.covered = self.len;
         }
         self.counters.hits.fetch_add(1, Ordering::Relaxed);
-        idx.map.get(&first).cloned().unwrap_or_default()
+        let rows = idx.map.get(&first).cloned().unwrap_or_default();
+        self.assert_rows_live(&rows);
+        rows
+    }
+
+    /// Debug guard on every index return path: a row id at or past
+    /// `len` means a stale index (built before a removal) was served —
+    /// exactly the bug the version check exists to prevent.
+    #[inline]
+    fn assert_rows_live(&self, rows: &[u32]) {
+        debug_assert!(
+            rows.iter().all(|&r| r < self.len),
+            "stale pattern index served rows {:?} past relation length {}",
+            rows.iter().filter(|&&r| r >= self.len).collect::<Vec<_>>(),
+            self.len,
+        );
     }
 }
 
@@ -437,6 +558,7 @@ impl FactStore {
             out.extends += s.extends;
             out.hits += s.hits;
             out.misses += s.misses;
+            out.invalidations += s.invalidations;
         }
         out
     }
@@ -462,6 +584,40 @@ impl FactStore {
             self.total += 1;
         }
         fresh
+    }
+
+    /// Removes one fact; returns true when it was present. A non-append
+    /// mutation: the relation's version is bumped so every pattern
+    /// index built before this call rebuilds on its next probe.
+    pub fn remove(&mut self, pred: Symbol, tuple: &[TermId]) -> bool {
+        self.remove_all(&[(pred, tuple.to_vec())]) == 1
+    }
+
+    /// Batch removal (one arena compaction per touched relation).
+    /// Facts not present are ignored; returns how many were removed.
+    /// Relations emptied by the removal are dropped from the store so
+    /// `predicates()` keeps meaning "pairs with tuples".
+    pub fn remove_all(&mut self, facts: &[(Symbol, Vec<TermId>)]) -> usize {
+        let mut doomed: HashMap<(Symbol, usize), Vec<u32>> = HashMap::new();
+        for (pred, tuple) in facts {
+            let key = (*pred, tuple.len());
+            if let Some(row) = self.relations.get(&key).and_then(|r| r.row_of(tuple)) {
+                doomed.entry(key).or_default().push(row);
+            }
+        }
+        let epoch = self.epoch;
+        let mut removed = 0;
+        for (key, rows) in doomed {
+            let rel = self.relations.get_mut(&key).expect("relation looked up above");
+            let k = rel.remove_rows(&rows);
+            rel.stamp = epoch;
+            removed += k;
+            self.total -= k;
+            if rel.is_empty() {
+                self.relations.remove(&key);
+            }
+        }
+        removed
     }
 
     /// The relation of a predicate, if any tuples exist.
@@ -698,6 +854,54 @@ mod tests {
         // keyless probes count as misses
         r.candidate_rows(&[], 0..3, &st, IndexMode::Indexed);
         assert_eq!(r.index_stats().misses, 1);
+    }
+
+    #[test]
+    fn remove_rows_compacts_and_invalidates_indices() {
+        let (st, a, b, c) = setup();
+        let mut r = Relation::default();
+        r.insert(vec![a, b], &st);
+        r.insert(vec![b, c], &st);
+        r.insert(vec![a, c], &st);
+        // Build an index, then remove the middle row.
+        assert_eq!(r.rows_with(0, a, &st), vec![0, 2]);
+        assert_eq!(r.remove_rows(&[1]), 1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.version(), 1);
+        // Row ids shifted: (a, c) is now row 1, and the stale index is
+        // rebuilt rather than served.
+        assert!(r.contains(&[a, c]));
+        assert!(!r.contains(&[b, c]));
+        assert_eq!(r.row_of(&[a, c]), Some(1));
+        assert_eq!(r.rows_with(0, a, &st), vec![0, 1]);
+        assert_eq!(r.index_stats().invalidations, 1);
+        // Duplicates and out-of-range row ids are ignored.
+        assert_eq!(r.remove_rows(&[7, 7, 9]), 0);
+        assert_eq!(r.version(), 1);
+    }
+
+    #[test]
+    fn fact_store_remove_drops_empty_relations() {
+        let (st, a, b, _) = setup();
+        let mut fs = FactStore::new();
+        fs.insert(sym("edge"), vec![a, b], &st);
+        fs.insert(sym("node"), vec![a], &st);
+        fs.insert(sym("node"), vec![b], &st);
+        assert!(!fs.remove(sym("edge"), &[b, a]));
+        assert!(fs.remove(sym("edge"), &[a, b]));
+        assert_eq!(fs.total, 2);
+        assert!(fs.relation(sym("edge"), 2).is_none());
+        assert_eq!(fs.predicates(), vec![(sym("node"), 1)]);
+        assert_eq!(
+            fs.remove_all(&[
+                (sym("node"), vec![a]),
+                (sym("node"), vec![a]), // duplicate request, one row
+                (sym("missing"), vec![b]),
+            ]),
+            1
+        );
+        assert_eq!(fs.total, 1);
+        assert!(fs.contains(sym("node"), &[b]));
     }
 
     #[test]

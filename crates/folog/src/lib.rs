@@ -19,7 +19,9 @@
 //!   data ([`tabling`]);
 //! * the magic-sets transformation for goal-directed bottom-up runs
 //!   ([`magic`]);
-//! * arithmetic and comparison built-ins ([`builtins`]).
+//! * arithmetic and comparison built-ins ([`builtins`]);
+//! * incremental retraction via a DRed delete-rederive pass
+//!   ([`retract`]).
 
 #![warn(missing_docs)]
 
@@ -30,6 +32,7 @@ pub mod facts;
 pub mod ground;
 pub mod magic;
 pub mod program;
+pub mod retract;
 pub mod rterm;
 pub mod sld;
 pub mod tabling;
@@ -40,6 +43,7 @@ pub use budget::{Budget, BudgetMeter, CancelToken, Degradation, TripKind};
 pub use facts::{FactStore, IndexKey, IndexMode, IndexStats};
 pub use ground::{GroundAtom, GroundTerm, TermId, TermStore};
 pub use program::{ClauseOverlay, ClauseView, CompiledProgram, Rule};
+pub use retract::{retract_facts, RetractStats};
 pub use rterm::{RAtom, RTerm};
 pub use sld::{SldEngine, SldOptions, SldResult, SldStats};
 pub use unify::{mgu, unify, Bindings, UnifyOptions};

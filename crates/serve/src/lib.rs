@@ -318,6 +318,39 @@ impl Server {
         })
     }
 
+    /// Retracts clauses under the same publish discipline as
+    /// [`Server::load`]: the retraction (and the snapshot republish)
+    /// happens off to the side while queries keep answering from the
+    /// previously published [`SessionSnapshot`] — a reader that pinned
+    /// the pre-retraction snapshot keeps serving it untorn until it
+    /// drops its `Arc`. A persistence failure is tolerated exactly as in
+    /// a load (the in-memory retraction already happened); other errors
+    /// — including [`SessionError::NoSuchClause`] — leave the session
+    /// unchanged and are returned.
+    pub fn retract(&self, src: &str) -> Result<LoadReport, ServeError> {
+        let shared = &self.shared;
+        let mut session = shared.lock_session();
+        let epoch_before = session.epoch();
+        let store_error = match session.retract(src) {
+            Ok(()) => None,
+            Err(SessionError::Store(e)) if session.epoch() > epoch_before => {
+                shared
+                    .obs
+                    .metrics
+                    .counter("serve.retract.persist_failures")
+                    .inc();
+                Some(e)
+            }
+            Err(e) => return Err(ServeError::Session(e)),
+        };
+        session.prepare()?;
+        Ok(LoadReport {
+            epoch: session.epoch(),
+            store_error,
+            breaker_open: session.persistence_breaker_open(),
+        })
+    }
+
     /// Runs `f` with exclusive access to the session — for maintenance
     /// (snapshots, metric snapshots, option changes). Queries are **not**
     /// blocked: they keep answering from the last published

@@ -344,6 +344,31 @@ impl SessionManager {
         })
     }
 
+    /// Retracts clauses from the named tenant. Mirrors
+    /// [`SessionManager::load`]: a persistence failure does not fail the
+    /// retraction (the in-memory state already advanced) — it is
+    /// reported in the [`LoadReport`] — while any other error leaves the
+    /// tenant unchanged.
+    pub fn retract(&self, name: &str, src: &str) -> Result<LoadReport, ServeError> {
+        let arc = self.open(name)?;
+        let mut session = arc.lock().unwrap_or_else(|e| e.into_inner());
+        let epoch_before = session.epoch();
+        let store_error = match session.retract(src) {
+            Ok(()) => None,
+            Err(SessionError::Store(e)) if session.epoch() > epoch_before => {
+                self.obs.metrics.counter("manager.persist_failures").inc();
+                Some(e)
+            }
+            Err(e) => return Err(ServeError::Session(e)),
+        };
+        session.prepare()?;
+        Ok(LoadReport {
+            epoch: session.epoch(),
+            store_error,
+            breaker_open: session.persistence_breaker_open(),
+        })
+    }
+
     /// Queries the named tenant with no extra budget.
     pub fn query(&self, name: &str, src: &str, strategy: Strategy) -> Result<Answers, ServeError> {
         self.query_with_budget(name, src, strategy, &Budget::unlimited())

@@ -617,6 +617,16 @@ fn handle(shared: &FrontShared, payload: &[u8], waited: Duration) -> Response {
                 message: e.to_string(),
             },
         },
+        RequestOp::Retract { src } => match manager.retract(&req.tenant, &src) {
+            Ok(report) => Response::Loaded {
+                epoch: report.epoch,
+                persisted: report.persisted(),
+                breaker_open: report.breaker_open,
+            },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
         RequestOp::Query {
             src,
             strategy,

@@ -77,6 +77,12 @@ pub enum RequestOp {
         /// C-logic source to load.
         src: String,
     },
+    /// Retract previously loaded clauses from the tenant.
+    Retract {
+        /// C-logic source naming the clauses to retract (post-
+        /// skolemization text, as the program renders them).
+        src: String,
+    },
     /// Evaluate a query against the tenant.
     Query {
         /// The query source.
@@ -123,6 +129,9 @@ impl Request {
             "load" => RequestOp::Load {
                 src: get_str(&json, "src")?.to_string(),
             },
+            "retract" => RequestOp::Retract {
+                src: get_str(&json, "src")?.to_string(),
+            },
             "query" => RequestOp::Query {
                 src: get_str(&json, "src")?.to_string(),
                 strategy: match get(&json, "strategy") {
@@ -155,6 +164,10 @@ impl Request {
         match &self.op {
             RequestOp::Load { src } => {
                 fields.push(("op".into(), Json::Str("load".into())));
+                fields.push(("src".into(), Json::Str(src.clone())));
+            }
+            RequestOp::Retract { src } => {
+                fields.push(("op".into(), Json::Str("retract".into())));
                 fields.push(("src".into(), Json::Str(src.clone())));
             }
             RequestOp::Query {
@@ -636,6 +649,12 @@ mod tests {
             Request {
                 tenant: "alice".into(),
                 op: RequestOp::Load {
+                    src: "t: a.".into(),
+                },
+            },
+            Request {
+                tenant: "alice".into(),
+                op: RequestOp::Retract {
                     src: "t: a.".into(),
                 },
             },

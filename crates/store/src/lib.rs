@@ -40,7 +40,7 @@ pub use report::{CorruptionSite, RecoveryIssue, RecoveryReport};
 pub use retry::{BreakerState, RetryPolicy, RetryingStorage, Sleeper};
 pub use sink::{StorageSink, TRACE_FILE};
 pub use storage::{FileStorage, MemStorage, Storage, StoreError};
-pub use wal::{Corruption, LoadRecord, ScannedRecord, SnapshotRecord};
+pub use wal::{Corruption, LoadRecord, ScannedRecord, SnapshotRecord, WalOp};
 
 // Compile-time thread-safety contracts: the serve layer shares these
 // across a thread pool, so a regression must fail the build, not a test.

@@ -65,6 +65,22 @@ impl DurableLog {
     pub fn open_with(mut storage: Box<dyn Storage>, obs: Obs) -> Result<OpenedLog, StoreError> {
         let mut report = RecoveryReport::default();
 
+        // A structurally sound record of a newer format (version or kind
+        // this build does not know) is NOT damage: it was durable to
+        // whoever wrote it, and sealing or truncating it would silently
+        // drop data. Refuse to open instead — a structured error, never
+        // a panic, never a repair.
+        let refuse = |corruption: &Corruption, file: &str| -> Option<StoreError> {
+            if let Corruption::UnsupportedRecord { .. } = corruption {
+                obs.metrics
+                    .counter("store.recovery.unsupported_refusals")
+                    .inc();
+                Some(StoreError::new("open", file, corruption.to_string()))
+            } else {
+                None
+            }
+        };
+
         let snapshot = match storage.read(SNAPSHOT_FILE)? {
             None => None,
             Some(bytes) => match decode_snapshot_file(&bytes) {
@@ -73,6 +89,9 @@ impl DurableLog {
                     Some(snap)
                 }
                 Err(corruption) => {
+                    if let Some(err) = refuse(&corruption, SNAPSHOT_FILE) {
+                        return Err(err);
+                    }
                     report.corruption.push(CorruptionSite {
                         file: SNAPSHOT_FILE.to_string(),
                         corruption,
@@ -91,6 +110,9 @@ impl DurableLog {
             Some(bytes) => {
                 let scan = scan_wal(&bytes);
                 if let Some(corruption) = scan.corruption {
+                    if let Some(err) = refuse(&corruption, WAL_FILE) {
+                        return Err(err);
+                    }
                     obs.metrics.counter("store.recovery.torn_tail_seals").inc();
                     let bad_magic = corruption == Corruption::BadMagic;
                     report.corruption.push(CorruptionSite {
@@ -187,10 +209,12 @@ impl DurableLog {
 mod tests {
     use super::*;
     use crate::storage::MemStorage;
+    use crate::wal::WalOp;
     use clogic_core::skolem::SkolemState;
 
     fn rec(epoch: u64, source: &str) -> LoadRecord {
         LoadRecord {
+            op: WalOp::Load,
             epoch,
             skolem: SkolemState {
                 counter: 0,
@@ -254,6 +278,34 @@ mod tests {
         let reopened = DurableLog::open(Box::new(mem)).unwrap();
         assert_eq!(reopened.records.len(), 2);
         assert!(reopened.report.corruption.is_empty());
+    }
+
+    #[test]
+    fn unsupported_record_refuses_open_without_sealing() {
+        use crate::wal::put_u32;
+
+        let mem = MemStorage::new();
+        let mut log = DurableLog::open(Box::new(mem.clone())).unwrap().log;
+        log.append(&rec(1, "t1: c1.")).unwrap();
+        // Append a well-framed record claiming a future payload version.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 99);
+        payload.extend_from_slice(b"future bytes");
+        let framed = crate::wal::frame(&payload);
+        let mut raw = mem.clone();
+        raw.append(WAL_FILE, &framed).unwrap();
+        let len_before = mem.len(WAL_FILE).unwrap();
+
+        let err = match DurableLog::open(Box::new(mem.clone())) {
+            Err(e) => e,
+            Ok(_) => panic!("open must refuse an unsupported record"),
+        };
+        assert!(
+            err.to_string().contains("unsupported"),
+            "want structured refusal, got: {err}"
+        );
+        // Refusal must not repair: the file is byte-identical afterwards.
+        assert_eq!(mem.len(WAL_FILE), Some(len_before));
     }
 
     #[test]

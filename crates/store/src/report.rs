@@ -80,6 +80,10 @@ pub struct RecoveryReport {
     pub snapshot_epoch: Option<u64>,
     /// WAL records replayed into the session.
     pub records_replayed: usize,
+    /// Of the replayed records, how many were load (assert) records.
+    pub loads_replayed: usize,
+    /// Of the replayed records, how many were retract records.
+    pub retracts_replayed: usize,
     /// WAL records skipped as duplicates (epoch already covered — left
     /// behind by a retried append or an interrupted compaction).
     pub records_skipped: usize,
@@ -123,6 +127,14 @@ impl clogic_obs::Render for RecoveryReport {
             (
                 "records_replayed".into(),
                 Json::U64(self.records_replayed as u64),
+            ),
+            (
+                "loads_replayed".into(),
+                Json::U64(self.loads_replayed as u64),
+            ),
+            (
+                "retracts_replayed".into(),
+                Json::U64(self.retracts_replayed as u64),
             ),
             (
                 "records_skipped".into(),
@@ -178,6 +190,13 @@ impl fmt::Display for RecoveryReport {
             self.records_replayed,
             if self.records_replayed == 1 { "" } else { "s" }
         )?;
+        if self.retracts_replayed > 0 {
+            write!(
+                f,
+                " [{} assert(s), {} retract(s)]",
+                self.loads_replayed, self.retracts_replayed
+            )?;
+        }
         if self.records_skipped > 0 {
             write!(f, ", {} duplicate(s) skipped", self.records_skipped)?;
         }

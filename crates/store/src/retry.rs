@@ -498,6 +498,7 @@ mod tests {
         // records down with it. Clean run: 5 ops to open + 2 per
         // append; sweep a one-shot fault across all of them.
         let record = |epoch: u64| crate::wal::LoadRecord {
+            op: crate::wal::WalOp::Load,
             epoch,
             skolem: SkolemState::default(),
             source: format!("t{epoch}: c{epoch}."),

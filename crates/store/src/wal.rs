@@ -6,16 +6,27 @@
 //! file     := magic record*          (wal: any number; snapshot: exactly 1)
 //! magic    := 8 bytes ("CLGWAL01" / "CLGSNP01")
 //! record   := len:u32le  crc:u32le  payload[len]
-//! payload  := version:u32le  epoch:u64le  skolem:str  extra:str
+//! payload  := version:u32le  kind:u8  epoch:u64le  skolem:str  extra:str   (v2)
+//!           | version:u32le  epoch:u64le  skolem:str  extra:str            (v1)
 //! str      := len:u32le  utf8-bytes
 //! ```
 //!
 //! `crc` is the CRC-32 ([`crate::crc`]) of the payload alone, so a record
 //! is *self-validating*: a torn or bit-flipped tail is detected without
 //! trusting anything after the last good record. For a WAL record `extra`
-//! is the loaded source text; for a snapshot record it is the rendered
-//! (already-skolemized) program. `skolem` is the
+//! is the loaded (or retracted) source text; for a snapshot record it is
+//! the rendered (already-skolemized) program. `skolem` is the
 //! [`SkolemState`] text encoding.
+//!
+//! **Versioning.** Format v1 (pre-retraction logs) had no `kind` byte:
+//! every record was a load. This build writes v2, whose `kind`
+//! discriminates loads from retractions ([`WalOp`]); v1 payloads still
+//! decode (as loads), so old logs replay unchanged. A payload with an
+//! *unknown* version or kind — a log written by a newer build — is
+//! surfaced as [`Corruption::UnsupportedRecord`], which recovery treats
+//! as a refusal to open, **never** as a torn tail to seal or truncate:
+//! silently dropping records a newer build considered durable would be
+//! data loss.
 //!
 //! [`scan_wal`] is total: any byte string maps to a (possibly empty)
 //! record prefix plus an optional [`Corruption`] describing why scanning
@@ -30,22 +41,64 @@ use std::fmt;
 pub const WAL_MAGIC: &[u8; 8] = b"CLGWAL01";
 /// Magic prefix of a snapshot file.
 pub const SNAP_MAGIC: &[u8; 8] = b"CLGSNP01";
-/// Payload format version written by this build.
-pub const FORMAT_VERSION: u32 = 1;
+/// Payload format version written by this build. Version 1 (no record
+/// kind byte; every record a load) is still read; see the module docs.
+pub const FORMAT_VERSION: u32 = 2;
 /// Upper bound on a single record payload; a declared length beyond this
 /// is treated as corruption rather than honoured with an allocation.
 pub const MAX_RECORD_LEN: u32 = 256 * 1024 * 1024;
 
-/// One durably logged `load`: the source text plus the post-load epoch
-/// and skolem state, which recovery uses to verify (and if needed pin)
-/// object-identity stability.
+/// What a WAL record did to the session: the `kind` byte of a v2
+/// payload. v1 payloads (which predate retraction) decode as [`Load`].
+///
+/// [`Load`]: WalOp::Load
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WalOp {
+    /// Program text was loaded (asserted).
+    #[default]
+    Load,
+    /// Clauses were retracted.
+    Retract,
+}
+
+impl WalOp {
+    fn kind_byte(self) -> u8 {
+        match self {
+            WalOp::Load => 1,
+            WalOp::Retract => 2,
+        }
+    }
+
+    fn from_kind_byte(b: u8) -> Option<WalOp> {
+        match b {
+            1 => Some(WalOp::Load),
+            2 => Some(WalOp::Retract),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for WalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalOp::Load => write!(f, "load"),
+            WalOp::Retract => write!(f, "retract"),
+        }
+    }
+}
+
+/// One durably logged mutation — a `load` or a `retract`: the source
+/// text plus the post-mutation epoch and skolem state, which recovery
+/// uses to verify (and if needed pin) object-identity stability.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LoadRecord {
-    /// Session epoch *after* this load was applied.
+    /// What the record did ([`WalOp::Load`] for every v1 record).
+    pub op: WalOp,
+    /// Session epoch *after* this mutation was applied.
     pub epoch: u64,
-    /// Skolem numbering state after this load.
+    /// Skolem numbering state after this mutation.
     pub skolem: SkolemState,
-    /// The loaded source text, verbatim.
+    /// The loaded (or retracted) source text, verbatim.
     pub source: String,
 }
 
@@ -92,12 +145,22 @@ pub enum Corruption {
         /// Byte offset of the record header.
         offset: u64,
     },
-    /// The CRC matched but the payload does not decode — version drift or
-    /// an in-payload inconsistency.
+    /// The CRC matched but the payload does not decode — an in-payload
+    /// inconsistency.
     MalformedPayload {
         /// Byte offset of the record header.
         offset: u64,
         /// What failed to decode.
+        detail: String,
+    },
+    /// A structurally valid record of an unknown format version or
+    /// record kind — a log written by a newer build. Recovery refuses to
+    /// open such a store rather than sealing or truncating it: the
+    /// record was durable to whoever wrote it.
+    UnsupportedRecord {
+        /// Byte offset of the record header.
+        offset: u64,
+        /// The unrecognized version or kind.
         detail: String,
     },
 }
@@ -126,13 +189,20 @@ impl fmt::Display for Corruption {
             Corruption::MalformedPayload { offset, detail } => {
                 write!(f, "malformed payload at byte {offset}: {detail}")
             }
+            Corruption::UnsupportedRecord { offset, detail } => {
+                write!(
+                    f,
+                    "unsupported record at byte {offset} ({detail}) — \
+                     written by a newer format; refusing to guess"
+                )
+            }
         }
     }
 }
 
 // ---------- encoding ----------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -145,9 +215,10 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-fn encode_payload(epoch: u64, skolem: &SkolemState, extra: &str) -> Vec<u8> {
+fn encode_payload(op: WalOp, epoch: u64, skolem: &SkolemState, extra: &str) -> Vec<u8> {
     let mut p = Vec::with_capacity(extra.len() + 64);
     put_u32(&mut p, FORMAT_VERSION);
+    p.push(op.kind_byte());
     put_u64(&mut p, epoch);
     put_str(&mut p, &skolem.encode());
     put_str(&mut p, extra);
@@ -155,7 +226,7 @@ fn encode_payload(epoch: u64, skolem: &SkolemState, extra: &str) -> Vec<u8> {
 }
 
 /// Frames a payload as `[len][crc][payload]`.
-fn frame(payload: &[u8]) -> Vec<u8> {
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 8);
     put_u32(&mut out, payload.len() as u32);
     put_u32(&mut out, crc32(payload));
@@ -165,12 +236,12 @@ fn frame(payload: &[u8]) -> Vec<u8> {
 
 /// A WAL record, framed and ready to append.
 pub fn encode_load(rec: &LoadRecord) -> Vec<u8> {
-    frame(&encode_payload(rec.epoch, &rec.skolem, &rec.source))
+    frame(&encode_payload(rec.op, rec.epoch, &rec.skolem, &rec.source))
 }
 
 /// A complete snapshot file: magic plus one framed record.
 pub fn encode_snapshot_file(rec: &SnapshotRecord) -> Vec<u8> {
-    let payload = encode_payload(rec.epoch, &rec.skolem, &rec.program);
+    let payload = encode_payload(WalOp::Load, rec.epoch, &rec.skolem, &rec.program);
     let mut out = Vec::with_capacity(payload.len() + 16);
     out.extend_from_slice(SNAP_MAGIC);
     out.extend_from_slice(&frame(&payload));
@@ -205,27 +276,51 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Decodes one validated payload into `(epoch, skolem, extra)`.
-fn decode_payload(payload: &[u8]) -> Result<(u64, SkolemState, String), String> {
+/// Why a checksum-valid payload did not decode: `Malformed` is damage
+/// or drift *within* a known format; `Unsupported` is a coherent record
+/// of a format this build does not know (newer version or kind), which
+/// recovery must refuse rather than repair.
+enum PayloadError {
+    Malformed(String),
+    Unsupported(String),
+}
+
+/// Decodes one validated payload into `(op, epoch, skolem, extra)`.
+/// Accepts format v1 (no kind byte; decodes as a load) and v2.
+fn decode_payload(payload: &[u8]) -> Result<(WalOp, u64, SkolemState, String), PayloadError> {
+    use PayloadError::{Malformed, Unsupported};
     let mut r = Reader {
         bytes: payload,
         pos: 0,
     };
-    let version = r.u32().ok_or("missing version")?;
-    if version != FORMAT_VERSION {
-        return Err(format!("unsupported payload version {version}"));
-    }
-    let epoch = r.u64().ok_or("missing epoch")?;
-    let skolem_text = r.str().ok_or("missing skolem state")?;
-    let skolem = SkolemState::decode(skolem_text).ok_or("undecodable skolem state")?;
-    let extra = r.str().ok_or("missing body")?.to_string();
+    let version = r.u32().ok_or(Malformed("missing version".into()))?;
+    let op = match version {
+        1 => WalOp::Load,
+        2 => {
+            let kind = *payload
+                .get(r.pos)
+                .ok_or(Malformed("missing record kind".into()))?;
+            r.pos += 1;
+            WalOp::from_kind_byte(kind)
+                .ok_or_else(|| Unsupported(format!("record kind {kind}")))?
+        }
+        v => return Err(Unsupported(format!("payload version {v}"))),
+    };
+    let epoch = r.u64().ok_or(Malformed("missing epoch".into()))?;
+    let skolem_text = r.str().ok_or(Malformed("missing skolem state".into()))?;
+    let skolem =
+        SkolemState::decode(skolem_text).ok_or(Malformed("undecodable skolem state".into()))?;
+    let extra = r
+        .str()
+        .ok_or(Malformed("missing body".into()))?
+        .to_string();
     if r.pos != payload.len() {
-        return Err(format!(
+        return Err(Malformed(format!(
             "{} trailing bytes after payload",
             payload.len() - r.pos
-        ));
+        )));
     }
-    Ok((epoch, skolem, extra))
+    Ok((op, epoch, skolem, extra))
 }
 
 /// A record recovered from a WAL scan, with the byte offset of its header
@@ -288,10 +383,11 @@ pub fn scan_wal(bytes: &[u8]) -> WalScan {
             return scan;
         }
         match decode_payload(payload) {
-            Ok((epoch, skolem, source)) => {
+            Ok((op, epoch, skolem, source)) => {
                 scan.records.push(ScannedRecord {
                     offset,
                     record: LoadRecord {
+                        op,
                         epoch,
                         skolem,
                         source,
@@ -300,8 +396,12 @@ pub fn scan_wal(bytes: &[u8]) -> WalScan {
                 pos = body_end;
                 scan.valid_len = pos as u64;
             }
-            Err(detail) => {
+            Err(PayloadError::Malformed(detail)) => {
                 scan.corruption = Some(Corruption::MalformedPayload { offset, detail });
+                return scan;
+            }
+            Err(PayloadError::Unsupported(detail)) => {
+                scan.corruption = Some(Corruption::UnsupportedRecord { offset, detail });
                 return scan;
             }
         }
@@ -334,8 +434,10 @@ pub fn decode_snapshot_file(bytes: &[u8]) -> Result<SnapshotRecord, Corruption> 
     if crc32(body) != crc {
         return Err(Corruption::ChecksumMismatch { offset });
     }
-    let (epoch, skolem, program) =
-        decode_payload(body).map_err(|detail| Corruption::MalformedPayload { offset, detail })?;
+    let (_, epoch, skolem, program) = decode_payload(body).map_err(|e| match e {
+        PayloadError::Malformed(detail) => Corruption::MalformedPayload { offset, detail },
+        PayloadError::Unsupported(detail) => Corruption::UnsupportedRecord { offset, detail },
+    })?;
     Ok(SnapshotRecord {
         epoch,
         skolem,
@@ -351,6 +453,7 @@ mod tests {
 
     fn rec(epoch: u64, source: &str) -> LoadRecord {
         LoadRecord {
+            op: WalOp::Load,
             epoch,
             skolem: SkolemState {
                 counter: epoch as usize,
@@ -448,6 +551,91 @@ mod tests {
         let last = flipped.len() - 1;
         flipped[last] ^= 1;
         assert!(decode_snapshot_file(&flipped).is_err());
+    }
+
+    #[test]
+    fn retract_records_roundtrip() {
+        let mut retract = rec(3, "t1: c1.");
+        retract.op = WalOp::Retract;
+        let records = vec![rec(1, "t1: c1."), retract.clone(), rec(4, "t2: c2.")];
+        let bytes = wal_image(&records);
+        let scan = scan_wal(&bytes);
+        assert!(scan.corruption.is_none());
+        let got: Vec<LoadRecord> = scan.records.into_iter().map(|s| s.record).collect();
+        assert_eq!(got, records);
+        assert_eq!(got[1].op, WalOp::Retract);
+    }
+
+    /// Hand-encodes a v1 payload (no kind byte) for the given record.
+    fn encode_v1(r: &LoadRecord) -> Vec<u8> {
+        let mut p = Vec::new();
+        put_u32(&mut p, 1);
+        put_u64(&mut p, r.epoch);
+        put_str(&mut p, &r.skolem.encode());
+        put_str(&mut p, &r.source);
+        frame(&p)
+    }
+
+    #[test]
+    fn v1_records_still_decode_as_loads() {
+        let records = vec![rec(1, "t1: c1."), rec(2, "p(X) :- t1: X.")];
+        let mut bytes = WAL_MAGIC.to_vec();
+        for r in &records {
+            bytes.extend_from_slice(&encode_v1(r));
+        }
+        let scan = scan_wal(&bytes);
+        assert!(scan.corruption.is_none(), "{:?}", scan.corruption);
+        let got: Vec<LoadRecord> = scan.records.into_iter().map(|s| s.record).collect();
+        assert_eq!(got, records);
+        assert!(got.iter().all(|r| r.op == WalOp::Load));
+    }
+
+    #[test]
+    fn mixed_v1_and_v2_records_interleave() {
+        let r1 = rec(1, "t1: c1.");
+        let mut r2 = rec(2, "t1: c1.");
+        r2.op = WalOp::Retract;
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&encode_v1(&r1));
+        bytes.extend_from_slice(&encode_load(&r2));
+        let scan = scan_wal(&bytes);
+        assert!(scan.corruption.is_none());
+        assert_eq!(scan.records[0].record, r1);
+        assert_eq!(scan.records[1].record, r2);
+    }
+
+    #[test]
+    fn unknown_version_and_kind_are_unsupported_not_malformed() {
+        // A future version: keep the record structurally sound.
+        let mut p = Vec::new();
+        put_u32(&mut p, 3);
+        put_u64(&mut p, 9);
+        put_str(&mut p, "c0;");
+        put_str(&mut p, "whatever");
+        let mut bytes = wal_image(&[rec(1, "t1: c1.")]);
+        bytes.extend_from_slice(&frame(&p));
+        let scan = scan_wal(&bytes);
+        assert_eq!(scan.records.len(), 1, "valid prefix still scans");
+        match scan.corruption {
+            Some(Corruption::UnsupportedRecord { ref detail, .. }) => {
+                assert!(detail.contains("version 3"), "{detail}");
+            }
+            other => panic!("expected UnsupportedRecord, got {other:?}"),
+        }
+        // An unknown kind byte under the current version.
+        let mut p = Vec::new();
+        put_u32(&mut p, FORMAT_VERSION);
+        p.push(77);
+        put_u64(&mut p, 9);
+        put_str(&mut p, "c0;");
+        put_str(&mut p, "whatever");
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&frame(&p));
+        let scan = scan_wal(&bytes);
+        assert!(matches!(
+            scan.corruption,
+            Some(Corruption::UnsupportedRecord { .. })
+        ));
     }
 
     #[test]

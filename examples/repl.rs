@@ -115,6 +115,7 @@ fn main() {
                     println!(
                         ":strategy <direct|sld|naive|seminaive|tabled|magic>\n\
                          :program       show the loaded program\n\
+                         :retract <cls> retract loaded clauses (as :program shows them)\n\
                          :translated    show the first-order translation\n\
                          :save <path>   persist the session to a directory (then keep logging)\n\
                          :open <path>   recover a session from a directory\n\
@@ -146,6 +147,32 @@ fn main() {
                     },
                     None => print!("{}", session.program()),
                 },
+                Some("retract") => {
+                    let src = cmd["retract".len()..].trim();
+                    if src.is_empty() {
+                        println!("usage: :retract <clause(s)>   (quote skolemized facts as :program shows them)");
+                    } else {
+                        match &serve {
+                            Some((mgr, tenant)) => match mgr.retract(tenant, src) {
+                                Ok(report) => println!(
+                                    "retracted (tenant `{tenant}`, epoch {}, {})",
+                                    report.epoch,
+                                    if report.persisted() {
+                                        "persisted"
+                                    } else {
+                                        "NOT persisted"
+                                    }
+                                ),
+                                Err(e) => report_error(&e),
+                            },
+                            None => {
+                                if guarded(|| session.retract(src)).is_some() {
+                                    println!("retracted (epoch {})", session.epoch());
+                                }
+                            }
+                        }
+                    }
+                }
                 Some("translated") => {
                     let shown = guarded(|| {
                         let text = session.translated().to_string();

@@ -28,7 +28,7 @@
 //! assert_eq!(answers.rows[0].get("X"), Some("john".to_string()));
 //! ```
 
-use clogic_core::fol::{FoAtom, FoProgram, FoTerm};
+use clogic_core::fol::{FoAtom, FoClause, FoProgram, FoTerm};
 use clogic_core::optimize::Optimizer;
 use clogic_core::program::Program;
 use clogic_core::skolem::{auto_skolemize_from, SkolemReport, SkolemState};
@@ -40,7 +40,7 @@ use clogic_obs::{Json, MetricsSnapshot, Obs, Render};
 use clogic_parser::{parse_query, parse_source, ParseError, ParseErrors};
 use clogic_store::{
     DurableLog, FileStorage, LoadRecord, RecoveryIssue, RecoveryReport, SnapshotRecord, Storage,
-    StoreError, SNAPSHOT_FILE, WAL_FILE,
+    StoreError, WalOp, SNAPSHOT_FILE, WAL_FILE,
 };
 use folog::builtins::builtin_symbols;
 use folog::magic::{solve_magic, solve_magic_labeled};
@@ -160,6 +160,10 @@ pub enum SessionError {
     /// artifact stale for the current epoch. Call [`Session::prepare`]
     /// (under exclusive access) after every load, then retry.
     NotPrepared(&'static str),
+    /// [`Session::retract`] found no loaded clause matching one of the
+    /// clauses in its source. Nothing was retracted (the operation is
+    /// all-or-nothing).
+    NoSuchClause(String),
 }
 
 impl fmt::Display for SessionError {
@@ -176,6 +180,9 @@ impl fmt::Display for SessionError {
                 "session not prepared for shared queries: {artifact} is stale; \
                  call Session::prepare after loading"
             ),
+            SessionError::NoSuchClause(c) => {
+                write!(f, "retract: no loaded clause matches `{c}`")
+            }
         }
     }
 }
@@ -184,7 +191,9 @@ impl std::error::Error for SessionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SessionError::Parse(e) => Some(e),
-            SessionError::Unsupported(_) | SessionError::NotPrepared(_) => None,
+            SessionError::Unsupported(_)
+            | SessionError::NotPrepared(_)
+            | SessionError::NoSuchClause(_) => None,
             SessionError::Builtin(e) => Some(e),
             SessionError::Eval(e) => Some(e),
             SessionError::Tabling(e) => Some(e),
@@ -1191,6 +1200,10 @@ impl Session {
             match session.replay_record(&sr.record, &mut report) {
                 Ok(()) => {
                     report.records_replayed += 1;
+                    match sr.record.op {
+                        WalOp::Load => report.loads_replayed += 1,
+                        WalOp::Retract => report.retracts_replayed += 1,
+                    }
                     kept += 1;
                 }
                 Err(e) => {
@@ -1323,18 +1336,23 @@ impl Session {
         rec: &LoadRecord,
         report: &mut RecoveryReport,
     ) -> Result<(), SessionError> {
-        let parsed = parse_source(&rec.source)?;
-        if !parsed.queries.is_empty() {
-            return Err(SessionError::Parse(
-                ParseError {
-                    message: "logged source contains queries".into(),
-                    line: 0,
-                    col: 0,
+        match rec.op {
+            WalOp::Load => {
+                let parsed = parse_source(&rec.source)?;
+                if !parsed.queries.is_empty() {
+                    return Err(SessionError::Parse(
+                        ParseError {
+                            message: "logged source contains queries".into(),
+                            line: 0,
+                            col: 0,
+                        }
+                        .into(),
+                    ));
                 }
-                .into(),
-            ));
+                self.load_program(parsed.program);
+            }
+            WalOp::Retract => self.retract_program(&rec.source)?,
         }
-        self.load_program(parsed.program);
         if self.epoch != rec.epoch {
             report.issues.push(RecoveryIssue::EpochDrift {
                 replayed: self.epoch,
@@ -1357,7 +1375,14 @@ impl Session {
     /// the log — the error tells the caller to treat the session as
     /// crashed and recover from the store.
     fn persist_load(&mut self, src: &str) -> Result<(), SessionError> {
+        self.persist_record(WalOp::Load, src)
+    }
+
+    /// Logs one durable mutation (load or retract) — see
+    /// [`Session::persist_load`]'s contract, which both kinds share.
+    fn persist_record(&mut self, op: WalOp, src: &str) -> Result<(), SessionError> {
         let rec = LoadRecord {
+            op,
             epoch: self.epoch,
             skolem: self.skolem_state(),
             source: src.to_string(),
@@ -1442,6 +1467,166 @@ impl Session {
         }
         span.record("epoch", self.epoch);
         span.record("skolems_minted", minted);
+    }
+
+    /// Retracts previously loaded clauses (facts or rules) and repairs
+    /// every cached artefact **incrementally** where possible.
+    ///
+    /// The source is parsed like a load, and each clause must match a
+    /// loaded clause textually *after* skolemization — retracting a
+    /// skolemized fact means quoting it the way [`Session::program`]
+    /// renders it (e.g. `person: sk1[...]`), so object identities are
+    /// never re-minted or guessed. Queries and subtype declarations are
+    /// rejected; a clause with no match fails the whole call with
+    /// [`SessionError::NoSuchClause`] and retracts nothing.
+    ///
+    /// Saturated bottom-up models are patched with a DRed
+    /// delete-rederive pass ([`folog::retract_facts`]) when the
+    /// retraction only removes ground base facts at the first-order
+    /// level; if the translated rule set itself changed (the optimizer's
+    /// global analyses may re-fire) or a model was budget-cut, the
+    /// affected models are dropped and recomputed lazily instead. The
+    /// direct engine's clustered store is append-only, so it is always
+    /// rebuilt lazily. In a persistent session the retraction is
+    /// appended to the write-ahead log (as a
+    /// [`WalOp::Retract`](clogic_store::WalOp) record) before returning,
+    /// under the same gap-healing contract as [`Session::load`].
+    pub fn retract(&mut self, src: &str) -> Result<(), SessionError> {
+        self.retract_program(src)?;
+        self.persist_record(WalOp::Retract, src)
+    }
+
+    /// The in-memory half of [`Session::retract`] — also the replay
+    /// target for [`WalOp::Retract`] records during recovery.
+    fn retract_program(&mut self, src: &str) -> Result<(), SessionError> {
+        let parsed = parse_source(src)?;
+        if !parsed.queries.is_empty() {
+            return Err(SessionError::Parse(
+                ParseError {
+                    message: "queries are not allowed in retracted sources".into(),
+                    line: 0,
+                    col: 0,
+                }
+                .into(),
+            ));
+        }
+        if !parsed.program.subtype_decls.is_empty() {
+            return Err(SessionError::Unsupported(
+                "subtype declarations cannot be retracted; the hierarchy only grows".into(),
+            ));
+        }
+        if parsed.program.clauses.is_empty() {
+            return Err(SessionError::NoSuchClause("(empty source)".into()));
+        }
+        let mut span = self.options.obs.tracer.span_with(
+            "session.retract",
+            vec![("clauses", parsed.program.clauses.len().into())],
+        );
+
+        // Resolve every clause before mutating anything: all-or-nothing.
+        let mut doomed: Vec<usize> = Vec::new();
+        for c in &parsed.program.clauses {
+            let want = c.to_string();
+            let hit = self
+                .program
+                .clauses
+                .iter()
+                .enumerate()
+                .find(|(i, have)| !doomed.contains(i) && have.to_string() == want)
+                .map(|(i, _)| i);
+            match hit {
+                Some(i) => doomed.push(i),
+                None => return Err(SessionError::NoSuchClause(want.trim_end().to_string())),
+            }
+        }
+
+        // Snapshot the old artifacts for the incremental repair below.
+        let prev_translated = self.translated.take();
+        let prev_models = std::mem::take(&mut self.models);
+
+        doomed.sort_unstable();
+        for &i in doomed.iter().rev() {
+            self.program.clauses.remove(i);
+        }
+        self.epoch += 1;
+        self.answer_cache.clear();
+        // The clustered store's indexes are append-only; rebuild lazily.
+        self.direct = None;
+
+        // Full re-translation. The generation must move *past* the old
+        // one — a fresh build restarts numbering at 0, which could
+        // collide with a stale artifact's generation and let
+        // `ensure_model` resume a model whose basis silently changed.
+        self.ensure_translated();
+        let old_gen = prev_translated.as_ref().map_or(0, |t| t.generation);
+        let new_gen = old_gen + 1;
+        self.translated.as_mut().expect("ensured").generation = new_gen;
+        self.compiled_fo = None;
+        self.ensure_compiled();
+
+        // Diff the first-order programs. When only ground unit facts
+        // disappeared (the common case), every complete saturated model
+        // is repaired by a DRed delete-rederive pass over exactly those
+        // facts instead of a fixpoint from scratch.
+        let diff = prev_translated.as_ref().and_then(|t| {
+            fo_unit_diff(&t.fo, &self.translated.as_ref().expect("ensured").fo)
+        });
+        let cp = Arc::clone(&self.compiled_fo.as_ref().expect("ensured").cp);
+        let rules = cp.rules.len();
+        let mut patched = 0u64;
+        let mut dropped = 0u64;
+        if let Some((removed, added)) = diff {
+            for (fs, art) in prev_models {
+                if art.generation != old_gen || !art.ev.complete {
+                    dropped += 1;
+                    continue;
+                }
+                let opts = FixpointOptions {
+                    strategy: fs,
+                    obs: self.options.obs.clone(),
+                    ..self.options.fixpoint.clone()
+                };
+                // COW: reclaim the saturated store when this session
+                // holds the only reference; clone only while a published
+                // snapshot still pins the pre-retraction model (which
+                // keeps serving its own epoch untorn).
+                let seed = Arc::try_unwrap(art.ev).unwrap_or_else(|a| (*a).clone());
+                match folog::retract_facts(cp.as_ref(), seed, &removed, &added, opts) {
+                    Ok((ev, _stats)) => {
+                        self.models.insert(
+                            fs,
+                            ModelArtifact {
+                                epoch: self.epoch,
+                                generation: new_gen,
+                                rules,
+                                ev: Arc::new(ev),
+                            },
+                        );
+                        patched += 1;
+                    }
+                    Err(_) => dropped += 1,
+                }
+            }
+        } else {
+            dropped += prev_models.len() as u64;
+        }
+
+        let m = &self.options.obs.metrics;
+        m.counter("session.retracts").inc();
+        m.counter("session.retract.clauses").add(doomed.len() as u64);
+        if patched > 0 {
+            m.counter("session.retract.models_patched").add(patched);
+        }
+        if dropped > 0 {
+            m.counter("session.retract.models_dropped").add(dropped);
+        }
+        m.gauge("session.epoch").set(self.epoch);
+        m.gauge("session.program_clauses")
+            .set(self.program.clauses.len() as u64);
+        span.record("epoch", self.epoch);
+        span.record("models_patched", patched);
+        span.record("models_dropped", dropped);
+        Ok(())
     }
 
     /// The loaded program (after skolemization).
@@ -2473,6 +2658,35 @@ impl Session {
 
 /// Zips per-rule tuple counts with rendered rule labels, dropping
 /// zero-count rules.
+/// Multiset-diffs two translated programs. `Some((removed, added))` when
+/// every differing clause is a ground unit fact — the shape a saturated
+/// model can be DRed-patched over — `None` when any rule or non-ground
+/// clause changed (the model's derivational basis moved and it must be
+/// recomputed).
+fn fo_unit_diff(old: &FoProgram, new: &FoProgram) -> Option<(Vec<FoAtom>, Vec<FoAtom>)> {
+    let mut counts: HashMap<&FoClause, i64> = HashMap::new();
+    for c in &old.clauses {
+        *counts.entry(c).or_default() += 1;
+    }
+    for c in &new.clauses {
+        *counts.entry(c).or_default() -= 1;
+    }
+    let (mut removed, mut added) = (Vec::new(), Vec::new());
+    for (c, n) in counts {
+        if n == 0 {
+            continue;
+        }
+        if !c.is_fact() || !c.head.is_ground() {
+            return None;
+        }
+        let out = if n > 0 { &mut removed } else { &mut added };
+        for _ in 0..n.unsigned_abs() {
+            out.push(c.head.clone());
+        }
+    }
+    Some((removed, added))
+}
+
 fn rule_tuples(per_rule: &[u64], label: impl Fn(usize) -> String) -> Vec<RuleTuples> {
     per_rule
         .iter()
